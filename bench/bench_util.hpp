@@ -1,0 +1,28 @@
+#pragma once
+
+// Shared console-table formatting for the experiment harnesses. Every
+// bench prints the rows EXPERIMENTS.md records, plus a PASS/FAIL verdict
+// against the paper's qualitative claim.
+
+#include <cstdio>
+#include <string>
+
+namespace bench {
+
+inline void title(const std::string& id, const std::string& text) {
+  std::printf("\n================================================================\n");
+  std::printf("%s  %s\n", id.c_str(), text.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void note(const std::string& text) { std::printf("  %s\n", text.c_str()); }
+
+inline void rule() {
+  std::printf("  ----------------------------------------------------------------\n");
+}
+
+inline void verdict(bool ok, const std::string& claim) {
+  std::printf("  [%s] %s\n", ok ? "REPRODUCED" : "DIVERGED", claim.c_str());
+}
+
+}  // namespace bench

@@ -1,0 +1,87 @@
+// Interactive NoC characterization — the Section 6.1 "characterize the
+// various topologies" workflow as a command-line tool.
+//
+//   ./build/examples/noc_explorer [topology] [terminals] [packet_flits]
+//
+// topology: bus ring tree fattree mesh torus xbar all (default: all)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <vector>
+
+#include "soc/noc/traffic.hpp"
+
+using namespace soc;
+using noc::TopologyKind;
+
+namespace {
+
+std::optional<TopologyKind> parse_kind(const char* s) {
+  if (!std::strcmp(s, "bus")) return TopologyKind::kBus;
+  if (!std::strcmp(s, "ring")) return TopologyKind::kRing;
+  if (!std::strcmp(s, "tree")) return TopologyKind::kBinaryTree;
+  if (!std::strcmp(s, "fattree")) return TopologyKind::kFatTree;
+  if (!std::strcmp(s, "mesh")) return TopologyKind::kMesh2D;
+  if (!std::strcmp(s, "torus")) return TopologyKind::kTorus2D;
+  if (!std::strcmp(s, "xbar")) return TopologyKind::kCrossbar;
+  return std::nullopt;
+}
+
+void explore(TopologyKind kind, int terminals, std::uint32_t flits) {
+  const auto topo = noc::make_topology(kind, terminals);
+  std::printf("\n%s, %d terminals, %d routers, %zu links (total bw %.0f)\n",
+              topo->name().c_str(), topo->terminal_count(),
+              topo->router_count(), topo->links().size(),
+              topo->total_link_bandwidth());
+  std::printf("  diameter %d hops, average %.2f hops\n", topo->diameter_hops(),
+              topo->average_hops());
+
+  noc::TrafficConfig t;
+  t.packet_flits = flits;
+  const noc::MeasureConfig m{5'000, 40'000};
+  std::printf("  zero-load latency: %.1f cycles\n",
+              noc::zero_load_latency(kind, terminals, {}, flits));
+  std::printf("  saturation (uniform): %.4f flits/node/cycle\n",
+              noc::find_saturation_rate(kind, terminals, {}, t, m));
+
+  std::printf("  %-8s %10s %10s %10s %10s\n", "load", "accepted", "avg", "p95",
+              "p99");
+  for (const double rate : {0.05, 0.1, 0.2, 0.4}) {
+    t.injection_rate = rate;
+    const auto pt = noc::measure_load_point(kind, terminals, {}, t, m);
+    std::printf("  %-8.2f %10.4f %10.1f %10.1f %10.1f%s\n", rate,
+                pt.accepted_flits_per_node_cycle, pt.avg_latency,
+                pt.p95_latency, pt.p99_latency,
+                pt.saturated ? "  (saturated)" : "");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* kind_arg = argc > 1 ? argv[1] : "all";
+  const int terminals = argc > 2 ? std::atoi(argv[2]) : 32;
+  const auto flits =
+      argc > 3 ? static_cast<std::uint32_t>(std::atoi(argv[3])) : 8u;
+
+  if (std::strcmp(kind_arg, "all") == 0) {
+    for (const auto k : {TopologyKind::kBus, TopologyKind::kRing,
+                         TopologyKind::kBinaryTree, TopologyKind::kFatTree,
+                         TopologyKind::kMesh2D, TopologyKind::kTorus2D,
+                         TopologyKind::kCrossbar}) {
+      explore(k, terminals, flits);
+    }
+    return 0;
+  }
+  const auto kind = parse_kind(kind_arg);
+  if (!kind) {
+    std::fprintf(stderr,
+                 "usage: %s [bus|ring|tree|fattree|mesh|torus|xbar|all] "
+                 "[terminals] [packet_flits]\n",
+                 argv[0]);
+    return 2;
+  }
+  explore(*kind, terminals, flits);
+  return 0;
+}

@@ -1,0 +1,64 @@
+// NRE break-even calculator — the Section 1 economics as a tool.
+//
+//   ./build/examples/nre_calculator [unit_price] [margin] [node]
+//
+// e.g. ./build/examples/nre_calculator 5 0.20 90nm
+#include <cstdio>
+#include <cstdlib>
+
+#include "soc/econ/amortization.hpp"
+#include "soc/econ/nre_model.hpp"
+
+using namespace soc;
+
+int main(int argc, char** argv) {
+  econ::ChipProduct product;
+  product.unit_price_usd = argc > 1 ? std::atof(argv[1]) : 5.0;
+  product.profit_margin = argc > 2 ? std::atof(argv[2]) : 0.20;
+  const std::string node_name = argc > 3 ? argv[3] : "90nm";
+
+  const auto node = tech::find_node(node_name);
+  if (!node) {
+    std::fprintf(stderr, "unknown node '%s' (roadmap: ", node_name.c_str());
+    for (const auto& n : tech::roadmap()) std::fprintf(stderr, "%s ", n.name.c_str());
+    std::fprintf(stderr, ")\n");
+    return 2;
+  }
+
+  std::printf("product: $%.2f unit price, %.0f%% margin -> $%.2f/unit for NRE\n",
+              product.unit_price_usd, 100.0 * product.profit_margin,
+              product.margin_per_unit());
+
+  const double mask = econ::NreModel::mask_set_usd(*node);
+  const auto design = econ::NreModel::design_nre(*node);
+  std::printf("\nat %s (volume year %d):\n", node->name.c_str(), node->year);
+  std::printf("  mask-set NRE   : $%.2fM -> %.2fM units to break even\n",
+              mask / 1e6, econ::NreModel::break_even_units(mask, product) / 1e6);
+  std::printf("  design NRE     : $%.0fM - $%.0fM -> %.0fM - %.0fM units\n",
+              design.low_usd / 1e6, design.high_usd / 1e6,
+              econ::NreModel::break_even_units(design.low_usd, product) / 1e6,
+              econ::NreModel::break_even_units(design.high_usd, product) / 1e6);
+
+  std::printf("\nplatform strategy (design once, derive variants):\n");
+  const double platform_nre = design.high_usd;     // full platform design
+  const double derivative = design.low_usd * 0.2;  // per-variant cost
+  std::printf("  platform $%.0fM + $%.0fM/derivative vs $%.0fM/ASIC:\n",
+              platform_nre / 1e6, derivative / 1e6, design.low_usd / 1e6);
+  const int be = econ::PlatformAmortization::break_even_variants(
+      platform_nre, mask, derivative, design.low_usd);
+  if (be > 0) {
+    std::printf("  platform wins from %d variants on\n", be);
+  } else {
+    std::printf("  platform never wins at these costs\n");
+  }
+  for (int n = 1; n <= 8; n *= 2) {
+    econ::PlatformAmortization pa(platform_nre, mask);
+    for (int i = 0; i < n; ++i) pa.add_variant({1e6, derivative, false});
+    std::printf("  %d variants: platform $%.0fM vs ASICs $%.0fM (NRE/unit "
+                "$%.2f)\n",
+                n, pa.platform_total_nre() / 1e6,
+                pa.asic_total_nre(design.low_usd) / 1e6,
+                pa.platform_nre_per_unit());
+  }
+  return 0;
+}

@@ -1,0 +1,121 @@
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "soc/apps/ipv4.hpp"
+#include "soc/apps/lpm.hpp"
+#include "soc/apps/lpm_engine.hpp"
+#include "soc/apps/route_gen.hpp"
+#include "soc/dsoc/broker.hpp"
+#include "soc/dsoc/client.hpp"
+#include "soc/platform/fppa.hpp"
+
+namespace soc::apps {
+
+/// How the fast path resolves next hops (ablation A4).
+enum class LookupMode {
+  /// PEs walk the trie themselves: ceil(32/stride) dependent split reads
+  /// to shared memory per packet.
+  kSoftwareWalk,
+  /// PEs issue one split read to an NPSE-style hardware search engine.
+  kHardwareEngine,
+};
+
+/// Configuration of the IPv4 fast-path experiment — the paper's Section
+/// 7.2 demonstration: "a DSOC model of a complete IPv4 fast-path
+/// application onto a large-scale multi-processor and H/W multi-threaded
+/// instance of the StepNP platform ... near 100% utilization of the
+/// embedded processors and threads, even in presence of NoC interconnect
+/// latencies of over 100 cycles, while processing worst-case traffic at a
+/// 10 Gbit line rate".
+struct FastpathConfig {
+  platform::FppaConfig fppa{};      ///< PE/thread/topology choice
+  int trie_stride = 8;
+  std::size_t num_routes = 10'000;
+  /// Offered load for the whole platform, packets per cycle.
+  double packets_per_cycle = 0.05;
+  std::uint32_t parse_cycles = 25;   ///< header parse + validate on a PE
+  std::uint32_t rewrite_cycles = 15; ///< TTL/checksum rewrite + queue select
+  double trace_hit_fraction = 0.9;
+  std::uint64_t seed = 99;
+  /// Ingress MACs (each is one NI injecting invocation messages). A single
+  /// port serializes ~9-flit invocations at 1 flit/cycle and caps the whole
+  /// platform near 0.11 packets/cycle; real NPUs have several.
+  int ingress_ports = 4;
+  /// The route table is replicated across this many memory endpoints
+  /// (lookups spread by packet id), matching NPSE-style parallel search
+  /// engines. Clamped to fppa.num_memories.
+  int table_replicas = 4;
+  /// Lookup implementation (A4 ablation knob).
+  LookupMode lookup_mode = LookupMode::kSoftwareWalk;
+  /// Verify forwarding decisions against the reference LPM for the first
+  /// N packets (0 disables).
+  std::size_t verify_first = 2'000;
+};
+
+/// Measured outcome of a fast-path run.
+struct FastpathResults {
+  platform::FppaReport platform;
+  std::uint64_t packets_offered = 0;
+  std::uint64_t packets_forwarded = 0;
+  double offered_per_kcycle = 0.0;
+  double forwarded_per_kcycle = 0.0;
+  double accepted_fraction = 0.0;   ///< forwarded / offered
+  std::uint64_t verified = 0;
+  std::uint64_t verify_failures = 0;
+  double mean_trie_reads = 0.0;
+  /// Line-rate equivalent of the forwarded packet rate at a node's clock.
+  double gbps_at(const soc::tech::ProcessNode& node,
+                 double fo4_per_cycle = 20.0,
+                 double frame_bytes = 64.0,
+                 double overhead_bytes = 20.0) const;
+};
+
+/// The assembled application: FPPA platform + route-table memory + DSOC
+/// Forwarder object served by the PE pool + ingress traffic + egress sink.
+class FastpathApp {
+ public:
+  explicit FastpathApp(FastpathConfig cfg);
+
+  /// Runs warmup then a measurement window; returns measured results.
+  FastpathResults run(sim::Cycle warmup_cycles, sim::Cycle measure_cycles);
+
+  platform::Fppa& fppa() noexcept { return *fppa_; }
+  const MultibitTrie& trie() const noexcept { return trie_; }
+  const std::vector<Route>& routes() const noexcept { return routes_; }
+
+  /// DSOC method id of Forwarder::forward(ip, id).
+  static constexpr dsoc::MethodId kForwardMethod = 0;
+
+ private:
+  void schedule_next_injection();
+  dsoc::MethodImpl make_forwarder_impl();
+
+  FastpathConfig cfg_;
+  std::vector<Route> routes_;
+  MultibitTrie trie_;
+  std::unique_ptr<platform::Fppa> fppa_;
+  std::unique_ptr<dsoc::Broker> broker_;
+  /// Replicated object adapter: one skeleton terminal per ingress port,
+  /// all feeding the same PE-pool work queue. Concentrating every
+  /// invocation on a single NoC terminal would hotspot the links around
+  /// it; real NPUs spread descriptor queues the same way.
+  std::vector<std::unique_ptr<dsoc::Skeleton>> skeletons_;
+  std::vector<std::unique_ptr<dsoc::ClientPort>> ingress_ports_;
+  std::vector<std::unique_ptr<dsoc::Proxy>> forwarder_proxies_;
+  /// Hardware search engines (kHardwareEngine mode only).
+  std::vector<std::unique_ptr<LpmEngineEndpoint>> engines_;
+  sim::Rng traffic_rng_;
+  double inject_accumulator_ = 0.0;
+  bool injecting_ = false;
+
+  // Measurement state.
+  std::uint64_t next_packet_id_ = 1;
+  std::uint64_t offered_ = 0;
+  std::uint64_t verified_ = 0;
+  std::uint64_t verify_failures_ = 0;
+  sim::RunningStats trie_reads_;
+};
+
+}  // namespace soc::apps

@@ -1,0 +1,23 @@
+#pragma once
+
+#include "soc/core/task_graph.hpp"
+
+namespace soc::apps {
+
+/// IPv4 fast-path pipeline as a mappable task graph (rx -> parse ->
+/// classify -> LPM -> rewrite -> queue -> tx), work weights matching the
+/// cycle costs used by the event-driven FastpathApp.
+core::TaskGraph ipv4_task_graph();
+
+/// Consumer-multimedia decode pipeline (MJPEG-class: vld -> idct ->
+/// dequant -> color -> scale -> display), the "consumer multimedia"
+/// domain the paper's Section 8 roadmap targets. Heavy inner-loop stages
+/// allow eFPGA/hardwired mapping.
+core::TaskGraph mjpeg_task_graph();
+
+/// Wireless-LAN baseband receive chain (sync -> fft -> demap ->
+/// deinterleave -> viterbi -> crc), the low-power exploration domain of
+/// Section 8. Dominated by two regular-parallel kernels (fft, viterbi).
+core::TaskGraph wlan_task_graph();
+
+}  // namespace soc::apps

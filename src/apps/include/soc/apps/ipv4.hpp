@@ -1,0 +1,65 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "soc/tech/process_node.hpp"
+
+namespace soc::apps {
+
+/// Minimal IPv4 header (20 bytes, no options) — the unit the fast path
+/// parses, validates and rewrites.
+struct Ipv4Header {
+  std::uint8_t version = 4;
+  std::uint8_t ihl = 5;           ///< header words
+  std::uint8_t dscp = 0;
+  std::uint16_t total_length = 20;
+  std::uint16_t identification = 0;
+  std::uint16_t flags_fragment = 0;
+  std::uint8_t ttl = 64;
+  std::uint8_t protocol = 6;
+  std::uint16_t checksum = 0;
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+};
+
+/// Serializes to network byte order (20 bytes).
+std::array<std::uint8_t, 20> serialize(const Ipv4Header& h);
+
+/// Parses from network byte order; throws std::invalid_argument when the
+/// buffer is too short or the version nibble is not 4.
+Ipv4Header parse(std::span<const std::uint8_t> bytes);
+
+/// RFC 1071 header checksum over the 20-byte header (checksum field
+/// zeroed during computation).
+std::uint16_t header_checksum(const Ipv4Header& h);
+
+/// True when the stored checksum matches the computed one.
+bool checksum_ok(const Ipv4Header& h);
+
+/// Fast-path forwarding transform: verify checksum, decrement TTL,
+/// incrementally update checksum (RFC 1141). Returns false (drop) when
+/// TTL would reach zero or the checksum is invalid.
+bool forward_transform(Ipv4Header& h);
+
+/// Line-rate arithmetic for worst-case minimum-size packets — the traffic
+/// the paper's 10 Gb/s claim is benchmarked against.
+struct LineRate {
+  double gbits_per_sec = 10.0;
+  double frame_bytes = 64.0;   ///< min Ethernet frame
+  double overhead_bytes = 20.0;  ///< preamble + IFG
+
+  double packets_per_sec() const noexcept {
+    return gbits_per_sec * 1e9 / ((frame_bytes + overhead_bytes) * 8.0);
+  }
+};
+
+/// Cycle budget per packet for the whole platform at a node's ASIC clock:
+/// clock_hz / pps. The paper's "near 100% utilization ... at a 10 Gbit
+/// line rate" means the PEs' aggregate cycles/packet fits this budget.
+double cycles_per_packet_budget(const LineRate& lr,
+                                const soc::tech::ProcessNode& node,
+                                double fo4_per_cycle = 20.0);
+
+}  // namespace soc::apps

@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "soc/tech/process_node.hpp"
+
+namespace soc::apps {
+
+/// One routing-table entry: dst/len -> next hop.
+struct Route {
+  std::uint32_t prefix = 0;   ///< network-order address, host byte layout
+  int length = 24;            ///< prefix length, 0..32
+  std::uint32_t next_hop = 0; ///< 31-bit next-hop identifier
+};
+
+/// Result of a longest-prefix-match lookup.
+struct LpmResult {
+  std::uint32_t next_hop = 0;  ///< 0 = no route (default drop)
+  int memory_accesses = 0;     ///< trie nodes touched
+};
+
+/// Leaf-pushed multibit trie — the SRAM-based IPv4/IPv6 search-engine
+/// organization the paper's NPSE reference [9] advocates over CAMs: each
+/// level consumes `stride` address bits, so a lookup costs at most
+/// ceil(32/stride) SRAM reads.
+class MultibitTrie {
+ public:
+  /// stride in {1..16}; 8 gives the classic 8-8-8-8 pipeline.
+  explicit MultibitTrie(int stride = 8);
+
+  /// Builds the trie from a route set. Longer prefixes win (leaf pushing
+  /// preserves LPM semantics exactly). Prefixes are canonicalized (bits
+  /// beyond `length` ignored). Duplicate exact prefixes: last one wins.
+  void build(const std::vector<Route>& routes);
+
+  LpmResult lookup(std::uint32_t address) const;
+
+  int stride() const noexcept { return stride_; }
+  int levels() const noexcept { return (32 + stride_ - 1) / stride_; }
+  std::size_t node_count() const noexcept { return nodes_; }
+  /// Total table size in 32-bit words (one word per trie entry).
+  std::size_t size_words() const noexcept { return table_.size(); }
+
+  /// Flat word image for loading into a MemoryEndpoint: entry encoding is
+  /// (0x80000000 | next_hop) for terminals, else the child node index.
+  /// Node i occupies words [i*2^stride, (i+1)*2^stride).
+  const std::vector<std::uint32_t>& words() const noexcept { return table_; }
+
+  /// Entry encoding helpers shared with the platform task generators.
+  static bool entry_is_leaf(std::uint32_t e) noexcept { return (e & 0x80000000u) != 0; }
+  static std::uint32_t entry_next_hop(std::uint32_t e) noexcept { return e & 0x7FFFFFFFu; }
+  static std::uint32_t make_leaf(std::uint32_t next_hop) noexcept {
+    return 0x80000000u | next_hop;
+  }
+
+ private:
+  int stride_;
+  std::size_t nodes_ = 0;
+  std::vector<std::uint32_t> table_;
+};
+
+/// Reference LPM by linear scan (oracle for tests and verification).
+std::uint32_t linear_lpm(const std::vector<Route>& routes,
+                         std::uint32_t address);
+
+/// Silicon-cost comparison of the SRAM trie against a TCAM of the same
+/// route capacity (claim C8: "it relies on an SRAM-based approach that is
+/// more memory and power-efficient" than CAM lookup).
+struct LpmCostComparison {
+  std::size_t routes = 0;
+  double trie_sram_kbits = 0.0;
+  double trie_area_mm2 = 0.0;
+  double trie_energy_pj_per_lookup = 0.0;
+  int trie_lookup_cycles = 0;
+  double tcam_kbits = 0.0;
+  double tcam_area_mm2 = 0.0;
+  double tcam_energy_pj_per_lookup = 0.0;
+  int tcam_lookup_cycles = 1;
+};
+
+LpmCostComparison compare_lpm_cost(const MultibitTrie& trie,
+                                   std::size_t route_count,
+                                   const soc::tech::ProcessNode& node);
+
+}  // namespace soc::apps

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <deque>
+
+#include "soc/apps/lpm.hpp"
+#include "soc/tlm/transport.hpp"
+
+namespace soc::apps {
+
+/// NPSE-style hardware search engine (paper Section 8, ref [9]): a
+/// pipelined SRAM-trie lookup block behind a NoC terminal. A PE issues a
+/// single split read with the IPv4 address as the "address"; the engine
+/// walks its internal multibit trie and returns the next hop. Compared to
+/// the software walk this turns ceil(32/stride) dependent NoC round trips
+/// into one, at the cost of a dedicated hardware block.
+class LpmEngineEndpoint final : public tlm::Endpoint {
+ public:
+  /// `pipeline_latency` is the fill time of one lookup (levels x SRAM
+  /// read); `initiation_interval` is the pipelined issue rate.
+  LpmEngineEndpoint(const MultibitTrie& trie, std::uint32_t pipeline_latency,
+                    std::uint32_t initiation_interval, sim::EventQueue& queue);
+
+  void handle(const tlm::Transaction& request,
+              tlm::CompletionFn respond) override;
+
+  std::uint64_t lookups() const noexcept { return lookups_; }
+  std::size_t max_queue() const noexcept { return max_queue_; }
+
+  /// Natural pipeline latency for this trie in a given memory technology:
+  /// one SRAM read per level.
+  static std::uint32_t natural_latency(const MultibitTrie& trie,
+                                       std::uint32_t sram_read_cycles) {
+    return static_cast<std::uint32_t>(trie.levels()) * sram_read_cycles;
+  }
+
+ private:
+  struct Job {
+    tlm::Transaction txn;
+    tlm::CompletionFn respond;
+  };
+  void pump();
+
+  const MultibitTrie& trie_;  ///< not owned; must outlive the endpoint
+  std::uint32_t latency_;
+  std::uint32_t ii_;
+  sim::EventQueue& queue_;
+  std::deque<Job> input_;
+  bool pumping_ = false;
+  std::uint64_t lookups_ = 0;
+  std::size_t max_queue_ = 0;
+};
+
+}  // namespace soc::apps

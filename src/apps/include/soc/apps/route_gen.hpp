@@ -1,0 +1,29 @@
+#pragma once
+
+#include <vector>
+
+#include "soc/apps/lpm.hpp"
+#include "soc/sim/rng.hpp"
+
+namespace soc::apps {
+
+/// Synthetic routing-table generator. Real backbone tables were not
+/// distributable with the paper; this generator reproduces their salient
+/// shape: prefix lengths concentrated at /16-/24 with a spike at /24,
+/// plus a default route. DESIGN.md documents this substitution.
+struct RouteGenConfig {
+  std::size_t count = 10'000;
+  std::uint64_t seed = 7;
+  bool include_default = true;  ///< add 0.0.0.0/0 -> next hop 1
+  std::uint32_t max_next_hop = 255;
+};
+
+std::vector<Route> generate_routes(const RouteGenConfig& cfg);
+
+/// Draws destination addresses: `hit_fraction` of them match a generated
+/// route's prefix (with random low bits); the rest are uniform random.
+std::vector<std::uint32_t> generate_lookup_trace(
+    const std::vector<Route>& routes, std::size_t count, double hit_fraction,
+    std::uint64_t seed);
+
+}  // namespace soc::apps

@@ -1,0 +1,253 @@
+#include "soc/apps/fastpath.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace soc::apps {
+
+double FastpathResults::gbps_at(const soc::tech::ProcessNode& node,
+                                double fo4_per_cycle, double frame_bytes,
+                                double overhead_bytes) const {
+  const double clock_hz = node.clock_ghz(fo4_per_cycle) * 1e9;
+  const double pps = forwarded_per_kcycle / 1000.0 * clock_hz;
+  return pps * (frame_bytes + overhead_bytes) * 8.0 / 1e9;
+}
+
+FastpathApp::FastpathApp(FastpathConfig cfg)
+    : cfg_(std::move(cfg)),
+      trie_(cfg_.trie_stride),
+      traffic_rng_(cfg_.seed ^ 0xABCDEF) {
+  // The app needs: table replicas in memories, >=1 sink (egress), and io
+  // terminals for the DSOC skeleton plus the ingress client ports.
+  if (cfg_.ingress_ports < 1) cfg_.ingress_ports = 1;
+  if (cfg_.table_replicas < 1) cfg_.table_replicas = 1;
+  if (cfg_.fppa.num_memories < cfg_.table_replicas) {
+    cfg_.fppa.num_memories = cfg_.table_replicas;
+  }
+  cfg_.table_replicas = std::min(cfg_.table_replicas, cfg_.fppa.num_memories);
+  if (cfg_.fppa.num_sinks < 1) cfg_.fppa.num_sinks = 1;
+  // io terminals: one skeleton + one client port per ingress MAC, plus one
+  // per search engine in hardware-lookup mode.
+  const int engine_terminals =
+      cfg_.lookup_mode == LookupMode::kHardwareEngine ? cfg_.table_replicas : 0;
+  if (cfg_.fppa.num_io < 2 * cfg_.ingress_ports + engine_terminals) {
+    cfg_.fppa.num_io = 2 * cfg_.ingress_ports + engine_terminals;
+  }
+
+  RouteGenConfig rg;
+  rg.count = cfg_.num_routes;
+  rg.seed = cfg_.seed;
+  routes_ = generate_routes(rg);
+  trie_.build(routes_);
+
+  fppa_ = std::make_unique<platform::Fppa>(cfg_.fppa);
+
+  if (cfg_.lookup_mode == LookupMode::kSoftwareWalk) {
+    // Load the flattened trie into each route-table replica.
+    const auto& words = trie_.words();
+    if (words.size() > cfg_.fppa.mem_words) {
+      throw std::invalid_argument(
+          "FastpathApp: route table does not fit in platform memory "
+          "(" + std::to_string(words.size()) + " words needed)");
+    }
+    for (int r = 0; r < cfg_.table_replicas; ++r) {
+      auto& mem = fppa_->memory(r);
+      for (std::size_t i = 0; i < words.size(); ++i) {
+        mem.poke(static_cast<std::uint32_t>(i), words[i]);
+      }
+    }
+  } else {
+    // NPSE-style engines: one per replica, behind their own terminals.
+    const auto latency = LpmEngineEndpoint::natural_latency(
+        trie_, cfg_.fppa.mem_timing.read_cycles);
+    for (int r = 0; r < cfg_.table_replicas; ++r) {
+      engines_.push_back(std::make_unique<LpmEngineEndpoint>(
+          trie_, latency, /*initiation_interval=*/1, fppa_->queue()));
+      fppa_->transport().attach(
+          fppa_->io_terminal(2 * cfg_.ingress_ports + r), *engines_.back());
+    }
+  }
+
+  broker_ = std::make_unique<dsoc::Broker>(fppa_->transport());
+  dsoc::InterfaceDef iface{"Forwarder",
+                           {{kForwardMethod, "forward"}}};
+  for (int i = 0; i < cfg_.ingress_ports; ++i) {
+    skeletons_.push_back(std::make_unique<dsoc::Skeleton>(
+        iface, /*object=*/static_cast<dsoc::ObjectId>(1 + i),
+        fppa_->io_terminal(i), fppa_->work_sink(), fppa_->transport()));
+    skeletons_.back()->bind(kForwardMethod, make_forwarder_impl());
+    const dsoc::ObjectRef ref = broker_->register_object(
+        "forwarder#" + std::to_string(i), *skeletons_.back());
+
+    ingress_ports_.push_back(std::make_unique<dsoc::ClientPort>(
+        fppa_->io_terminal(cfg_.ingress_ports + i), fppa_->transport()));
+    forwarder_proxies_.push_back(std::make_unique<dsoc::Proxy>(
+        ref, *ingress_ports_.back(), fppa_->transport()));
+  }
+
+  // Egress verification: payload = [packet id, ip, next hop].
+  fppa_->sink(0).set_observer([this](const tlm::Transaction& txn) {
+    if (txn.payload.size() != 3) return;
+    const std::uint64_t id = txn.payload[0];
+    if (cfg_.verify_first == 0 || id > cfg_.verify_first) return;
+    const std::uint32_t ip = txn.payload[1];
+    const std::uint32_t got = txn.payload[2];
+    const std::uint32_t expect = trie_.lookup(ip).next_hop;
+    ++verified_;
+    if (got != expect) ++verify_failures_;
+  });
+}
+
+dsoc::MethodImpl FastpathApp::make_forwarder_impl() {
+  const noc::TerminalId egress = fppa_->sink_terminal(0);
+  const int stride = trie_.stride();
+  const std::uint32_t parse_cycles = cfg_.parse_cycles;
+  const std::uint32_t rewrite_cycles = cfg_.rewrite_cycles;
+
+  return [this, egress, stride, parse_cycles, rewrite_cycles](
+             std::shared_ptr<dsoc::InvocationContext> ctx)
+             -> platform::TaskGen {
+    // args: [ip, id_lo]
+    struct State {
+      int phase = 0;        // 0 parse, 1 walking trie, 2 rewrite, 3 send, 4 done
+      std::uint32_t node = 0;
+      int consumed = 0;
+      std::uint32_t next_hop = 0;
+      int reads = 0;
+    };
+    auto st = std::make_shared<State>();
+    // Spread lookups across the table replicas by packet id.
+    const int replica = static_cast<int>(
+        ctx->args.at(1) % static_cast<std::uint32_t>(cfg_.table_replicas));
+    const bool hw_engine = cfg_.lookup_mode == LookupMode::kHardwareEngine;
+    const noc::TerminalId mem_term =
+        hw_engine
+            ? fppa_->io_terminal(2 * cfg_.ingress_ports + replica)
+            : fppa_->memory_terminal(replica);
+
+    return [this, ctx, st, mem_term, egress, stride, parse_cycles,
+            rewrite_cycles, hw_engine](const std::vector<std::uint32_t>& last_read)
+               -> platform::Step {
+      const std::uint32_t ip = ctx->args.at(0);
+      const std::uint32_t fanout = 1u << stride;
+      switch (st->phase) {
+        case 0:
+          st->phase = 1;
+          return platform::Step::compute(parse_cycles);
+        case 1: {
+          if (hw_engine) {
+            // One split read to the search engine; address carries the ip.
+            if (!last_read.empty()) {
+              st->next_hop = last_read[0];
+              trie_reads_.push(1.0);
+              st->phase = 2;
+              return platform::Step::compute(rewrite_cycles);
+            }
+            st->reads = 1;
+            return platform::Step::read(mem_term, ip, 1);
+          }
+          if (!last_read.empty()) {
+            // Returning from a trie-node read.
+            const std::uint32_t e = last_read[0];
+            if (MultibitTrie::entry_is_leaf(e)) {
+              st->next_hop = MultibitTrie::entry_next_hop(e);
+              trie_reads_.push(st->reads);
+              st->phase = 2;
+              return platform::Step::compute(rewrite_cycles);
+            }
+            st->node = e;
+            st->consumed += stride;
+          }
+          const std::uint32_t chunk =
+              st->consumed >= 32
+                  ? 0u
+                  : (ip << st->consumed) >> (32u - static_cast<unsigned>(stride));
+          ++st->reads;
+          return platform::Step::read(
+              mem_term, (st->node * fanout + chunk) * 4, 1);
+        }
+        case 2: {
+          st->phase = 3;
+          return platform::Step::send_payload(
+              egress, {static_cast<std::uint32_t>(ctx->args.at(1)), ip,
+                       st->next_hop});
+        }
+        default:
+          return platform::Step::done();
+      }
+    };
+  };
+}
+
+void FastpathApp::schedule_next_injection() {
+  if (!injecting_) return;
+  // Deterministic fluid-rate injection with fractional accumulation: one
+  // event per packet, spaced 1/rate cycles apart (worst-case line traffic
+  // is back-to-back minimum packets, i.e. periodic, not Poisson).
+  const double gap_exact = 1.0 / cfg_.packets_per_cycle;
+  inject_accumulator_ += gap_exact;
+  auto gap = static_cast<sim::Cycle>(std::floor(inject_accumulator_));
+  inject_accumulator_ -= static_cast<double>(gap);
+  if (gap == 0) gap = 1;
+
+  fppa_->queue().schedule_in(gap, [this] {
+    if (!injecting_) return;
+    const bool hit = traffic_rng_.next_bool(cfg_.trace_hit_fraction);
+    std::uint32_t ip;
+    if (hit && !routes_.empty()) {
+      const Route& r = routes_[traffic_rng_.next_below(routes_.size())];
+      const std::uint32_t low =
+          r.length >= 32
+              ? 0u
+              : (r.length == 0
+                     ? static_cast<std::uint32_t>(traffic_rng_.next_u64())
+                     : (static_cast<std::uint32_t>(traffic_rng_.next_u64()) &
+                        ((1u << (32 - r.length)) - 1u)));
+      ip = r.prefix | low;
+    } else {
+      ip = static_cast<std::uint32_t>(traffic_rng_.next_u64());
+    }
+    const std::uint64_t id = next_packet_id_++;
+    ++offered_;
+    // Round-robin over the ingress MACs.
+    auto& proxy = *forwarder_proxies_[static_cast<std::size_t>(
+        id % forwarder_proxies_.size())];
+    proxy.oneway(kForwardMethod, {ip, static_cast<std::uint32_t>(id)});
+    schedule_next_injection();
+  });
+}
+
+FastpathResults FastpathApp::run(sim::Cycle warmup_cycles,
+                                 sim::Cycle measure_cycles) {
+  fppa_->start();
+  injecting_ = true;
+  schedule_next_injection();
+
+  fppa_->queue().run_until(warmup_cycles);
+  fppa_->reset_stats();
+  const std::uint64_t offered_before = offered_;
+  const std::uint64_t sink_before = fppa_->sink(0).received();
+
+  fppa_->queue().run_until(warmup_cycles + measure_cycles);
+  injecting_ = false;
+
+  FastpathResults r;
+  r.platform = fppa_->report(measure_cycles);
+  r.packets_offered = offered_ - offered_before;
+  r.packets_forwarded = fppa_->sink(0).received() - sink_before;
+  r.offered_per_kcycle = 1000.0 * static_cast<double>(r.packets_offered) /
+                         static_cast<double>(measure_cycles);
+  r.forwarded_per_kcycle = 1000.0 * static_cast<double>(r.packets_forwarded) /
+                           static_cast<double>(measure_cycles);
+  r.accepted_fraction =
+      r.packets_offered
+          ? static_cast<double>(r.packets_forwarded) /
+                static_cast<double>(r.packets_offered)
+          : 0.0;
+  r.verified = verified_;
+  r.verify_failures = verify_failures_;
+  r.mean_trie_reads = trie_reads_.mean();
+  return r;
+}
+
+}  // namespace soc::apps

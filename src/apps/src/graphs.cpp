@@ -1,0 +1,88 @@
+#include "soc/apps/graphs.hpp"
+
+namespace soc::apps {
+
+namespace {
+using tech::Fabric;
+
+core::TaskNode node(const char* name, double ops, double state_kb,
+                    std::vector<Fabric> fabrics = {}) {
+  core::TaskNode n;
+  n.name = name;
+  n.work_ops = ops;
+  n.state_kbytes = state_kb;
+  n.allowed_fabrics = std::move(fabrics);
+  return n;
+}
+}  // namespace
+
+core::TaskGraph ipv4_task_graph() {
+  core::TaskGraph g("ipv4-fastpath");
+  const int rx = g.add_node(node("rx-dma", 10, 4,
+                                 {Fabric::kHardwired, Fabric::kAsip}));
+  const int parse = g.add_node(node("parse", 25, 1));
+  const int classify = g.add_node(node("classify", 20, 8));
+  const int lpm = g.add_node(node("lpm", 40, 512,
+                                  {Fabric::kAsip, Fabric::kEfpga,
+                                   Fabric::kHardwired,
+                                   Fabric::kGeneralPurposeCpu}));
+  const int rewrite = g.add_node(node("rewrite", 15, 1));
+  const int queue = g.add_node(node("queue-mgr", 18, 32));
+  const int tx = g.add_node(node("tx-dma", 10, 4,
+                                 {Fabric::kHardwired, Fabric::kAsip}));
+  g.add_edge({rx, parse, 8});
+  g.add_edge({parse, classify, 6});
+  g.add_edge({classify, lpm, 2});
+  g.add_edge({lpm, rewrite, 2});
+  g.add_edge({rewrite, queue, 8});
+  g.add_edge({queue, tx, 8});
+  return g;
+}
+
+core::TaskGraph mjpeg_task_graph() {
+  core::TaskGraph g("mjpeg-decode");
+  const int vld = g.add_node(node("vld", 120, 16));
+  const int dq = g.add_node(node("dequant", 64, 2,
+                                 {Fabric::kDsp, Fabric::kAsip, Fabric::kEfpga,
+                                  Fabric::kGeneralPurposeCpu}));
+  const int idct = g.add_node(node("idct", 320, 4,
+                                   {Fabric::kDsp, Fabric::kAsip,
+                                    Fabric::kEfpga, Fabric::kHardwired}));
+  const int color = g.add_node(node("color-conv", 96, 2,
+                                    {Fabric::kDsp, Fabric::kAsip,
+                                     Fabric::kEfpga,
+                                     Fabric::kGeneralPurposeCpu}));
+  const int scale = g.add_node(node("scale", 80, 8));
+  const int disp = g.add_node(node("display-dma", 12, 4,
+                                   {Fabric::kHardwired, Fabric::kAsip}));
+  g.add_edge({vld, dq, 64});
+  g.add_edge({dq, idct, 64});
+  g.add_edge({idct, color, 64});
+  g.add_edge({color, scale, 48});
+  g.add_edge({scale, disp, 48});
+  return g;
+}
+
+core::TaskGraph wlan_task_graph() {
+  core::TaskGraph g("wlan-baseband");
+  const int sync = g.add_node(node("sync", 60, 4,
+                                   {Fabric::kDsp, Fabric::kAsip,
+                                    Fabric::kEfpga}));
+  const int fft = g.add_node(node("fft64", 400, 2,
+                                  {Fabric::kDsp, Fabric::kEfpga,
+                                   Fabric::kHardwired}));
+  const int demap = g.add_node(node("demap", 48, 1));
+  const int deint = g.add_node(node("deinterleave", 32, 2));
+  const int viterbi = g.add_node(node("viterbi", 600, 6,
+                                      {Fabric::kAsip, Fabric::kEfpga,
+                                       Fabric::kHardwired}));
+  const int crc = g.add_node(node("crc", 24, 1));
+  g.add_edge({sync, fft, 16});
+  g.add_edge({fft, demap, 16});
+  g.add_edge({demap, deint, 12});
+  g.add_edge({deint, viterbi, 12});
+  g.add_edge({viterbi, crc, 4});
+  return g;
+}
+
+}  // namespace soc::apps

@@ -1,0 +1,92 @@
+#include "soc/apps/ipv4.hpp"
+
+#include <stdexcept>
+
+namespace soc::apps {
+
+std::array<std::uint8_t, 20> serialize(const Ipv4Header& h) {
+  std::array<std::uint8_t, 20> b{};
+  b[0] = static_cast<std::uint8_t>((h.version << 4) | (h.ihl & 0xF));
+  b[1] = h.dscp;
+  b[2] = static_cast<std::uint8_t>(h.total_length >> 8);
+  b[3] = static_cast<std::uint8_t>(h.total_length);
+  b[4] = static_cast<std::uint8_t>(h.identification >> 8);
+  b[5] = static_cast<std::uint8_t>(h.identification);
+  b[6] = static_cast<std::uint8_t>(h.flags_fragment >> 8);
+  b[7] = static_cast<std::uint8_t>(h.flags_fragment);
+  b[8] = h.ttl;
+  b[9] = h.protocol;
+  b[10] = static_cast<std::uint8_t>(h.checksum >> 8);
+  b[11] = static_cast<std::uint8_t>(h.checksum);
+  for (int i = 0; i < 4; ++i) {
+    b[12 + i] = static_cast<std::uint8_t>(h.src >> (24 - 8 * i));
+    b[16 + i] = static_cast<std::uint8_t>(h.dst >> (24 - 8 * i));
+  }
+  return b;
+}
+
+Ipv4Header parse(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < 20) {
+    throw std::invalid_argument("ipv4 parse: buffer too short");
+  }
+  Ipv4Header h;
+  h.version = bytes[0] >> 4;
+  if (h.version != 4) throw std::invalid_argument("ipv4 parse: not IPv4");
+  h.ihl = bytes[0] & 0xF;
+  h.dscp = bytes[1];
+  h.total_length = static_cast<std::uint16_t>((bytes[2] << 8) | bytes[3]);
+  h.identification = static_cast<std::uint16_t>((bytes[4] << 8) | bytes[5]);
+  h.flags_fragment = static_cast<std::uint16_t>((bytes[6] << 8) | bytes[7]);
+  h.ttl = bytes[8];
+  h.protocol = bytes[9];
+  h.checksum = static_cast<std::uint16_t>((bytes[10] << 8) | bytes[11]);
+  h.src = 0;
+  h.dst = 0;
+  for (int i = 0; i < 4; ++i) {
+    h.src = (h.src << 8) | bytes[12 + static_cast<std::size_t>(i)];
+    h.dst = (h.dst << 8) | bytes[16 + static_cast<std::size_t>(i)];
+  }
+  return h;
+}
+
+namespace {
+std::uint32_t fold(std::uint32_t s) {
+  while (s > 0xFFFFu) s = (s & 0xFFFFu) + (s >> 16);
+  return s;
+}
+}  // namespace
+
+std::uint16_t header_checksum(const Ipv4Header& h) {
+  Ipv4Header tmp = h;
+  tmp.checksum = 0;
+  const auto bytes = serialize(tmp);
+  std::uint32_t sum = 0;
+  for (std::size_t i = 0; i < bytes.size(); i += 2) {
+    sum += static_cast<std::uint32_t>((bytes[i] << 8) | bytes[i + 1]);
+  }
+  return static_cast<std::uint16_t>(~fold(sum) & 0xFFFFu);
+}
+
+bool checksum_ok(const Ipv4Header& h) {
+  return header_checksum(h) == h.checksum;
+}
+
+bool forward_transform(Ipv4Header& h) {
+  if (!checksum_ok(h)) return false;
+  if (h.ttl <= 1) return false;
+  --h.ttl;
+  // RFC 1141 incremental update: TTL sits in the high byte of word 4.
+  std::uint32_t sum = static_cast<std::uint32_t>(h.checksum) + 0x0100u;
+  sum = fold(sum);
+  h.checksum = static_cast<std::uint16_t>(sum);
+  return true;
+}
+
+double cycles_per_packet_budget(const LineRate& lr,
+                                const soc::tech::ProcessNode& node,
+                                double fo4_per_cycle) {
+  const double hz = node.clock_ghz(fo4_per_cycle) * 1e9;
+  return hz / lr.packets_per_sec();
+}
+
+}  // namespace soc::apps

@@ -1,0 +1,182 @@
+#include "soc/apps/lpm.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+#include "soc/mem/mem_tech.hpp"
+
+namespace soc::apps {
+
+namespace {
+
+/// Binary (unibit) trie used as the build-time intermediate.
+struct BinNode {
+  std::unique_ptr<BinNode> child[2];
+  bool has_route = false;
+  std::uint32_t next_hop = 0;
+};
+
+void bin_insert(BinNode& root, const Route& r) {
+  BinNode* n = &root;
+  for (int b = 0; b < r.length; ++b) {
+    const int bit = (r.prefix >> (31 - b)) & 1;
+    if (!n->child[bit]) n->child[bit] = std::make_unique<BinNode>();
+    n = n->child[bit].get();
+  }
+  n->has_route = true;
+  n->next_hop = r.next_hop;
+}
+
+bool has_subtree(const BinNode& n) {
+  return n.child[0] != nullptr || n.child[1] != nullptr;
+}
+
+}  // namespace
+
+MultibitTrie::MultibitTrie(int stride) : stride_(stride) {
+  if (stride < 1 || stride > 16) {
+    throw std::invalid_argument("MultibitTrie: stride must be in [1,16]");
+  }
+}
+
+void MultibitTrie::build(const std::vector<Route>& routes) {
+  for (const auto& r : routes) {
+    if (r.length < 0 || r.length > 32) {
+      throw std::invalid_argument("MultibitTrie: bad prefix length");
+    }
+    if (r.next_hop > 0x7FFFFFFFu) {
+      throw std::invalid_argument("MultibitTrie: next hop exceeds 31 bits");
+    }
+  }
+
+  BinNode root;
+  for (const auto& r : routes) {
+    Route canon = r;
+    if (canon.length < 32) {
+      canon.prefix &= canon.length == 0
+                          ? 0u
+                          : ~((1u << (32 - canon.length)) - 1u);
+    }
+    bin_insert(root, canon);
+  }
+
+  table_.clear();
+  nodes_ = 0;
+  const std::size_t fanout = std::size_t{1} << stride_;
+
+  // Recursive expansion with leaf pushing. Each multibit node is allocated
+  // eagerly; entries are filled by walking the binary trie `stride_` bits.
+  struct Builder {
+    MultibitTrie& t;
+    std::size_t fanout;
+
+    std::size_t alloc_node() {
+      const std::size_t idx = t.nodes_++;
+      t.table_.resize(t.table_.size() + fanout, make_leaf(0));
+      return idx;
+    }
+
+    void fill(std::size_t node_idx, const BinNode* bin,
+              std::uint32_t inherited) {
+      for (std::size_t p = 0; p < fanout; ++p) {
+        const BinNode* n = bin;
+        std::uint32_t best = inherited;
+        int consumed = 0;
+        for (; consumed < t.stride_ && n != nullptr; ++consumed) {
+          const int bit =
+              static_cast<int>((p >> (t.stride_ - 1 - consumed)) & 1);
+          n = n->child[bit] ? n->child[bit].get() : nullptr;
+          if (n && n->has_route) best = n->next_hop;
+        }
+        const std::size_t slot = node_idx * fanout + p;
+        if (n != nullptr && has_subtree(*n)) {
+          const std::size_t child_idx = alloc_node();
+          t.table_[slot] = static_cast<std::uint32_t>(child_idx);
+          fill(child_idx, n, best);
+        } else {
+          t.table_[slot] = make_leaf(best);
+        }
+      }
+    }
+  };
+
+  Builder b{*this, fanout};
+  const std::size_t root_idx = b.alloc_node();
+  b.fill(root_idx, &root, root.has_route ? root.next_hop : 0);
+}
+
+LpmResult MultibitTrie::lookup(std::uint32_t address) const {
+  if (table_.empty()) return {0, 0};
+  LpmResult res;
+  const std::size_t fanout = std::size_t{1} << stride_;
+  std::size_t node = 0;
+  int consumed = 0;
+  while (true) {
+    const int take = std::min(stride_, 32 - consumed);
+    // Chunk of `stride_` bits starting at `consumed` (zero-padded at end).
+    std::uint32_t chunk;
+    if (consumed >= 32) {
+      chunk = 0;
+    } else {
+      chunk = (address << consumed) >> (32 - stride_);
+    }
+    (void)take;
+    const std::uint32_t e = table_[node * fanout + chunk];
+    ++res.memory_accesses;
+    if (entry_is_leaf(e)) {
+      res.next_hop = entry_next_hop(e);
+      return res;
+    }
+    node = e;
+    consumed += stride_;
+    if (consumed > 64) throw std::logic_error("MultibitTrie: lookup loop");
+  }
+}
+
+std::uint32_t linear_lpm(const std::vector<Route>& routes,
+                         std::uint32_t address) {
+  int best_len = -1;
+  std::uint32_t best_nh = 0;
+  for (const auto& r : routes) {
+    const std::uint32_t mask =
+        r.length == 0 ? 0u : ~((r.length == 32) ? 0u : ((1u << (32 - r.length)) - 1u));
+    if ((address & mask) == (r.prefix & mask) && r.length > best_len) {
+      best_len = r.length;
+      best_nh = r.next_hop;
+    }
+  }
+  return best_nh;
+}
+
+LpmCostComparison compare_lpm_cost(const MultibitTrie& trie,
+                                   std::size_t route_count,
+                                   const soc::tech::ProcessNode& node) {
+  LpmCostComparison c;
+  c.routes = route_count;
+
+  const std::uint64_t trie_bits =
+      static_cast<std::uint64_t>(trie.size_words()) * 32ULL;
+  c.trie_sram_kbits = static_cast<double>(trie_bits) / 1000.0;
+  const auto sram =
+      soc::mem::memory_macro(soc::mem::MemoryKind::kSram, trie_bits, node);
+  c.trie_area_mm2 = sram.area_mm2;
+  c.trie_lookup_cycles =
+      trie.levels() * static_cast<int>(sram.read_cycles);
+  c.trie_energy_pj_per_lookup =
+      static_cast<double>(trie.levels()) * sram.read_energy_pj_per_word;
+
+  // TCAM: 32-bit value + 32-bit mask per route; a TCAM cell is ~2.7x the
+  // area of a 6T SRAM cell (16T vs 6T, plus match lines); every search
+  // activates the match line of every stored bit.
+  const double tcam_bits = static_cast<double>(route_count) * 64.0;
+  c.tcam_kbits = tcam_bits / 1000.0;
+  c.tcam_area_mm2 = tcam_bits * node.sram_bit_um2 * 2.7 * 1e-6;
+  // Per-bit search energy ~= SRAM per-bit read energy x 0.5 (matchline
+  // swing), but over ALL bits instead of one word.
+  const double sram_bit_pj = sram.read_energy_pj_per_word / 32.0;
+  c.tcam_energy_pj_per_lookup = tcam_bits * sram_bit_pj * 0.5;
+  c.tcam_lookup_cycles = 1;
+  return c;
+}
+
+}  // namespace soc::apps

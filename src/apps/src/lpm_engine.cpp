@@ -1,0 +1,45 @@
+#include "soc/apps/lpm_engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace soc::apps {
+
+LpmEngineEndpoint::LpmEngineEndpoint(const MultibitTrie& trie,
+                                     std::uint32_t pipeline_latency,
+                                     std::uint32_t initiation_interval,
+                                     sim::EventQueue& queue)
+    : trie_(trie),
+      latency_(std::max(1u, pipeline_latency)),
+      ii_(std::max(1u, initiation_interval)),
+      queue_(queue) {}
+
+void LpmEngineEndpoint::handle(const tlm::Transaction& request,
+                               tlm::CompletionFn respond) {
+  if (request.type != tlm::TransactionType::kRead) {
+    throw std::logic_error("LpmEngineEndpoint: only split reads supported");
+  }
+  input_.push_back(Job{request, std::move(respond)});
+  max_queue_ = std::max(max_queue_, input_.size());
+  if (!pumping_) pump();
+}
+
+void LpmEngineEndpoint::pump() {
+  if (input_.empty()) {
+    pumping_ = false;
+    return;
+  }
+  pumping_ = true;
+  Job job = std::move(input_.front());
+  input_.pop_front();
+  queue_.schedule_in(latency_, [this, job = std::move(job)]() mutable {
+    ++lookups_;
+    // The transaction's address field carries the IPv4 address to match.
+    const auto result = trie_.lookup(job.txn.address);
+    job.txn.payload.assign(1, result.next_hop);
+    job.respond(job.txn);
+  });
+  queue_.schedule_in(ii_, [this] { pump(); });
+}
+
+}  // namespace soc::apps

@@ -1,0 +1,69 @@
+#include "soc/apps/route_gen.hpp"
+
+#include <stdexcept>
+
+namespace soc::apps {
+
+std::vector<Route> generate_routes(const RouteGenConfig& cfg) {
+  sim::Rng rng(cfg.seed);
+  std::vector<Route> routes;
+  routes.reserve(cfg.count + 1);
+
+  if (cfg.include_default) {
+    routes.push_back(Route{0, 0, 1});
+  }
+
+  // Empirical-ish prefix-length distribution of early-2000s BGP tables:
+  // /24 dominates (~55%), then /16-/23 tail, a few /8s.
+  const auto draw_length = [&rng]() -> int {
+    const double u = rng.next_double();
+    if (u < 0.55) return 24;
+    if (u < 0.65) return 23;
+    if (u < 0.73) return 22;
+    if (u < 0.80) return 21;
+    if (u < 0.86) return 20;
+    if (u < 0.91) return 19;
+    if (u < 0.95) return 18;
+    if (u < 0.98) return 16;
+    if (u < 0.995) return 12;
+    return 8;
+  };
+
+  while (routes.size() < cfg.count + (cfg.include_default ? 1u : 0u)) {
+    Route r;
+    r.length = draw_length();
+    const std::uint32_t raw = static_cast<std::uint32_t>(rng.next_u64());
+    r.prefix = r.length == 0
+                   ? 0u
+                   : raw & ~((r.length == 32) ? 0u : ((1u << (32 - r.length)) - 1u));
+    r.next_hop = 1 + static_cast<std::uint32_t>(
+                         rng.next_below(cfg.max_next_hop));
+    routes.push_back(r);
+  }
+  return routes;
+}
+
+std::vector<std::uint32_t> generate_lookup_trace(
+    const std::vector<Route>& routes, std::size_t count, double hit_fraction,
+    std::uint64_t seed) {
+  if (routes.empty()) {
+    throw std::invalid_argument("generate_lookup_trace: empty route set");
+  }
+  sim::Rng rng(seed);
+  std::vector<std::uint32_t> trace;
+  trace.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (rng.next_bool(hit_fraction)) {
+      const Route& r = routes[rng.next_below(routes.size())];
+      const std::uint32_t low_mask =
+          r.length >= 32 ? 0u : ((r.length == 0) ? ~0u : ((1u << (32 - r.length)) - 1u));
+      trace.push_back(r.prefix |
+                      (static_cast<std::uint32_t>(rng.next_u64()) & low_mask));
+    } else {
+      trace.push_back(static_cast<std::uint32_t>(rng.next_u64()));
+    }
+  }
+  return trace;
+}
+
+}  // namespace soc::apps

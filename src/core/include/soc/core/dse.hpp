@@ -1,0 +1,58 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "soc/core/mapping.hpp"
+#include "soc/platform/cost.hpp"
+
+namespace soc::core {
+
+/// One platform configuration candidate for design-space exploration.
+struct DseCandidate {
+  int num_pes = 16;
+  int threads_per_pe = 4;
+  noc::TopologyKind topology = noc::TopologyKind::kMesh2D;
+  tech::Fabric pe_fabric = tech::Fabric::kGeneralPurposeCpu;
+};
+
+/// Axes the DSE sweeps (cartesian product).
+struct DseSpace {
+  std::vector<int> pe_counts{4, 8, 16, 32};
+  std::vector<int> thread_counts{1, 2, 4, 8};
+  std::vector<noc::TopologyKind> topologies{
+      noc::TopologyKind::kBus, noc::TopologyKind::kMesh2D,
+      noc::TopologyKind::kFatTree, noc::TopologyKind::kCrossbar};
+  std::vector<tech::Fabric> fabrics{tech::Fabric::kGeneralPurposeCpu,
+                                    tech::Fabric::kAsip};
+};
+
+/// Result of evaluating one candidate with the best mapping found.
+struct DsePoint {
+  DseCandidate candidate;
+  MappingCost mapping_cost;
+  platform::PlatformCost silicon;
+  /// Items per kilocycle the platform sustains at the bottleneck.
+  double throughput_per_kcycle = 0.0;
+  /// mW burned per unit throughput (efficiency axis).
+  double mw_per_throughput = 0.0;
+  bool pareto_optimal = false;
+};
+
+/// Sweeps the design space, mapping `graph` onto each candidate with the
+/// annealing mapper, and evaluates silicon cost at `node`. This is the
+/// "rapid exploration and optimization" loop the paper says the DSOC
+/// properties enable (end of Section 7.2).
+std::vector<DsePoint> run_dse(const TaskGraph& graph, const DseSpace& space,
+                              const tech::ProcessNode& node,
+                              const ObjectiveWeights& weights = {},
+                              const AnnealConfig& anneal = {});
+
+/// Marks (and returns indices of) the Pareto front over
+/// (throughput max, area min, power min).
+std::vector<std::size_t> mark_pareto_front(std::vector<DsePoint>& points);
+
+/// One-line table row for reports.
+std::string to_string(const DsePoint& p);
+
+}  // namespace soc::core

@@ -1,0 +1,91 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "soc/core/task_graph.hpp"
+#include "soc/noc/topologies.hpp"
+#include "soc/sim/rng.hpp"
+#include "soc/tech/process_node.hpp"
+
+namespace soc::core {
+
+/// One execution resource the mapper may place tasks on.
+struct PeDesc {
+  tech::Fabric fabric = tech::Fabric::kGeneralPurposeCpu;
+  int threads = 4;
+};
+
+/// Abstract platform view used by the mapper: resources plus the hop
+/// distance the NoC imposes between them. Built from a concrete
+/// noc::Topology so mapping decisions see the same distances the
+/// simulator enforces.
+class PlatformDesc {
+ public:
+  PlatformDesc(std::vector<PeDesc> pes, noc::TopologyKind topology,
+               const tech::ProcessNode& node);
+
+  int pe_count() const noexcept { return static_cast<int>(pes_.size()); }
+  const PeDesc& pe(int i) const { return pes_.at(static_cast<std::size_t>(i)); }
+  int hops(int pe_a, int pe_b) const;
+  noc::TopologyKind topology() const noexcept { return topology_; }
+  const tech::ProcessNode& node() const noexcept { return node_; }
+  double avg_hops() const noexcept { return avg_hops_; }
+
+ private:
+  std::vector<PeDesc> pes_;
+  noc::TopologyKind topology_;
+  tech::ProcessNode node_;
+  std::vector<int> hop_matrix_;  // pe_count x pe_count
+  double avg_hops_ = 0.0;
+};
+
+/// Assignment of every task-graph node to a PE index.
+using Mapping = std::vector<int>;
+
+/// Relative weights of the scalarized mapping objective.
+struct ObjectiveWeights {
+  double load = 1.0;     ///< bottleneck PE load (throughput limiter)
+  double comm = 0.05;    ///< NoC traffic (words x hops per item)
+  double energy = 0.01;  ///< pJ per item
+};
+
+/// Cost breakdown of one mapping at a unit throughput of one item per
+/// `bottleneck_cycles` cycles.
+struct MappingCost {
+  double bottleneck_cycles = 0.0;  ///< max per-PE cycles per item (1/throughput)
+  double comm_word_hops = 0.0;     ///< sum over edges of words x hops
+  double energy_pj_per_item = 0.0; ///< compute + wire energy
+  double pipeline_latency = 0.0;   ///< critical-path cycles through the DAG
+  bool feasible = true;            ///< fabric constraints respected
+  double objective = 0.0;          ///< scalarized (lower is better)
+};
+
+/// Evaluates a mapping. Infeasible placements (task on a disallowed
+/// fabric) get a large objective penalty rather than a throw, so search
+/// algorithms can traverse them.
+MappingCost evaluate_mapping(const TaskGraph& graph, const PlatformDesc& platform,
+                             const Mapping& mapping,
+                             const ObjectiveWeights& weights = {});
+
+/// Uniform-random feasible-biased mapping (baseline for A2).
+Mapping random_mapping(const TaskGraph& graph, const PlatformDesc& platform,
+                       sim::Rng& rng);
+
+/// Greedy list mapping: nodes in decreasing work order, each placed on the
+/// PE that minimizes the incremental objective.
+Mapping greedy_mapping(const TaskGraph& graph, const PlatformDesc& platform,
+                       const ObjectiveWeights& weights = {});
+
+/// Simulated-annealing refinement starting from the greedy solution.
+struct AnnealConfig {
+  int iterations = 20'000;
+  double t_start = 2.0;
+  double t_end = 0.01;
+  std::uint64_t seed = 42;
+};
+Mapping anneal_mapping(const TaskGraph& graph, const PlatformDesc& platform,
+                       const ObjectiveWeights& weights = {},
+                       const AnnealConfig& cfg = {});
+
+}  // namespace soc::core

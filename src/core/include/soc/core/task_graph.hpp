@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "soc/tech/energy_model.hpp"
+
+namespace soc::core {
+
+/// One task (DSOC object / pipeline stage) of an application. Work is
+/// expressed in abstract datapath operations per processed item; the
+/// fabric a task is mapped to converts ops to cycles and energy via
+/// soc::tech::FabricProfile.
+struct TaskNode {
+  std::string name;
+  double work_ops = 100.0;       ///< abstract ops per item
+  double state_kbytes = 1.0;     ///< resident state (affects locality)
+  /// Fabrics this task may legally run on (empty = any programmable).
+  std::vector<tech::Fabric> allowed_fabrics;
+
+  bool allows(tech::Fabric f) const noexcept;
+};
+
+/// Directed data flow between tasks: words transferred per processed item.
+struct TaskEdge {
+  int src = 0;
+  int dst = 0;
+  double words_per_item = 4.0;
+};
+
+/// Application task graph — the unit the MultiFlex-style mapper places
+/// onto the FPPA (Section 5.3: closing the "abstraction grand canyon"
+/// between system specification and platform requires exactly this
+/// mapping step).
+class TaskGraph {
+ public:
+  explicit TaskGraph(std::string name) : name_(std::move(name)) {}
+
+  int add_node(TaskNode node);
+  void add_edge(TaskEdge edge);
+
+  const std::string& name() const noexcept { return name_; }
+  int node_count() const noexcept { return static_cast<int>(nodes_.size()); }
+  const TaskNode& node(int i) const { return nodes_.at(static_cast<std::size_t>(i)); }
+  const std::vector<TaskNode>& nodes() const noexcept { return nodes_; }
+  const std::vector<TaskEdge>& edges() const noexcept { return edges_; }
+
+  double total_work_ops() const noexcept;
+  double total_comm_words() const noexcept;
+
+  /// Topological order; throws std::logic_error if the graph has a cycle.
+  /// (Pipelines are DAGs; feedback loops must be modeled as separate items.)
+  std::vector<int> topological_order() const;
+
+  /// Sources (no incoming edges) and sinks (no outgoing).
+  std::vector<int> sources() const;
+  std::vector<int> sinks() const;
+
+  /// Returns a graph with `copies` disjoint copies of this graph — the
+  /// data-parallel form used when a platform hosts several independent
+  /// streams (e.g. multi-channel media, multiple line interfaces).
+  TaskGraph replicated(int copies) const;
+
+ private:
+  std::string name_;
+  std::vector<TaskNode> nodes_;
+  std::vector<TaskEdge> edges_;
+};
+
+}  // namespace soc::core

@@ -1,0 +1,48 @@
+#pragma once
+
+#include "soc/core/mapping.hpp"
+#include "soc/noc/network.hpp"
+
+namespace soc::core {
+
+/// Parameters of a mapping-validation run.
+struct ValidationConfig {
+  /// Pipeline items injected per cycle. <= 0 selects 90% of the predicted
+  /// capacity: if the analytic model is right the platform keeps up and
+  /// measured cycles/item ~ predicted/0.9; if the model was optimistic the
+  /// pipeline backs up and the ratio blows past that. (Driving far above
+  /// capacity is uninformative: FIFO pools then spend the window on
+  /// early-stage work of items that never finish.)
+  double inject_per_cycle = 0.0;
+  int threads_per_pe = 4;
+  noc::NetworkConfig net{};
+  sim::Cycle warmup_cycles = 10'000;
+  sim::Cycle measure_cycles = 60'000;
+};
+
+/// Outcome: the analytic model's prediction against the event-driven
+/// platform simulation of the same mapping.
+struct ValidationResult {
+  double predicted_bottleneck_cycles = 0.0;  ///< from evaluate_mapping
+  double measured_cycles_per_item = 0.0;     ///< from the simulation
+  double ratio = 0.0;                        ///< measured / predicted
+  double mean_pe_utilization = 0.0;
+  double bottleneck_pe_utilization = 0.0;    ///< max over PEs
+  std::uint64_t items_completed = 0;
+};
+
+/// Builds a real FPPA (same PE count and NoC topology as `platform`),
+/// instantiates one DSOC pipeline stage per task-graph node pinned to its
+/// mapped PE, drives items end to end and measures sustained throughput.
+///
+/// This closes the loop the paper demands between abstraction levels: the
+/// mapper's analytic cost model (fast, used inside DSE) is checked against
+/// the cycle-level platform simulation (slow, trusted). Supports linear
+/// pipelines (each node at most one successor/predecessor); throws
+/// std::invalid_argument otherwise.
+ValidationResult validate_mapping(const TaskGraph& graph,
+                                  const PlatformDesc& platform,
+                                  const Mapping& mapping,
+                                  const ValidationConfig& cfg = {});
+
+}  // namespace soc::core

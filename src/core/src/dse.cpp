@@ -1,0 +1,101 @@
+#include "soc/core/dse.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace soc::core {
+
+std::vector<DsePoint> run_dse(const TaskGraph& graph, const DseSpace& space,
+                              const tech::ProcessNode& node,
+                              const ObjectiveWeights& weights,
+                              const AnnealConfig& anneal) {
+  std::vector<DsePoint> points;
+  for (const int pes : space.pe_counts) {
+    for (const int threads : space.thread_counts) {
+      for (const auto topo : space.topologies) {
+        for (const auto fabric : space.fabrics) {
+          DseCandidate cand{pes, threads, topo, fabric};
+
+          std::vector<PeDesc> pe_descs(
+              static_cast<std::size_t>(pes), PeDesc{fabric, threads});
+          PlatformDesc platform(std::move(pe_descs), topo, node);
+          // Larger platforms host data-parallel stream replicas: one graph
+          // instance per |graph| PEs, at least one.
+          const int replicas = std::max(1, pes / graph.node_count());
+          const TaskGraph work = replicas > 1 ? graph.replicated(replicas)
+                                              : TaskGraph(graph);
+          const Mapping m = anneal_mapping(work, platform, weights, anneal);
+          MappingCost mc = evaluate_mapping(work, platform, m, weights);
+
+          platform::FppaConfig fc;
+          fc.num_pes = pes;
+          fc.threads_per_pe = threads;
+          fc.topology = topo;
+          const platform::PlatformCost sc = platform::estimate_cost(fc, node);
+
+          DsePoint pt;
+          pt.candidate = cand;
+          pt.mapping_cost = mc;
+          pt.silicon = sc;
+          // One "item" of the replicated graph carries `replicas` stream
+          // items, one per copy.
+          pt.throughput_per_kcycle =
+              mc.bottleneck_cycles > 0.0
+                  ? 1000.0 * replicas / mc.bottleneck_cycles
+                  : 0.0;
+          const double power = sc.peak_dynamic_mw + sc.leakage_mw;
+          pt.mw_per_throughput = pt.throughput_per_kcycle > 0.0
+                                     ? power / pt.throughput_per_kcycle
+                                     : 0.0;
+          points.push_back(std::move(pt));
+        }
+      }
+    }
+  }
+  mark_pareto_front(points);
+  return points;
+}
+
+std::vector<std::size_t> mark_pareto_front(std::vector<DsePoint>& points) {
+  std::vector<std::size_t> front;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (!points[i].mapping_cost.feasible) {
+      points[i].pareto_optimal = false;
+      continue;
+    }
+    bool dominated = false;
+    for (std::size_t j = 0; j < points.size() && !dominated; ++j) {
+      if (i == j || !points[j].mapping_cost.feasible) continue;
+      const bool better_tp = points[j].throughput_per_kcycle >=
+                             points[i].throughput_per_kcycle;
+      const bool better_area =
+          points[j].silicon.total_area_mm2 <= points[i].silicon.total_area_mm2;
+      const bool better_power =
+          (points[j].silicon.peak_dynamic_mw + points[j].silicon.leakage_mw) <=
+          (points[i].silicon.peak_dynamic_mw + points[i].silicon.leakage_mw);
+      const bool strictly =
+          points[j].throughput_per_kcycle > points[i].throughput_per_kcycle ||
+          points[j].silicon.total_area_mm2 < points[i].silicon.total_area_mm2 ||
+          (points[j].silicon.peak_dynamic_mw + points[j].silicon.leakage_mw) <
+              (points[i].silicon.peak_dynamic_mw + points[i].silicon.leakage_mw);
+      dominated = better_tp && better_area && better_power && strictly;
+    }
+    points[i].pareto_optimal = !dominated;
+    if (!dominated) front.push_back(i);
+  }
+  return front;
+}
+
+std::string to_string(const DsePoint& p) {
+  std::ostringstream os;
+  os << p.candidate.num_pes << " PEs x" << p.candidate.threads_per_pe << "T "
+     << noc::to_string(p.candidate.topology) << " "
+     << tech::fabric_profile(p.candidate.pe_fabric).name
+     << " | tp=" << p.throughput_per_kcycle << " items/kcyc"
+     << " area=" << p.silicon.total_area_mm2 << "mm2"
+     << " power=" << p.silicon.peak_dynamic_mw + p.silicon.leakage_mw << "mW"
+     << (p.pareto_optimal ? " *pareto*" : "");
+  return os.str();
+}
+
+}  // namespace soc::core

@@ -1,0 +1,227 @@
+#include "soc/core/mapping.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace soc::core {
+
+namespace {
+constexpr double kInfeasiblePenalty = 1e9;
+
+/// Cycles one item of `node` costs on `fabric`.
+double cycles_on(const TaskNode& node, tech::Fabric fabric) {
+  return node.work_ops / tech::fabric_profile(fabric).ops_per_cycle;
+}
+
+/// Compute energy of one item of `node` on `fabric` at `proc` (pJ).
+double energy_on(const TaskNode& node, tech::Fabric fabric,
+                 const tech::ProcessNode& proc) {
+  const tech::EnergyModel em(proc);
+  return node.work_ops * em.op_energy_pj(fabric);
+}
+}  // namespace
+
+PlatformDesc::PlatformDesc(std::vector<PeDesc> pes, noc::TopologyKind topology,
+                           const tech::ProcessNode& node)
+    : pes_(std::move(pes)), topology_(topology), node_(node) {
+  if (pes_.empty()) throw std::invalid_argument("PlatformDesc: no PEs");
+  const int n = pe_count();
+  const auto topo = noc::make_topology(topology, n);
+  hop_matrix_.assign(static_cast<std::size_t>(n) * static_cast<std::size_t>(n), 0);
+  double sum = 0.0;
+  int pairs = 0;
+  for (int a = 0; a < n; ++a) {
+    for (int b = 0; b < n; ++b) {
+      const int h = topo->hops_between(static_cast<noc::TerminalId>(a),
+                                       static_cast<noc::TerminalId>(b));
+      hop_matrix_[static_cast<std::size_t>(a) * static_cast<std::size_t>(n) +
+                  static_cast<std::size_t>(b)] = h;
+      if (a != b) {
+        sum += h;
+        ++pairs;
+      }
+    }
+  }
+  avg_hops_ = pairs ? sum / pairs : 0.0;
+}
+
+int PlatformDesc::hops(int pe_a, int pe_b) const {
+  const int n = pe_count();
+  if (pe_a < 0 || pe_a >= n || pe_b < 0 || pe_b >= n) {
+    throw std::out_of_range("PlatformDesc::hops");
+  }
+  return hop_matrix_[static_cast<std::size_t>(pe_a) * static_cast<std::size_t>(n) +
+                     static_cast<std::size_t>(pe_b)];
+}
+
+MappingCost evaluate_mapping(const TaskGraph& graph,
+                             const PlatformDesc& platform,
+                             const Mapping& mapping,
+                             const ObjectiveWeights& weights) {
+  if (static_cast<int>(mapping.size()) != graph.node_count()) {
+    throw std::invalid_argument("evaluate_mapping: mapping size mismatch");
+  }
+  MappingCost cost;
+  const int npe = platform.pe_count();
+  std::vector<double> pe_cycles(static_cast<std::size_t>(npe), 0.0);
+
+  for (int i = 0; i < graph.node_count(); ++i) {
+    const int pe = mapping[static_cast<std::size_t>(i)];
+    if (pe < 0 || pe >= npe) {
+      throw std::out_of_range("evaluate_mapping: PE index out of range");
+    }
+    const TaskNode& node = graph.node(i);
+    const tech::Fabric fabric = platform.pe(pe).fabric;
+    if (!node.allows(fabric)) cost.feasible = false;
+    pe_cycles[static_cast<std::size_t>(pe)] += cycles_on(node, fabric);
+    cost.energy_pj_per_item += energy_on(node, fabric, platform.node());
+  }
+  cost.bottleneck_cycles =
+      *std::max_element(pe_cycles.begin(), pe_cycles.end());
+
+  const tech::EnergyModel em(platform.node());
+  // Wire energy: ~1 mm of global wire per hop, 32 bits per word.
+  const double pj_per_word_hop = em.wire_bit_pj_per_mm() * 32.0;
+  for (const auto& e : graph.edges()) {
+    const int h = platform.hops(mapping[static_cast<std::size_t>(e.src)],
+                                mapping[static_cast<std::size_t>(e.dst)]);
+    cost.comm_word_hops += e.words_per_item * h;
+    cost.energy_pj_per_item += e.words_per_item * h * pj_per_word_hop;
+  }
+
+  // Pipeline latency: longest path through the DAG, each node costing its
+  // mapped-cycles plus per-edge NoC hop latency (~5 cycles/hop unloaded).
+  const auto order = graph.topological_order();
+  std::vector<double> finish(static_cast<std::size_t>(graph.node_count()), 0.0);
+  for (const int u : order) {
+    double start = 0.0;
+    for (const auto& e : graph.edges()) {
+      if (e.dst != u) continue;
+      const int h = platform.hops(mapping[static_cast<std::size_t>(e.src)],
+                                  mapping[static_cast<std::size_t>(e.dst)]);
+      start = std::max(start, finish[static_cast<std::size_t>(e.src)] + 5.0 * h);
+    }
+    finish[static_cast<std::size_t>(u)] =
+        start + cycles_on(graph.node(u),
+                          platform.pe(mapping[static_cast<std::size_t>(u)]).fabric);
+  }
+  cost.pipeline_latency =
+      finish.empty() ? 0.0 : *std::max_element(finish.begin(), finish.end());
+
+  cost.objective = weights.load * cost.bottleneck_cycles +
+                   weights.comm * cost.comm_word_hops +
+                   weights.energy * cost.energy_pj_per_item +
+                   (cost.feasible ? 0.0 : kInfeasiblePenalty);
+  return cost;
+}
+
+Mapping random_mapping(const TaskGraph& graph, const PlatformDesc& platform,
+                       sim::Rng& rng) {
+  Mapping m(static_cast<std::size_t>(graph.node_count()), 0);
+  for (int i = 0; i < graph.node_count(); ++i) {
+    // Prefer feasible PEs; fall back to uniform if none allow the task.
+    std::vector<int> feasible;
+    for (int p = 0; p < platform.pe_count(); ++p) {
+      if (graph.node(i).allows(platform.pe(p).fabric)) feasible.push_back(p);
+    }
+    if (feasible.empty()) {
+      m[static_cast<std::size_t>(i)] = static_cast<int>(
+          rng.next_below(static_cast<std::uint64_t>(platform.pe_count())));
+    } else {
+      m[static_cast<std::size_t>(i)] = feasible[rng.next_below(feasible.size())];
+    }
+  }
+  return m;
+}
+
+Mapping greedy_mapping(const TaskGraph& graph, const PlatformDesc& platform,
+                       const ObjectiveWeights& weights) {
+  const int n = graph.node_count();
+  std::vector<int> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return graph.node(a).work_ops > graph.node(b).work_ops;
+  });
+
+  // Incremental state: per-PE accumulated cycles; partial mapping.
+  Mapping m(static_cast<std::size_t>(n), -1);
+  std::vector<double> pe_cycles(static_cast<std::size_t>(platform.pe_count()), 0.0);
+
+  for (const int node_idx : order) {
+    const TaskNode& node = graph.node(node_idx);
+    double best = std::numeric_limits<double>::infinity();
+    int best_pe = 0;
+    for (int p = 0; p < platform.pe_count(); ++p) {
+      const tech::Fabric fabric = platform.pe(p).fabric;
+      if (!node.allows(fabric)) continue;
+      const double new_load =
+          pe_cycles[static_cast<std::size_t>(p)] + cycles_on(node, fabric);
+      // Communication with already-placed neighbors.
+      double comm = 0.0;
+      for (const auto& e : graph.edges()) {
+        const int other = e.src == node_idx ? e.dst
+                          : e.dst == node_idx ? e.src
+                                              : -1;
+        if (other < 0 || m[static_cast<std::size_t>(other)] < 0) continue;
+        comm += e.words_per_item *
+                platform.hops(p, m[static_cast<std::size_t>(other)]);
+      }
+      const double score =
+          weights.load * new_load + weights.comm * comm +
+          weights.energy * energy_on(node, fabric, platform.node());
+      if (score < best) {
+        best = score;
+        best_pe = p;
+      }
+    }
+    m[static_cast<std::size_t>(node_idx)] = best_pe;
+    pe_cycles[static_cast<std::size_t>(best_pe)] +=
+        cycles_on(node, platform.pe(best_pe).fabric);
+  }
+  return m;
+}
+
+Mapping anneal_mapping(const TaskGraph& graph, const PlatformDesc& platform,
+                       const ObjectiveWeights& weights,
+                       const AnnealConfig& cfg) {
+  sim::Rng rng(cfg.seed);
+  Mapping current = greedy_mapping(graph, platform, weights);
+  double cur_obj = evaluate_mapping(graph, platform, current, weights).objective;
+  Mapping best = current;
+  double best_obj = cur_obj;
+
+  if (graph.node_count() == 0 || platform.pe_count() < 2) return best;
+
+  const double decay =
+      std::pow(cfg.t_end / cfg.t_start, 1.0 / std::max(1, cfg.iterations - 1));
+  double temp = cfg.t_start;
+
+  for (int it = 0; it < cfg.iterations; ++it, temp *= decay) {
+    const auto node_idx = static_cast<std::size_t>(
+        rng.next_below(static_cast<std::uint64_t>(graph.node_count())));
+    const int old_pe = current[node_idx];
+    int new_pe = static_cast<int>(
+        rng.next_below(static_cast<std::uint64_t>(platform.pe_count())));
+    if (new_pe == old_pe) continue;
+
+    current[node_idx] = new_pe;
+    const double new_obj =
+        evaluate_mapping(graph, platform, current, weights).objective;
+    const double delta = new_obj - cur_obj;
+    if (delta <= 0.0 || rng.next_double() < std::exp(-delta / temp)) {
+      cur_obj = new_obj;
+      if (cur_obj < best_obj) {
+        best_obj = cur_obj;
+        best = current;
+      }
+    } else {
+      current[node_idx] = old_pe;  // reject
+    }
+  }
+  return best;
+}
+
+}  // namespace soc::core

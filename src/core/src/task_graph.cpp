@@ -1,0 +1,111 @@
+#include "soc/core/task_graph.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace soc::core {
+
+bool TaskNode::allows(tech::Fabric f) const noexcept {
+  if (allowed_fabrics.empty()) {
+    // Default: any software-programmable fabric.
+    return f == tech::Fabric::kGeneralPurposeCpu || f == tech::Fabric::kDsp ||
+           f == tech::Fabric::kAsip;
+  }
+  return std::find(allowed_fabrics.begin(), allowed_fabrics.end(), f) !=
+         allowed_fabrics.end();
+}
+
+int TaskGraph::add_node(TaskNode node) {
+  if (node.work_ops < 0.0) {
+    throw std::invalid_argument("TaskGraph: negative work");
+  }
+  nodes_.push_back(std::move(node));
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+void TaskGraph::add_edge(TaskEdge edge) {
+  const int n = node_count();
+  if (edge.src < 0 || edge.src >= n || edge.dst < 0 || edge.dst >= n ||
+      edge.src == edge.dst) {
+    throw std::invalid_argument("TaskGraph: bad edge endpoints");
+  }
+  edges_.push_back(edge);
+}
+
+double TaskGraph::total_work_ops() const noexcept {
+  double s = 0.0;
+  for (const auto& n : nodes_) s += n.work_ops;
+  return s;
+}
+
+double TaskGraph::total_comm_words() const noexcept {
+  double s = 0.0;
+  for (const auto& e : edges_) s += e.words_per_item;
+  return s;
+}
+
+std::vector<int> TaskGraph::topological_order() const {
+  const int n = node_count();
+  std::vector<int> indeg(static_cast<std::size_t>(n), 0);
+  for (const auto& e : edges_) ++indeg[static_cast<std::size_t>(e.dst)];
+  std::queue<int> ready;
+  for (int i = 0; i < n; ++i) {
+    if (indeg[static_cast<std::size_t>(i)] == 0) ready.push(i);
+  }
+  std::vector<int> order;
+  order.reserve(static_cast<std::size_t>(n));
+  while (!ready.empty()) {
+    const int u = ready.front();
+    ready.pop();
+    order.push_back(u);
+    for (const auto& e : edges_) {
+      if (e.src == u && --indeg[static_cast<std::size_t>(e.dst)] == 0) {
+        ready.push(e.dst);
+      }
+    }
+  }
+  if (static_cast<int>(order.size()) != n) {
+    throw std::logic_error("TaskGraph '" + name_ + "': cycle detected");
+  }
+  return order;
+}
+
+std::vector<int> TaskGraph::sources() const {
+  std::vector<bool> has_in(static_cast<std::size_t>(node_count()), false);
+  for (const auto& e : edges_) has_in[static_cast<std::size_t>(e.dst)] = true;
+  std::vector<int> out;
+  for (int i = 0; i < node_count(); ++i) {
+    if (!has_in[static_cast<std::size_t>(i)]) out.push_back(i);
+  }
+  return out;
+}
+
+TaskGraph TaskGraph::replicated(int copies) const {
+  if (copies < 1) throw std::invalid_argument("TaskGraph::replicated: copies < 1");
+  TaskGraph out(name_ + "x" + std::to_string(copies));
+  for (int c = 0; c < copies; ++c) {
+    for (const auto& n : nodes_) {
+      TaskNode copy = n;
+      copy.name = n.name + "#" + std::to_string(c);
+      out.add_node(std::move(copy));
+    }
+    const int base = c * node_count();
+    for (const auto& e : edges_) {
+      out.add_edge({e.src + base, e.dst + base, e.words_per_item});
+    }
+  }
+  return out;
+}
+
+std::vector<int> TaskGraph::sinks() const {
+  std::vector<bool> has_out(static_cast<std::size_t>(node_count()), false);
+  for (const auto& e : edges_) has_out[static_cast<std::size_t>(e.src)] = true;
+  std::vector<int> out;
+  for (int i = 0; i < node_count(); ++i) {
+    if (!has_out[static_cast<std::size_t>(i)]) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace soc::core

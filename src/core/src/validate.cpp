@@ -1,0 +1,183 @@
+#include "soc/core/validate.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+#include "soc/dsoc/broker.hpp"
+#include "soc/dsoc/client.hpp"
+#include "soc/platform/fppa.hpp"
+
+namespace soc::core {
+
+namespace {
+
+/// Chain order of a linear pipeline; throws if the graph is not a chain.
+std::vector<int> chain_order(const TaskGraph& graph) {
+  std::vector<int> next(static_cast<std::size_t>(graph.node_count()), -1);
+  std::vector<int> indeg(static_cast<std::size_t>(graph.node_count()), 0);
+  for (const auto& e : graph.edges()) {
+    if (next[static_cast<std::size_t>(e.src)] != -1) {
+      throw std::invalid_argument("validate_mapping: graph is not a chain");
+    }
+    next[static_cast<std::size_t>(e.src)] = e.dst;
+    ++indeg[static_cast<std::size_t>(e.dst)];
+  }
+  int head = -1;
+  for (int i = 0; i < graph.node_count(); ++i) {
+    if (indeg[static_cast<std::size_t>(i)] == 0) {
+      if (head != -1) {
+        throw std::invalid_argument("validate_mapping: multiple chain heads");
+      }
+      head = i;
+    }
+    if (indeg[static_cast<std::size_t>(i)] > 1) {
+      throw std::invalid_argument("validate_mapping: graph is not a chain");
+    }
+  }
+  if (head < 0) throw std::invalid_argument("validate_mapping: cyclic graph");
+  std::vector<int> order;
+  for (int n = head; n != -1; n = next[static_cast<std::size_t>(n)]) {
+    order.push_back(n);
+  }
+  if (static_cast<int>(order.size()) != graph.node_count()) {
+    throw std::invalid_argument("validate_mapping: disconnected chain");
+  }
+  return order;
+}
+
+}  // namespace
+
+ValidationResult validate_mapping(const TaskGraph& graph,
+                                  const PlatformDesc& platform,
+                                  const Mapping& mapping,
+                                  const ValidationConfig& cfg) {
+  const MappingCost predicted = evaluate_mapping(graph, platform, mapping);
+  const auto order = chain_order(graph);
+  const int stages = static_cast<int>(order.size());
+
+  // Platform: same PE count/topology; io terminals host one skeleton per
+  // stage plus the driver's client port; the last stage reports to a sink.
+  platform::FppaConfig fc;
+  fc.num_pes = platform.pe_count();
+  fc.threads_per_pe = cfg.threads_per_pe;
+  fc.topology = platform.topology();
+  fc.pool_mode = platform::PoolMode::kPartitionedQueues;  // pinned stages
+  fc.net = cfg.net;
+  fc.num_memories = 0;
+  fc.num_sinks = 1;
+  fc.num_io = stages + 1;
+  platform::Fppa fppa(fc);
+
+  dsoc::Broker broker(fppa.transport());
+  std::vector<std::unique_ptr<dsoc::Skeleton>> skeletons;
+  const dsoc::InterfaceDef iface{"Stage", {{0, "process"}}};
+
+  // Per-stage compute cost on its mapped fabric, and forwarding payload
+  // sized from the outgoing edge.
+  std::vector<sim::Cycle> stage_cycles(static_cast<std::size_t>(stages), 0);
+  std::vector<std::uint32_t> stage_words(static_cast<std::size_t>(stages), 1);
+  for (int s = 0; s < stages; ++s) {
+    const int node_idx = order[static_cast<std::size_t>(s)];
+    const auto fabric =
+        platform.pe(mapping[static_cast<std::size_t>(node_idx)]).fabric;
+    stage_cycles[static_cast<std::size_t>(s)] = static_cast<sim::Cycle>(
+        graph.node(node_idx).work_ops /
+        tech::fabric_profile(fabric).ops_per_cycle);
+    for (const auto& e : graph.edges()) {
+      if (e.src == node_idx) {
+        stage_words[static_cast<std::size_t>(s)] =
+            static_cast<std::uint32_t>(e.words_per_item);
+      }
+    }
+  }
+
+  // Build stages back to front so each knows its successor's terminal.
+  const noc::TerminalId sink_term = fppa.sink_terminal(0);
+  std::vector<noc::TerminalId> stage_terms(static_cast<std::size_t>(stages));
+  for (int s = 0; s < stages; ++s) {
+    stage_terms[static_cast<std::size_t>(s)] = fppa.io_terminal(s);
+  }
+  for (int s = 0; s < stages; ++s) {
+    const int node_idx = order[static_cast<std::size_t>(s)];
+    const int pe = mapping[static_cast<std::size_t>(node_idx)];
+    const noc::TerminalId next_term =
+        s + 1 < stages ? stage_terms[static_cast<std::size_t>(s + 1)]
+                       : sink_term;
+    const sim::Cycle cycles = stage_cycles[static_cast<std::size_t>(s)];
+    const std::uint32_t words = stage_words[static_cast<std::size_t>(s)];
+    const bool last = s + 1 == stages;
+
+    auto sink_fn = [&fppa, pe](platform::WorkItem item) {
+      fppa.queue_for_pe(pe).push(std::move(item));
+    };
+    auto impl = [cycles, words, next_term, last](
+                    std::shared_ptr<dsoc::InvocationContext> ctx)
+        -> platform::TaskGen {
+      return [ctx, cycles, words, next_term, last, step = 0](
+                 const std::vector<std::uint32_t>&) mutable -> platform::Step {
+        switch (step++) {
+          case 0:
+            return platform::Step::compute(cycles);
+          case 1: {
+            if (last) return platform::Step::send(next_term, words);
+            // Forward the item as an invocation of the next stage.
+            dsoc::CallHeader hdr{static_cast<dsoc::ObjectId>(0), 0, 0,
+                                 dsoc::kNoReply};
+            auto body = dsoc::marshal_call(hdr, ctx->args);
+            body.resize(std::max<std::size_t>(body.size(), words));
+            return platform::Step::send_payload(next_term, std::move(body));
+          }
+          default:
+            return platform::Step::done();
+        }
+      };
+    };
+    skeletons.push_back(std::make_unique<dsoc::Skeleton>(
+        iface, static_cast<dsoc::ObjectId>(0), stage_terms[static_cast<std::size_t>(s)],
+        platform::WorkSink(sink_fn), fppa.transport()));
+    skeletons.back()->bind(0, impl);
+    broker.register_object("stage" + std::to_string(s), *skeletons.back());
+  }
+
+  dsoc::ClientPort driver(fppa.io_terminal(stages), fppa.transport());
+  dsoc::Proxy head(broker.resolve("stage0"), driver, fppa.transport());
+
+  const double rate = cfg.inject_per_cycle > 0.0
+                          ? cfg.inject_per_cycle
+                          : 0.9 / predicted.bottleneck_cycles;
+  const auto gap = std::max<sim::Cycle>(
+      1, static_cast<sim::Cycle>(1.0 / rate));
+
+  fppa.start();
+  bool running = true;
+  std::function<void()> inject = [&] {
+    if (!running) return;
+    head.oneway(0, {1});
+    fppa.queue().schedule_in(gap, inject);
+  };
+  fppa.queue().schedule_in(1, inject);
+
+  fppa.run_until(cfg.warmup_cycles);
+  fppa.reset_stats();
+  const std::uint64_t sink_before = fppa.sink(0).received();
+  fppa.run_until(cfg.warmup_cycles + cfg.measure_cycles);
+  running = false;
+
+  ValidationResult r;
+  r.predicted_bottleneck_cycles = predicted.bottleneck_cycles;
+  r.items_completed = fppa.sink(0).received() - sink_before;
+  r.measured_cycles_per_item =
+      r.items_completed
+          ? static_cast<double>(cfg.measure_cycles) /
+                static_cast<double>(r.items_completed)
+          : 0.0;
+  r.ratio = r.predicted_bottleneck_cycles > 0.0
+                ? r.measured_cycles_per_item / r.predicted_bottleneck_cycles
+                : 0.0;
+  const auto report = fppa.report(cfg.measure_cycles);
+  r.mean_pe_utilization = report.mean_pe_utilization;
+  r.bottleneck_pe_utilization = report.max_pe_utilization;
+  return r;
+}
+
+}  // namespace soc::core

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "soc/dsoc/skeleton.hpp"
+
+namespace soc::dsoc {
+
+/// Location of a DSOC object: which NoC terminal its skeleton listens on.
+/// Because clients resolve objects by name, remapping an object to a
+/// different processor pool changes only broker registration — the
+/// application is "largely decoupled from the details of a particular
+/// FPPA target mapping" (Section 7.2).
+struct ObjectRef {
+  ObjectId id = 0;
+  noc::TerminalId terminal = 0;
+  std::string interface_name;
+};
+
+/// Object request broker directory. Owns the name -> ObjectRef map and
+/// performs transport attachment of skeletons.
+class Broker {
+ public:
+  explicit Broker(tlm::Transport& transport) : transport_(transport) {}
+
+  /// Registers `skeleton` under `name` and attaches it to its terminal.
+  ObjectRef register_object(const std::string& name, Skeleton& skeleton);
+
+  /// Resolves a name; throws std::out_of_range if unknown.
+  ObjectRef resolve(const std::string& name) const;
+
+  /// Nothrow lookup.
+  std::optional<ObjectRef> try_resolve(const std::string& name) const;
+
+  std::size_t object_count() const noexcept { return directory_.size(); }
+
+ private:
+  tlm::Transport& transport_;
+  std::map<std::string, ObjectRef> directory_;
+};
+
+}  // namespace soc::dsoc

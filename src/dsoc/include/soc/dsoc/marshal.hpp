@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace soc::dsoc {
+
+/// Object and method identifiers of the DSOC (Distributed System Object
+/// Component) model — the paper's lightweight CORBA-inspired programming
+/// model (Section 7.2): objects live behind NoC terminals, invocations are
+/// marshalled messages, and the mapping of objects to processors is a tool
+/// decision rather than a source-code property.
+using ObjectId = std::uint32_t;
+using MethodId = std::uint32_t;
+using CallId = std::uint32_t;
+
+/// Reply terminal value meaning "oneway call, no reply expected".
+inline constexpr std::uint32_t kNoReply = 0xFFFFFFFFu;
+
+/// Wire format of an invocation message (32-bit words):
+///   [0] object id     [1] method id   [2] call id
+///   [3] reply terminal (kNoReply for oneway)
+///   [4] argc          [5...] args
+struct CallHeader {
+  ObjectId object = 0;
+  MethodId method = 0;
+  CallId call = 0;
+  std::uint32_t reply_terminal = kNoReply;
+};
+
+inline constexpr std::size_t kCallHeaderWords = 5;
+
+/// Serializes an invocation.
+std::vector<std::uint32_t> marshal_call(const CallHeader& hdr,
+                                        std::span<const std::uint32_t> args);
+
+/// Parses an invocation; throws std::invalid_argument on malformed input.
+CallHeader unmarshal_call(std::span<const std::uint32_t> body,
+                          std::vector<std::uint32_t>& args_out);
+
+/// Wire format of a reply message: [0] call id, [1] retc, [2...] results.
+std::vector<std::uint32_t> marshal_reply(CallId call,
+                                         std::span<const std::uint32_t> results);
+CallId unmarshal_reply(std::span<const std::uint32_t> body,
+                       std::vector<std::uint32_t>& results_out);
+
+}  // namespace soc::dsoc

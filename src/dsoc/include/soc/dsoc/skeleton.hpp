@@ -1,0 +1,88 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "soc/dsoc/marshal.hpp"
+#include "soc/platform/work.hpp"
+#include "soc/tlm/transport.hpp"
+
+namespace soc::dsoc {
+
+/// Declared shape of a DSOC interface (names are for tooling/debug; wire
+/// format uses numeric ids only).
+struct MethodDef {
+  MethodId id = 0;
+  std::string name;
+};
+
+struct InterfaceDef {
+  std::string name;
+  std::vector<MethodDef> methods;
+
+  bool has_method(MethodId id) const noexcept;
+};
+
+/// Per-invocation state shared between the transport layer and the method
+/// body running on a PE: input args and the results the body produces.
+struct InvocationContext {
+  std::vector<std::uint32_t> args;
+  std::vector<std::uint32_t> results;
+};
+
+/// Servant factory: builds the step generator that executes one invocation
+/// of a method on a processing element. The generator expresses the
+/// method's compute/communication structure; results go into `ctx`.
+using MethodImpl = std::function<platform::TaskGen(
+    std::shared_ptr<InvocationContext> ctx)>;
+
+/// Server-side object adapter: receives marshalled invocations at a NoC
+/// terminal, unmarshals them and enqueues work items on the server pool's
+/// shared queue. Two-way calls send a reply message when the method body
+/// completes. One Skeleton per DSOC object.
+class Skeleton final : public tlm::Endpoint {
+ public:
+  Skeleton(InterfaceDef iface, ObjectId object, noc::TerminalId terminal,
+           platform::WorkQueue& pool, tlm::Transport& transport);
+
+  /// Policy-agnostic variant: invocations go through `sink` (e.g. an
+  /// Fppa::work_sink(), which may fan out to partitioned per-PE queues).
+  Skeleton(InterfaceDef iface, ObjectId object, noc::TerminalId terminal,
+           platform::WorkSink sink, tlm::Transport& transport);
+
+  /// Binds the implementation of one method. Must cover every method that
+  /// will be invoked.
+  void bind(MethodId method, MethodImpl impl);
+
+  void handle(const tlm::Transaction& request,
+              tlm::CompletionFn respond) override;
+
+  const InterfaceDef& interface_def() const noexcept { return iface_; }
+  ObjectId object_id() const noexcept { return object_; }
+  noc::TerminalId terminal() const noexcept { return terminal_; }
+
+  std::uint64_t invocations() const noexcept { return invocations_; }
+  std::uint64_t replies_sent() const noexcept { return replies_; }
+  std::uint64_t method_count(MethodId m) const;
+
+ private:
+  platform::TaskGen wrap(MethodId method,
+                         std::shared_ptr<InvocationContext> ctx,
+                         CallId call, std::uint32_t reply_terminal);
+
+  InterfaceDef iface_;
+  ObjectId object_;
+  noc::TerminalId terminal_;
+  platform::WorkSink sink_;
+  tlm::Transport& transport_;
+  std::map<MethodId, MethodImpl> impls_;
+  std::map<MethodId, std::uint64_t> counts_;
+  std::uint64_t invocations_ = 0;
+  std::uint64_t replies_ = 0;
+  std::uint64_t next_work_id_ = 1;
+};
+
+}  // namespace soc::dsoc

@@ -1,0 +1,32 @@
+#include "soc/dsoc/broker.hpp"
+
+#include <stdexcept>
+
+namespace soc::dsoc {
+
+ObjectRef Broker::register_object(const std::string& name, Skeleton& skeleton) {
+  if (directory_.count(name) != 0) {
+    throw std::logic_error("Broker: name '" + name + "' already registered");
+  }
+  transport_.attach(skeleton.terminal(), skeleton);
+  ObjectRef ref{skeleton.object_id(), skeleton.terminal(),
+                skeleton.interface_def().name};
+  directory_.emplace(name, ref);
+  return ref;
+}
+
+ObjectRef Broker::resolve(const std::string& name) const {
+  const auto it = directory_.find(name);
+  if (it == directory_.end()) {
+    throw std::out_of_range("Broker: unknown object '" + name + "'");
+  }
+  return it->second;
+}
+
+std::optional<ObjectRef> Broker::try_resolve(const std::string& name) const {
+  const auto it = directory_.find(name);
+  if (it == directory_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace soc::dsoc

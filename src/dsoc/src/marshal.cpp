@@ -1,0 +1,61 @@
+#include "soc/dsoc/marshal.hpp"
+
+#include <stdexcept>
+
+namespace soc::dsoc {
+
+std::vector<std::uint32_t> marshal_call(const CallHeader& hdr,
+                                        std::span<const std::uint32_t> args) {
+  std::vector<std::uint32_t> body;
+  body.reserve(kCallHeaderWords + args.size());
+  body.push_back(hdr.object);
+  body.push_back(hdr.method);
+  body.push_back(hdr.call);
+  body.push_back(hdr.reply_terminal);
+  body.push_back(static_cast<std::uint32_t>(args.size()));
+  body.insert(body.end(), args.begin(), args.end());
+  return body;
+}
+
+CallHeader unmarshal_call(std::span<const std::uint32_t> body,
+                          std::vector<std::uint32_t>& args_out) {
+  if (body.size() < kCallHeaderWords) {
+    throw std::invalid_argument("unmarshal_call: truncated header");
+  }
+  CallHeader hdr;
+  hdr.object = body[0];
+  hdr.method = body[1];
+  hdr.call = body[2];
+  hdr.reply_terminal = body[3];
+  const std::uint32_t argc = body[4];
+  if (body.size() < kCallHeaderWords + argc) {
+    throw std::invalid_argument("unmarshal_call: truncated arguments");
+  }
+  args_out.assign(body.begin() + kCallHeaderWords,
+                  body.begin() + kCallHeaderWords + argc);
+  return hdr;
+}
+
+std::vector<std::uint32_t> marshal_reply(
+    CallId call, std::span<const std::uint32_t> results) {
+  std::vector<std::uint32_t> body;
+  body.reserve(2 + results.size());
+  body.push_back(call);
+  body.push_back(static_cast<std::uint32_t>(results.size()));
+  body.insert(body.end(), results.begin(), results.end());
+  return body;
+}
+
+CallId unmarshal_reply(std::span<const std::uint32_t> body,
+                       std::vector<std::uint32_t>& results_out) {
+  if (body.size() < 2) throw std::invalid_argument("unmarshal_reply: truncated");
+  const CallId call = body[0];
+  const std::uint32_t retc = body[1];
+  if (body.size() < 2 + retc) {
+    throw std::invalid_argument("unmarshal_reply: truncated results");
+  }
+  results_out.assign(body.begin() + 2, body.begin() + 2 + retc);
+  return call;
+}
+
+}  // namespace soc::dsoc

@@ -1,0 +1,90 @@
+#include "soc/dsoc/skeleton.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace soc::dsoc {
+
+bool InterfaceDef::has_method(MethodId id) const noexcept {
+  return std::any_of(methods.begin(), methods.end(),
+                     [id](const MethodDef& m) { return m.id == id; });
+}
+
+Skeleton::Skeleton(InterfaceDef iface, ObjectId object,
+                   noc::TerminalId terminal, platform::WorkQueue& pool,
+                   tlm::Transport& transport)
+    : Skeleton(std::move(iface), object, terminal,
+               platform::WorkSink([&pool](platform::WorkItem item) {
+                 pool.push(std::move(item));
+               }),
+               transport) {}
+
+Skeleton::Skeleton(InterfaceDef iface, ObjectId object,
+                   noc::TerminalId terminal, platform::WorkSink sink,
+                   tlm::Transport& transport)
+    : iface_(std::move(iface)),
+      object_(object),
+      terminal_(terminal),
+      sink_(std::move(sink)),
+      transport_(transport) {
+  if (!sink_) throw std::invalid_argument("Skeleton: null work sink");
+}
+
+void Skeleton::bind(MethodId method, MethodImpl impl) {
+  if (!iface_.has_method(method)) {
+    throw std::invalid_argument("Skeleton::bind: method not in interface '" +
+                                iface_.name + "'");
+  }
+  impls_[method] = std::move(impl);
+}
+
+platform::TaskGen Skeleton::wrap(MethodId method,
+                                 std::shared_ptr<InvocationContext> ctx,
+                                 CallId call, std::uint32_t reply_terminal) {
+  platform::TaskGen inner = impls_.at(method)(ctx);
+  return [this, inner = std::move(inner), ctx, call, reply_terminal](
+             const std::vector<std::uint32_t>& last_read) -> platform::Step {
+    platform::Step s = inner(last_read);
+    if (s.kind == platform::Step::Kind::kDone &&
+        reply_terminal != kNoReply) {
+      transport_.message(terminal_,
+                         static_cast<noc::TerminalId>(reply_terminal),
+                         marshal_reply(call, ctx->results));
+      ++replies_;
+    }
+    return s;
+  };
+}
+
+void Skeleton::handle(const tlm::Transaction& request,
+                      tlm::CompletionFn respond) {
+  if (request.type != tlm::TransactionType::kMessage) {
+    // Configuration-plane access; ack immediately.
+    if (respond) respond(request);
+    return;
+  }
+  auto ctx = std::make_shared<InvocationContext>();
+  const CallHeader hdr = unmarshal_call(request.payload, ctx->args);
+  if (hdr.object != object_) {
+    throw std::logic_error("Skeleton: invocation for wrong object id");
+  }
+  if (impls_.find(hdr.method) == impls_.end()) {
+    throw std::logic_error("Skeleton: method " + std::to_string(hdr.method) +
+                           " of '" + iface_.name + "' not bound");
+  }
+  ++invocations_;
+  ++counts_[hdr.method];
+
+  platform::WorkItem item;
+  item.id = next_work_id_++;
+  item.created_at = request.issued_at;
+  item.gen = wrap(hdr.method, std::move(ctx), hdr.call, hdr.reply_terminal);
+  sink_(std::move(item));
+}
+
+std::uint64_t Skeleton::method_count(MethodId m) const {
+  const auto it = counts_.find(m);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+}  // namespace soc::dsoc

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <vector>
+
+#include "soc/econ/nre_model.hpp"
+
+namespace soc::econ {
+
+/// One product variant derived from a shared SoC platform.
+struct PlatformVariant {
+  double volume_units;         ///< lifetime shipments of this variant
+  double derivative_nre_usd;   ///< variant-specific design cost
+  bool needs_new_mask_set;     ///< false when the variant is S/W-reconfigured
+};
+
+/// Economics of a shared platform: the paper's thesis that "a SoC design
+/// platform needs to be amortized over many variants and generations of a
+/// product family, to help amortize both the mask and the design NREs"
+/// (Section 1). Compares the platform strategy against per-product ASICs.
+class PlatformAmortization {
+ public:
+  PlatformAmortization(double platform_design_nre_usd, double mask_set_usd)
+      : platform_nre_(platform_design_nre_usd), mask_nre_(mask_set_usd) {}
+
+  void add_variant(const PlatformVariant& v) { variants_.push_back(v); }
+
+  /// Total NRE under the platform strategy: one platform design + one mask
+  /// set, plus per-variant derivative costs (and extra masks where needed).
+  double platform_total_nre() const noexcept;
+
+  /// Total NRE if every variant were a from-scratch ASIC (full design NRE
+  /// and its own mask set each time).
+  double asic_total_nre(double per_product_design_nre_usd) const noexcept;
+
+  /// NRE burden per shipped unit under the platform strategy.
+  double platform_nre_per_unit() const noexcept;
+
+  /// Break-even variant count: smallest number of (identical) variants for
+  /// which the platform strategy beats per-product ASICs. Returns 0 when
+  /// the platform never wins within `max_variants`.
+  static int break_even_variants(double platform_nre, double mask_nre,
+                                 double derivative_nre, double asic_design_nre,
+                                 int max_variants = 64) noexcept;
+
+  double total_volume() const noexcept;
+  std::size_t variant_count() const noexcept { return variants_.size(); }
+
+ private:
+  double platform_nre_;
+  double mask_nre_;
+  std::vector<PlatformVariant> variants_;
+};
+
+}  // namespace soc::econ

@@ -1,0 +1,53 @@
+#pragma once
+
+#include "soc/tech/process_node.hpp"
+
+namespace soc::econ {
+
+/// Commercial parameters of a chip product, as in the paper's worked
+/// example: "for a chip sold at a price of $5, and a profit margin of 20%,
+/// this implies selling over one million chips simply to pay for the mask
+/// set NRE" (Section 1).
+struct ChipProduct {
+  double unit_price_usd = 5.0;
+  double profit_margin = 0.20;  ///< fraction of price available to recover NRE
+
+  /// Dollars per unit available to amortize non-recurring expenses.
+  double margin_per_unit() const noexcept {
+    return unit_price_usd * profit_margin;
+  }
+};
+
+/// Design NRE for a complex SoC at a given node. The paper quotes
+/// $10M-$100M at 0.13um; the model scales with the logic capacity of the
+/// node (design effort tracks transistor count at roughly constant
+/// productivity — the pessimistic reading the paper argues for).
+struct DesignNre {
+  double low_usd;
+  double high_usd;
+};
+
+/// Mask-set and design NRE as a function of process node, plus break-even
+/// volume computations (claims C1 and C2 in DESIGN.md).
+class NreModel {
+ public:
+  /// Mask-set NRE in USD, straight from the roadmap table.
+  static double mask_set_usd(const soc::tech::ProcessNode& node) noexcept {
+    return node.mask_set_cost_usd;
+  }
+
+  /// Multiplicative growth of mask cost across `gens` roadmap generations
+  /// starting at `from`. The paper's claim: ~x10 over ~3 generations.
+  static double mask_cost_growth(const soc::tech::ProcessNode& from, int gens);
+
+  /// Design NRE range at a node, anchored to the paper's $10M-$100M at
+  /// 130 nm and scaled by relative logic capacity.
+  static DesignNre design_nre(const soc::tech::ProcessNode& node) noexcept;
+
+  /// Units that must be sold for margin to cover the given NRE.
+  static double break_even_units(double nre_usd, const ChipProduct& product) noexcept {
+    return nre_usd / product.margin_per_unit();
+  }
+};
+
+}  // namespace soc::econ

@@ -1,0 +1,38 @@
+#pragma once
+
+namespace soc::econ {
+
+/// Compound annual growth model, value(t) = base * (1 + rate)^(t - t0).
+/// Used for the paper's Section 6 claim: hardware complexity grows 56%/yr
+/// (Moore's law), embedded software complexity 140%/yr.
+class CompoundGrowth {
+ public:
+  /// rate is fractional per year (0.56 = 56%/yr). base is the value at t0.
+  CompoundGrowth(double base, double rate_per_year, double t0) noexcept
+      : base_(base), rate_(rate_per_year), t0_(t0) {}
+
+  double value_at(double year) const noexcept;
+
+  /// Years needed to grow by the given factor (> 0).
+  double years_to_grow(double factor) const noexcept;
+
+  double rate() const noexcept { return rate_; }
+  double base() const noexcept { return base_; }
+
+ private:
+  double base_;
+  double rate_;
+  double t0_;
+};
+
+/// Year at which growth `b` overtakes growth `a` (exact solution of
+/// a.value(t) == b.value(t)). Returns t0-relative absolute year; if the
+/// rates are equal the function returns +/-infinity depending on the bases.
+double crossover_year(const CompoundGrowth& a, const CompoundGrowth& b) noexcept;
+
+/// Canonical instances from the paper (baselines normalized to 1.0 at 1997,
+/// the year the SW-effort studies the paper cites started tracking).
+CompoundGrowth hw_complexity_trend() noexcept;  ///< 56%/yr transistor count
+CompoundGrowth sw_complexity_trend() noexcept;  ///< 140%/yr embedded S/W
+
+}  // namespace soc::econ

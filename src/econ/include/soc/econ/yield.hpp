@@ -1,0 +1,41 @@
+#pragma once
+
+#include "soc/tech/process_node.hpp"
+
+namespace soc::econ {
+
+/// Defect model parameters for the negative-binomial yield formula
+/// Y = (1 + A * D / alpha)^-alpha (Stapper). The paper's Section 4 points
+/// at "statistical design, self-repair and various forms of redundancy" as
+/// the answer to nanometer defectivity; this model quantifies the benefit.
+struct YieldParams {
+  double defects_per_cm2 = 0.5;
+  double clustering_alpha = 2.0;  ///< defect clustering (2 = moderate)
+};
+
+/// Probability that a die (or block) of the given area is defect-free
+/// enough to work.
+double die_yield(double area_mm2, const YieldParams& p);
+
+/// Era-plausible defect density by node: newer nodes start riskier
+/// (immature processes, more masks, smaller geometries).
+YieldParams defect_params_for(const soc::tech::ProcessNode& node);
+
+/// Yield of a PE array with spare-and-repair: the chip works if at least
+/// `required_pes` of `total_pes` identical blocks (each `pe_area_mm2`) are
+/// good AND the non-redundant rest of the die (`rest_area_mm2`) is good.
+/// Assumes independent block failures (clustering folded into block yield).
+double array_yield_with_spares(int total_pes, int required_pes,
+                               double pe_area_mm2, double rest_area_mm2,
+                               const YieldParams& p);
+
+/// Gross dies on a 300 mm wafer for a square die of the given area
+/// (classic edge-loss approximation).
+int dies_per_wafer(double die_area_mm2, double wafer_diameter_mm = 300.0);
+
+/// Manufacturing cost of one *good* die.
+double cost_per_good_die(double die_area_mm2, double yield,
+                         double wafer_cost_usd = 4000.0,
+                         double wafer_diameter_mm = 300.0);
+
+}  // namespace soc::econ

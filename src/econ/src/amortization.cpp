@@ -1,0 +1,46 @@
+#include "soc/econ/amortization.hpp"
+
+namespace soc::econ {
+
+double PlatformAmortization::platform_total_nre() const noexcept {
+  double total = platform_nre_ + mask_nre_;
+  for (const auto& v : variants_) {
+    total += v.derivative_nre_usd;
+    if (v.needs_new_mask_set) total += mask_nre_;
+  }
+  return total;
+}
+
+double PlatformAmortization::asic_total_nre(
+    double per_product_design_nre_usd) const noexcept {
+  return static_cast<double>(variants_.size()) *
+         (per_product_design_nre_usd + mask_nre_);
+}
+
+double PlatformAmortization::total_volume() const noexcept {
+  double v = 0.0;
+  for (const auto& var : variants_) v += var.volume_units;
+  return v;
+}
+
+double PlatformAmortization::platform_nre_per_unit() const noexcept {
+  const double vol = total_volume();
+  return vol > 0.0 ? platform_total_nre() / vol : 0.0;
+}
+
+int PlatformAmortization::break_even_variants(double platform_nre,
+                                              double mask_nre,
+                                              double derivative_nre,
+                                              double asic_design_nre,
+                                              int max_variants) noexcept {
+  for (int n = 1; n <= max_variants; ++n) {
+    const double platform_cost =
+        platform_nre + mask_nre + static_cast<double>(n) * derivative_nre;
+    const double asic_cost =
+        static_cast<double>(n) * (asic_design_nre + mask_nre);
+    if (platform_cost <= asic_cost) return n;
+  }
+  return 0;
+}
+
+}  // namespace soc::econ

@@ -1,0 +1,36 @@
+#include "soc/econ/nre_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace soc::econ {
+
+double NreModel::mask_cost_growth(const soc::tech::ProcessNode& from, int gens) {
+  const auto nodes = soc::tech::roadmap();
+  int from_idx = -1;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i].name == from.name) from_idx = static_cast<int>(i);
+  }
+  if (from_idx < 0) throw std::invalid_argument("mask_cost_growth: unknown node");
+  const int to_idx = from_idx + gens;
+  if (to_idx < 0 || to_idx >= static_cast<int>(nodes.size())) {
+    throw std::out_of_range("mask_cost_growth: generation index off roadmap");
+  }
+  return nodes[static_cast<std::size_t>(to_idx)].mask_set_cost_usd /
+         from.mask_set_cost_usd;
+}
+
+DesignNre NreModel::design_nre(const soc::tech::ProcessNode& node) noexcept {
+  // Anchor: $10M-$100M at 130 nm (paper Section 1). Effort scales with
+  // integratable transistor count; the paper argues productivity per
+  // man-year stagnates or declines below 90 nm, so we scale by density
+  // with a mild (20%) per-generation productivity credit.
+  const soc::tech::ProcessNode anchor = *soc::tech::find_node(std::string("130nm"));
+  const double capacity_ratio = node.density_mtx_mm2 / anchor.density_mtx_mm2;
+  const int gens = soc::tech::generations_between(anchor, node);
+  const double productivity = std::pow(1.2, gens);
+  const double scale = capacity_ratio / productivity;
+  return DesignNre{10e6 * scale, 100e6 * scale};
+}
+
+}  // namespace soc::econ

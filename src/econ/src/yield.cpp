@@ -1,0 +1,83 @@
+#include "soc/econ/yield.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace soc::econ {
+
+double die_yield(double area_mm2, const YieldParams& p) {
+  if (area_mm2 < 0.0) throw std::invalid_argument("die_yield: negative area");
+  const double a_cm2 = area_mm2 / 100.0;
+  return std::pow(1.0 + a_cm2 * p.defects_per_cm2 / p.clustering_alpha,
+                  -p.clustering_alpha);
+}
+
+YieldParams defect_params_for(const soc::tech::ProcessNode& node) {
+  // Mature half-micron processes ran ~0.3 d/cm^2; each new node launches
+  // with noticeably higher density. Anchor 0.3 at 250 nm, +35% per
+  // generation of launch-time defectivity.
+  const auto nodes = soc::tech::roadmap();
+  int idx = 0;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i].name == node.name) idx = static_cast<int>(i);
+  }
+  YieldParams p;
+  p.defects_per_cm2 = 0.3 * std::pow(1.35, idx);
+  return p;
+}
+
+double array_yield_with_spares(int total_pes, int required_pes,
+                               double pe_area_mm2, double rest_area_mm2,
+                               const YieldParams& p) {
+  if (total_pes < required_pes || required_pes < 0) {
+    throw std::invalid_argument("array_yield_with_spares: bad PE counts");
+  }
+  const double pe_ok = die_yield(pe_area_mm2, p);
+  // P(at least `required` of `total` blocks good): binomial tail in log
+  // space for numerical stability.
+  double tail;
+  if (pe_ok >= 1.0) {
+    tail = 1.0;
+  } else if (pe_ok <= 0.0) {
+    tail = required_pes == 0 ? 1.0 : 0.0;
+  } else {
+    std::vector<double> logfact(static_cast<std::size_t>(total_pes) + 1, 0.0);
+    for (int i = 1; i <= total_pes; ++i) {
+      logfact[static_cast<std::size_t>(i)] =
+          logfact[static_cast<std::size_t>(i - 1)] + std::log(i);
+    }
+    tail = 0.0;
+    for (int k = required_pes; k <= total_pes; ++k) {
+      const double log_comb = logfact[static_cast<std::size_t>(total_pes)] -
+                              logfact[static_cast<std::size_t>(k)] -
+                              logfact[static_cast<std::size_t>(total_pes - k)];
+      const double log_term = log_comb + k * std::log(pe_ok) +
+                              (total_pes - k) * std::log1p(-pe_ok);
+      tail += std::exp(log_term);
+    }
+    tail = std::min(tail, 1.0);
+  }
+  return tail * die_yield(rest_area_mm2, p);
+}
+
+int dies_per_wafer(double die_area_mm2, double wafer_diameter_mm) {
+  if (die_area_mm2 <= 0.0) {
+    throw std::invalid_argument("dies_per_wafer: non-positive area");
+  }
+  const double r = wafer_diameter_mm / 2.0;
+  const double edge = std::sqrt(die_area_mm2);
+  const double gross = M_PI * r * r / die_area_mm2 -
+                       M_PI * wafer_diameter_mm / (std::sqrt(2.0) * edge);
+  return gross > 0.0 ? static_cast<int>(gross) : 0;
+}
+
+double cost_per_good_die(double die_area_mm2, double yield,
+                         double wafer_cost_usd, double wafer_diameter_mm) {
+  if (yield <= 0.0) return std::numeric_limits<double>::infinity();
+  const int gross = dies_per_wafer(die_area_mm2, wafer_diameter_mm);
+  if (gross == 0) return std::numeric_limits<double>::infinity();
+  return wafer_cost_usd / (gross * yield);
+}
+
+}  // namespace soc::econ

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace soc::mem {
+
+/// Geometry of a set-associative cache.
+struct CacheConfig {
+  std::size_t size_bytes = 16 * 1024;
+  std::size_t line_bytes = 32;
+  int ways = 4;
+};
+
+/// Outcome of one cache access.
+struct CacheAccess {
+  bool hit = false;
+  bool evicted_dirty = false;  ///< writeback traffic indicator
+};
+
+/// Behavioral set-associative cache with true-LRU replacement. Tracks tag
+/// state only (no data array — timing/energy models consume the hit/miss
+/// stream). Used by the PE local-memory models and by the LPM engine's
+/// on-chip/off-chip characterization.
+class Cache {
+ public:
+  explicit Cache(const CacheConfig& cfg);
+
+  /// Performs a read (is_write=false) or write access.
+  CacheAccess access(std::uint64_t address, bool is_write);
+
+  /// True if the address is currently resident (no LRU update, no stats).
+  bool probe(std::uint64_t address) const noexcept;
+
+  /// Inserts a line without counting an access (prefetch fill).
+  void fill(std::uint64_t address);
+
+  /// Invalidates everything.
+  void flush() noexcept;
+
+  const CacheConfig& config() const noexcept { return cfg_; }
+  std::uint64_t hits() const noexcept { return hits_; }
+  std::uint64_t misses() const noexcept { return misses_; }
+  std::uint64_t writebacks() const noexcept { return writebacks_; }
+  double hit_rate() const noexcept {
+    const auto total = hits_ + misses_;
+    return total ? static_cast<double>(hits_) / static_cast<double>(total) : 0.0;
+  }
+  int num_sets() const noexcept { return sets_; }
+
+ private:
+  struct Line {
+    std::uint64_t tag = 0;
+    bool valid = false;
+    bool dirty = false;
+    std::uint64_t lru = 0;  ///< last-touch stamp
+  };
+
+  Line* find(std::uint64_t address) noexcept;
+  const Line* find(std::uint64_t address) const noexcept;
+
+  CacheConfig cfg_;
+  int sets_;
+  std::vector<Line> lines_;  // sets_ x ways, row-major
+  std::uint64_t stamp_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t writebacks_ = 0;
+};
+
+}  // namespace soc::mem

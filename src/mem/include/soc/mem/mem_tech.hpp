@@ -1,0 +1,48 @@
+#pragma once
+
+#include <string_view>
+
+#include "soc/tech/process_node.hpp"
+
+namespace soc::mem {
+
+/// Embedded memory technologies the paper's Section 3 names as one of the
+/// two main MP-SoC design issues ("embedded SRAM, eDRAM and eFlash, vs
+/// external memories").
+enum class MemoryKind { kSram, kEdram, kEflash, kExternalDram };
+
+std::string_view to_string(MemoryKind k) noexcept;
+
+/// Physical characterization of one memory macro instance at a node.
+struct MemoryMacro {
+  MemoryKind kind;
+  std::uint64_t capacity_bits;
+  double area_mm2;
+  std::uint32_t read_cycles;       ///< at the node's ASIC clock
+  std::uint32_t write_cycles;
+  double read_energy_pj_per_word;  ///< 32-bit word access energy
+  double write_energy_pj_per_word;
+  double static_power_mw;          ///< leakage + refresh
+  bool non_volatile;
+};
+
+/// Sizes a macro of `capacity_bits` in technology `node`. Latency grows
+/// with capacity (wordline/bitline RC: ~sqrt scaling per 4x capacity);
+/// external DRAM latency is fixed wall-clock (~55 ns) and therefore grows
+/// in *cycles* as clocks speed up — the memory-wall effect the platform's
+/// latency-hiding machinery exists to absorb.
+MemoryMacro memory_macro(MemoryKind kind, std::uint64_t capacity_bits,
+                         const soc::tech::ProcessNode& node);
+
+/// Convenience: cost-of-capacity comparison record for tradeoff tables.
+struct MemoryComparison {
+  MemoryMacro sram;
+  MemoryMacro edram;
+  MemoryMacro eflash;
+  MemoryMacro external;
+};
+
+MemoryComparison compare_memories(std::uint64_t capacity_bits,
+                                  const soc::tech::ProcessNode& node);
+
+}  // namespace soc::mem

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "soc/mem/cache.hpp"
+
+namespace soc::mem {
+
+/// Stride prefetcher (reference-prediction table): detects constant-stride
+/// streams in the miss/access stream and fills the cache ahead of use.
+/// Memory pre-fetching is one of the three latency-hiding mechanisms the
+/// paper's Section 6.2 lists (with multithreading and split transactions).
+class StridePrefetcher {
+ public:
+  struct Config {
+    int table_entries = 16;   ///< tracked concurrent streams
+    int degree = 2;           ///< lines prefetched ahead once a stream locks
+    int confidence_threshold = 2;  ///< stride repeats before issuing
+  };
+
+  explicit StridePrefetcher(Config cfg) : cfg_(cfg), table_(static_cast<std::size_t>(cfg.table_entries)) {}
+
+  /// Observes one demand access and issues prefetch fills into `cache`.
+  /// Returns the number of lines prefetched.
+  int observe(std::uint64_t address, Cache& cache);
+
+  std::uint64_t issued() const noexcept { return issued_; }
+
+ private:
+  struct Entry {
+    bool valid = false;
+    std::uint64_t last_addr = 0;
+    std::int64_t stride = 0;
+    int confidence = 0;
+    std::uint64_t lru = 0;
+  };
+
+  Config cfg_;
+  std::vector<Entry> table_;
+  std::uint64_t stamp_ = 0;
+  std::uint64_t issued_ = 0;
+};
+
+/// Cache + prefetcher composite with end-to-end accounting: reports what
+/// fraction of demand misses the prefetcher removed for a given access
+/// trace (used by tests and the memory ablation bench).
+struct PrefetchExperiment {
+  double baseline_hit_rate;
+  double prefetch_hit_rate;
+  std::uint64_t prefetches_issued;
+};
+
+PrefetchExperiment run_prefetch_experiment(
+    const std::vector<std::uint64_t>& trace, const CacheConfig& cache_cfg,
+    const StridePrefetcher::Config& pf_cfg);
+
+}  // namespace soc::mem

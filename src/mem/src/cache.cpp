@@ -1,0 +1,111 @@
+#include "soc/mem/cache.hpp"
+
+#include <stdexcept>
+
+namespace soc::mem {
+
+namespace {
+bool power_of_two(std::size_t v) { return v != 0 && (v & (v - 1)) == 0; }
+}  // namespace
+
+Cache::Cache(const CacheConfig& cfg) : cfg_(cfg) {
+  if (!power_of_two(cfg.line_bytes) || cfg.ways <= 0 ||
+      cfg.size_bytes % (cfg.line_bytes * static_cast<std::size_t>(cfg.ways)) != 0) {
+    throw std::invalid_argument("Cache: invalid geometry");
+  }
+  sets_ = static_cast<int>(cfg.size_bytes /
+                           (cfg.line_bytes * static_cast<std::size_t>(cfg.ways)));
+  if (!power_of_two(static_cast<std::size_t>(sets_))) {
+    throw std::invalid_argument("Cache: set count must be a power of two");
+  }
+  lines_.resize(static_cast<std::size_t>(sets_) *
+                static_cast<std::size_t>(cfg.ways));
+}
+
+Cache::Line* Cache::find(std::uint64_t address) noexcept {
+  const std::uint64_t line_addr = address / cfg_.line_bytes;
+  const auto set = static_cast<std::size_t>(line_addr) &
+                   static_cast<std::size_t>(sets_ - 1);
+  const std::uint64_t tag = line_addr / static_cast<std::uint64_t>(sets_);
+  Line* base = &lines_[set * static_cast<std::size_t>(cfg_.ways)];
+  for (int w = 0; w < cfg_.ways; ++w) {
+    if (base[w].valid && base[w].tag == tag) return &base[w];
+  }
+  return nullptr;
+}
+
+const Cache::Line* Cache::find(std::uint64_t address) const noexcept {
+  return const_cast<Cache*>(this)->find(address);
+}
+
+bool Cache::probe(std::uint64_t address) const noexcept {
+  return find(address) != nullptr;
+}
+
+CacheAccess Cache::access(std::uint64_t address, bool is_write) {
+  CacheAccess out;
+  ++stamp_;
+  if (Line* line = find(address)) {
+    ++hits_;
+    out.hit = true;
+    line->lru = stamp_;
+    if (is_write) line->dirty = true;
+    return out;
+  }
+  ++misses_;
+  // Victim selection: invalid way first, else true LRU.
+  const std::uint64_t line_addr = address / cfg_.line_bytes;
+  const auto set = static_cast<std::size_t>(line_addr) &
+                   static_cast<std::size_t>(sets_ - 1);
+  const std::uint64_t tag = line_addr / static_cast<std::uint64_t>(sets_);
+  Line* base = &lines_[set * static_cast<std::size_t>(cfg_.ways)];
+  Line* victim = &base[0];
+  for (int w = 0; w < cfg_.ways; ++w) {
+    if (!base[w].valid) {
+      victim = &base[w];
+      break;
+    }
+    if (base[w].lru < victim->lru) victim = &base[w];
+  }
+  if (victim->valid && victim->dirty) {
+    ++writebacks_;
+    out.evicted_dirty = true;
+  }
+  victim->valid = true;
+  victim->dirty = is_write;
+  victim->tag = tag;
+  victim->lru = stamp_;
+  return out;
+}
+
+void Cache::fill(std::uint64_t address) {
+  if (probe(address)) return;
+  ++stamp_;
+  const std::uint64_t line_addr = address / cfg_.line_bytes;
+  const auto set = static_cast<std::size_t>(line_addr) &
+                   static_cast<std::size_t>(sets_ - 1);
+  const std::uint64_t tag = line_addr / static_cast<std::uint64_t>(sets_);
+  Line* base = &lines_[set * static_cast<std::size_t>(cfg_.ways)];
+  Line* victim = &base[0];
+  for (int w = 0; w < cfg_.ways; ++w) {
+    if (!base[w].valid) {
+      victim = &base[w];
+      break;
+    }
+    if (base[w].lru < victim->lru) victim = &base[w];
+  }
+  if (victim->valid && victim->dirty) ++writebacks_;
+  victim->valid = true;
+  victim->dirty = false;
+  victim->tag = tag;
+  // Prefetched lines are inserted at LRU-1 priority so a useless prefetch
+  // is evicted quickly (standard non-intrusive insertion policy).
+  victim->lru = stamp_ > 0 ? stamp_ - 1 : 0;
+}
+
+void Cache::flush() noexcept {
+  for (auto& l : lines_) l = Line{};
+  stamp_ = 0;
+}
+
+}  // namespace soc::mem

@@ -1,0 +1,108 @@
+#include "soc/mem/mem_tech.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace soc::mem {
+
+std::string_view to_string(MemoryKind k) noexcept {
+  switch (k) {
+    case MemoryKind::kSram: return "eSRAM";
+    case MemoryKind::kEdram: return "eDRAM";
+    case MemoryKind::kEflash: return "eFlash";
+    case MemoryKind::kExternalDram: return "ext-DRAM";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Relative technology factors, normalized to 6T SRAM at the same node.
+/// Sources: embedded-memory survey data of the early 2000s (eDRAM ~3x
+/// denser / slower access & refresh; NOR eFlash ~4x denser, very slow and
+/// energy-hungry writes, non-volatile — cf. paper refs [4][5]).
+struct KindFactors {
+  double density_x;        ///< bits per area vs SRAM
+  double read_lat_x;       ///< read latency vs SRAM
+  double write_lat_x;      ///< write latency vs SRAM
+  double read_energy_x;
+  double write_energy_x;
+  double static_x;         ///< static power vs SRAM leakage
+  bool non_volatile;
+};
+
+KindFactors factors_for(MemoryKind kind) {
+  switch (kind) {
+    case MemoryKind::kSram: return {1.0, 1.0, 1.0, 1.0, 1.0, 1.0, false};
+    case MemoryKind::kEdram: return {3.0, 2.0, 2.0, 1.5, 1.5, 1.8, false};
+    // eFlash: word-program takes ~10 us; expressed here as a huge cycle
+    // multiplier on the SRAM write latency.
+    case MemoryKind::kEflash: return {4.0, 2.5, 20000.0, 1.2, 400.0, 0.05, true};
+    case MemoryKind::kExternalDram: return {0.0, 0.0, 0.0, 25.0, 25.0, 0.2, false};
+  }
+  throw std::invalid_argument("factors_for: bad kind");
+}
+
+}  // namespace
+
+MemoryMacro memory_macro(MemoryKind kind, std::uint64_t capacity_bits,
+                         const soc::tech::ProcessNode& node) {
+  if (capacity_bits == 0) {
+    throw std::invalid_argument("memory_macro: zero capacity");
+  }
+  const KindFactors f = factors_for(kind);
+  MemoryMacro m{};
+  m.kind = kind;
+  m.capacity_bits = capacity_bits;
+  m.non_volatile = f.non_volatile;
+
+  // Base SRAM latency: 2 cycles for a 64 kbit macro, +1 cycle per 4x
+  // capacity (bitline/wordline RC and bank decode depth).
+  const double size_steps =
+      std::max(0.0, std::log2(static_cast<double>(capacity_bits) / 65536.0) / 2.0);
+  const double sram_read = 2.0 + size_steps;
+
+  // Base SRAM read energy: ~0.4 pJ/word at 250 nm for a small macro,
+  // scaling with C*V^2 and weakly with capacity.
+  const double cv2 = (node.feature_nm / 250.0) * node.vdd_v * node.vdd_v /
+                     (2.5 * 2.5);
+  const double sram_energy = 0.4 * cv2 * (1.0 + 0.15 * size_steps);
+
+  if (kind == MemoryKind::kExternalDram) {
+    m.area_mm2 = 0.0;  // off-die
+    const double clock_ps = node.clock_period_ps(20.0);  // ASIC-style clock
+    const double dram_ns = 55.0;                         // fixed wall-clock
+    m.read_cycles = static_cast<std::uint32_t>(
+        std::ceil(dram_ns * 1000.0 / clock_ps));
+    m.write_cycles = m.read_cycles;
+    m.read_energy_pj_per_word = sram_energy * f.read_energy_x;
+    m.write_energy_pj_per_word = sram_energy * f.write_energy_x;
+    m.static_power_mw =
+        f.static_x * static_cast<double>(capacity_bits) / 1e6;  // I/O standby
+    return m;
+  }
+
+  const double bit_um2 = node.sram_bit_um2 / f.density_x;
+  m.area_mm2 = static_cast<double>(capacity_bits) * bit_um2 * 1e-6;
+  m.read_cycles = static_cast<std::uint32_t>(std::ceil(sram_read * f.read_lat_x));
+  m.write_cycles = static_cast<std::uint32_t>(
+      std::ceil(std::max(1.0, sram_read * f.write_lat_x)));
+  m.read_energy_pj_per_word = sram_energy * f.read_energy_x;
+  m.write_energy_pj_per_word = sram_energy * f.write_energy_x;
+  // Leakage scales with area and the node's leakage density growth.
+  m.static_power_mw = 0.01 * node.leakage_rel * m.area_mm2 * f.static_x;
+  return m;
+}
+
+MemoryComparison compare_memories(std::uint64_t capacity_bits,
+                                  const soc::tech::ProcessNode& node) {
+  return MemoryComparison{
+      memory_macro(MemoryKind::kSram, capacity_bits, node),
+      memory_macro(MemoryKind::kEdram, capacity_bits, node),
+      memory_macro(MemoryKind::kEflash, capacity_bits, node),
+      memory_macro(MemoryKind::kExternalDram, capacity_bits, node),
+  };
+}
+
+}  // namespace soc::mem

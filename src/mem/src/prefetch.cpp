@@ -1,0 +1,84 @@
+#include "soc/mem/prefetch.hpp"
+
+#include <cstdlib>
+
+namespace soc::mem {
+
+int StridePrefetcher::observe(std::uint64_t address, Cache& cache) {
+  const auto line_bytes = static_cast<std::int64_t>(cache.config().line_bytes);
+  ++stamp_;
+
+  // Find an entry whose last address is "near" this one (same stream).
+  Entry* match = nullptr;
+  Entry* victim = &table_[0];
+  for (auto& e : table_) {
+    if (e.valid) {
+      const std::int64_t delta =
+          static_cast<std::int64_t>(address) -
+          static_cast<std::int64_t>(e.last_addr);
+      if (std::llabs(delta) <= 16 * line_bytes) {
+        match = &e;
+        break;
+      }
+      if (e.lru < victim->lru) victim = &e;
+    } else {
+      victim = &e;
+    }
+  }
+
+  if (!match) {
+    *victim = Entry{true, address, 0, 0, stamp_};
+    return 0;
+  }
+
+  const std::int64_t delta = static_cast<std::int64_t>(address) -
+                             static_cast<std::int64_t>(match->last_addr);
+  if (delta == 0) {
+    match->lru = stamp_;
+    return 0;
+  }
+  if (delta == match->stride) {
+    match->confidence = std::min(match->confidence + 1, 8);
+  } else {
+    match->stride = delta;
+    match->confidence = 0;
+  }
+  match->last_addr = address;
+  match->lru = stamp_;
+
+  if (match->confidence < cfg_.confidence_threshold) return 0;
+
+  int fired = 0;
+  for (int d = 1; d <= cfg_.degree; ++d) {
+    const auto target = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(address) + match->stride * d);
+    if (!cache.probe(target)) {
+      cache.fill(target);
+      ++issued_;
+      ++fired;
+    }
+  }
+  return fired;
+}
+
+PrefetchExperiment run_prefetch_experiment(
+    const std::vector<std::uint64_t>& trace, const CacheConfig& cache_cfg,
+    const StridePrefetcher::Config& pf_cfg) {
+  PrefetchExperiment out{};
+
+  Cache baseline(cache_cfg);
+  for (const auto a : trace) baseline.access(a, false);
+  out.baseline_hit_rate = baseline.hit_rate();
+
+  Cache with_pf(cache_cfg);
+  StridePrefetcher pf(pf_cfg);
+  for (const auto a : trace) {
+    with_pf.access(a, false);
+    pf.observe(a, with_pf);
+  }
+  out.prefetch_hit_rate = with_pf.hit_rate();
+  out.prefetches_issued = pf.issued();
+  return out;
+}
+
+}  // namespace soc::mem

@@ -1,0 +1,118 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "soc/noc/packet.hpp"
+#include "soc/noc/topology.hpp"
+#include "soc/sim/event_queue.hpp"
+#include "soc/sim/stats.hpp"
+
+namespace soc::noc {
+
+/// Timing and buffering parameters of the network fabric.
+struct NetworkConfig {
+  /// Cycles of router pipeline per hop (route computation, switch
+  /// allocation, traversal). 3 matches aggressive early-2000s NoC routers.
+  std::uint32_t router_pipeline_cycles = 3;
+  /// Wire propagation cycles per hop, on top of serialization. Feed the
+  /// soc::tech wire model here for technology-faithful global links.
+  std::uint32_t link_latency_cycles = 1;
+  /// One-way network-interface overhead (packetization / depacketization).
+  std::uint32_t ni_latency_cycles = 2;
+  /// Per-link queue capacity in packets; 0 = unbounded (open-loop
+  /// characterization mode). Finite capacities enable virtual-cut-through
+  /// backpressure; note that cyclic topologies (ring/torus) can deadlock
+  /// under extreme load with very small buffers, as real VCT routers do
+  /// without escape channels.
+  std::size_t queue_capacity_pkts = 0;
+  /// Collect exact per-packet latency samples (disable for long runs).
+  bool record_latency = true;
+};
+
+/// Event-driven virtual-cut-through network simulator. Packets serialize
+/// over each link (size_flits / bandwidth cycles), queue at contended links
+/// and accumulate per-hop pipeline + propagation latency. Runs on an
+/// external sim::EventQueue so it composes with the processor and platform
+/// models in the same simulation.
+class Network {
+ public:
+  using DeliverFn = std::function<void(const Packet&)>;
+
+  Network(std::unique_ptr<Topology> topology, NetworkConfig cfg,
+          sim::EventQueue& queue);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Injects a packet at `src`'s network interface at the current cycle.
+  /// Returns the packet id.
+  std::uint64_t inject(TerminalId src, TerminalId dst, std::uint32_t size_flits,
+                       std::uint64_t tag = 0);
+
+  /// Callback invoked when a packet is fully delivered at its destination
+  /// NI. Must be set before the first delivery (typically right after
+  /// construction).
+  void set_deliver(DeliverFn fn) { deliver_ = std::move(fn); }
+
+  const Topology& topology() const noexcept { return *topology_; }
+  const NetworkConfig& config() const noexcept { return cfg_; }
+
+  // --- statistics ---
+  std::uint64_t injected() const noexcept { return injected_; }
+  std::uint64_t delivered() const noexcept { return delivered_count_; }
+  /// Packets currently inside the fabric (unaffected by reset_stats()).
+  std::uint64_t in_flight() const noexcept { return in_flight_; }
+  std::uint64_t flits_delivered() const noexcept { return flits_delivered_; }
+  const sim::SampleSet& latency_samples() const noexcept { return latency_; }
+  const sim::RunningStats& hop_stats() const noexcept { return hops_; }
+  /// Peak queue depth over all links (buffer sizing signal).
+  std::size_t max_queue_depth() const noexcept { return max_queue_depth_; }
+  /// Busy-cycle fraction of the most utilized link given elapsed cycles.
+  double peak_link_utilization(sim::Cycle elapsed) const noexcept;
+
+  /// Clears counters and samples (e.g. after warmup) without disturbing
+  /// in-flight packets. Latency is still recorded for packets injected
+  /// before the reset; callers typically also gate on injection time.
+  void reset_stats() noexcept;
+
+ private:
+  struct LinkState {
+    std::deque<Packet> queue;
+    bool busy = false;
+    std::uint64_t busy_cycles = 0;
+    /// Slots promised to packets in transit toward this link (VCT credit).
+    std::size_t reserved = 0;
+    /// Links blocked waiting for space in this link's queue (credit wait).
+    std::vector<int> waiters;
+  };
+
+  void enqueue_on_link(int li, Packet p);
+  void try_start_service(int li);
+  void arrive_at_router(int router, Packet p, bool count_hop);
+  void deliver_packet(Packet p);
+  void kick_waiters(int li);
+  bool has_space(int li) const noexcept;
+  /// Next link a packet sitting on `li` needs, or -1 for ejection.
+  int downstream_link(const Packet& p, int li) const;
+
+  std::unique_ptr<Topology> topology_;
+  NetworkConfig cfg_;
+  sim::EventQueue& queue_;
+  DeliverFn deliver_;
+
+  std::vector<LinkState> links_;  ///< topology links, then one NI link per terminal
+  std::uint64_t next_packet_id_ = 1;
+  std::uint64_t injected_ = 0;
+  std::uint64_t delivered_count_ = 0;
+  std::uint64_t in_flight_ = 0;
+  std::uint64_t flits_delivered_ = 0;
+  sim::SampleSet latency_;
+  sim::RunningStats hops_;
+  std::size_t max_queue_depth_ = 0;
+};
+
+}  // namespace soc::noc

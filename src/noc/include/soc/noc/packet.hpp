@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstdint>
+
+#include "soc/sim/types.hpp"
+
+namespace soc::noc {
+
+/// Terminal (network-interface) identifier. Terminals are the endpoints the
+/// platform attaches IP blocks to; routers are internal to the topology.
+using TerminalId = std::uint32_t;
+
+/// One network packet. The simulator models virtual cut-through at packet
+/// granularity: a packet of `size_flits` flits occupies a link for
+/// size_flits/bandwidth cycles (serialization) plus the link's propagation
+/// latency, and queues at contended links.
+struct Packet {
+  std::uint64_t id = 0;          ///< unique, assigned by Network::inject
+  TerminalId src = 0;
+  TerminalId dst = 0;
+  std::uint32_t size_flits = 1;  ///< payload + header flits
+  std::uint64_t tag = 0;         ///< opaque user cookie (e.g. DSOC message id)
+  sim::Cycle injected_at = 0;    ///< cycle the packet entered the source NI
+  sim::Cycle delivered_at = 0;   ///< cycle the tail reached the destination NI
+  std::uint32_t hops = 0;        ///< router-to-router links traversed
+
+  /// End-to-end latency in cycles (valid after delivery).
+  sim::Cycle latency() const noexcept { return delivered_at - injected_at; }
+};
+
+}  // namespace soc::noc

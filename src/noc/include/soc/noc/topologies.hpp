@@ -1,0 +1,52 @@
+#pragma once
+
+#include <memory>
+
+#include "soc/noc/topology.hpp"
+
+namespace soc::noc {
+
+/// Identifier for the topology families the paper asks to characterize
+/// (Section 6.1: "ranging from bus, ring, tree to full-crossbar").
+enum class TopologyKind {
+  kBus,
+  kRing,
+  kBinaryTree,
+  kFatTree,
+  kMesh2D,
+  kTorus2D,
+  kCrossbar,
+};
+
+const char* to_string(TopologyKind k) noexcept;
+
+/// Shared bus: every packet serializes through one arbitrated medium.
+/// Models the legacy STBUS-style interconnect the paper argues NoCs must
+/// replace. `bandwidth` is the bus width in flits/cycle.
+std::unique_ptr<Topology> make_bus(int terminals, double bandwidth = 1.0);
+
+/// Bidirectional ring with shortest-direction routing.
+std::unique_ptr<Topology> make_ring(int terminals);
+
+/// Binary tree with terminals at the leaves; constant link bandwidth (the
+/// root is the bottleneck — included deliberately, the paper's point).
+std::unique_ptr<Topology> make_binary_tree(int terminals);
+
+/// Fat tree (SPIN-like, cf. Guerrier & Greiner): binary tree whose link
+/// bandwidth doubles toward the root, keeping bisection constant.
+std::unique_ptr<Topology> make_fat_tree(int terminals);
+
+/// 2-D mesh, near-square factoring of `terminals`, one terminal per router.
+std::unique_ptr<Topology> make_mesh(int terminals);
+
+/// 2-D torus (mesh with wraparound links).
+std::unique_ptr<Topology> make_torus(int terminals);
+
+/// Full crossbar: dedicated path from every source to every destination;
+/// contention only at the destination port. The upper bound of the range.
+std::unique_ptr<Topology> make_crossbar(int terminals);
+
+/// Factory by kind, used by sweep drivers.
+std::unique_ptr<Topology> make_topology(TopologyKind k, int terminals);
+
+}  // namespace soc::noc

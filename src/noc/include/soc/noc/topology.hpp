@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "soc/noc/packet.hpp"
+
+namespace soc::noc {
+
+/// One unidirectional router-to-router channel.
+struct LinkSpec {
+  int from_router;
+  int to_router;
+  /// Relative bandwidth in flits/cycle (fat-tree upper levels get > 1).
+  double bandwidth = 1.0;
+  /// Extra propagation cycles on top of the router pipeline (long global
+  /// wires computed from soc::tech can be folded in here).
+  std::uint32_t extra_latency = 0;
+};
+
+/// A network topology: a router graph plus the attachment of terminals to
+/// routers. Routing tables are computed once by breadth-first search with
+/// deterministic (lowest-link-index) tie-breaking, so runs are reproducible.
+///
+/// The paper (Section 6.1) calls for characterizing "the various topologies
+/// - ranging from bus, ring, tree to full-crossbar"; the factories in
+/// topologies.hpp produce every member of that range.
+class Topology {
+ public:
+  Topology(std::string name, int routers, int terminals);
+  virtual ~Topology() = default;
+
+  Topology(const Topology&) = delete;
+  Topology& operator=(const Topology&) = delete;
+
+  const std::string& name() const noexcept { return name_; }
+  int router_count() const noexcept { return routers_; }
+  int terminal_count() const noexcept { return terminals_; }
+  const std::vector<LinkSpec>& links() const noexcept { return links_; }
+
+  /// Router a terminal's network interface attaches to.
+  int attach_router(TerminalId t) const { return attach_.at(t); }
+
+  /// Next link (index into links()) from `router` toward terminal `dst`,
+  /// or -1 when `dst` is attached to `router` (eject). Precondition:
+  /// finalize() has been called (done by the factories).
+  int route(int router, TerminalId dst) const {
+    return route_table_[static_cast<std::size_t>(router) *
+                            static_cast<std::size_t>(terminals_) +
+                        dst];
+  }
+
+  /// Exact hop count (links traversed) between two terminals along the
+  /// routed path. 0 when src == dst.
+  int hops_between(TerminalId src, TerminalId dst) const;
+
+  /// Longest shortest-path hop count between any terminal pair.
+  int diameter_hops() const noexcept { return diameter_; }
+
+  /// Average shortest-path hop count over all ordered terminal pairs.
+  double average_hops() const noexcept { return avg_hops_; }
+
+  /// Total link bandwidth (sum of flits/cycle over all links) — the cost
+  /// metric wire-limited designs care about.
+  double total_link_bandwidth() const noexcept;
+
+ protected:
+  /// Subclass construction API: add a unidirectional link, returns its index.
+  int add_link(int from, int to, double bandwidth = 1.0,
+               std::uint32_t extra_latency = 0);
+  /// Adds a link pair in both directions.
+  void add_bidir(int a, int b, double bandwidth = 1.0,
+                 std::uint32_t extra_latency = 0);
+  void attach_terminal(TerminalId t, int router) { attach_.at(t) = router; }
+
+  /// Computes BFS routing tables and hop statistics. Must be called once
+  /// after all links/attachments are added. Throws std::logic_error if the
+  /// router graph does not connect every terminal pair.
+  void finalize();
+
+ private:
+  std::string name_;
+  int routers_;
+  int terminals_;
+  std::vector<LinkSpec> links_;
+  std::vector<int> attach_;
+  std::vector<int> route_table_;  // [router * terminals + dst] -> link or -1
+  int diameter_ = 0;
+  double avg_hops_ = 0.0;
+};
+
+}  // namespace soc::noc

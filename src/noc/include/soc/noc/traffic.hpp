@@ -1,0 +1,104 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "soc/noc/network.hpp"
+#include "soc/noc/topologies.hpp"
+#include "soc/sim/rng.hpp"
+
+namespace soc::noc {
+
+/// Synthetic spatial traffic patterns (standard NoC characterization set).
+enum class TrafficPattern {
+  kUniform,        ///< destination uniform over all other terminals
+  kNeighbor,       ///< dst = src + 1 (mod N): best case for ring/mesh
+  kBitComplement,  ///< dst = N-1-src: crosses the bisection, worst case
+  kTranspose,      ///< dst = transpose on a square grid
+  kHotspot,        ///< a fraction of traffic targets terminal 0
+};
+
+const char* to_string(TrafficPattern p) noexcept;
+
+/// Open-loop traffic source configuration.
+struct TrafficConfig {
+  TrafficPattern pattern = TrafficPattern::kUniform;
+  /// Offered load per terminal in flits/cycle (0 < rate <= 1 meaningful).
+  double injection_rate = 0.1;
+  std::uint32_t packet_flits = 8;  ///< 8 flits x 32 bit = 32-byte payload class
+  double hotspot_fraction = 0.2;   ///< used by kHotspot
+  std::uint64_t seed = 1;
+};
+
+/// Bernoulli-process packet sources attached to every terminal of a
+/// network. Drives injections through the shared event queue.
+class TrafficGenerator {
+ public:
+  TrafficGenerator(Network& net, TrafficConfig cfg, sim::EventQueue& queue);
+
+  /// Schedules the first injection for every terminal; sources then
+  /// self-reschedule until stop() is called.
+  void start();
+  void stop() noexcept { running_ = false; }
+
+  /// Chooses a destination for `src` under the configured pattern.
+  TerminalId pick_destination(TerminalId src, sim::Rng& rng) const;
+
+ private:
+  void schedule_next(TerminalId t);
+
+  Network& net_;
+  TrafficConfig cfg_;
+  sim::EventQueue& queue_;
+  std::vector<sim::Rng> rngs_;  // one stream per terminal: reproducible
+  bool running_ = false;
+};
+
+/// One measured point of a latency/throughput characterization curve.
+struct LoadPoint {
+  std::string topology;
+  int terminals = 0;
+  double offered_flits_per_node_cycle = 0.0;
+  double accepted_flits_per_node_cycle = 0.0;
+  double avg_latency = 0.0;
+  double p50_latency = 0.0;
+  double p95_latency = 0.0;
+  double p99_latency = 0.0;
+  double avg_hops = 0.0;
+  std::uint64_t delivered = 0;
+  std::size_t max_queue_depth = 0;
+  bool saturated = false;  ///< accepted < 95% of offered
+};
+
+/// Parameters of one characterization run.
+struct MeasureConfig {
+  sim::Cycle warmup_cycles = 20'000;
+  sim::Cycle measure_cycles = 100'000;
+};
+
+/// Runs warmup + measurement for a single (topology, load) point.
+LoadPoint measure_load_point(TopologyKind kind, int terminals,
+                             const NetworkConfig& net_cfg,
+                             const TrafficConfig& traffic,
+                             const MeasureConfig& m = {});
+
+/// Sweeps injection rate over `rates` for one topology.
+std::vector<LoadPoint> sweep_injection_rates(TopologyKind kind, int terminals,
+                                             const NetworkConfig& net_cfg,
+                                             TrafficConfig traffic,
+                                             const std::vector<double>& rates,
+                                             const MeasureConfig& m = {});
+
+/// Binary-searches the saturation throughput (accepted load where the
+/// network stops keeping up with offered load) for one topology.
+double find_saturation_rate(TopologyKind kind, int terminals,
+                            const NetworkConfig& net_cfg, TrafficConfig traffic,
+                            const MeasureConfig& m = {});
+
+/// Zero-load latency: average packet latency with a single packet in
+/// flight (analytic expectation over all src/dst pairs is approximated by
+/// a low-rate measurement).
+double zero_load_latency(TopologyKind kind, int terminals,
+                         const NetworkConfig& net_cfg, std::uint32_t packet_flits);
+
+}  // namespace soc::noc

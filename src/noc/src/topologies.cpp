@@ -1,0 +1,189 @@
+#include "soc/noc/topologies.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace soc::noc {
+
+namespace {
+
+bool is_power_of_two(int n) { return n > 0 && (n & (n - 1)) == 0; }
+
+/// Shared bus. Router layout: routers 0..N-1 are per-terminal network
+/// interfaces, router N is the bus entry (arbitration queue), router N+1 is
+/// the bus exit. The single N -> N+1 link is the shared medium: every
+/// packet, regardless of source/destination, serializes through it.
+class BusTopology final : public Topology {
+ public:
+  BusTopology(int terminals, double bandwidth)
+      : Topology("bus", terminals + 2, terminals) {
+    const int entry = terminals;
+    const int exit = terminals + 1;
+    for (int t = 0; t < terminals; ++t) {
+      attach_terminal(static_cast<TerminalId>(t), t);
+      add_link(t, entry);
+      add_link(exit, t);
+    }
+    add_link(entry, exit, bandwidth);
+    finalize();
+  }
+};
+
+/// Bidirectional ring; BFS picks the shorter direction.
+class RingTopology final : public Topology {
+ public:
+  explicit RingTopology(int terminals)
+      : Topology("ring", terminals, terminals) {
+    for (int t = 0; t < terminals; ++t) {
+      attach_terminal(static_cast<TerminalId>(t), t);
+      add_bidir(t, (t + 1) % terminals);
+    }
+    finalize();
+  }
+};
+
+/// Binary tree (optionally fat). Routers in heap order: root 0, children of
+/// i at 2i+1 / 2i+2; the last `terminals` routers are the leaves.
+class TreeTopology final : public Topology {
+ public:
+  TreeTopology(int terminals, bool fat)
+      : Topology(fat ? "fat-tree" : "binary-tree", 2 * terminals - 1,
+                 terminals) {
+    if (!is_power_of_two(terminals)) {
+      throw std::invalid_argument("tree topology requires power-of-two terminals");
+    }
+    const int internal = terminals - 1;
+    for (int t = 0; t < terminals; ++t) {
+      attach_terminal(static_cast<TerminalId>(t), internal + t);
+    }
+    // Link from child c (depth d) to parent carries the traffic of the
+    // c-subtree's leaves; a fat tree provisions bandwidth equal to that
+    // leaf count, keeping bisection bandwidth constant (SPIN's design).
+    for (int c = 1; c < 2 * terminals - 1; ++c) {
+      const int parent = (c - 1) / 2;
+      const double bw = fat ? static_cast<double>(leaves_below(c, terminals)) : 1.0;
+      add_bidir(c, parent, bw);
+    }
+    finalize();
+  }
+
+ private:
+  static int leaves_below(int router, int terminals) {
+    // Depth of `router` in the heap numbering.
+    int depth = 0;
+    for (int r = router; r > 0; r = (r - 1) / 2) ++depth;
+    int total_depth = 0;
+    for (int n = terminals; n > 1; n /= 2) ++total_depth;
+    return 1 << (total_depth - depth);
+  }
+};
+
+/// 2-D mesh or torus on a near-square grid; one terminal per router.
+class GridTopology final : public Topology {
+ public:
+  GridTopology(int terminals, bool wrap)
+      : Topology(wrap ? "torus" : "mesh",
+                 grid_cols(terminals) * grid_rows(terminals), terminals) {
+    const int cols = grid_cols(terminals);
+    const int rows = grid_rows(terminals);
+    for (int t = 0; t < terminals; ++t) {
+      attach_terminal(static_cast<TerminalId>(t), t);
+    }
+    for (int r = 0; r < rows; ++r) {
+      for (int c = 0; c < cols; ++c) {
+        const int id = r * cols + c;
+        if (c + 1 < cols) add_bidir(id, id + 1);
+        if (r + 1 < rows) add_bidir(id, id + cols);
+      }
+    }
+    if (wrap) {
+      // Wraparound links (skip degenerate dimensions of size <= 2, where a
+      // wrap link would just duplicate an existing neighbor link).
+      if (cols > 2) {
+        for (int r = 0; r < rows; ++r) add_bidir(r * cols, r * cols + cols - 1);
+      }
+      if (rows > 2) {
+        for (int c = 0; c < cols; ++c) add_bidir(c, (rows - 1) * cols + c);
+      }
+    }
+    finalize();
+  }
+
+  static int grid_cols(int terminals) {
+    if (terminals <= 0) {
+      throw std::invalid_argument("grid topology requires positive terminals");
+    }
+    return static_cast<int>(std::ceil(std::sqrt(static_cast<double>(terminals))));
+  }
+  static int grid_rows(int terminals) {
+    return (terminals + grid_cols(terminals) - 1) / grid_cols(terminals);
+  }
+};
+
+/// Output-queued full crossbar. Router N is the switch core; the N -> i
+/// links are the per-destination output ports where all contention lives.
+class CrossbarTopology final : public Topology {
+ public:
+  explicit CrossbarTopology(int terminals)
+      : Topology("crossbar", terminals + 1, terminals) {
+    const int core = terminals;
+    for (int t = 0; t < terminals; ++t) {
+      attach_terminal(static_cast<TerminalId>(t), t);
+      add_link(t, core);
+      add_link(core, t);
+    }
+    finalize();
+  }
+};
+
+}  // namespace
+
+const char* to_string(TopologyKind k) noexcept {
+  switch (k) {
+    case TopologyKind::kBus: return "bus";
+    case TopologyKind::kRing: return "ring";
+    case TopologyKind::kBinaryTree: return "binary-tree";
+    case TopologyKind::kFatTree: return "fat-tree";
+    case TopologyKind::kMesh2D: return "mesh";
+    case TopologyKind::kTorus2D: return "torus";
+    case TopologyKind::kCrossbar: return "crossbar";
+  }
+  return "?";
+}
+
+std::unique_ptr<Topology> make_bus(int terminals, double bandwidth) {
+  return std::make_unique<BusTopology>(terminals, bandwidth);
+}
+std::unique_ptr<Topology> make_ring(int terminals) {
+  return std::make_unique<RingTopology>(terminals);
+}
+std::unique_ptr<Topology> make_binary_tree(int terminals) {
+  return std::make_unique<TreeTopology>(terminals, /*fat=*/false);
+}
+std::unique_ptr<Topology> make_fat_tree(int terminals) {
+  return std::make_unique<TreeTopology>(terminals, /*fat=*/true);
+}
+std::unique_ptr<Topology> make_mesh(int terminals) {
+  return std::make_unique<GridTopology>(terminals, /*wrap=*/false);
+}
+std::unique_ptr<Topology> make_torus(int terminals) {
+  return std::make_unique<GridTopology>(terminals, /*wrap=*/true);
+}
+std::unique_ptr<Topology> make_crossbar(int terminals) {
+  return std::make_unique<CrossbarTopology>(terminals);
+}
+
+std::unique_ptr<Topology> make_topology(TopologyKind k, int terminals) {
+  switch (k) {
+    case TopologyKind::kBus: return make_bus(terminals);
+    case TopologyKind::kRing: return make_ring(terminals);
+    case TopologyKind::kBinaryTree: return make_binary_tree(terminals);
+    case TopologyKind::kFatTree: return make_fat_tree(terminals);
+    case TopologyKind::kMesh2D: return make_mesh(terminals);
+    case TopologyKind::kTorus2D: return make_torus(terminals);
+    case TopologyKind::kCrossbar: return make_crossbar(terminals);
+  }
+  throw std::invalid_argument("make_topology: unknown kind");
+}
+
+}  // namespace soc::noc

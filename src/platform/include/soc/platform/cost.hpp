@@ -1,0 +1,50 @@
+#pragma once
+
+#include "soc/platform/fppa.hpp"
+#include "soc/tech/process_node.hpp"
+
+namespace soc::platform {
+
+/// Silicon cost estimate of an FPPA configuration at a process node.
+/// Drives the DSE objective functions (area/power axes of the paper's
+/// "quality of service, real-time response, power consumption, area"
+/// mapping constraints, Section 5.3).
+struct PlatformCost {
+  double pe_area_mm2 = 0.0;
+  double mem_area_mm2 = 0.0;
+  double noc_area_mm2 = 0.0;
+  double total_area_mm2 = 0.0;
+  double peak_dynamic_mw = 0.0;  ///< all PEs at 100% + NoC at 50% load
+  double leakage_mw = 0.0;
+  double mask_nre_usd = 0.0;
+};
+
+/// Transistor budget of one single-context embedded PE (RISC core +
+/// local memories), in millions. ARM9-class cores with caches of the
+/// era ran 2-3 Mtx.
+inline constexpr double kPeMtx = 2.5;
+/// Transistors per NoC router, millions (input-buffered wormhole router).
+inline constexpr double kRouterMtx = 0.2;
+
+PlatformCost estimate_cost(const FppaConfig& cfg,
+                           const soc::tech::ProcessNode& node);
+
+/// How many PEs of this class fit in a given die area at a node — the
+/// paper's "enough to theoretically place the logic of over one thousand
+/// 32-bit RISC processors on a die" arithmetic (Section 1).
+int pes_per_die(const soc::tech::ProcessNode& node, double die_mm2 = 100.0,
+                int threads_per_pe = 1);
+
+/// How many always-active PEs of the given fabric a power budget sustains
+/// at a node's ASIC clock (dynamic power + the PE's own leakage). Section
+/// 4: "low-power is a must, not just an added-value feature" — at small
+/// nodes the power budget, not area, starts deciding the PE count.
+int pes_within_power(const soc::tech::ProcessNode& node, tech::Fabric fabric,
+                     double budget_mw, int threads_per_pe = 4);
+
+/// Active power of one PE of the given fabric at the node's ASIC clock,
+/// mW (1 op/cycle duty, plus its leakage).
+double pe_power_mw(const soc::tech::ProcessNode& node, tech::Fabric fabric,
+                   int threads_per_pe = 4);
+
+}  // namespace soc::platform

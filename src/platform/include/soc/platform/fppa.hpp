@@ -1,0 +1,125 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "soc/noc/network.hpp"
+#include "soc/noc/topologies.hpp"
+#include "soc/platform/mt_pe.hpp"
+#include "soc/platform/work.hpp"
+#include "soc/tlm/endpoints.hpp"
+#include "soc/tlm/transport.hpp"
+
+namespace soc::platform {
+
+/// Work-dispatch policy of the PE pool.
+enum class PoolMode {
+  /// One shared queue; any idle context takes the next item (M/M/k-style,
+  /// no head-of-line blocking across PEs).
+  kSharedQueue,
+  /// One queue per PE, items distributed round-robin at dispatch time
+  /// (simpler hardware; risks idling one PE while another's queue backs up).
+  kPartitionedQueues,
+};
+
+/// Configuration of a Field-Programmable Processor Array instance — the
+/// paper's Figure 2: an array of multithreaded PEs, shared on-chip
+/// memories and I/O, all sockets on a scalable NoC.
+struct FppaConfig {
+  int num_pes = 16;
+  int threads_per_pe = 4;
+  sim::Cycle switch_penalty = 1;
+  PoolMode pool_mode = PoolMode::kSharedQueue;
+  noc::TopologyKind topology = noc::TopologyKind::kMesh2D;
+  noc::NetworkConfig net{};
+  int num_memories = 2;
+  tlm::MemoryTiming mem_timing{};
+  std::size_t mem_words = 1u << 20;
+  int num_sinks = 1;  ///< egress/IO sinks
+  /// Extra terminals left unattached for application use (ingress client
+  /// ports, DSOC skeleton terminals, debug taps).
+  int num_io = 0;
+
+  int terminal_count() const noexcept {
+    return num_pes + num_memories + num_sinks + num_io;
+  }
+};
+
+/// Aggregate runtime report of a platform run.
+struct FppaReport {
+  sim::Cycle elapsed = 0;
+  double mean_pe_utilization = 0.0;
+  double min_pe_utilization = 0.0;
+  double max_pe_utilization = 0.0;
+  std::uint64_t tasks_completed = 0;
+  double tasks_per_kcycle = 0.0;
+  double mean_task_latency = 0.0;
+  double p99_task_latency = 0.0;
+  double mean_remote_latency = 0.0;
+  std::uint64_t noc_packets = 0;
+  double noc_avg_packet_latency = 0.0;
+};
+
+/// Assembled FPPA platform: owns the event queue, NoC, transport, shared
+/// work queue, PEs, memories and sinks. Terminal layout:
+///   [0, num_pes)                              processing elements
+///   [num_pes, num_pes+num_memories)           shared memories
+///   [num_pes+num_memories, terminal_count())  sinks
+class Fppa {
+ public:
+  explicit Fppa(const FppaConfig& cfg);
+
+  Fppa(const Fppa&) = delete;
+  Fppa& operator=(const Fppa&) = delete;
+
+  const FppaConfig& config() const noexcept { return cfg_; }
+
+  noc::TerminalId pe_terminal(int i) const;
+  noc::TerminalId memory_terminal(int i) const;
+  noc::TerminalId sink_terminal(int i) const;
+  noc::TerminalId io_terminal(int i) const;
+
+  sim::EventQueue& queue() noexcept { return queue_; }
+  noc::Network& network() noexcept { return *network_; }
+  tlm::Transport& transport() noexcept { return *transport_; }
+  /// The shared pool queue (kSharedQueue) or PE 0's queue (partitioned).
+  WorkQueue& pool() noexcept { return *queues_.front(); }
+  /// Queue feeding a specific PE (in shared mode, all PEs share queue 0).
+  WorkQueue& queue_for_pe(int pe);
+  /// Policy-agnostic dispatch entry: push work through this to respect the
+  /// configured pool mode.
+  WorkSink work_sink();
+  MtPe& pe(int i) { return *pes_.at(static_cast<std::size_t>(i)); }
+  tlm::MemoryEndpoint& memory(int i) {
+    return *memories_.at(static_cast<std::size_t>(i));
+  }
+  tlm::SinkEndpoint& sink(int i) {
+    return *sinks_.at(static_cast<std::size_t>(i));
+  }
+
+  /// Arms all PEs. Call once before running.
+  void start();
+
+  /// Advances simulation to the given absolute cycle.
+  void run_until(sim::Cycle limit) { queue_.run_until(limit); }
+
+  /// Clears PE/NoC statistics (post-warmup measurement hygiene).
+  void reset_stats();
+
+  /// Aggregates statistics since the last reset.
+  FppaReport report(sim::Cycle measured_cycles) const;
+
+ private:
+  FppaConfig cfg_;
+  sim::EventQueue queue_;
+  std::unique_ptr<noc::Network> network_;
+  std::unique_ptr<tlm::Transport> transport_;
+  std::vector<std::unique_ptr<WorkQueue>> queues_;  ///< 1 (shared) or per-PE
+  int rr_next_ = 0;  ///< round-robin cursor for partitioned dispatch
+  std::vector<std::unique_ptr<MtPe>> pes_;
+  std::vector<std::unique_ptr<tlm::MemoryEndpoint>> memories_;
+  std::vector<std::unique_ptr<tlm::SinkEndpoint>> sinks_;
+};
+
+}  // namespace soc::platform

@@ -1,0 +1,117 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "soc/noc/packet.hpp"
+#include "soc/sim/types.hpp"
+
+namespace soc::platform {
+
+/// One step of a task running on a processing element. Tasks are written
+/// as step generators: compute bursts punctuated by split transactions —
+/// exactly the execution shape whose latency the paper's multithreaded
+/// processors hide (Section 6.2).
+struct Step {
+  enum class Kind { kCompute, kRead, kWrite, kSend, kDone };
+
+  Kind kind = Kind::kDone;
+  sim::Cycle cycles = 0;        ///< kCompute: busy time on the core
+  noc::TerminalId target = 0;   ///< kRead/kWrite/kSend: destination terminal
+  std::uint32_t address = 0;    ///< kRead/kWrite
+  std::uint32_t words = 1;      ///< read size / write or send payload words
+  /// Optional real payload for kWrite/kSend (e.g. marshalled DSOC calls);
+  /// when empty, `words` zero-words are sent (pure traffic modeling).
+  std::vector<std::uint32_t> payload;
+
+  static Step compute(sim::Cycle cycles) {
+    Step s;
+    s.kind = Kind::kCompute;
+    s.cycles = cycles;
+    return s;
+  }
+  static Step read(noc::TerminalId target, std::uint32_t address,
+                   std::uint32_t words = 1) {
+    Step s;
+    s.kind = Kind::kRead;
+    s.target = target;
+    s.address = address;
+    s.words = words;
+    return s;
+  }
+  static Step write(noc::TerminalId target, std::uint32_t address,
+                    std::uint32_t words = 1) {
+    Step s;
+    s.kind = Kind::kWrite;
+    s.target = target;
+    s.address = address;
+    s.words = words;
+    return s;
+  }
+  static Step send(noc::TerminalId target, std::uint32_t words = 1) {
+    Step s;
+    s.kind = Kind::kSend;
+    s.target = target;
+    s.words = words;
+    return s;
+  }
+  static Step send_payload(noc::TerminalId target,
+                           std::vector<std::uint32_t> payload) {
+    Step s;
+    s.kind = Kind::kSend;
+    s.target = target;
+    s.words = static_cast<std::uint32_t>(payload.size());
+    s.payload = std::move(payload);
+    return s;
+  }
+  static Step done() { return Step{}; }
+};
+
+/// Task body: invoked after each completed step with the data returned by
+/// the last kRead (empty otherwise); returns the next step. Must
+/// eventually return kDone.
+using TaskGen =
+    std::function<Step(const std::vector<std::uint32_t>& last_read)>;
+
+/// A queued unit of work (e.g. one packet to forward, one DSOC invocation).
+struct WorkItem {
+  std::uint64_t id = 0;
+  TaskGen gen;
+  sim::Cycle created_at = 0;
+};
+
+/// Sink accepting work items; produced by the platform so dispatchers
+/// (DSOC skeletons, I/O controllers) stay agnostic of the queueing policy
+/// behind it (one shared pool queue vs partitioned per-PE queues).
+using WorkSink = std::function<void(WorkItem)>;
+
+/// Single logical work queue shared by a pool of PEs — the DSOC server-pool
+/// dispatch model. PEs park on the queue when empty and are woken in FIFO
+/// order as work arrives.
+class WorkQueue {
+ public:
+  using Waiter = std::function<void()>;
+
+  void push(WorkItem item);
+  std::optional<WorkItem> pop();
+
+  /// Registers a one-shot wakeup, fired by the next push.
+  void wait(Waiter w) { waiters_.push_back(std::move(w)); }
+
+  std::size_t depth() const noexcept { return items_.size(); }
+  std::size_t max_depth() const noexcept { return max_depth_; }
+  std::uint64_t pushed() const noexcept { return pushed_; }
+  std::uint64_t popped() const noexcept { return popped_; }
+
+ private:
+  std::deque<WorkItem> items_;
+  std::deque<Waiter> waiters_;
+  std::size_t max_depth_ = 0;
+  std::uint64_t pushed_ = 0;
+  std::uint64_t popped_ = 0;
+};
+
+}  // namespace soc::platform

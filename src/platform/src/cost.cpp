@@ -1,0 +1,128 @@
+#include "soc/platform/cost.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "soc/mem/mem_tech.hpp"
+#include "soc/noc/topologies.hpp"
+#include "soc/proc/multithread.hpp"
+#include "soc/tech/clock_model.hpp"
+#include "soc/tech/energy_model.hpp"
+
+namespace soc::platform {
+
+namespace {
+
+/// Transistor budget per router crosspoint (switch + buffer share),
+/// millions. A 5x5 mesh router at ~0.25 Mtx implies ~0.01 Mtx/crosspoint.
+constexpr double kCrosspointMtx = 0.01;
+
+/// Bandwidth-weighted crosspoint count of the interconnect: for every
+/// router, (weighted in-degree) x (weighted out-degree). Captures why a
+/// full crossbar (one NxN switch) costs more silicon than a mesh of small
+/// routers, and why fat-tree roots are expensive.
+double weighted_crosspoints(const noc::Topology& topo) {
+  const int r = topo.router_count();
+  std::vector<double> in(static_cast<std::size_t>(r), 0.0);
+  std::vector<double> out(static_cast<std::size_t>(r), 0.0);
+  for (const auto& l : topo.links()) {
+    out[static_cast<std::size_t>(l.from_router)] += l.bandwidth;
+    in[static_cast<std::size_t>(l.to_router)] += l.bandwidth;
+  }
+  // Each terminal NI adds one injection and one ejection port.
+  for (int t = 0; t < topo.terminal_count(); ++t) {
+    const auto a = static_cast<std::size_t>(
+        topo.attach_router(static_cast<noc::TerminalId>(t)));
+    in[a] += 1.0;
+    out[a] += 1.0;
+  }
+  double total = 0.0;
+  for (int i = 0; i < r; ++i) {
+    total += in[static_cast<std::size_t>(i)] * out[static_cast<std::size_t>(i)];
+  }
+  return total;
+}
+
+}  // namespace
+
+PlatformCost estimate_cost(const FppaConfig& cfg,
+                           const soc::tech::ProcessNode& node) {
+  PlatformCost c;
+
+  // PEs: base core area from transistor budget, multiplied by the
+  // multithreading register-bank overhead.
+  const double pe_base_mm2 = kPeMtx / node.density_mtx_mm2;
+  const double mt_factor = soc::proc::mt_area_overhead(cfg.threads_per_pe);
+  c.pe_area_mm2 = pe_base_mm2 * mt_factor * static_cast<double>(cfg.num_pes);
+
+  // Shared memories (SRAM macros).
+  const auto macro = soc::mem::memory_macro(
+      soc::mem::MemoryKind::kSram,
+      static_cast<std::uint64_t>(cfg.mem_words) * 32ULL, node);
+  c.mem_area_mm2 = macro.area_mm2 * static_cast<double>(cfg.num_memories);
+
+  // NoC: bandwidth-weighted crosspoints of the actual topology, plus a
+  // wiring overhead that scales with total link bandwidth and wire pitch.
+  const auto topo = noc::make_topology(cfg.topology, cfg.terminal_count());
+  const double xpoints = weighted_crosspoints(*topo);
+  const double wiring_mm2 =
+      topo->total_link_bandwidth() * 0.01 * (node.feature_nm / 90.0);
+  c.noc_area_mm2 =
+      xpoints * kCrosspointMtx / node.density_mtx_mm2 + wiring_mm2;
+
+  c.total_area_mm2 = c.pe_area_mm2 + c.mem_area_mm2 + c.noc_area_mm2;
+
+  // Power: each PE at the ASIC clock retiring ~1 op/cycle at 100% duty,
+  // NoC routers at 50% switching activity.
+  const soc::tech::EnergyModel em(node);
+  const soc::tech::ClockModel ck(node);
+  const double ghz = ck.asic_ghz();
+  const double pe_op_pj =
+      em.op_energy_pj(soc::tech::Fabric::kGeneralPurposeCpu);
+  c.peak_dynamic_mw =
+      pe_op_pj * ghz * static_cast<double>(cfg.num_pes)  // pJ * GHz = mW
+      + 0.5 * em.hardwired_op_pj() * ghz *
+            static_cast<double>(topo->router_count());
+  c.leakage_mw = em.leakage_mw_per_mm2() * c.total_area_mm2 +
+                 macro.static_power_mw * static_cast<double>(cfg.num_memories);
+  c.mask_nre_usd = node.mask_set_cost_usd;
+  return c;
+}
+
+int pes_per_die(const soc::tech::ProcessNode& node, double die_mm2,
+                int threads_per_pe) {
+  const double pe_mm2 =
+      kPeMtx / node.density_mtx_mm2 * soc::proc::mt_area_overhead(threads_per_pe);
+  // Reserve 40% of the die for NoC, memories and I/O.
+  return static_cast<int>(std::floor(die_mm2 * 0.6 / pe_mm2));
+}
+
+double pe_power_mw(const soc::tech::ProcessNode& node, tech::Fabric fabric,
+                   int threads_per_pe) {
+  // Absolute anchor: a 90nm embedded GP CPU burns ~0.20 mW/MHz at full
+  // duty (ARM9/ARM11-class published figures); other nodes scale with
+  // C*V^2 (C tracks feature size), other fabrics with their relative
+  // energy per op times their datapath width.
+  const soc::tech::ClockModel ck(node);
+  const auto& gp = tech::fabric_profile(tech::Fabric::kGeneralPurposeCpu);
+  const auto& fp = tech::fabric_profile(fabric);
+  const double mhz = ck.asic_ghz() * 1000.0;
+  const double cv2_rel = (node.feature_nm / 90.0) * node.vdd_v * node.vdd_v;
+  const double fabric_rel =
+      (fp.energy_per_op_rel * fp.ops_per_cycle) /
+      (gp.energy_per_op_rel * gp.ops_per_cycle);
+  const double dynamic = 0.20 * mhz * cv2_rel * fabric_rel;
+  const soc::tech::EnergyModel em(node);
+  const double area = kPeMtx / node.density_mtx_mm2 *
+                      soc::proc::mt_area_overhead(threads_per_pe);
+  return dynamic + em.leakage_mw_per_mm2() * area;
+}
+
+int pes_within_power(const soc::tech::ProcessNode& node, tech::Fabric fabric,
+                     double budget_mw, int threads_per_pe) {
+  const double per_pe = pe_power_mw(node, fabric, threads_per_pe);
+  if (per_pe <= 0.0) return 0;
+  return static_cast<int>(std::floor(budget_mw / per_pe));
+}
+
+}  // namespace soc::platform

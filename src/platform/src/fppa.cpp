@@ -1,0 +1,125 @@
+#include "soc/platform/fppa.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace soc::platform {
+
+Fppa::Fppa(const FppaConfig& cfg) : cfg_(cfg) {
+  if (cfg.num_pes <= 0) throw std::invalid_argument("Fppa: need >= 1 PE");
+  if (cfg.num_sinks < 0 || cfg.num_memories < 0) {
+    throw std::invalid_argument("Fppa: negative component count");
+  }
+
+  network_ = std::make_unique<noc::Network>(
+      noc::make_topology(cfg.topology, cfg.terminal_count()), cfg.net, queue_);
+  transport_ = std::make_unique<tlm::Transport>(*network_, queue_);
+
+  const int queue_count =
+      cfg.pool_mode == PoolMode::kSharedQueue ? 1 : cfg.num_pes;
+  for (int i = 0; i < queue_count; ++i) {
+    queues_.push_back(std::make_unique<WorkQueue>());
+  }
+
+  for (int i = 0; i < cfg.num_pes; ++i) {
+    PeConfig pc;
+    pc.terminal = pe_terminal(i);
+    pc.thread_contexts = cfg.threads_per_pe;
+    pc.switch_penalty = cfg.switch_penalty;
+    WorkQueue& q = cfg.pool_mode == PoolMode::kSharedQueue
+                       ? *queues_.front()
+                       : *queues_[static_cast<std::size_t>(i)];
+    pes_.push_back(std::make_unique<MtPe>("pe" + std::to_string(i), pc,
+                                          *transport_, q, queue_));
+  }
+  for (int i = 0; i < cfg.num_memories; ++i) {
+    memories_.push_back(std::make_unique<tlm::MemoryEndpoint>(
+        cfg.mem_timing, cfg.mem_words, queue_));
+    transport_->attach(memory_terminal(i), *memories_.back());
+  }
+  for (int i = 0; i < cfg.num_sinks; ++i) {
+    sinks_.push_back(std::make_unique<tlm::SinkEndpoint>(queue_));
+    transport_->attach(sink_terminal(i), *sinks_.back());
+  }
+}
+
+noc::TerminalId Fppa::pe_terminal(int i) const {
+  if (i < 0 || i >= cfg_.num_pes) throw std::out_of_range("pe_terminal");
+  return static_cast<noc::TerminalId>(i);
+}
+
+noc::TerminalId Fppa::memory_terminal(int i) const {
+  if (i < 0 || i >= cfg_.num_memories) throw std::out_of_range("memory_terminal");
+  return static_cast<noc::TerminalId>(cfg_.num_pes + i);
+}
+
+noc::TerminalId Fppa::sink_terminal(int i) const {
+  if (i < 0 || i >= cfg_.num_sinks) throw std::out_of_range("sink_terminal");
+  return static_cast<noc::TerminalId>(cfg_.num_pes + cfg_.num_memories + i);
+}
+
+noc::TerminalId Fppa::io_terminal(int i) const {
+  if (i < 0 || i >= cfg_.num_io) throw std::out_of_range("io_terminal");
+  return static_cast<noc::TerminalId>(cfg_.num_pes + cfg_.num_memories +
+                                      cfg_.num_sinks + i);
+}
+
+WorkQueue& Fppa::queue_for_pe(int pe) {
+  if (pe < 0 || pe >= cfg_.num_pes) throw std::out_of_range("queue_for_pe");
+  return cfg_.pool_mode == PoolMode::kSharedQueue
+             ? *queues_.front()
+             : *queues_[static_cast<std::size_t>(pe)];
+}
+
+WorkSink Fppa::work_sink() {
+  if (cfg_.pool_mode == PoolMode::kSharedQueue) {
+    return [this](WorkItem item) { queues_.front()->push(std::move(item)); };
+  }
+  return [this](WorkItem item) {
+    queues_[static_cast<std::size_t>(rr_next_)]->push(std::move(item));
+    rr_next_ = (rr_next_ + 1) % cfg_.num_pes;
+  };
+}
+
+void Fppa::start() {
+  for (auto& pe : pes_) pe->start();
+}
+
+void Fppa::reset_stats() {
+  for (auto& pe : pes_) pe->reset_stats();
+  network_->reset_stats();
+}
+
+FppaReport Fppa::report(sim::Cycle measured_cycles) const {
+  FppaReport r;
+  r.elapsed = measured_cycles;
+  double sum_util = 0.0;
+  double min_util = 1.0;
+  double max_util = 0.0;
+  sim::SampleSet all_task_lat;
+  sim::SampleSet all_remote_lat;
+  for (const auto& pe : pes_) {
+    const double u = pe->utilization(measured_cycles);
+    sum_util += u;
+    min_util = std::min(min_util, u);
+    max_util = std::max(max_util, u);
+    r.tasks_completed += pe->tasks_completed();
+    for (const double s : pe->task_latency().samples()) all_task_lat.push(s);
+    for (const double s : pe->remote_latency().samples()) all_remote_lat.push(s);
+  }
+  r.mean_pe_utilization = sum_util / static_cast<double>(pes_.size());
+  r.min_pe_utilization = pes_.empty() ? 0.0 : min_util;
+  r.max_pe_utilization = max_util;
+  r.tasks_per_kcycle = measured_cycles
+                           ? 1000.0 * static_cast<double>(r.tasks_completed) /
+                                 static_cast<double>(measured_cycles)
+                           : 0.0;
+  r.mean_task_latency = all_task_lat.mean();
+  r.p99_task_latency = all_task_lat.quantile(0.99);
+  r.mean_remote_latency = all_remote_lat.mean();
+  r.noc_packets = network_->delivered();
+  r.noc_avg_packet_latency = network_->latency_samples().mean();
+  return r;
+}
+
+}  // namespace soc::platform

@@ -1,0 +1,127 @@
+#include "soc/platform/mt_pe.hpp"
+
+#include <stdexcept>
+
+namespace soc::platform {
+
+MtPe::MtPe(std::string name, PeConfig cfg, tlm::Transport& transport,
+           WorkQueue& work, sim::EventQueue& queue)
+    : name_(std::move(name)),
+      cfg_(cfg),
+      transport_(transport),
+      work_(work),
+      queue_(queue) {
+  if (cfg.thread_contexts <= 0) {
+    throw std::invalid_argument("MtPe: need at least one hardware context");
+  }
+  contexts_.resize(static_cast<std::size_t>(cfg.thread_contexts));
+  for (int i = 0; i < cfg.thread_contexts; ++i) {
+    contexts_[static_cast<std::size_t>(i)].id = i;
+  }
+}
+
+void MtPe::start() {
+  for (const auto& ctx : contexts_) acquire_work(ctx.id);
+}
+
+void MtPe::acquire_work(int ctx_id) {
+  auto& ctx = contexts_[static_cast<std::size_t>(ctx_id)];
+  auto item = work_.pop();
+  if (!item) {
+    // Park: the queue wakes us on the next push.
+    work_.wait([this, ctx_id] { acquire_work(ctx_id); });
+    return;
+  }
+  ctx.running_task = true;
+  ctx.gen = std::move(item->gen);
+  ctx.work_id = item->id;
+  ctx.work_created = item->created_at;
+  ctx.last_read.clear();
+  advance(ctx_id);
+}
+
+void MtPe::advance(int ctx_id) {
+  auto& ctx = contexts_[static_cast<std::size_t>(ctx_id)];
+  const Step step = ctx.gen(ctx.last_read);
+  ctx.last_read.clear();
+  execute(ctx_id, step);
+}
+
+void MtPe::execute(int ctx_id, const Step& step) {
+  auto& ctx = contexts_[static_cast<std::size_t>(ctx_id)];
+  switch (step.kind) {
+    case Step::Kind::kCompute:
+      ctx.pending_step = step;
+      ready_.push_back(ctx_id);
+      grant_core();
+      return;
+    case Step::Kind::kRead: {
+      const sim::Cycle issued = queue_.now();
+      transport_.read(cfg_.terminal, step.target, step.address, step.words,
+                      [this, ctx_id, issued](const tlm::Transaction& txn) {
+                        auto& c = contexts_[static_cast<std::size_t>(ctx_id)];
+                        c.last_read = txn.payload;
+                        remote_latency_.push(
+                            static_cast<double>(queue_.now() - issued));
+                        advance(ctx_id);
+                      });
+      return;
+    }
+    case Step::Kind::kWrite: {
+      const sim::Cycle issued = queue_.now();
+      transport_.write(
+          cfg_.terminal, step.target, step.address,
+          std::vector<std::uint32_t>(step.words, 0),
+          [this, ctx_id, issued](const tlm::Transaction&) {
+            remote_latency_.push(static_cast<double>(queue_.now() - issued));
+            advance(ctx_id);
+          });
+      return;
+    }
+    case Step::Kind::kSend:
+      // Posted message: the context does not wait for delivery.
+      transport_.message(cfg_.terminal, step.target,
+                         step.payload.empty()
+                             ? std::vector<std::uint32_t>(step.words, 0)
+                             : step.payload);
+      advance(ctx_id);
+      return;
+    case Step::Kind::kDone:
+      ctx.running_task = false;
+      ++tasks_done_;
+      task_latency_.push(static_cast<double>(queue_.now() - ctx.work_created));
+      acquire_work(ctx_id);
+      return;
+  }
+}
+
+void MtPe::grant_core() {
+  if (core_busy_ || ready_.empty()) return;
+  const int ctx_id = ready_.front();
+  ready_.pop_front();
+  core_busy_ = true;
+
+  auto& ctx = contexts_[static_cast<std::size_t>(ctx_id)];
+  const sim::Cycle compute = ctx.pending_step.cycles;
+  const sim::Cycle penalty =
+      (last_running_ != ctx_id && last_running_ >= 0) ? cfg_.switch_penalty : 0;
+  busy_cycles_ += compute;
+  switch_cycles_ += penalty;
+  last_running_ = ctx_id;
+
+  queue_.schedule_in(compute + penalty, [this, ctx_id] {
+    core_busy_ = false;
+    grant_core();
+    advance(ctx_id);
+  });
+}
+
+void MtPe::reset_stats() noexcept {
+  tasks_done_ = 0;
+  busy_cycles_ = 0;
+  switch_cycles_ = 0;
+  task_latency_.reset();
+  remote_latency_.reset();
+}
+
+}  // namespace soc::platform

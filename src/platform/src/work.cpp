@@ -1,0 +1,26 @@
+#include "soc/platform/work.hpp"
+
+#include <algorithm>
+
+namespace soc::platform {
+
+void WorkQueue::push(WorkItem item) {
+  items_.push_back(std::move(item));
+  ++pushed_;
+  max_depth_ = std::max(max_depth_, items_.size());
+  if (!waiters_.empty()) {
+    Waiter w = std::move(waiters_.front());
+    waiters_.pop_front();
+    w();
+  }
+}
+
+std::optional<WorkItem> WorkQueue::pop() {
+  if (items_.empty()) return std::nullopt;
+  WorkItem item = std::move(items_.front());
+  items_.pop_front();
+  ++popped_;
+  return item;
+}
+
+}  // namespace soc::platform

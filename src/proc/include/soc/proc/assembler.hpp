@@ -1,0 +1,41 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "soc/proc/isa.hpp"
+
+namespace soc::proc {
+
+/// Error raised for malformed assembly, carrying the 1-based source line.
+class AsmError : public std::runtime_error {
+ public:
+  AsmError(int line, const std::string& what)
+      : std::runtime_error("asm line " + std::to_string(line) + ": " + what),
+        line_(line) {}
+  int line() const noexcept { return line_; }
+
+ private:
+  int line_;
+};
+
+/// Two-pass assembler for MiniRISC text assembly.
+///
+/// Syntax (one instruction per line, ';' or '#' start comments):
+///   loop:                     ; label
+///     addi  r1, r0, 100      ; I-type
+///     add   r2, r2, r1       ; R-type
+///     lw    r3, 4(r2)        ; memory: offset(base)
+///     rload r4, 0(r3)        ; remote load (blocks the hardware thread)
+///     bne   r1, r0, loop     ; branches take labels or absolute pc
+///     halt
+///
+/// Registers are written r0..r31; immediates are decimal or 0x-hex.
+Program assemble(std::string_view source);
+
+/// Renders a program back to canonical text (round-trip aid for tests and
+/// debugging dumps).
+std::string disassemble(const Program& program);
+
+}  // namespace soc::proc

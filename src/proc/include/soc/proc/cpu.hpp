@@ -1,0 +1,111 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "soc/proc/isa.hpp"
+#include "soc/sim/types.hpp"
+
+namespace soc::proc {
+
+/// Why the ISS returned control to its caller.
+enum class StopReason {
+  kHalted,       ///< executed halt
+  kRemoteOp,     ///< blocked on a remote transaction (see Cpu::pending())
+  kBudget,       ///< instruction budget exhausted
+  kBadPc,        ///< pc ran off the end of the program
+};
+
+/// A remote transaction the CPU blocked on. The caller (platform layer)
+/// services it — typically by a NoC round trip — and then calls
+/// Cpu::complete_remote() with the result.
+struct RemoteRequest {
+  enum class Kind { kLoad, kStore, kSend, kRecv } kind = Kind::kLoad;
+  std::uint32_t address = 0;  ///< rload/rstore: remote address; send/recv: channel
+  std::uint32_t value = 0;    ///< rstore/send payload
+  std::uint8_t dest_reg = 0;  ///< rload/recv: register to write on completion
+};
+
+/// Semantics of one ASIP extension instruction: (rs1, rs2) -> rd, plus its
+/// cycle cost. This is how "configurable processors (like Arc or Tensilica)"
+/// (Section 6.2) are modeled: a RISC base plus application-specific ops.
+struct CustomOp {
+  std::function<std::uint32_t(std::uint32_t, std::uint32_t)> fn;
+  std::uint32_t cycles = 1;
+};
+
+/// Execution summary of a Cpu::run() burst.
+struct RunResult {
+  StopReason reason = StopReason::kBudget;
+  std::uint64_t instructions = 0;  ///< retired in this burst
+  sim::Cycle cycles = 0;           ///< consumed in this burst
+};
+
+/// MiniRISC instruction-set simulator: single in-order hardware context
+/// with a private scratchpad. Remote ops return control to the caller so
+/// the multithreaded PE wrapper can switch contexts — the latency-hiding
+/// mechanism the paper's Section 6.2 describes.
+class Cpu {
+ public:
+  /// `scratch_bytes` sizes the local data memory (word addressed internally,
+  /// byte addresses at the ISA level).
+  explicit Cpu(const Program& program, std::size_t scratch_bytes = 64 * 1024);
+
+  /// Runs until halt, a remote op, or `max_instructions`.
+  RunResult run(std::uint64_t max_instructions = ~std::uint64_t{0});
+
+  /// True when blocked on a remote transaction.
+  bool blocked() const noexcept { return blocked_; }
+  const RemoteRequest& pending() const;
+
+  /// Completes the pending remote op. `load_value` is written to the
+  /// destination register for loads/receives. Unblocks the context.
+  void complete_remote(std::uint32_t load_value = 0);
+
+  // --- architectural state access (tests, debuggers, platform glue) ---
+  std::uint32_t reg(int idx) const { return regs_.at(static_cast<std::size_t>(idx)); }
+  void set_reg(int idx, std::uint32_t v);
+  std::uint32_t pc() const noexcept { return pc_; }
+  void set_pc(std::uint32_t pc) noexcept { pc_ = pc; }
+  bool halted() const noexcept { return halted_; }
+
+  std::uint32_t load_word(std::uint32_t byte_addr) const;
+  void store_word(std::uint32_t byte_addr, std::uint32_t value);
+  std::uint8_t load_byte(std::uint32_t byte_addr) const;
+  void store_byte(std::uint32_t byte_addr, std::uint8_t value);
+  std::size_t scratch_bytes() const noexcept { return mem_.size(); }
+
+  /// Installs the semantics of one ASIP extension slot (kXop0..kXop3).
+  void set_custom_op(int slot, CustomOp op);
+
+  /// Resets pc/registers/blocked state; scratchpad contents are preserved
+  /// (matches a soft-reset of an embedded core with retained SRAM).
+  void reset() noexcept;
+
+  // --- lifetime counters ---
+  std::uint64_t total_instructions() const noexcept { return total_instr_; }
+  sim::Cycle total_cycles() const noexcept { return total_cycles_; }
+  /// Retired-instruction histogram by class, for energy accounting.
+  const std::array<std::uint64_t, 7>& class_counts() const noexcept {
+    return class_counts_;
+  }
+
+ private:
+  RunResult stop(StopReason r, RunResult acc) noexcept;
+
+  const Program& program_;
+  std::array<std::uint32_t, kNumRegs> regs_{};
+  std::uint32_t pc_ = 0;
+  std::vector<std::uint8_t> mem_;
+  bool halted_ = false;
+  bool blocked_ = false;
+  RemoteRequest pending_{};
+  std::array<CustomOp, 4> custom_ops_{};
+  std::uint64_t total_instr_ = 0;
+  sim::Cycle total_cycles_ = 0;
+  std::array<std::uint64_t, 7> class_counts_{};
+};
+
+}  // namespace soc::proc

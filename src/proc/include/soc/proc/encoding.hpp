@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "soc/proc/isa.hpp"
+
+namespace soc::proc {
+
+/// Binary instruction format (32 bits):
+///
+///   [31:26] opcode   [25:21] rd   [20:16] rs1   [15:11] rs2   [10:0] unused
+///   ...plus a 16-bit immediate for I-type forms:
+///   [31:26] opcode   [25:21] rd   [20:16] rs1   [15:0] imm16 (sign-extended)
+///
+/// Branch/jump targets and large constants use the same imm16 field;
+/// programs whose immediates do not fit 16 bits signed are rejected by
+/// encode() (the assembler's canonical output always fits: lui/ori pairs
+/// build 32-bit constants).
+class EncodingError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Encodes one instruction. Throws EncodingError when the immediate does
+/// not fit the 16-bit field.
+std::uint32_t encode(const Instr& instr);
+
+/// Decodes one instruction word. Throws EncodingError on an invalid
+/// opcode field.
+Instr decode(std::uint32_t word);
+
+/// Whole-program forms.
+std::vector<std::uint32_t> encode_program(const Program& program);
+Program decode_program(std::span<const std::uint32_t> words);
+
+/// True when the instruction's immediate is representable (i.e. encode()
+/// will succeed).
+bool encodable(const Instr& instr) noexcept;
+
+}  // namespace soc::proc

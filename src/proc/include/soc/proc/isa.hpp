@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace soc::proc {
+
+/// MiniRISC: the 32-bit load/store ISA executed by the platform's embedded
+/// processors. It is deliberately small (RISC subset + remote-transaction
+/// ops + ASIP extension slots) — the paper's argument is about *numbers* of
+/// simple processors, multithreading, and instruction-set specialization,
+/// not about any particular commercial ISA.
+enum class Opcode : std::uint8_t {
+  // ALU register-register
+  kAdd, kSub, kAnd, kOr, kXor, kSll, kSrl, kSra, kSlt, kSltu, kMul,
+  // ALU register-immediate
+  kAddi, kAndi, kOri, kXori, kSlli, kSrli, kSrai, kSlti, kLui,
+  // memory (local scratchpad)
+  kLw, kSw, kLbu, kSb,
+  // control flow
+  kBeq, kBne, kBlt, kBge, kJ, kJal, kJr,
+  // remote transactions (block the hardware thread; the MP-SoC platform
+  // services them over the NoC — Section 6.2's latency-hiding targets)
+  kRload,   ///< rd <- remote[rs1 + imm]
+  kRstore,  ///< remote[rs1 + imm] <- rs2
+  kSend,    ///< send message: channel rs1, payload rs2
+  kRecv,    ///< rd <- blocking receive on channel rs1
+  // ASIP extension slots (configurable semantics, cost and energy)
+  kXop0, kXop1, kXop2, kXop3,
+  // misc
+  kNop, kHalt,
+};
+
+/// Total number of opcodes (for metadata tables).
+inline constexpr std::size_t kOpcodeCount =
+    static_cast<std::size_t>(Opcode::kHalt) + 1;
+
+/// Number of architectural registers. r0 is hardwired to zero.
+inline constexpr int kNumRegs = 32;
+
+/// One decoded instruction. The ISS executes decoded form directly; the
+/// assembler produces it from text.
+struct Instr {
+  Opcode op = Opcode::kNop;
+  std::uint8_t rd = 0;
+  std::uint8_t rs1 = 0;
+  std::uint8_t rs2 = 0;
+  std::int32_t imm = 0;
+};
+
+/// Functional class of an opcode, used by cost/energy accounting.
+enum class OpClass { kAlu, kMul, kMem, kBranch, kRemote, kXop, kMisc };
+
+/// Static metadata of one opcode.
+struct OpInfo {
+  std::string_view mnemonic;
+  OpClass cls;
+  std::uint32_t base_cycles;  ///< issue-to-retire latency on a simple core
+};
+
+/// Metadata lookup; total function over the enum.
+const OpInfo& op_info(Opcode op) noexcept;
+
+/// Program: decoded instructions; index == program counter.
+using Program = std::vector<Instr>;
+
+}  // namespace soc::proc

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <array>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "soc/proc/cpu.hpp"
+
+namespace soc::proc {
+
+/// One benchmark kernel with a general-purpose MiniRISC implementation and
+/// an ASIP implementation that uses extension instructions. Drives the
+/// Figure 1 / claim C7 fabric-spectrum experiments: the same function
+/// implemented at different points of the flexibility-efficiency trade-off.
+struct Kernel {
+  std::string name;
+  std::string description;
+  std::string gp_source;    ///< plain MiniRISC assembly
+  std::string asip_source;  ///< assembly using xop extension slots
+  /// ASIP extension semantics, installed into slots 0..3 before running
+  /// the asip variant.
+  std::array<CustomOp, 4> asip_ops;
+  /// Writes input data into the CPU scratchpad.
+  std::function<void(Cpu&)> setup;
+  /// Checks the result (true = correct). Result convention: word at 0x400.
+  std::function<bool(const Cpu&)> verify;
+  /// Abstract operation count of the function (for hardwired/eFPGA fabric
+  /// projections: a dedicated datapath performs one such op per lane-cycle).
+  std::uint64_t useful_ops;
+};
+
+/// Cycle/instruction outcome of running one kernel variant to completion.
+struct KernelRun {
+  std::uint64_t instructions = 0;
+  std::uint64_t cycles = 0;
+  bool correct = false;
+};
+
+/// The built-in suite: crc32 (bit-serial vs single-cycle step), packed
+/// 16-bit dot product (scalar vs dual-MAC), IPv4-style ones-complement
+/// checksum (scalar vs fused fold).
+const std::vector<Kernel>& kernel_suite();
+
+/// Assembles and runs the GP variant of a kernel on a fresh CPU.
+KernelRun run_gp(const Kernel& k);
+/// Assembles and runs the ASIP variant (installs k.asip_ops first).
+KernelRun run_asip(const Kernel& k);
+
+}  // namespace soc::proc

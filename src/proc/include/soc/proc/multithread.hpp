@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstdint>
+
+namespace soc::proc {
+
+/// Analytic model of hardware multithreading as described in Section 6.2:
+/// "a hardware multithreaded processor has separate register banks for
+/// different threads, with hardware units that schedule threads and swap
+/// them in one cycle". Each thread alternates `compute_cycles` of useful
+/// work with a blocking remote operation of `remote_latency` cycles.
+struct MtParams {
+  int threads = 1;
+  double compute_cycles = 50.0;   ///< useful work between remote ops
+  double remote_latency = 100.0;  ///< round-trip latency of the remote op
+  double switch_penalty = 1.0;    ///< context-swap cost (1 = HW multithreading)
+};
+
+/// Fraction of processor cycles spent on useful compute.
+///
+/// With T threads the core interleaves work: while one thread waits out the
+/// remote latency, up to T-1 others run. Saturation: when
+/// T*(C+s) >= C+L the latency is fully hidden and utilization is limited
+/// only by the switch overhead C/(C+s); below that, U = T*C/(C+L).
+double mt_utilization(const MtParams& p) noexcept;
+
+/// Smallest thread count that fully hides the remote latency.
+int threads_to_hide_latency(double compute_cycles, double remote_latency,
+                            double switch_penalty = 1.0) noexcept;
+
+/// Throughput in remote transactions per cycle sustained by one core.
+double mt_transactions_per_cycle(const MtParams& p) noexcept;
+
+/// Area overhead of multithreading relative to a single-context core:
+/// each extra context adds a register bank + state, ~15% of base core area
+/// (published figures for HW-MT network processors of the era).
+double mt_area_overhead(int threads, double per_context_fraction = 0.15) noexcept;
+
+}  // namespace soc::proc

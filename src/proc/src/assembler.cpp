@@ -1,0 +1,376 @@
+#include "soc/proc/assembler.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+namespace soc::proc {
+
+namespace {
+
+/// Operand shapes an opcode expects.
+enum class Format {
+  kRdRs1Rs2,   // add rd, rs1, rs2
+  kRdRs1Imm,   // addi rd, rs1, imm
+  kRdImm,      // lui rd, imm
+  kRdOffBase,  // lw rd, off(rs1) / rload
+  kRs2OffBase, // sw rs2, off(rs1) / rstore
+  kRs1Rs2Tgt,  // beq rs1, rs2, target
+  kTgt,        // j target
+  kRdTgt,      // jal rd, target
+  kRs1,        // jr rs1
+  kRs1Rs2,     // send rs1, rs2
+  kRdRs1,      // recv rd, rs1
+  kNone,       // nop / halt
+};
+
+struct MnemonicInfo {
+  Opcode op;
+  Format fmt;
+};
+
+const std::map<std::string, MnemonicInfo, std::less<>>& mnemonics() {
+  static const std::map<std::string, MnemonicInfo, std::less<>> kMap = {
+      {"add", {Opcode::kAdd, Format::kRdRs1Rs2}},
+      {"sub", {Opcode::kSub, Format::kRdRs1Rs2}},
+      {"and", {Opcode::kAnd, Format::kRdRs1Rs2}},
+      {"or", {Opcode::kOr, Format::kRdRs1Rs2}},
+      {"xor", {Opcode::kXor, Format::kRdRs1Rs2}},
+      {"sll", {Opcode::kSll, Format::kRdRs1Rs2}},
+      {"srl", {Opcode::kSrl, Format::kRdRs1Rs2}},
+      {"sra", {Opcode::kSra, Format::kRdRs1Rs2}},
+      {"slt", {Opcode::kSlt, Format::kRdRs1Rs2}},
+      {"sltu", {Opcode::kSltu, Format::kRdRs1Rs2}},
+      {"mul", {Opcode::kMul, Format::kRdRs1Rs2}},
+      {"addi", {Opcode::kAddi, Format::kRdRs1Imm}},
+      {"andi", {Opcode::kAndi, Format::kRdRs1Imm}},
+      {"ori", {Opcode::kOri, Format::kRdRs1Imm}},
+      {"xori", {Opcode::kXori, Format::kRdRs1Imm}},
+      {"slli", {Opcode::kSlli, Format::kRdRs1Imm}},
+      {"srli", {Opcode::kSrli, Format::kRdRs1Imm}},
+      {"srai", {Opcode::kSrai, Format::kRdRs1Imm}},
+      {"slti", {Opcode::kSlti, Format::kRdRs1Imm}},
+      {"lui", {Opcode::kLui, Format::kRdImm}},
+      {"lw", {Opcode::kLw, Format::kRdOffBase}},
+      {"sw", {Opcode::kSw, Format::kRs2OffBase}},
+      {"lbu", {Opcode::kLbu, Format::kRdOffBase}},
+      {"sb", {Opcode::kSb, Format::kRs2OffBase}},
+      {"beq", {Opcode::kBeq, Format::kRs1Rs2Tgt}},
+      {"bne", {Opcode::kBne, Format::kRs1Rs2Tgt}},
+      {"blt", {Opcode::kBlt, Format::kRs1Rs2Tgt}},
+      {"bge", {Opcode::kBge, Format::kRs1Rs2Tgt}},
+      {"j", {Opcode::kJ, Format::kTgt}},
+      {"jal", {Opcode::kJal, Format::kRdTgt}},
+      {"jr", {Opcode::kJr, Format::kRs1}},
+      {"rload", {Opcode::kRload, Format::kRdOffBase}},
+      {"rstore", {Opcode::kRstore, Format::kRs2OffBase}},
+      {"send", {Opcode::kSend, Format::kRs1Rs2}},
+      {"recv", {Opcode::kRecv, Format::kRdRs1}},
+      {"xop0", {Opcode::kXop0, Format::kRdRs1Rs2}},
+      {"xop1", {Opcode::kXop1, Format::kRdRs1Rs2}},
+      {"xop2", {Opcode::kXop2, Format::kRdRs1Rs2}},
+      {"xop3", {Opcode::kXop3, Format::kRdRs1Rs2}},
+      {"nop", {Opcode::kNop, Format::kNone}},
+      {"halt", {Opcode::kHalt, Format::kNone}},
+  };
+  return kMap;
+}
+
+std::string strip(std::string_view s) {
+  const auto b = s.find_first_not_of(" \t\r");
+  if (b == std::string_view::npos) return {};
+  const auto e = s.find_last_not_of(" \t\r");
+  return std::string(s.substr(b, e - b + 1));
+}
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+/// Splits "a, b, c" on commas, trimming each piece.
+std::vector<std::string> split_operands(std::string_view s) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const auto comma = s.find(',', start);
+    const auto piece = comma == std::string_view::npos
+                           ? s.substr(start)
+                           : s.substr(start, comma - start);
+    const auto trimmed = strip(piece);
+    if (!trimmed.empty()) parts.push_back(trimmed);
+    if (comma == std::string_view::npos) break;
+    start = comma + 1;
+  }
+  return parts;
+}
+
+std::uint8_t parse_reg(const std::string& tok, int line) {
+  if (tok.size() < 2 || (tok[0] != 'r' && tok[0] != 'R')) {
+    throw AsmError(line, "expected register, got '" + tok + "'");
+  }
+  int value = 0;
+  const auto* first = tok.data() + 1;
+  const auto* last = tok.data() + tok.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc{} || ptr != last || value < 0 || value >= kNumRegs) {
+    throw AsmError(line, "bad register '" + tok + "'");
+  }
+  return static_cast<std::uint8_t>(value);
+}
+
+std::optional<std::int32_t> try_parse_imm(const std::string& tok) {
+  if (tok.empty()) return std::nullopt;
+  std::size_t i = 0;
+  bool neg = false;
+  if (tok[0] == '-' || tok[0] == '+') {
+    neg = tok[0] == '-';
+    i = 1;
+  }
+  if (i >= tok.size()) return std::nullopt;
+  int base = 10;
+  if (tok.size() > i + 2 && tok[i] == '0' && (tok[i + 1] == 'x' || tok[i + 1] == 'X')) {
+    base = 16;
+    i += 2;
+  }
+  std::int64_t value = 0;
+  const auto* first = tok.data() + i;
+  const auto* last = tok.data() + tok.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value, base);
+  if (ec != std::errc{} || ptr != last) return std::nullopt;
+  if (neg) value = -value;
+  if (value < INT32_MIN || value > INT32_MAX) return std::nullopt;
+  return static_cast<std::int32_t>(value);
+}
+
+/// Parses "off(rN)" into {imm, reg}.
+std::pair<std::int32_t, std::uint8_t> parse_off_base(const std::string& tok,
+                                                     int line) {
+  const auto open = tok.find('(');
+  const auto close = tok.find(')', open);
+  if (open == std::string::npos || close == std::string::npos ||
+      close != tok.size() - 1) {
+    throw AsmError(line, "expected offset(base), got '" + tok + "'");
+  }
+  const std::string off_str = strip(tok.substr(0, open));
+  const std::string base_str = strip(tok.substr(open + 1, close - open - 1));
+  const auto imm = off_str.empty() ? std::int32_t{0} : try_parse_imm(off_str)
+                       .value_or(INT32_MIN);
+  if (imm == INT32_MIN && !off_str.empty()) {
+    throw AsmError(line, "bad offset in '" + tok + "'");
+  }
+  return {off_str.empty() ? 0 : imm, parse_reg(base_str, line)};
+}
+
+struct PendingTarget {
+  std::size_t pc;
+  std::string label;
+  int line;
+};
+
+}  // namespace
+
+Program assemble(std::string_view source) {
+  Program prog;
+  std::map<std::string, std::int32_t, std::less<>> labels;
+  std::vector<PendingTarget> fixups;
+
+  std::istringstream in{std::string(source)};
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    // Strip comments.
+    for (const char c : {';', '#'}) {
+      const auto pos = raw.find(c);
+      if (pos != std::string::npos) raw.erase(pos);
+    }
+    std::string line = strip(raw);
+    // Peel off leading labels ("name:").
+    while (true) {
+      const auto colon = line.find(':');
+      if (colon == std::string::npos) break;
+      const std::string label = strip(line.substr(0, colon));
+      if (label.empty() || label.find(' ') != std::string::npos) {
+        throw AsmError(line_no, "malformed label");
+      }
+      if (!labels.emplace(label, static_cast<std::int32_t>(prog.size())).second) {
+        throw AsmError(line_no, "duplicate label '" + label + "'");
+      }
+      line = strip(line.substr(colon + 1));
+    }
+    if (line.empty()) continue;
+
+    const auto space = line.find_first_of(" \t");
+    const std::string mnemonic =
+        lower(space == std::string::npos ? line : line.substr(0, space));
+    const std::string rest = space == std::string::npos ? "" : line.substr(space);
+    const auto it = mnemonics().find(mnemonic);
+    if (it == mnemonics().end()) {
+      throw AsmError(line_no, "unknown mnemonic '" + mnemonic + "'");
+    }
+    const auto ops = split_operands(rest);
+    const auto expect = [&](std::size_t n) {
+      if (ops.size() != n) {
+        throw AsmError(line_no, mnemonic + ": expected " + std::to_string(n) +
+                                    " operands, got " + std::to_string(ops.size()));
+      }
+    };
+    // Resolves a branch/jump target: immediate pc or label fixup.
+    const auto target = [&](const std::string& tok) -> std::int32_t {
+      if (const auto imm = try_parse_imm(tok)) return *imm;
+      fixups.push_back({prog.size(), tok, line_no});
+      return 0;
+    };
+
+    Instr ins;
+    ins.op = it->second.op;
+    switch (it->second.fmt) {
+      case Format::kRdRs1Rs2:
+        expect(3);
+        ins.rd = parse_reg(ops[0], line_no);
+        ins.rs1 = parse_reg(ops[1], line_no);
+        ins.rs2 = parse_reg(ops[2], line_no);
+        break;
+      case Format::kRdRs1Imm: {
+        expect(3);
+        ins.rd = parse_reg(ops[0], line_no);
+        ins.rs1 = parse_reg(ops[1], line_no);
+        const auto imm = try_parse_imm(ops[2]);
+        if (!imm) throw AsmError(line_no, "bad immediate '" + ops[2] + "'");
+        ins.imm = *imm;
+        break;
+      }
+      case Format::kRdImm: {
+        expect(2);
+        ins.rd = parse_reg(ops[0], line_no);
+        const auto imm = try_parse_imm(ops[1]);
+        if (!imm) throw AsmError(line_no, "bad immediate '" + ops[1] + "'");
+        ins.imm = *imm;
+        break;
+      }
+      case Format::kRdOffBase: {
+        expect(2);
+        ins.rd = parse_reg(ops[0], line_no);
+        const auto [imm, base] = parse_off_base(ops[1], line_no);
+        ins.imm = imm;
+        ins.rs1 = base;
+        break;
+      }
+      case Format::kRs2OffBase: {
+        expect(2);
+        ins.rs2 = parse_reg(ops[0], line_no);
+        const auto [imm, base] = parse_off_base(ops[1], line_no);
+        ins.imm = imm;
+        ins.rs1 = base;
+        break;
+      }
+      case Format::kRs1Rs2Tgt:
+        expect(3);
+        ins.rs1 = parse_reg(ops[0], line_no);
+        ins.rs2 = parse_reg(ops[1], line_no);
+        ins.imm = target(ops[2]);
+        break;
+      case Format::kTgt:
+        expect(1);
+        ins.imm = target(ops[0]);
+        break;
+      case Format::kRdTgt:
+        expect(2);
+        ins.rd = parse_reg(ops[0], line_no);
+        ins.imm = target(ops[1]);
+        break;
+      case Format::kRs1:
+        expect(1);
+        ins.rs1 = parse_reg(ops[0], line_no);
+        break;
+      case Format::kRs1Rs2:
+        expect(2);
+        ins.rs1 = parse_reg(ops[0], line_no);
+        ins.rs2 = parse_reg(ops[1], line_no);
+        break;
+      case Format::kRdRs1:
+        expect(2);
+        ins.rd = parse_reg(ops[0], line_no);
+        ins.rs1 = parse_reg(ops[1], line_no);
+        break;
+      case Format::kNone:
+        expect(0);
+        break;
+    }
+    prog.push_back(ins);
+  }
+
+  for (const auto& fix : fixups) {
+    const auto it = labels.find(fix.label);
+    if (it == labels.end()) {
+      throw AsmError(fix.line, "undefined label '" + fix.label + "'");
+    }
+    prog[fix.pc].imm = it->second;
+  }
+  return prog;
+}
+
+std::string disassemble(const Program& program) {
+  std::ostringstream out;
+  for (std::size_t pc = 0; pc < program.size(); ++pc) {
+    const Instr& ins = program[pc];
+    const auto& info = op_info(ins.op);
+    out << pc << ": " << info.mnemonic;
+    switch (info.cls) {
+      case OpClass::kAlu:
+      case OpClass::kMul:
+      case OpClass::kXop:
+        if (ins.op == Opcode::kLui) {
+          out << " r" << int(ins.rd) << ", " << ins.imm;
+        } else if (info.mnemonic.back() == 'i' || ins.op == Opcode::kAddi ||
+                   ins.op == Opcode::kAndi || ins.op == Opcode::kOri ||
+                   ins.op == Opcode::kXori || ins.op == Opcode::kSlli ||
+                   ins.op == Opcode::kSrli || ins.op == Opcode::kSrai ||
+                   ins.op == Opcode::kSlti) {
+          out << " r" << int(ins.rd) << ", r" << int(ins.rs1) << ", " << ins.imm;
+        } else {
+          out << " r" << int(ins.rd) << ", r" << int(ins.rs1) << ", r"
+              << int(ins.rs2);
+        }
+        break;
+      case OpClass::kMem:
+      case OpClass::kRemote:
+        if (ins.op == Opcode::kSend) {
+          out << " r" << int(ins.rs1) << ", r" << int(ins.rs2);
+        } else if (ins.op == Opcode::kRecv) {
+          out << " r" << int(ins.rd) << ", r" << int(ins.rs1);
+        } else if (ins.op == Opcode::kSw || ins.op == Opcode::kSb ||
+                   ins.op == Opcode::kRstore) {
+          out << " r" << int(ins.rs2) << ", " << ins.imm << "(r" << int(ins.rs1)
+              << ")";
+        } else {
+          out << " r" << int(ins.rd) << ", " << ins.imm << "(r" << int(ins.rs1)
+              << ")";
+        }
+        break;
+      case OpClass::kBranch:
+        if (ins.op == Opcode::kJ) {
+          out << " " << ins.imm;
+        } else if (ins.op == Opcode::kJal) {
+          out << " r" << int(ins.rd) << ", " << ins.imm;
+        } else if (ins.op == Opcode::kJr) {
+          out << " r" << int(ins.rs1);
+        } else {
+          out << " r" << int(ins.rs1) << ", r" << int(ins.rs2) << ", " << ins.imm;
+        }
+        break;
+      case OpClass::kMisc:
+        break;
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace soc::proc

@@ -1,0 +1,179 @@
+#include "soc/proc/cpu.hpp"
+
+#include <stdexcept>
+
+namespace soc::proc {
+
+Cpu::Cpu(const Program& program, std::size_t scratch_bytes)
+    : program_(program), mem_(scratch_bytes, 0) {
+  if (scratch_bytes % 4 != 0) {
+    throw std::invalid_argument("Cpu: scratchpad size must be word-aligned");
+  }
+}
+
+const RemoteRequest& Cpu::pending() const {
+  if (!blocked_) throw std::logic_error("Cpu::pending: not blocked");
+  return pending_;
+}
+
+void Cpu::complete_remote(std::uint32_t load_value) {
+  if (!blocked_) throw std::logic_error("Cpu::complete_remote: not blocked");
+  if (pending_.kind == RemoteRequest::Kind::kLoad ||
+      pending_.kind == RemoteRequest::Kind::kRecv) {
+    set_reg(pending_.dest_reg, load_value);
+  }
+  blocked_ = false;
+}
+
+void Cpu::set_reg(int idx, std::uint32_t v) {
+  if (idx < 0 || idx >= kNumRegs) throw std::out_of_range("Cpu::set_reg");
+  if (idx != 0) regs_[static_cast<std::size_t>(idx)] = v;
+}
+
+std::uint32_t Cpu::load_word(std::uint32_t byte_addr) const {
+  if (byte_addr + 4 > mem_.size() || byte_addr % 4 != 0) {
+    throw std::out_of_range("Cpu::load_word: bad address");
+  }
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | mem_[byte_addr + static_cast<std::uint32_t>(i)];
+  return v;
+}
+
+void Cpu::store_word(std::uint32_t byte_addr, std::uint32_t value) {
+  if (byte_addr + 4 > mem_.size() || byte_addr % 4 != 0) {
+    throw std::out_of_range("Cpu::store_word: bad address");
+  }
+  for (int i = 0; i < 4; ++i) {
+    mem_[byte_addr + static_cast<std::uint32_t>(i)] =
+        static_cast<std::uint8_t>(value >> (8 * i));
+  }
+}
+
+std::uint8_t Cpu::load_byte(std::uint32_t byte_addr) const {
+  if (byte_addr >= mem_.size()) throw std::out_of_range("Cpu::load_byte");
+  return mem_[byte_addr];
+}
+
+void Cpu::store_byte(std::uint32_t byte_addr, std::uint8_t value) {
+  if (byte_addr >= mem_.size()) throw std::out_of_range("Cpu::store_byte");
+  mem_[byte_addr] = value;
+}
+
+void Cpu::set_custom_op(int slot, CustomOp op) {
+  if (slot < 0 || slot >= 4) throw std::out_of_range("Cpu::set_custom_op");
+  custom_ops_[static_cast<std::size_t>(slot)] = std::move(op);
+}
+
+void Cpu::reset() noexcept {
+  regs_.fill(0);
+  pc_ = 0;
+  halted_ = false;
+  blocked_ = false;
+}
+
+RunResult Cpu::stop(StopReason r, RunResult acc) noexcept {
+  acc.reason = r;
+  return acc;
+}
+
+RunResult Cpu::run(std::uint64_t max_instructions) {
+  RunResult res;
+  if (halted_) return stop(StopReason::kHalted, res);
+  if (blocked_) return stop(StopReason::kRemoteOp, res);
+
+  const auto s32 = [](std::uint32_t v) { return static_cast<std::int32_t>(v); };
+
+  while (res.instructions < max_instructions) {
+    if (pc_ >= program_.size()) return stop(StopReason::kBadPc, res);
+    const Instr& ins = program_[pc_];
+    const auto& info = op_info(ins.op);
+    std::uint32_t cycles = info.base_cycles;
+    const std::uint32_t a = regs_[ins.rs1];
+    const std::uint32_t b = regs_[ins.rs2];
+    std::uint32_t next_pc = pc_ + 1;
+
+    switch (ins.op) {
+      case Opcode::kAdd: set_reg(ins.rd, a + b); break;
+      case Opcode::kSub: set_reg(ins.rd, a - b); break;
+      case Opcode::kAnd: set_reg(ins.rd, a & b); break;
+      case Opcode::kOr: set_reg(ins.rd, a | b); break;
+      case Opcode::kXor: set_reg(ins.rd, a ^ b); break;
+      case Opcode::kSll: set_reg(ins.rd, a << (b & 31u)); break;
+      case Opcode::kSrl: set_reg(ins.rd, a >> (b & 31u)); break;
+      case Opcode::kSra: set_reg(ins.rd, static_cast<std::uint32_t>(s32(a) >> (b & 31u))); break;
+      case Opcode::kSlt: set_reg(ins.rd, s32(a) < s32(b) ? 1 : 0); break;
+      case Opcode::kSltu: set_reg(ins.rd, a < b ? 1 : 0); break;
+      case Opcode::kMul: set_reg(ins.rd, a * b); break;
+      case Opcode::kAddi: set_reg(ins.rd, a + static_cast<std::uint32_t>(ins.imm)); break;
+      case Opcode::kAndi: set_reg(ins.rd, a & static_cast<std::uint32_t>(ins.imm)); break;
+      case Opcode::kOri: set_reg(ins.rd, a | static_cast<std::uint32_t>(ins.imm)); break;
+      case Opcode::kXori: set_reg(ins.rd, a ^ static_cast<std::uint32_t>(ins.imm)); break;
+      case Opcode::kSlli: set_reg(ins.rd, a << (ins.imm & 31)); break;
+      case Opcode::kSrli: set_reg(ins.rd, a >> (ins.imm & 31)); break;
+      case Opcode::kSrai: set_reg(ins.rd, static_cast<std::uint32_t>(s32(a) >> (ins.imm & 31))); break;
+      case Opcode::kSlti: set_reg(ins.rd, s32(a) < ins.imm ? 1 : 0); break;
+      case Opcode::kLui: set_reg(ins.rd, static_cast<std::uint32_t>(ins.imm) << 16); break;
+      case Opcode::kLw: set_reg(ins.rd, load_word(a + static_cast<std::uint32_t>(ins.imm))); break;
+      case Opcode::kSw: store_word(a + static_cast<std::uint32_t>(ins.imm), b); break;
+      case Opcode::kLbu: set_reg(ins.rd, load_byte(a + static_cast<std::uint32_t>(ins.imm))); break;
+      case Opcode::kSb: store_byte(a + static_cast<std::uint32_t>(ins.imm), static_cast<std::uint8_t>(b)); break;
+      case Opcode::kBeq: if (a == b) next_pc = static_cast<std::uint32_t>(ins.imm); else cycles = 1; break;
+      case Opcode::kBne: if (a != b) next_pc = static_cast<std::uint32_t>(ins.imm); else cycles = 1; break;
+      case Opcode::kBlt: if (s32(a) < s32(b)) next_pc = static_cast<std::uint32_t>(ins.imm); else cycles = 1; break;
+      case Opcode::kBge: if (s32(a) >= s32(b)) next_pc = static_cast<std::uint32_t>(ins.imm); else cycles = 1; break;
+      case Opcode::kJ: next_pc = static_cast<std::uint32_t>(ins.imm); break;
+      case Opcode::kJal:
+        set_reg(ins.rd, pc_ + 1);
+        next_pc = static_cast<std::uint32_t>(ins.imm);
+        break;
+      case Opcode::kJr: next_pc = a; break;
+      case Opcode::kRload:
+        pending_ = {RemoteRequest::Kind::kLoad,
+                    a + static_cast<std::uint32_t>(ins.imm), 0, ins.rd};
+        break;
+      case Opcode::kRstore:
+        pending_ = {RemoteRequest::Kind::kStore,
+                    a + static_cast<std::uint32_t>(ins.imm), b, 0};
+        break;
+      case Opcode::kSend:
+        pending_ = {RemoteRequest::Kind::kSend, a, b, 0};
+        break;
+      case Opcode::kRecv:
+        pending_ = {RemoteRequest::Kind::kRecv, a, 0, ins.rd};
+        break;
+      case Opcode::kXop0:
+      case Opcode::kXop1:
+      case Opcode::kXop2:
+      case Opcode::kXop3: {
+        const auto slot = static_cast<std::size_t>(ins.op) -
+                          static_cast<std::size_t>(Opcode::kXop0);
+        const CustomOp& cop = custom_ops_[slot];
+        if (!cop.fn) {
+          throw std::logic_error("Cpu: xop slot " + std::to_string(slot) +
+                                 " executed but not configured");
+        }
+        set_reg(ins.rd, cop.fn(a, b));
+        cycles = cop.cycles;
+        break;
+      }
+      case Opcode::kNop: break;
+      case Opcode::kHalt: halted_ = true; break;
+    }
+
+    pc_ = next_pc;
+    ++res.instructions;
+    ++total_instr_;
+    res.cycles += cycles;
+    total_cycles_ += cycles;
+    ++class_counts_[static_cast<std::size_t>(info.cls)];
+
+    if (halted_) return stop(StopReason::kHalted, res);
+    if (info.cls == OpClass::kRemote) {
+      blocked_ = true;
+      return stop(StopReason::kRemoteOp, res);
+    }
+  }
+  return stop(StopReason::kBudget, res);
+}
+
+}  // namespace soc::proc

@@ -1,0 +1,142 @@
+#include "soc/proc/encoding.hpp"
+
+#include <string>
+
+namespace soc::proc {
+
+namespace {
+constexpr std::int32_t kImmMin = -32768;
+constexpr std::int32_t kImmMax = 32767;
+}  // namespace
+
+bool encodable(const Instr& instr) noexcept {
+  // lui deliberately carries a 16-bit *unsigned* page number.
+  if (instr.op == Opcode::kLui) {
+    return instr.imm >= 0 && instr.imm <= 0xFFFF;
+  }
+  return instr.imm >= kImmMin && instr.imm <= kImmMax;
+}
+
+std::uint32_t encode(const Instr& instr) {
+  if (!encodable(instr)) {
+    throw EncodingError("immediate " + std::to_string(instr.imm) +
+                        " does not fit the 16-bit field");
+  }
+  const auto op = static_cast<std::uint32_t>(instr.op);
+  std::uint32_t word = op << 26;
+  word |= static_cast<std::uint32_t>(instr.rd & 0x1F) << 21;
+  word |= static_cast<std::uint32_t>(instr.rs1 & 0x1F) << 16;
+  const auto cls = op_info(instr.op).cls;
+  const bool r_type =
+      (cls == OpClass::kAlu || cls == OpClass::kMul || cls == OpClass::kXop) &&
+      instr.imm == 0 && instr.op != Opcode::kLui;
+  // rs2 and imm16 share bits [15:0]; every format uses at most one of the
+  // two except stores (rs2 + offset). Stores pack rs2 in [15:11] and a
+  // reduced 11-bit offset in [10:0].
+  switch (instr.op) {
+    case Opcode::kSw:
+    case Opcode::kSb:
+    case Opcode::kRstore: {
+      if (instr.imm < -1024 || instr.imm > 1023) {
+        throw EncodingError("store offset " + std::to_string(instr.imm) +
+                            " does not fit the 11-bit field");
+      }
+      word |= static_cast<std::uint32_t>(instr.rs2 & 0x1F) << 11;
+      word |= static_cast<std::uint32_t>(instr.imm) & 0x7FF;
+      return word;
+    }
+    default:
+      break;
+  }
+  if (r_type || cls == OpClass::kBranch || cls == OpClass::kRemote) {
+    // Branches carry rs2 plus an 11-bit target; plain R-types carry rs2.
+    word |= static_cast<std::uint32_t>(instr.rs2 & 0x1F) << 11;
+    if (instr.imm != 0) {
+      if (instr.imm < 0 || instr.imm > 2047) {
+        throw EncodingError("branch/remote immediate " +
+                            std::to_string(instr.imm) +
+                            " does not fit the 11-bit field");
+      }
+      word |= static_cast<std::uint32_t>(instr.imm) & 0x7FF;
+    }
+    return word;
+  }
+  word |= static_cast<std::uint32_t>(instr.imm) & 0xFFFF;
+  return word;
+}
+
+Instr decode(std::uint32_t word) {
+  const std::uint32_t op_field = word >> 26;
+  if (op_field >= kOpcodeCount) {
+    throw EncodingError("invalid opcode field " + std::to_string(op_field));
+  }
+  Instr instr;
+  instr.op = static_cast<Opcode>(op_field);
+  instr.rd = static_cast<std::uint8_t>((word >> 21) & 0x1F);
+  instr.rs1 = static_cast<std::uint8_t>((word >> 16) & 0x1F);
+  const auto cls = op_info(instr.op).cls;
+
+  switch (instr.op) {
+    case Opcode::kSw:
+    case Opcode::kSb:
+    case Opcode::kRstore: {
+      instr.rs2 = static_cast<std::uint8_t>((word >> 11) & 0x1F);
+      // Sign-extend the 11-bit offset.
+      std::int32_t imm = static_cast<std::int32_t>(word & 0x7FF);
+      if (imm & 0x400) imm -= 0x800;
+      instr.imm = imm;
+      return instr;
+    }
+    default:
+      break;
+  }
+  if (cls == OpClass::kBranch || cls == OpClass::kRemote) {
+    instr.rs2 = static_cast<std::uint8_t>((word >> 11) & 0x1F);
+    instr.imm = static_cast<std::int32_t>(word & 0x7FF);
+    return instr;
+  }
+  if (cls == OpClass::kAlu || cls == OpClass::kMul || cls == OpClass::kXop) {
+    if (instr.op == Opcode::kLui) {
+      instr.imm = static_cast<std::int32_t>(word & 0xFFFF);
+      return instr;
+    }
+    // Ambiguity between R-type (rs2) and I-type (imm16) is resolved by the
+    // opcode: immediate ALU forms are distinct opcodes.
+    switch (instr.op) {
+      case Opcode::kAddi: case Opcode::kAndi: case Opcode::kOri:
+      case Opcode::kXori: case Opcode::kSlli: case Opcode::kSrli:
+      case Opcode::kSrai: case Opcode::kSlti: {
+        std::int32_t imm = static_cast<std::int32_t>(word & 0xFFFF);
+        if (imm & 0x8000) imm -= 0x10000;
+        instr.imm = imm;
+        return instr;
+      }
+      default:
+        instr.rs2 = static_cast<std::uint8_t>((word >> 11) & 0x1F);
+        return instr;
+    }
+  }
+  if (cls == OpClass::kMem) {  // lw / lbu
+    std::int32_t imm = static_cast<std::int32_t>(word & 0xFFFF);
+    if (imm & 0x8000) imm -= 0x10000;
+    instr.imm = imm;
+    return instr;
+  }
+  return instr;  // kMisc
+}
+
+std::vector<std::uint32_t> encode_program(const Program& program) {
+  std::vector<std::uint32_t> words;
+  words.reserve(program.size());
+  for (const auto& i : program) words.push_back(encode(i));
+  return words;
+}
+
+Program decode_program(std::span<const std::uint32_t> words) {
+  Program program;
+  program.reserve(words.size());
+  for (const auto w : words) program.push_back(decode(w));
+  return program;
+}
+
+}  // namespace soc::proc

@@ -1,0 +1,44 @@
+#include "soc/proc/isa.hpp"
+
+#include <array>
+
+namespace soc::proc {
+
+namespace {
+
+// Cycle costs model a single-issue in-order embedded core: 1 cycle ALU,
+// 3-cycle multiplier, 2-cycle scratchpad access, 2-cycle taken-branch
+// penalty folded into branch cost. Remote ops cost 1 issue cycle here; the
+// platform adds the (possibly >100-cycle) NoC round trip.
+constexpr std::array<OpInfo, kOpcodeCount> kOpTable = {{
+    {"add", OpClass::kAlu, 1},   {"sub", OpClass::kAlu, 1},
+    {"and", OpClass::kAlu, 1},   {"or", OpClass::kAlu, 1},
+    {"xor", OpClass::kAlu, 1},   {"sll", OpClass::kAlu, 1},
+    {"srl", OpClass::kAlu, 1},   {"sra", OpClass::kAlu, 1},
+    {"slt", OpClass::kAlu, 1},   {"sltu", OpClass::kAlu, 1},
+    {"mul", OpClass::kMul, 3},
+    {"addi", OpClass::kAlu, 1},  {"andi", OpClass::kAlu, 1},
+    {"ori", OpClass::kAlu, 1},   {"xori", OpClass::kAlu, 1},
+    {"slli", OpClass::kAlu, 1},  {"srli", OpClass::kAlu, 1},
+    {"srai", OpClass::kAlu, 1},  {"slti", OpClass::kAlu, 1},
+    {"lui", OpClass::kAlu, 1},
+    {"lw", OpClass::kMem, 2},    {"sw", OpClass::kMem, 1},
+    {"lbu", OpClass::kMem, 2},   {"sb", OpClass::kMem, 1},
+    {"beq", OpClass::kBranch, 2}, {"bne", OpClass::kBranch, 2},
+    {"blt", OpClass::kBranch, 2}, {"bge", OpClass::kBranch, 2},
+    {"j", OpClass::kBranch, 2},  {"jal", OpClass::kBranch, 2},
+    {"jr", OpClass::kBranch, 2},
+    {"rload", OpClass::kRemote, 1}, {"rstore", OpClass::kRemote, 1},
+    {"send", OpClass::kRemote, 1},  {"recv", OpClass::kRemote, 1},
+    {"xop0", OpClass::kXop, 1},  {"xop1", OpClass::kXop, 1},
+    {"xop2", OpClass::kXop, 1},  {"xop3", OpClass::kXop, 1},
+    {"nop", OpClass::kMisc, 1},  {"halt", OpClass::kMisc, 1},
+}};
+
+}  // namespace
+
+const OpInfo& op_info(Opcode op) noexcept {
+  return kOpTable[static_cast<std::size_t>(op)];
+}
+
+}  // namespace soc::proc

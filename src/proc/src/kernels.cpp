@@ -1,0 +1,289 @@
+#include "soc/proc/kernels.hpp"
+
+#include "soc/proc/assembler.hpp"
+
+namespace soc::proc {
+
+namespace {
+
+constexpr std::uint32_t kResultAddr = 0x400;
+
+// ---------------------------------------------------------------- crc32 ---
+
+constexpr std::uint32_t kCrcPoly = 0xEDB88320u;
+
+std::uint32_t crc_step(std::uint32_t crc, std::uint32_t byte) {
+  crc ^= (byte & 0xFFu);
+  for (int i = 0; i < 8; ++i) {
+    crc = (crc & 1u) ? (crc >> 1) ^ kCrcPoly : crc >> 1;
+  }
+  return crc;
+}
+
+std::uint32_t crc_reference(int len) {
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (int i = 0; i < len; ++i) {
+    crc = crc_step(crc, static_cast<std::uint32_t>((i * 7 + 3) & 0xFF));
+  }
+  return crc;
+}
+
+constexpr const char* kCrcGp = R"(
+  addi r3, r0, -1        ; crc = 0xFFFFFFFF
+  addi r10, r0, 0        ; i
+  addi r2, r0, 256       ; len
+  lui  r8, 0xEDB8
+  ori  r8, r8, 0x8320    ; polynomial
+byte_loop:
+  lbu  r5, 0(r10)
+  xor  r3, r3, r5
+  addi r6, r0, 8
+bit_loop:
+  andi r7, r3, 1
+  srli r3, r3, 1
+  beq  r7, r0, skip
+  xor  r3, r3, r8
+skip:
+  addi r6, r6, -1
+  bne  r6, r0, bit_loop
+  addi r10, r10, 1
+  bne  r10, r2, byte_loop
+  sw   r3, 0x400(r0)
+  halt
+)";
+
+constexpr const char* kCrcAsip = R"(
+  addi r3, r0, -1
+  addi r10, r0, 0
+  addi r2, r0, 256
+loop:
+  lbu  r5, 0(r10)
+  xop0 r3, r3, r5        ; full per-byte CRC step in one instruction
+  addi r10, r10, 1
+  bne  r10, r2, loop
+  sw   r3, 0x400(r0)
+  halt
+)";
+
+Kernel make_crc_kernel() {
+  Kernel k;
+  k.name = "crc32";
+  k.description = "CRC-32 over 256 bytes (bit-serial GP vs 1-cycle step ASIP)";
+  k.gp_source = kCrcGp;
+  k.asip_source = kCrcAsip;
+  k.asip_ops[0] = CustomOp{crc_step, 1};
+  k.setup = [](Cpu& cpu) {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      cpu.store_byte(i, static_cast<std::uint8_t>((i * 7 + 3) & 0xFF));
+    }
+  };
+  k.verify = [](const Cpu& cpu) {
+    return cpu.load_word(kResultAddr) == crc_reference(256);
+  };
+  k.useful_ops = 256;  // one CRC step per byte in a hardwired datapath
+  return k;
+}
+
+// ------------------------------------------------------------ dotprod16 ---
+
+std::uint32_t dual_mac(std::uint32_t a, std::uint32_t b) {
+  return (a & 0xFFFFu) * (b & 0xFFFFu) + (a >> 16) * (b >> 16);
+}
+
+constexpr int kDotWords = 128;
+
+std::uint32_t dot_input_a(int i) {
+  const std::uint32_t lo = static_cast<std::uint32_t>((i * 3 + 1) & 0x7FFF);
+  const std::uint32_t hi = static_cast<std::uint32_t>((i * 5 + 2) & 0x7FFF);
+  return lo | (hi << 16);
+}
+std::uint32_t dot_input_b(int i) {
+  const std::uint32_t lo = static_cast<std::uint32_t>((i * 11 + 7) & 0x7FFF);
+  const std::uint32_t hi = static_cast<std::uint32_t>((i * 13 + 5) & 0x7FFF);
+  return lo | (hi << 16);
+}
+
+std::uint32_t dot_reference() {
+  std::uint32_t acc = 0;
+  for (int i = 0; i < kDotWords; ++i) acc += dual_mac(dot_input_a(i), dot_input_b(i));
+  return acc;
+}
+
+constexpr const char* kDotGp = R"(
+  addi r1, r0, 0         ; a
+  addi r2, r0, 0x200     ; b
+  addi r3, r0, 0         ; acc
+  addi r4, r0, 128
+loop:
+  lw   r5, 0(r1)
+  lw   r6, 0(r2)
+  andi r7, r5, 0xFFFF
+  andi r8, r6, 0xFFFF
+  mul  r9, r7, r8
+  add  r3, r3, r9
+  srli r7, r5, 16
+  srli r8, r6, 16
+  mul  r9, r7, r8
+  add  r3, r3, r9
+  addi r1, r1, 4
+  addi r2, r2, 4
+  addi r4, r4, -1
+  bne  r4, r0, loop
+  sw   r3, 0x400(r0)
+  halt
+)";
+
+constexpr const char* kDotAsip = R"(
+  addi r1, r0, 0
+  addi r2, r0, 0x200
+  addi r3, r0, 0
+  addi r4, r0, 128
+loop:
+  lw   r5, 0(r1)
+  lw   r6, 0(r2)
+  xop0 r9, r5, r6        ; dual 16-bit MAC partial
+  add  r3, r3, r9
+  addi r1, r1, 4
+  addi r2, r2, 4
+  addi r4, r4, -1
+  bne  r4, r0, loop
+  sw   r3, 0x400(r0)
+  halt
+)";
+
+Kernel make_dot_kernel() {
+  Kernel k;
+  k.name = "dotprod16";
+  k.description = "packed 16-bit dot product, 256 MACs (scalar GP vs dual-MAC ASIP)";
+  k.gp_source = kDotGp;
+  k.asip_source = kDotAsip;
+  k.asip_ops[0] = CustomOp{dual_mac, 2};
+  k.setup = [](Cpu& cpu) {
+    for (int i = 0; i < kDotWords; ++i) {
+      cpu.store_word(static_cast<std::uint32_t>(i * 4), dot_input_a(i));
+      cpu.store_word(0x200 + static_cast<std::uint32_t>(i * 4), dot_input_b(i));
+    }
+  };
+  k.verify = [](const Cpu& cpu) {
+    return cpu.load_word(kResultAddr) == dot_reference();
+  };
+  k.useful_ops = 2 * kDotWords;  // MAC operations
+  return k;
+}
+
+// ------------------------------------------------------------- checksum ---
+
+constexpr int kSumWords = 128;
+
+std::uint32_t sum_input(int i) {
+  return static_cast<std::uint32_t>(i * 2654435761u + 12345u);
+}
+
+std::uint32_t fold16(std::uint32_t s) {
+  while (s > 0xFFFFu) s = (s & 0xFFFFu) + (s >> 16);
+  return s;
+}
+
+std::uint32_t checksum_reference() {
+  std::uint32_t sum = 0;
+  for (int i = 0; i < kSumWords; ++i) {
+    const std::uint32_t w = sum_input(i);
+    sum += (w & 0xFFFFu) + (w >> 16);
+  }
+  return fold16(sum) ^ 0xFFFFu;
+}
+
+constexpr const char* kSumGp = R"(
+  addi r1, r0, 0
+  addi r2, r0, 128
+  addi r3, r0, 0
+loop:
+  lw   r5, 0(r1)
+  andi r6, r5, 0xFFFF
+  add  r3, r3, r6
+  srli r6, r5, 16
+  add  r3, r3, r6
+  addi r1, r1, 4
+  addi r2, r2, -1
+  bne  r2, r0, loop
+fold:
+  srli r5, r3, 16
+  andi r3, r3, 0xFFFF
+  add  r3, r3, r5
+  srli r5, r3, 16
+  bne  r5, r0, fold
+  xori r3, r3, 0xFFFF
+  sw   r3, 0x400(r0)
+  halt
+)";
+
+constexpr const char* kSumAsip = R"(
+  addi r1, r0, 0
+  addi r2, r0, 128
+  addi r3, r0, 0
+loop:
+  lw   r5, 0(r1)
+  xop0 r3, r3, r5        ; fused ones-complement accumulate of both halves
+  addi r1, r1, 4
+  addi r2, r2, -1
+  bne  r2, r0, loop
+  xori r3, r3, 0xFFFF
+  sw   r3, 0x400(r0)
+  halt
+)";
+
+std::uint32_t csum_accumulate(std::uint32_t sum, std::uint32_t word) {
+  return fold16(sum + (word & 0xFFFFu) + (word >> 16));
+}
+
+Kernel make_checksum_kernel() {
+  Kernel k;
+  k.name = "checksum16";
+  k.description = "IPv4-style ones-complement checksum over 512 bytes";
+  k.gp_source = kSumGp;
+  k.asip_source = kSumAsip;
+  k.asip_ops[0] = CustomOp{csum_accumulate, 1};
+  k.setup = [](Cpu& cpu) {
+    for (int i = 0; i < kSumWords; ++i) {
+      cpu.store_word(static_cast<std::uint32_t>(i * 4), sum_input(i));
+    }
+  };
+  k.verify = [](const Cpu& cpu) {
+    return cpu.load_word(kResultAddr) == checksum_reference();
+  };
+  k.useful_ops = 2 * kSumWords;  // halfword additions
+  return k;
+}
+
+KernelRun run_variant(const Kernel& k, const std::string& source,
+                      bool install_ops) {
+  const Program prog = assemble(source);
+  Cpu cpu(prog);
+  if (install_ops) {
+    for (int s = 0; s < 4; ++s) {
+      if (k.asip_ops[static_cast<std::size_t>(s)].fn) {
+        cpu.set_custom_op(s, k.asip_ops[static_cast<std::size_t>(s)]);
+      }
+    }
+  }
+  k.setup(cpu);
+  const RunResult r = cpu.run(100'000'000);
+  KernelRun out;
+  out.instructions = r.instructions;
+  out.cycles = r.cycles;
+  out.correct = r.reason == StopReason::kHalted && k.verify(cpu);
+  return out;
+}
+
+}  // namespace
+
+const std::vector<Kernel>& kernel_suite() {
+  static const std::vector<Kernel> kSuite = {
+      make_crc_kernel(), make_dot_kernel(), make_checksum_kernel()};
+  return kSuite;
+}
+
+KernelRun run_gp(const Kernel& k) { return run_variant(k, k.gp_source, false); }
+KernelRun run_asip(const Kernel& k) { return run_variant(k, k.asip_source, true); }
+
+}  // namespace soc::proc

@@ -1,0 +1,38 @@
+#include "soc/proc/multithread.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace soc::proc {
+
+double mt_utilization(const MtParams& p) noexcept {
+  if (p.threads <= 0 || p.compute_cycles <= 0.0) return 0.0;
+  const double c = p.compute_cycles;
+  const double s = std::max(0.0, p.switch_penalty);
+  const double l = std::max(0.0, p.remote_latency);
+  const double t = static_cast<double>(p.threads);
+  const double saturated = c / (c + s);
+  const double unsaturated = t * c / (c + l);
+  return std::min(saturated, unsaturated);
+}
+
+int threads_to_hide_latency(double compute_cycles, double remote_latency,
+                            double switch_penalty) noexcept {
+  if (compute_cycles <= 0.0) return 0;
+  // Need T*(C+s) >= C+L.
+  const double t = (compute_cycles + remote_latency) /
+                   (compute_cycles + switch_penalty);
+  return static_cast<int>(std::ceil(t));
+}
+
+double mt_transactions_per_cycle(const MtParams& p) noexcept {
+  if (p.compute_cycles <= 0.0) return 0.0;
+  return mt_utilization(p) / p.compute_cycles;
+}
+
+double mt_area_overhead(int threads, double per_context_fraction) noexcept {
+  if (threads <= 1) return 1.0;
+  return 1.0 + per_context_fraction * static_cast<double>(threads - 1);
+}
+
+}  // namespace soc::proc

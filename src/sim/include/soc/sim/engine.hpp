@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "soc/sim/types.hpp"
+
+namespace soc::sim {
+
+/// Base class for cycle-accurate components. The engine calls tick() on every
+/// component each cycle (phase 1: compute/propose), then tock() (phase 2:
+/// commit/update). Two-phase evaluation removes dependence on component
+/// registration order when components exchange signals through shared state.
+class Clocked {
+ public:
+  explicit Clocked(std::string name) : name_(std::move(name)) {}
+  virtual ~Clocked() = default;
+
+  Clocked(const Clocked&) = delete;
+  Clocked& operator=(const Clocked&) = delete;
+
+  /// Phase 1: read current state, compute next state / send proposals.
+  virtual void tick(Cycle now) = 0;
+  /// Phase 2: commit state computed in tick(). Default: nothing.
+  virtual void tock(Cycle /*now*/) {}
+
+  const std::string& name() const noexcept { return name_; }
+
+ private:
+  std::string name_;
+};
+
+/// Fixed-step cycle engine driving a set of Clocked components. Components
+/// are not owned; the platform assembly layer owns them and guarantees they
+/// outlive the engine run.
+class Engine {
+ public:
+  void add(Clocked& c) { components_.push_back(&c); }
+
+  /// Advances the simulation by `cycles` cycles.
+  void run(Cycle cycles);
+
+  /// Advances one cycle.
+  void step();
+
+  Cycle now() const noexcept { return now_; }
+  std::size_t component_count() const noexcept { return components_.size(); }
+
+  /// Requests that run() return after the current cycle completes.
+  void request_stop() noexcept { stop_requested_ = true; }
+
+ private:
+  std::vector<Clocked*> components_;
+  Cycle now_ = 0;
+  bool stop_requested_ = false;
+};
+
+}  // namespace soc::sim

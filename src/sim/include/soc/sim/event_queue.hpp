@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "soc/sim/types.hpp"
+
+namespace soc::sim {
+
+/// Discrete-event scheduler. Events at the same cycle fire in the order they
+/// were scheduled (FIFO tie-break via sequence numbers), which makes runs
+/// fully deterministic — a hard requirement for regression-testing the
+/// platform simulator.
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  /// Schedules `fn` to run at absolute cycle `at`. Precondition: at >= now().
+  void schedule_at(Cycle at, Action fn);
+
+  /// Schedules `fn` to run `delay` cycles from now.
+  void schedule_in(Cycle delay, Action fn) { schedule_at(now_ + delay, std::move(fn)); }
+
+  /// Runs the earliest pending event; returns false if the queue is empty.
+  bool step();
+
+  /// Runs events until the queue is empty or `limit` is reached (events
+  /// scheduled at exactly `limit` still run). Returns number of events run.
+  std::uint64_t run_until(Cycle limit);
+
+  /// Drains the queue completely. Returns number of events run.
+  std::uint64_t run_all();
+
+  Cycle now() const noexcept { return now_; }
+  bool empty() const noexcept { return heap_.empty(); }
+  std::size_t pending() const noexcept { return heap_.size(); }
+
+ private:
+  struct Entry {
+    Cycle time;
+    std::uint64_t seq;
+    Action fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      return a.time != b.time ? a.time > b.time : a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  Cycle now_ = 0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace soc::sim

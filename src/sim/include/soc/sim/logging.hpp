@@ -1,0 +1,30 @@
+#pragma once
+
+#include <string>
+
+namespace soc::sim {
+
+/// Severity levels for the simulation logger.
+enum class LogLevel { kDebug, kInfo, kWarn, kError, kOff };
+
+/// Minimal process-wide logger. Benchmarks set level to kWarn to keep table
+/// output clean; tests can capture via set_sink.
+namespace log {
+
+using Sink = void (*)(LogLevel, const std::string&);
+
+void set_level(LogLevel level) noexcept;
+LogLevel level() noexcept;
+/// Replaces the output sink (default writes to stderr). Pass nullptr to
+/// restore the default sink.
+void set_sink(Sink sink) noexcept;
+
+void write(LogLevel lvl, const std::string& msg);
+
+inline void debug(const std::string& m) { write(LogLevel::kDebug, m); }
+inline void info(const std::string& m) { write(LogLevel::kInfo, m); }
+inline void warn(const std::string& m) { write(LogLevel::kWarn, m); }
+inline void error(const std::string& m) { write(LogLevel::kError, m); }
+
+}  // namespace log
+}  // namespace soc::sim

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace soc::sim {
+
+/// SplitMix64: tiny, fast generator used to seed Xoshiro256** and for
+/// stateless hashing of (seed, index) pairs. Reference: Steele, Lea,
+/// Flood, "Fast splittable pseudorandom number generators", OOPSLA 2014.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  /// Next 64-bit value; advances the state.
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Deterministic PRNG for all stochastic models (traffic generators, mapping
+/// heuristics, fault injection). Xoshiro256** has 256-bit state, passes
+/// BigCrush, and is reproducible across platforms — a requirement for
+/// regression-testable simulations.
+class Rng {
+ public:
+  /// Seeds the four state words from SplitMix64(seed).
+  explicit Rng(std::uint64_t seed = 0x5eedULL) noexcept;
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64() noexcept;
+
+  /// Uniform integer in [0, bound). Precondition: bound > 0.
+  /// Uses Lemire's multiply-shift rejection method (unbiased).
+  std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. Precondition: lo <= hi.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept;
+
+  /// Bernoulli trial with probability p (clamped to [0,1]).
+  bool next_bool(double p) noexcept;
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double next_exponential(double mean) noexcept;
+
+  /// Geometric number of failures before first success, success prob p in (0,1].
+  std::uint64_t next_geometric(double p) noexcept;
+
+  /// Standard-normal variate (Box–Muller, one value per call).
+  double next_normal() noexcept;
+
+  /// Creates an independent stream (jump-free: reseeds from this stream).
+  Rng split() noexcept;
+
+  // Satisfy UniformRandomBitGenerator so std::shuffle et al. work.
+  using result_type = std::uint64_t;
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+  result_type operator()() noexcept { return next_u64(); }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace soc::sim

@@ -1,0 +1,108 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace soc::sim {
+
+/// Single-pass mean/variance/min/max accumulator (Welford's algorithm).
+/// Numerically stable for the long cycle counts our simulations produce.
+class RunningStats {
+ public:
+  void push(double x) noexcept;
+
+  std::uint64_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+  double sum() const noexcept { return sum_; }
+
+  /// Merges another accumulator into this one (parallel-combine form).
+  void merge(const RunningStats& other) noexcept;
+
+  void reset() noexcept { *this = RunningStats{}; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-width linear histogram with an explicit overflow bin. Used for
+/// latency distributions where we need tail percentiles without storing
+/// every sample.
+class Histogram {
+ public:
+  /// Bins of width `bin_width` covering [0, bin_width*num_bins); larger
+  /// samples land in the overflow bin. Preconditions: bin_width > 0,
+  /// num_bins > 0.
+  Histogram(double bin_width, std::size_t num_bins);
+
+  void push(double x) noexcept;
+
+  std::uint64_t count() const noexcept { return total_; }
+  std::uint64_t bin_count(std::size_t i) const { return bins_.at(i); }
+  std::uint64_t overflow() const noexcept { return overflow_; }
+  std::size_t num_bins() const noexcept { return bins_.size(); }
+  double bin_width() const noexcept { return bin_width_; }
+
+  /// Approximate quantile q in [0,1] by linear interpolation within the
+  /// containing bin. Returns 0 when empty; returns the histogram upper
+  /// bound when the quantile lies in the overflow bin.
+  double quantile(double q) const noexcept;
+
+  void reset() noexcept;
+
+ private:
+  double bin_width_;
+  std::vector<std::uint64_t> bins_;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+/// Exact-sample recorder for small experiments where precise percentiles
+/// matter more than memory (e.g. per-packet latency in a bench run).
+class SampleSet {
+ public:
+  void push(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+  std::size_t size() const noexcept { return samples_.size(); }
+  bool empty() const noexcept { return samples_.empty(); }
+  double mean() const noexcept;
+  /// Exact quantile (nearest-rank with interpolation). Sorts lazily.
+  double quantile(double q) const;
+  double min() const;
+  double max() const;
+  const std::vector<double>& samples() const noexcept { return samples_; }
+  void reset() noexcept { samples_.clear(); sorted_ = false; }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+/// Named monotonically increasing counter used by components to expose
+/// throughput-style metrics (packets injected, flits routed, stalls, ...).
+class Counter {
+ public:
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+  void add(std::uint64_t d = 1) noexcept { value_ += d; }
+  std::uint64_t value() const noexcept { return value_; }
+  const std::string& name() const noexcept { return name_; }
+  void reset() noexcept { value_ = 0; }
+
+ private:
+  std::string name_;
+  std::uint64_t value_ = 0;
+};
+
+}  // namespace soc::sim

@@ -1,0 +1,15 @@
+#pragma once
+
+#include <cstdint>
+
+namespace soc::sim {
+
+/// Simulation time in clock cycles. All cycle-level models in this project
+/// advance in units of the platform clock; conversion to wall-clock time is
+/// done by the technology layer (soc::tech) which knows the clock period.
+using Cycle = std::uint64_t;
+
+/// Sentinel for "no cycle" / "not yet scheduled".
+inline constexpr Cycle kNeverCycle = ~Cycle{0};
+
+}  // namespace soc::sim

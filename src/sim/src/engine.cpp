@@ -1,0 +1,19 @@
+#include "soc/sim/engine.hpp"
+
+namespace soc::sim {
+
+void Engine::step() {
+  for (Clocked* c : components_) c->tick(now_);
+  for (Clocked* c : components_) c->tock(now_);
+  ++now_;
+}
+
+void Engine::run(Cycle cycles) {
+  stop_requested_ = false;
+  for (Cycle i = 0; i < cycles; ++i) {
+    step();
+    if (stop_requested_) break;
+  }
+}
+
+}  // namespace soc::sim

@@ -1,0 +1,42 @@
+#include "soc/sim/event_queue.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace soc::sim {
+
+void EventQueue::schedule_at(Cycle at, Action fn) {
+  if (at < now_) {
+    throw std::logic_error("EventQueue::schedule_at: event scheduled in the past");
+  }
+  heap_.push(Entry{at, next_seq_++, std::move(fn)});
+}
+
+bool EventQueue::step() {
+  if (heap_.empty()) return false;
+  // priority_queue::top() is const; move out via const_cast is UB-adjacent,
+  // so copy the small fields and move the action through a local pop pattern.
+  Entry e = std::move(const_cast<Entry&>(heap_.top()));
+  heap_.pop();
+  now_ = e.time;
+  e.fn();
+  return true;
+}
+
+std::uint64_t EventQueue::run_until(Cycle limit) {
+  std::uint64_t ran = 0;
+  while (!heap_.empty() && heap_.top().time <= limit) {
+    step();
+    ++ran;
+  }
+  if (now_ < limit) now_ = limit;
+  return ran;
+}
+
+std::uint64_t EventQueue::run_all() {
+  std::uint64_t ran = 0;
+  while (step()) ++ran;
+  return ran;
+}
+
+}  // namespace soc::sim

@@ -1,0 +1,38 @@
+#include "soc/sim/logging.hpp"
+
+#include <cstdio>
+
+namespace soc::sim::log {
+
+namespace {
+
+LogLevel g_level = LogLevel::kWarn;
+Sink g_sink = nullptr;
+
+const char* level_name(LogLevel lvl) {
+  switch (lvl) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+void default_sink(LogLevel lvl, const std::string& msg) {
+  std::fprintf(stderr, "[%s] %s\n", level_name(lvl), msg.c_str());
+}
+
+}  // namespace
+
+void set_level(LogLevel level) noexcept { g_level = level; }
+LogLevel level() noexcept { return g_level; }
+void set_sink(Sink sink) noexcept { g_sink = sink; }
+
+void write(LogLevel lvl, const std::string& msg) {
+  if (lvl < g_level || g_level == LogLevel::kOff) return;
+  (g_sink ? g_sink : default_sink)(lvl, msg);
+}
+
+}  // namespace soc::sim::log

@@ -1,0 +1,85 @@
+#include "soc/sim/rng.hpp"
+
+#include <cmath>
+
+namespace soc::sim {
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept : s_{} {
+  SplitMix64 sm(seed);
+  for (auto& w : s_) w = sm.next();
+}
+
+std::uint64_t Rng::next_u64() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) noexcept {
+  // Lemire multiply-shift with rejection to remove modulo bias.
+  std::uint64_t x = next_u64();
+  unsigned __int128 m = static_cast<unsigned __int128>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = (~bound + 1) % bound;  // 2^64 mod bound
+    while (lo < threshold) {
+      x = next_u64();
+      m = static_cast<unsigned __int128>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::next_in(std::int64_t lo, std::int64_t hi) noexcept {
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(next_below(span));
+}
+
+double Rng::next_double() noexcept {
+  // 53 high bits -> [0,1) with full double precision.
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::next_bool(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return next_double() < p;
+}
+
+double Rng::next_exponential(double mean) noexcept {
+  double u = next_double();
+  // Guard log(0).
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+std::uint64_t Rng::next_geometric(double p) noexcept {
+  if (p >= 1.0) return 0;
+  double u = next_double();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return static_cast<std::uint64_t>(std::log(u) / std::log1p(-p));
+}
+
+double Rng::next_normal() noexcept {
+  double u1 = next_double();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  const double u2 = next_double();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+}
+
+Rng Rng::split() noexcept { return Rng(next_u64()); }
+
+}  // namespace soc::sim

@@ -1,0 +1,111 @@
+#include "soc/sim/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace soc::sim {
+
+void RunningStats::push(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n = static_cast<double>(n_);
+  const auto m = static_cast<double>(other.n_);
+  const double combined = n + m;
+  m2_ += other.m2_ + delta * delta * n * m / combined;
+  mean_ += delta * m / combined;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+Histogram::Histogram(double bin_width, std::size_t num_bins)
+    : bin_width_(bin_width), bins_(num_bins, 0) {
+  if (bin_width <= 0.0 || num_bins == 0) {
+    throw std::invalid_argument("Histogram: bin_width and num_bins must be positive");
+  }
+}
+
+void Histogram::push(double x) noexcept {
+  ++total_;
+  if (x < 0.0) x = 0.0;
+  const auto idx = static_cast<std::size_t>(x / bin_width_);
+  if (idx >= bins_.size()) {
+    ++overflow_;
+  } else {
+    ++bins_[idx];
+  }
+}
+
+double Histogram::quantile(double q) const noexcept {
+  if (total_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total_);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    const double next = cum + static_cast<double>(bins_[i]);
+    if (next >= target && bins_[i] > 0) {
+      const double frac = (target - cum) / static_cast<double>(bins_[i]);
+      return (static_cast<double>(i) + frac) * bin_width_;
+    }
+    cum = next;
+  }
+  return bin_width_ * static_cast<double>(bins_.size());
+}
+
+void Histogram::reset() noexcept {
+  std::fill(bins_.begin(), bins_.end(), 0);
+  overflow_ = 0;
+  total_ = 0;
+}
+
+double SampleSet::mean() const noexcept {
+  if (samples_.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : samples_) s += x;
+  return s / static_cast<double>(samples_.size());
+}
+
+double SampleSet::quantile(double q) const {
+  if (samples_.empty()) return 0.0;
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+double SampleSet::min() const { return quantile(0.0); }
+double SampleSet::max() const { return quantile(1.0); }
+
+}  // namespace soc::sim

@@ -1,0 +1,34 @@
+#pragma once
+
+#include "soc/tech/process_node.hpp"
+
+namespace soc::tech {
+
+/// Maps a process node to achievable clock frequencies for different design
+/// styles. The paper's platforms clock embedded processors well below the
+/// custom-CPU limit (synthesized logic, conservative pipelines).
+class ClockModel {
+ public:
+  /// FO4-per-cycle budgets for design styles of the era.
+  static constexpr double kCustomFo4 = 12.0;      ///< hand-tuned CPU
+  static constexpr double kAsicFo4 = 20.0;        ///< synthesized SoC logic
+  static constexpr double kEfpgaFo4 = 60.0;       ///< mapped onto eFPGA fabric
+
+  explicit ClockModel(const ProcessNode& node) : node_(node) {}
+
+  double custom_ghz() const noexcept { return node_.clock_ghz(kCustomFo4); }
+  double asic_ghz() const noexcept { return node_.clock_ghz(kAsicFo4); }
+  double efpga_ghz() const noexcept { return node_.clock_ghz(kEfpgaFo4); }
+
+  /// Period in ps for an arbitrary FO4 budget.
+  double period_ps(double fo4_per_cycle) const noexcept {
+    return node_.clock_period_ps(fo4_per_cycle);
+  }
+
+  const ProcessNode& node() const noexcept { return node_; }
+
+ private:
+  const ProcessNode node_;
+};
+
+}  // namespace soc::tech

@@ -1,0 +1,60 @@
+#pragma once
+
+#include "soc/tech/process_node.hpp"
+
+namespace soc::tech {
+
+/// Fabric implementation styles from the paper's Figure 1 spectrum: the
+/// trade-off between time-to-market/flexibility (left) and
+/// power/performance/cost differentiation (right).
+enum class Fabric {
+  kGeneralPurposeCpu,  ///< general-purpose RISC, full S/W flexibility
+  kDsp,                ///< domain-oriented programmable DSP
+  kAsip,               ///< application-specific instruction-set processor
+  kEfpga,              ///< embedded FPGA fabric (paper: 10x cost & power)
+  kHardwired,          ///< dedicated hardware IP
+};
+
+/// Relative efficiency coefficients of one fabric, normalized to hardwired
+/// logic = 1.0. Derived from the paper's qualitative Figure 1 plus its one
+/// quantitative anchor: eFPGA carries a ~10x area & power penalty vs
+/// hardwired (Section 6.3); programmable processors sit one order beyond.
+struct FabricProfile {
+  Fabric fabric;
+  const char* name;
+  double energy_per_op_rel;   ///< energy per useful operation vs hardwired
+  double area_per_op_rel;     ///< silicon area per unit throughput vs hardwired
+  double ops_per_cycle;       ///< sustainable useful ops per clock (datapath width)
+  double dev_effort_rel;      ///< development effort (time-to-market proxy), HW = 1.0
+  double respin_flexibility;  ///< 1 = change by S/W download, 0 = new mask set
+};
+
+/// Profile table covering the full Figure 1 spectrum.
+const FabricProfile& fabric_profile(Fabric f) noexcept;
+
+/// Per-operation dynamic energy in pJ for a fabric at a process node.
+/// Baseline: hardwired MAC-class op ~ alpha * C_eff * Vdd^2, scaled by the
+/// fabric's relative energy coefficient.
+class EnergyModel {
+ public:
+  explicit EnergyModel(const ProcessNode& node) : node_(node) {}
+
+  /// Dynamic energy of one hardwired-datapath operation, pJ.
+  double hardwired_op_pj() const noexcept;
+
+  /// Energy of one operation executed on the given fabric, pJ.
+  double op_energy_pj(Fabric f) const noexcept;
+
+  /// Static (leakage) power density, mW/mm^2, relative scale from the node.
+  double leakage_mw_per_mm2() const noexcept;
+
+  /// Energy of moving one bit across 1 mm of repeated global wire, pJ.
+  double wire_bit_pj_per_mm() const noexcept;
+
+  const ProcessNode& node() const noexcept { return node_; }
+
+ private:
+  const ProcessNode node_;
+};
+
+}  // namespace soc::tech

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace soc::tech {
+
+/// Electrical and economic parameters of one CMOS process generation.
+/// Values follow the ITRS-2001-era roadmap the paper's projections were
+/// based on; they are inputs to the wire/clock/energy models, not outputs.
+struct ProcessNode {
+  std::string name;          ///< e.g. "90nm"
+  double feature_nm;         ///< drawn feature size (half-pitch), nm
+  int year;                  ///< volume-production year
+  double vdd_v;              ///< nominal supply voltage
+  double fo4_ps;             ///< fanout-of-4 inverter delay, ps
+  double wire_r_ohm_per_mm;  ///< global-layer wire resistance (repeater-ready width)
+  double wire_c_ff_per_mm;   ///< global-layer wire capacitance, fF/mm
+  double density_mtx_mm2;    ///< logic transistor density, millions / mm^2
+  double mask_set_cost_usd;  ///< full mask-set NRE, USD
+  double sram_bit_um2;       ///< 6T SRAM bitcell area, um^2
+  double leakage_rel;        ///< leakage power density relative to 250 nm
+
+  /// Clock period assuming `fo4_per_cycle` FO4 delays per pipeline stage
+  /// (aggressive SoC designs of the era targeted 12-16 FO4).
+  double clock_period_ps(double fo4_per_cycle = 14.0) const noexcept {
+    return fo4_ps * fo4_per_cycle;
+  }
+  double clock_ghz(double fo4_per_cycle = 14.0) const noexcept {
+    return 1000.0 / clock_period_ps(fo4_per_cycle);
+  }
+};
+
+/// The roadmap used throughout this project: 250 nm (1997) down to 32 nm
+/// (2009). The paper's "50 nm" generation maps to the 50 nm row.
+std::span<const ProcessNode> roadmap() noexcept;
+
+/// Finds a node by name ("130nm") or by feature size within 1 nm.
+std::optional<ProcessNode> find_node(const std::string& name);
+std::optional<ProcessNode> find_node(double feature_nm);
+
+/// Node the paper calls "current" (90 nm, >$1M mask set).
+const ProcessNode& node_90nm();
+/// Node the paper's wire-delay prediction targets (50 nm).
+const ProcessNode& node_50nm();
+
+/// Number of roadmap generations between two nodes (positive when `to` is a
+/// newer/smaller node). Used by the economics model's "x10 in ~3 generations"
+/// check.
+int generations_between(const ProcessNode& from, const ProcessNode& to);
+
+}  // namespace soc::tech

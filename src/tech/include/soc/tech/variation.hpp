@@ -1,0 +1,40 @@
+#pragma once
+
+#include "soc/tech/process_node.hpp"
+
+namespace soc::tech {
+
+/// On-chip variation (OCV) model backing Section 4's prediction that deep
+/// submicron effects "will lead to statistical design, self-repair and
+/// various forms of redundancy". Path delays are modeled as independent
+/// Gaussians with a node-dependent sigma; a chip meets frequency when every
+/// critical path does, so the effective clock is set by the statistical max
+/// of N paths — and the guardband this demands grows with both sigma and N.
+struct VariationParams {
+  double sigma_fraction = 0.05;  ///< sigma of path delay / nominal delay
+};
+
+/// Era-plausible OCV sigma by node: ~4% of nominal at 250 nm rising toward
+/// ~12% at 32 nm (dopant fluctuation, CD control, wire CMP variation).
+VariationParams variation_for(const ProcessNode& node);
+
+/// Probability that all `n_paths` independent paths with the given nominal
+/// delay and sigma meet `period_ps`: Phi(z)^N.
+double timing_yield(double nominal_delay_ps, double period_ps,
+                    const VariationParams& v, int n_paths);
+
+/// Smallest clock period meeting `yield_target` for N critical paths
+/// (bisection on timing_yield). Nominal delay = the deterministic design's
+/// period; the difference is the statistical guardband.
+double period_for_yield(double nominal_delay_ps, const VariationParams& v,
+                        int n_paths, double yield_target = 0.99);
+
+/// Guardband as a fraction of nominal delay: (period_for_yield - nominal)
+/// / nominal. The headline "cost of variation" number per node.
+double guardband_fraction(const ProcessNode& node, int n_paths,
+                          double yield_target = 0.99);
+
+/// Standard normal CDF (exposed for tests).
+double normal_cdf(double z) noexcept;
+
+}  // namespace soc::tech

@@ -1,0 +1,51 @@
+#pragma once
+
+#include "soc/tech/process_node.hpp"
+
+namespace soc::tech {
+
+/// Result of sizing a repeated global wire.
+struct RepeatedWire {
+  double delay_ps;          ///< total wire delay with optimal repeaters
+  double delay_per_mm_ps;   ///< delay per mm (length-linear once repeated)
+  double segment_mm;        ///< optimal distance between repeaters
+  int repeater_count;       ///< number of inserted repeaters
+  double energy_pj_per_mm;  ///< switching energy of wire + repeaters per mm
+};
+
+/// Distributed-RC global-wire delay model with Bakoglu-style optimal
+/// repeater insertion. This is the instrument behind the paper's claim that
+/// "in 50 nm technologies the intra-chip propagation delay will be between
+/// six and ten clock cycles" (Section 6.1, citing Benini & De Micheli).
+class WireModel {
+ public:
+  explicit WireModel(const ProcessNode& node) : node_(node) {}
+
+  /// Elmore delay of an unrepeated distributed RC line of given length:
+  /// t = 0.38 * r * c * L^2 (quadratic in length — the nanometer wall).
+  double unrepeated_delay_ps(double length_mm) const noexcept;
+
+  /// Delay with optimally inserted/sized repeaters: linear in length,
+  /// t/L = k * sqrt(r * c * tau0) with tau0 the intrinsic inverter delay.
+  RepeatedWire repeated(double length_mm) const noexcept;
+
+  /// Length at which one repeated-wire traversal costs exactly one clock
+  /// cycle — the radius of the "isochronous region".
+  double critical_length_mm(double fo4_per_cycle = 14.0) const noexcept;
+
+  /// Cross-chip latency in clock cycles for a corner-to-corner Manhattan
+  /// route on a die with the given edge (path length = 2 * edge).
+  double cross_chip_cycles(double die_edge_mm = 15.0,
+                           double fo4_per_cycle = 14.0) const noexcept;
+
+  const ProcessNode& node() const noexcept { return node_; }
+
+  /// Intrinsic inverter delay tau0 used by the repeater formula, derived
+  /// from FO4 (FO4 ~ 4.5 * tau0 for static CMOS).
+  double tau0_ps() const noexcept { return node_.fo4_ps / 4.5; }
+
+ private:
+  const ProcessNode node_;
+};
+
+}  // namespace soc::tech

@@ -1,0 +1,9 @@
+#include "soc/tech/clock_model.hpp"
+
+// ClockModel is fully inline; this translation unit exists so the library
+// has a definition anchor and the header stays self-contained-checked.
+namespace soc::tech {
+static_assert(ClockModel::kCustomFo4 < ClockModel::kAsicFo4 &&
+                  ClockModel::kAsicFo4 < ClockModel::kEfpgaFo4,
+              "design-style FO4 budgets must be ordered custom < ASIC < eFPGA");
+}  // namespace soc::tech

@@ -1,0 +1,61 @@
+#include "soc/tech/process_node.hpp"
+
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+namespace soc::tech {
+
+namespace {
+
+// Roadmap values assembled from ITRS 2001 projections and contemporaneous
+// publications (Benini & De Micheli 2002 for wire trends; paper Section 1
+// for mask-set NRE anchors: >$1M at 90 nm, x10 over ~3 generations).
+constexpr std::array<ProcessNode, 7> kRoadmap = {{
+    //  name     nm   year  vdd   fo4   r       c    dens   mask$      sram   leak
+    {"250nm", 250.0, 1997, 2.5, 90.0,   80.0, 220.0, 0.10,   120e3, 6.0,   1.0},
+    {"180nm", 180.0, 1999, 1.8, 65.0,  150.0, 210.0, 0.22,   250e3, 4.0,   2.5},
+    {"130nm", 130.0, 2001, 1.2, 47.0,  300.0, 200.0, 0.45,   550e3, 2.5,   8.0},
+    {"90nm",   90.0, 2003, 1.0, 32.0,  600.0, 200.0, 0.90,  1200e3, 1.3,  25.0},
+    {"65nm",   65.0, 2005, 0.9, 23.0, 1050.0, 190.0, 1.80,  2600e3, 0.65, 60.0},
+    {"50nm",   50.0, 2007, 0.8, 18.0, 1500.0, 190.0, 3.20,  5500e3, 0.38, 140.0},
+    {"32nm",   32.0, 2009, 0.7, 11.5, 2600.0, 180.0, 7.00, 12000e3, 0.17, 300.0},
+}};
+
+}  // namespace
+
+std::span<const ProcessNode> roadmap() noexcept {
+  return {kRoadmap.data(), kRoadmap.size()};
+}
+
+std::optional<ProcessNode> find_node(const std::string& name) {
+  for (const auto& n : kRoadmap) {
+    if (n.name == name) return n;
+  }
+  return std::nullopt;
+}
+
+std::optional<ProcessNode> find_node(double feature_nm) {
+  for (const auto& n : kRoadmap) {
+    if (std::abs(n.feature_nm - feature_nm) < 1.0) return n;
+  }
+  return std::nullopt;
+}
+
+const ProcessNode& node_90nm() { return kRoadmap[3]; }
+const ProcessNode& node_50nm() { return kRoadmap[5]; }
+
+int generations_between(const ProcessNode& from, const ProcessNode& to) {
+  int from_idx = -1;
+  int to_idx = -1;
+  for (std::size_t i = 0; i < kRoadmap.size(); ++i) {
+    if (kRoadmap[i].name == from.name) from_idx = static_cast<int>(i);
+    if (kRoadmap[i].name == to.name) to_idx = static_cast<int>(i);
+  }
+  if (from_idx < 0 || to_idx < 0) {
+    throw std::invalid_argument("generations_between: node not on roadmap");
+  }
+  return to_idx - from_idx;
+}
+
+}  // namespace soc::tech

@@ -1,0 +1,60 @@
+#include "soc/tech/variation.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace soc::tech {
+
+double normal_cdf(double z) noexcept {
+  return 0.5 * std::erfc(-z / std::sqrt(2.0));
+}
+
+VariationParams variation_for(const ProcessNode& node) {
+  // Anchor 4% at 250 nm; +20% relative growth per generation lands ~12%
+  // at 32 nm, matching published OCV derate trends of the era.
+  const auto nodes = roadmap();
+  int idx = 0;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i].name == node.name) idx = static_cast<int>(i);
+  }
+  return VariationParams{0.04 * std::pow(1.2, idx)};
+}
+
+double timing_yield(double nominal_delay_ps, double period_ps,
+                    const VariationParams& v, int n_paths) {
+  if (nominal_delay_ps <= 0.0 || n_paths <= 0) {
+    throw std::invalid_argument("timing_yield: bad inputs");
+  }
+  const double sigma = nominal_delay_ps * v.sigma_fraction;
+  if (sigma <= 0.0) return period_ps >= nominal_delay_ps ? 1.0 : 0.0;
+  const double z = (period_ps - nominal_delay_ps) / sigma;
+  const double per_path = normal_cdf(z);
+  return std::pow(per_path, static_cast<double>(n_paths));
+}
+
+double period_for_yield(double nominal_delay_ps, const VariationParams& v,
+                        int n_paths, double yield_target) {
+  if (yield_target <= 0.0 || yield_target >= 1.0) {
+    throw std::invalid_argument("period_for_yield: yield target in (0,1)");
+  }
+  double lo = nominal_delay_ps;
+  double hi = nominal_delay_ps * (1.0 + 10.0 * v.sigma_fraction + 0.5);
+  for (int iter = 0; iter < 80; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (timing_yield(nominal_delay_ps, mid, v, n_paths) >= yield_target) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+double guardband_fraction(const ProcessNode& node, int n_paths,
+                          double yield_target) {
+  const auto v = variation_for(node);
+  const double nominal = node.clock_period_ps();
+  return period_for_yield(nominal, v, n_paths, yield_target) / nominal - 1.0;
+}
+
+}  // namespace soc::tech

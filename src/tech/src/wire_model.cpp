@@ -1,0 +1,56 @@
+#include "soc/tech/wire_model.hpp"
+
+#include <cmath>
+
+namespace soc::tech {
+
+namespace {
+// Proportionality constant for optimally repeated wires; 2.2 reproduces
+// published ~70-80 ps/mm global-wire figures at the 50 nm node.
+constexpr double kRepeaterK = 2.2;
+}  // namespace
+
+double WireModel::unrepeated_delay_ps(double length_mm) const noexcept {
+  // r [ohm/mm] * c [fF/mm] * L^2 [mm^2] -> ohm*fF = 1e-15 s = 1e-3 ps.
+  const double rc = node_.wire_r_ohm_per_mm * node_.wire_c_ff_per_mm * 1e-3;
+  return 0.38 * rc * length_mm * length_mm;
+}
+
+RepeatedWire WireModel::repeated(double length_mm) const noexcept {
+  const double r = node_.wire_r_ohm_per_mm;       // ohm/mm
+  const double c = node_.wire_c_ff_per_mm * 1e-3; // pF/mm
+  const double tau0 = tau0_ps();                  // ps
+  // rc in ps/mm^2: ohm * pF = ps.
+  const double rc = r * c;
+  const double per_mm = kRepeaterK * std::sqrt(rc * tau0);
+  // Optimal segment: point where segment RC delay equals repeater delay.
+  const double seg = std::sqrt(2.0 * tau0 / (0.38 * rc));
+  const int reps =
+      length_mm > seg ? static_cast<int>(std::floor(length_mm / seg)) : 0;
+  // Energy: wire C V^2 plus ~40% repeater overhead (typical for optimal
+  // sizing; repeaters add gate+drain cap comparable to a fraction of cw).
+  const double cv2 =
+      node_.wire_c_ff_per_mm * 1e-3 * node_.vdd_v * node_.vdd_v;  // pJ/mm
+  return RepeatedWire{
+      .delay_ps = per_mm * length_mm,
+      .delay_per_mm_ps = per_mm,
+      .segment_mm = seg,
+      .repeater_count = reps,
+      .energy_pj_per_mm = cv2 * 1.4,
+  };
+}
+
+double WireModel::critical_length_mm(double fo4_per_cycle) const noexcept {
+  const double period = node_.clock_period_ps(fo4_per_cycle);
+  const double per_mm = repeated(1.0).delay_per_mm_ps;
+  return period / per_mm;
+}
+
+double WireModel::cross_chip_cycles(double die_edge_mm,
+                                    double fo4_per_cycle) const noexcept {
+  const double path_mm = 2.0 * die_edge_mm;
+  const double delay = repeated(path_mm).delay_ps;
+  return delay / node_.clock_period_ps(fo4_per_cycle);
+}
+
+}  // namespace soc::tech

@@ -1,0 +1,120 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "soc/sim/stats.hpp"
+#include "soc/tlm/transport.hpp"
+
+namespace soc::tlm {
+
+/// Timing of a memory macro as seen from the NoC (derive the numbers from
+/// soc::mem::memory_macro for technology-faithful values).
+struct MemoryTiming {
+  std::uint32_t read_cycles = 4;
+  std::uint32_t write_cycles = 2;
+  int banks = 1;  ///< independent banks; accesses to a busy bank queue up
+};
+
+/// Shared on-chip memory (route tables, shared buffers). Models per-bank
+/// serialization: each bank services one access at a time; the bank is
+/// selected by address interleaving at word granularity.
+class MemoryEndpoint final : public Endpoint {
+ public:
+  MemoryEndpoint(MemoryTiming timing, std::size_t words,
+                 sim::EventQueue& queue);
+
+  void handle(const Transaction& request, CompletionFn respond) override;
+
+  /// Backdoor access for initialization (no simulated time).
+  std::uint32_t peek(std::uint32_t word_addr) const;
+  void poke(std::uint32_t word_addr, std::uint32_t value);
+
+  std::uint64_t reads() const noexcept { return reads_; }
+  std::uint64_t writes() const noexcept { return writes_; }
+  /// Peak queued accesses on any bank (contention signal).
+  std::size_t max_bank_queue() const noexcept { return max_queue_; }
+
+ private:
+  struct BankJob {
+    Transaction txn;
+    CompletionFn respond;
+  };
+  struct Bank {
+    std::deque<BankJob> queue;
+    bool busy = false;
+  };
+
+  void start_next(int bank_idx);
+  int bank_of(std::uint32_t address) const noexcept;
+
+  MemoryTiming timing_;
+  std::vector<std::uint32_t> data_;
+  sim::EventQueue& queue_;
+  std::vector<Bank> banks_;
+  std::uint64_t reads_ = 0;
+  std::uint64_t writes_ = 0;
+  std::size_t max_queue_ = 0;
+};
+
+/// Pipelined hardware IP block (the paper's "highly standardized functions
+/// ... e.g. an MPEG2 video codec", Section 6.4). Accepts kMessage work
+/// items; each takes `latency_cycles` to produce its effect but a new item
+/// can start every `initiation_interval` cycles.
+class FixedFunctionEndpoint final : public Endpoint {
+ public:
+  /// `on_complete(txn)` fires when an item's processing finishes.
+  FixedFunctionEndpoint(std::uint32_t latency_cycles,
+                        std::uint32_t initiation_interval,
+                        sim::EventQueue& queue,
+                        std::function<void(const Transaction&)> on_complete);
+
+  void handle(const Transaction& request, CompletionFn respond) override;
+
+  std::uint64_t accepted() const noexcept { return accepted_; }
+  std::uint64_t finished() const noexcept { return finished_; }
+  /// Occupancy of the input pipeline queue high-water mark.
+  std::size_t max_queue() const noexcept { return max_queue_; }
+
+ private:
+  void pump();
+
+  std::uint32_t latency_;
+  std::uint32_t ii_;
+  sim::EventQueue& queue_;
+  std::function<void(const Transaction&)> on_complete_;
+  std::deque<Transaction> input_;
+  bool pumping_ = false;
+  std::uint64_t accepted_ = 0;
+  std::uint64_t finished_ = 0;
+  std::size_t max_queue_ = 0;
+};
+
+/// Terminal sink for one-way messages (egress ports, log taps). Records
+/// arrival statistics.
+class SinkEndpoint final : public Endpoint {
+ public:
+  explicit SinkEndpoint(sim::EventQueue& queue) : queue_(queue) {}
+
+  void handle(const Transaction& request, CompletionFn respond) override;
+
+  /// Optional observer invoked per message.
+  void set_observer(std::function<void(const Transaction&)> fn) {
+    observer_ = std::move(fn);
+  }
+
+  std::uint64_t received() const noexcept { return received_; }
+  std::uint64_t words_received() const noexcept { return words_; }
+  sim::Cycle last_arrival() const noexcept { return last_arrival_; }
+
+ private:
+  sim::EventQueue& queue_;
+  std::function<void(const Transaction&)> observer_;
+  std::uint64_t received_ = 0;
+  std::uint64_t words_ = 0;
+  sim::Cycle last_arrival_ = 0;
+};
+
+}  // namespace soc::tlm

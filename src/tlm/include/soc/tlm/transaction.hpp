@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "soc/noc/packet.hpp"
+
+namespace soc::tlm {
+
+/// OCP-style transaction kinds carried over the NoC. The paper (Section
+/// 6.1) argues for a standard socket (OCP-IP) between IPs and the
+/// interconnect; this layer is that socket in the simulator.
+enum class TransactionType : std::uint8_t {
+  kRead,      ///< request address, response carries data
+  kWrite,     ///< request carries data, response is an ack
+  kMessage,   ///< one-way payload (DSOC invocations ride on these)
+};
+
+/// A split transaction: request and (optional) response travel as separate
+/// NoC packets; many may be outstanding per initiator (Section 6.2 lists
+/// split-transaction interconnects among the latency-hiding mechanisms).
+struct Transaction {
+  std::uint64_t id = 0;
+  TransactionType type = TransactionType::kRead;
+  noc::TerminalId initiator = 0;
+  noc::TerminalId target = 0;
+  std::uint32_t address = 0;
+  std::vector<std::uint32_t> payload;  ///< write data / message body
+  std::uint32_t read_words = 0;        ///< words requested by a read
+  sim::Cycle issued_at = 0;
+  sim::Cycle completed_at = 0;
+
+  sim::Cycle round_trip() const noexcept { return completed_at - issued_at; }
+};
+
+/// Header flits prepended to every request/response packet (address,
+/// command, routing metadata — 2 x 32-bit flits matches OCP-era NIs).
+inline constexpr std::uint32_t kHeaderFlits = 2;
+
+/// Packet size in flits for a payload of `words` 32-bit words.
+inline std::uint32_t packet_flits_for(std::uint32_t words) noexcept {
+  return kHeaderFlits + words;
+}
+
+}  // namespace soc::tlm

@@ -1,0 +1,125 @@
+#include "soc/tlm/endpoints.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace soc::tlm {
+
+MemoryEndpoint::MemoryEndpoint(MemoryTiming timing, std::size_t words,
+                               sim::EventQueue& queue)
+    : timing_(timing), data_(words, 0), queue_(queue),
+      banks_(static_cast<std::size_t>(std::max(1, timing.banks))) {}
+
+int MemoryEndpoint::bank_of(std::uint32_t address) const noexcept {
+  return static_cast<int>((address / 4) % banks_.size());
+}
+
+std::uint32_t MemoryEndpoint::peek(std::uint32_t word_addr) const {
+  return data_.at(word_addr);
+}
+
+void MemoryEndpoint::poke(std::uint32_t word_addr, std::uint32_t value) {
+  data_.at(word_addr) = value;
+}
+
+void MemoryEndpoint::handle(const Transaction& request, CompletionFn respond) {
+  if (request.type == TransactionType::kMessage) {
+    throw std::logic_error("MemoryEndpoint: does not accept messages");
+  }
+  const int b = bank_of(request.address);
+  auto& bank = banks_[static_cast<std::size_t>(b)];
+  bank.queue.push_back(BankJob{request, std::move(respond)});
+  max_queue_ = std::max(max_queue_, bank.queue.size());
+  if (!bank.busy) start_next(b);
+}
+
+void MemoryEndpoint::start_next(int bank_idx) {
+  auto& bank = banks_[static_cast<std::size_t>(bank_idx)];
+  if (bank.queue.empty()) {
+    bank.busy = false;
+    return;
+  }
+  bank.busy = true;
+  BankJob job = std::move(bank.queue.front());
+  bank.queue.pop_front();
+  const bool is_read = job.txn.type == TransactionType::kRead;
+  const std::uint32_t latency =
+      is_read ? timing_.read_cycles : timing_.write_cycles;
+  queue_.schedule_in(latency, [this, bank_idx, job = std::move(job)]() mutable {
+    Transaction& txn = job.txn;
+    const auto word = txn.address / 4;
+    if (txn.type == TransactionType::kRead) {
+      ++reads_;
+      txn.payload.clear();
+      for (std::uint32_t i = 0; i < txn.read_words; ++i) {
+        const auto idx = static_cast<std::size_t>(word + i);
+        txn.payload.push_back(idx < data_.size() ? data_[idx] : 0);
+      }
+    } else {
+      ++writes_;
+      for (std::size_t i = 0; i < txn.payload.size(); ++i) {
+        const auto idx = static_cast<std::size_t>(word) + i;
+        if (idx < data_.size()) data_[idx] = txn.payload[i];
+      }
+    }
+    job.respond(txn);
+    start_next(bank_idx);
+  });
+}
+
+FixedFunctionEndpoint::FixedFunctionEndpoint(
+    std::uint32_t latency_cycles, std::uint32_t initiation_interval,
+    sim::EventQueue& queue, std::function<void(const Transaction&)> on_complete)
+    : latency_(latency_cycles),
+      ii_(std::max(1u, initiation_interval)),
+      queue_(queue),
+      on_complete_(std::move(on_complete)) {}
+
+void FixedFunctionEndpoint::handle(const Transaction& request,
+                                   CompletionFn respond) {
+  if (request.type != TransactionType::kMessage) {
+    // Reads/writes to a fixed-function block are configuration accesses:
+    // serviced combinationally after one cycle.
+    Transaction txn = request;
+    queue_.schedule_in(1, [txn = std::move(txn), respond = std::move(respond)] {
+      respond(txn);
+    });
+    return;
+  }
+  input_.push_back(request);
+  max_queue_ = std::max(max_queue_, input_.size());
+  ++accepted_;
+  if (!pumping_) pump();
+}
+
+void FixedFunctionEndpoint::pump() {
+  if (input_.empty()) {
+    pumping_ = false;
+    return;
+  }
+  pumping_ = true;
+  Transaction txn = std::move(input_.front());
+  input_.pop_front();
+  // Result is available after the full latency; the pipeline accepts the
+  // next item after one initiation interval.
+  queue_.schedule_in(latency_, [this, txn = std::move(txn)] {
+    ++finished_;
+    if (on_complete_) on_complete_(txn);
+  });
+  queue_.schedule_in(ii_, [this] { pump(); });
+}
+
+void SinkEndpoint::handle(const Transaction& request, CompletionFn respond) {
+  if (request.type != TransactionType::kMessage) {
+    // Ack config reads/writes immediately.
+    if (respond) respond(request);
+    return;
+  }
+  (void)respond;
+  ++received_;
+  words_ += request.payload.size();
+  last_arrival_ = queue_.now();
+  if (observer_) observer_(request);
+}
+
+}  // namespace soc::tlm

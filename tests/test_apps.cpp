@@ -1,0 +1,344 @@
+// Application layer: IPv4 header machinery, LPM trie vs linear oracle
+// (property test), route/trace generation, line-rate math.
+#include <gtest/gtest.h>
+
+#include "soc/apps/ipv4.hpp"
+#include "soc/apps/lpm.hpp"
+#include "soc/apps/lpm_engine.hpp"
+#include "soc/apps/route_gen.hpp"
+#include "soc/noc/topologies.hpp"
+#include "soc/sim/rng.hpp"
+
+namespace soc::apps {
+namespace {
+
+// ------------------------------------------------------------------ IPv4 ---
+
+TEST(Ipv4, SerializeParseRoundTrip) {
+  Ipv4Header h;
+  h.total_length = 1500;
+  h.identification = 0xBEEF;
+  h.ttl = 17;
+  h.protocol = 17;
+  h.src = 0x0A000001;
+  h.dst = 0xC0A80101;
+  h.checksum = header_checksum(h);
+  const auto bytes = serialize(h);
+  const Ipv4Header back = parse(bytes);
+  EXPECT_EQ(back.total_length, h.total_length);
+  EXPECT_EQ(back.identification, h.identification);
+  EXPECT_EQ(back.ttl, h.ttl);
+  EXPECT_EQ(back.src, h.src);
+  EXPECT_EQ(back.dst, h.dst);
+  EXPECT_EQ(back.checksum, h.checksum);
+}
+
+TEST(Ipv4, ParseValidation) {
+  std::array<std::uint8_t, 10> tiny{};
+  EXPECT_THROW(parse(tiny), std::invalid_argument);
+  Ipv4Header h;
+  auto bytes = serialize(h);
+  bytes[0] = 0x65;  // version 6
+  EXPECT_THROW(parse(bytes), std::invalid_argument);
+}
+
+TEST(Ipv4, ChecksumDetectsCorruption) {
+  Ipv4Header h;
+  h.src = 0x01020304;
+  h.checksum = header_checksum(h);
+  EXPECT_TRUE(checksum_ok(h));
+  h.dst ^= 1;
+  EXPECT_FALSE(checksum_ok(h));
+}
+
+TEST(Ipv4, IncrementalChecksumMatchesRecompute) {
+  // RFC 1141 TTL-decrement update must equal a full recomputation, for
+  // many random headers (property test).
+  sim::Rng rng(101);
+  for (int i = 0; i < 500; ++i) {
+    Ipv4Header h;
+    h.total_length = static_cast<std::uint16_t>(rng.next_below(65535));
+    h.identification = static_cast<std::uint16_t>(rng.next_below(65536));
+    h.flags_fragment = static_cast<std::uint16_t>(rng.next_below(8192));
+    h.ttl = static_cast<std::uint8_t>(2 + rng.next_below(253));
+    h.protocol = static_cast<std::uint8_t>(rng.next_below(256));
+    h.src = static_cast<std::uint32_t>(rng.next_u64());
+    h.dst = static_cast<std::uint32_t>(rng.next_u64());
+    h.checksum = header_checksum(h);
+
+    Ipv4Header fwd = h;
+    ASSERT_TRUE(forward_transform(fwd));
+    EXPECT_EQ(fwd.ttl, h.ttl - 1);
+    EXPECT_EQ(fwd.checksum, header_checksum(fwd)) << "iteration " << i;
+  }
+}
+
+TEST(Ipv4, ForwardDropsExpiredAndCorrupt) {
+  Ipv4Header h;
+  h.ttl = 1;
+  h.checksum = header_checksum(h);
+  Ipv4Header expired = h;
+  EXPECT_FALSE(forward_transform(expired));
+
+  Ipv4Header corrupt;
+  corrupt.ttl = 64;
+  corrupt.checksum = 0xDEAD;
+  EXPECT_FALSE(forward_transform(corrupt));
+}
+
+TEST(LineRateMath, TenGigWorstCase) {
+  // 64 B frames + 20 B overhead at 10 Gb/s = 14.88 Mpps.
+  const LineRate lr{};
+  EXPECT_NEAR(lr.packets_per_sec() / 1e6, 14.88, 0.01);
+}
+
+TEST(LineRateMath, CycleBudgetAt50nm) {
+  const auto& node = soc::tech::node_50nm();
+  const double budget = cycles_per_packet_budget(LineRate{}, node);
+  // ASIC clock ~2.8 GHz / 14.88 Mpps ~ 187 cycles per packet, platform-wide.
+  EXPECT_GT(budget, 150.0);
+  EXPECT_LT(budget, 250.0);
+}
+
+// ------------------------------------------------------------------- LPM ---
+
+TEST(Lpm, EmptyTableReturnsNoRoute) {
+  MultibitTrie t(8);
+  t.build({});
+  EXPECT_EQ(t.lookup(0x01020304).next_hop, 0u);
+}
+
+TEST(Lpm, BasicLongestPrefixWins) {
+  MultibitTrie t(8);
+  t.build({
+      {0x0A000000, 8, 1},   // 10/8
+      {0x0A010000, 16, 2},  // 10.1/16
+      {0x0A010100, 24, 3},  // 10.1.1/24
+  });
+  EXPECT_EQ(t.lookup(0x0A020304).next_hop, 1u);
+  EXPECT_EQ(t.lookup(0x0A01FF01).next_hop, 2u);
+  EXPECT_EQ(t.lookup(0x0A010105).next_hop, 3u);
+  EXPECT_EQ(t.lookup(0x0B000000).next_hop, 0u);
+}
+
+TEST(Lpm, DefaultRouteCatchesAll) {
+  MultibitTrie t(8);
+  t.build({{0, 0, 9}, {0xC0000000, 4, 5}});
+  EXPECT_EQ(t.lookup(0x12345678).next_hop, 9u);
+  EXPECT_EQ(t.lookup(0xC1234567).next_hop, 5u);
+}
+
+TEST(Lpm, NonByteAlignedPrefixLengths) {
+  MultibitTrie t(8);
+  t.build({
+      {0x80000000, 1, 1},   // 128/1
+      {0xFFFF0000, 18, 2},  // /18 crosses stride boundary... within level 3
+      {0xFFFFC000, 20, 3},
+  });
+  EXPECT_EQ(t.lookup(0x80000001).next_hop, 1u);
+  EXPECT_EQ(t.lookup(0xFFFF2000).next_hop, 2u);
+  EXPECT_EQ(t.lookup(0xFFFFC001).next_hop, 3u);
+  EXPECT_EQ(t.lookup(0x7FFFFFFF).next_hop, 0u);
+}
+
+TEST(Lpm, HostRoutes) {
+  MultibitTrie t(8);
+  t.build({{0x0A010101, 32, 7}, {0x0A010100, 24, 3}});
+  EXPECT_EQ(t.lookup(0x0A010101).next_hop, 7u);
+  EXPECT_EQ(t.lookup(0x0A010102).next_hop, 3u);
+}
+
+TEST(Lpm, LookupAccessesBoundedByLevels) {
+  MultibitTrie t(8);
+  const auto routes = generate_routes({.count = 1000, .seed = 5});
+  t.build(routes);
+  for (std::uint32_t ip : {0x0A000001u, 0xFFFFFFFFu, 0x12345678u}) {
+    const auto r = t.lookup(ip);
+    EXPECT_GE(r.memory_accesses, 1);
+    EXPECT_LE(r.memory_accesses, t.levels());
+  }
+}
+
+class LpmStrideSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(LpmStrideSweep, MatchesLinearOracleOnRandomInputs) {
+  // Property test: for any route set and any address, the multibit trie
+  // must return exactly the longest-prefix match.
+  const int stride = GetParam();
+  const auto routes = generate_routes({.count = 500, .seed = 42});
+  MultibitTrie t(stride);
+  t.build(routes);
+  const auto trace = generate_lookup_trace(routes, 2000, 0.7, 43);
+  for (const auto ip : trace) {
+    ASSERT_EQ(t.lookup(ip).next_hop, linear_lpm(routes, ip))
+        << "stride=" << stride << " ip=" << std::hex << ip;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Strides, LpmStrideSweep,
+                         ::testing::Values(1, 2, 4, 6, 8, 12, 16));
+
+TEST(Lpm, StrideTradeoffTableSizeVsDepth) {
+  const auto routes = generate_routes({.count = 2000, .seed = 10});
+  MultibitTrie narrow(4), wide(8);
+  narrow.build(routes);
+  wide.build(routes);
+  EXPECT_GT(narrow.levels(), wide.levels());       // deeper
+  EXPECT_LT(narrow.size_words(), wide.size_words());  // but smaller
+}
+
+TEST(Lpm, RejectsBadInputs) {
+  EXPECT_THROW(MultibitTrie(0), std::invalid_argument);
+  EXPECT_THROW(MultibitTrie(17), std::invalid_argument);
+  MultibitTrie t(8);
+  EXPECT_THROW(t.build({{0, 33, 1}}), std::invalid_argument);
+  EXPECT_THROW(t.build({{0, 8, 0x80000000u}}), std::invalid_argument);
+}
+
+TEST(Lpm, FlattenedWordsMatchInMemoryLookup) {
+  // The flat image the platform memory serves must drive the same walk.
+  const auto routes = generate_routes({.count = 300, .seed = 77});
+  MultibitTrie t(8);
+  t.build(routes);
+  const auto& words = t.words();
+  const auto walk = [&](std::uint32_t ip) {
+    std::uint32_t node = 0;
+    int consumed = 0;
+    while (true) {
+      const std::uint32_t chunk =
+          consumed >= 32 ? 0 : (ip << consumed) >> 24;
+      const std::uint32_t e = words[node * 256 + chunk];
+      if (MultibitTrie::entry_is_leaf(e)) return MultibitTrie::entry_next_hop(e);
+      node = e;
+      consumed += 8;
+    }
+  };
+  const auto trace = generate_lookup_trace(routes, 500, 0.8, 3);
+  for (const auto ip : trace) {
+    EXPECT_EQ(walk(ip), t.lookup(ip).next_hop);
+  }
+}
+
+// ----------------------------------------------------------- C8 cost model ---
+
+TEST(LpmCost, ClaimC8SramTrieBeatsTcamOnPower) {
+  const auto routes = generate_routes({.count = 50'000, .seed = 4});
+  MultibitTrie t(8);
+  t.build(routes);
+  const auto c = compare_lpm_cost(t, routes.size(), soc::tech::node_90nm());
+  // The paper's NPSE claim: SRAM approach is more power-efficient than CAM.
+  EXPECT_LT(c.trie_energy_pj_per_lookup, c.tcam_energy_pj_per_lookup / 10.0);
+  // TCAM wins raw latency (1 cycle) — that's the tradeoff.
+  EXPECT_LT(c.tcam_lookup_cycles, c.trie_lookup_cycles);
+  EXPECT_GT(c.trie_sram_kbits, 0.0);
+  EXPECT_GT(c.tcam_kbits, 0.0);
+}
+
+// ---------------------------------------------------------- hardware engine ---
+
+TEST(LpmEngine, ReturnsCorrectNextHopsOverNoC) {
+  const auto routes = generate_routes({.count = 500, .seed = 31});
+  MultibitTrie trie(8);
+  trie.build(routes);
+
+  sim::EventQueue queue;
+  noc::Network net(noc::make_crossbar(4), {}, queue);
+  tlm::Transport transport(net, queue);
+  LpmEngineEndpoint engine(trie, 16, 1, queue);
+  transport.attach(3, engine);
+
+  const auto trace = generate_lookup_trace(routes, 200, 0.8, 32);
+  std::size_t checked = 0;
+  for (const auto ip : trace) {
+    transport.read(0, 3, /*address=*/ip, 1,
+                   [&, ip](const tlm::Transaction& t) {
+                     ++checked;
+                     EXPECT_EQ(t.payload.at(0), trie.lookup(ip).next_hop);
+                   });
+  }
+  queue.run_all();
+  EXPECT_EQ(checked, trace.size());
+  EXPECT_EQ(engine.lookups(), trace.size());
+}
+
+TEST(LpmEngine, PipelinedThroughputBeatsLatency) {
+  // With II=1 and latency 16, N back-to-back lookups finish in ~N + 16 +
+  // transit cycles, not N * 16.
+  MultibitTrie trie(8);
+  trie.build({{0, 0, 1}});
+  sim::EventQueue queue;
+  noc::Network net(noc::make_crossbar(4), {}, queue);
+  tlm::Transport transport(net, queue);
+  LpmEngineEndpoint engine(trie, 16, 1, queue);
+  transport.attach(3, engine);
+  constexpr int kN = 64;
+  for (int i = 0; i < kN; ++i) transport.read(0, 3, 0, 1, nullptr);
+  queue.run_all();
+  EXPECT_LT(queue.now(), static_cast<sim::Cycle>(kN * 16));
+}
+
+TEST(LpmEngine, RejectsNonReadTraffic) {
+  MultibitTrie trie(8);
+  trie.build({});
+  sim::EventQueue queue;
+  noc::Network net(noc::make_crossbar(4), {}, queue);
+  tlm::Transport transport(net, queue);
+  LpmEngineEndpoint engine(trie, 16, 1, queue);
+  transport.attach(3, engine);
+  transport.message(0, 3, {1});
+  EXPECT_THROW(queue.run_all(), std::logic_error);
+}
+
+TEST(Lpm, RebuildReplacesTable) {
+  MultibitTrie trie(8);
+  trie.build({{0x0A000000, 8, 1}});
+  EXPECT_EQ(trie.lookup(0x0A123456).next_hop, 1u);
+  trie.build({{0x0B000000, 8, 2}});  // rebuild from scratch
+  EXPECT_EQ(trie.lookup(0x0A123456).next_hop, 0u);
+  EXPECT_EQ(trie.lookup(0x0B123456).next_hop, 2u);
+}
+
+// ------------------------------------------------------------- generators ---
+
+TEST(RouteGen, CountAndShape) {
+  const auto routes = generate_routes({.count = 5000, .seed = 1});
+  EXPECT_EQ(routes.size(), 5001u);  // + default route
+  int slash24 = 0;
+  for (const auto& r : routes) {
+    EXPECT_GE(r.length, 0);
+    EXPECT_LE(r.length, 32);
+    EXPECT_GE(r.next_hop, 1u);
+    slash24 += r.length == 24;
+  }
+  // /24 should dominate (~55%).
+  EXPECT_NEAR(static_cast<double>(slash24) / 5000.0, 0.55, 0.05);
+}
+
+TEST(RouteGen, Deterministic) {
+  const auto a = generate_routes({.count = 100, .seed = 9});
+  const auto b = generate_routes({.count = 100, .seed = 9});
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].prefix, b[i].prefix);
+    EXPECT_EQ(a[i].length, b[i].length);
+  }
+}
+
+TEST(RouteGen, TraceHitFraction) {
+  const auto routes = generate_routes({.count = 1000, .seed = 2});
+  const auto trace = generate_lookup_trace(routes, 5000, 1.0, 3);
+  MultibitTrie t(8);
+  t.build(routes);
+  int matched = 0;
+  for (const auto ip : trace) matched += t.lookup(ip).next_hop != 0;
+  // hit_fraction=1.0 and a default route: everything matches something
+  // better than "no route".
+  EXPECT_EQ(matched, 5000);
+}
+
+TEST(RouteGen, EmptyRouteSetThrows) {
+  EXPECT_THROW(generate_lookup_trace({}, 10, 0.5, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace soc::apps

@@ -1,0 +1,230 @@
+// Tests of the economics layer: the paper's Section 1 NRE arithmetic
+// (claims C1/C2), platform amortization, and the Section 6 complexity
+// growth trends (claim C3).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "soc/econ/amortization.hpp"
+#include "soc/econ/nre_model.hpp"
+#include "soc/econ/trends.hpp"
+#include "soc/econ/yield.hpp"
+
+namespace soc::econ {
+namespace {
+
+using soc::tech::find_node;
+using soc::tech::node_90nm;
+
+// ----------------------------------------------------------------- C1 ---
+
+TEST(NreModel, ClaimC1MaskCostTenXOverThreeGenerations) {
+  // "The SoC mask set manufacturing NRE cost has been multiplied by a
+  // factor of ten in about three process technology generations".
+  const auto n250 = *find_node(std::string("250nm"));
+  const double growth = NreModel::mask_cost_growth(n250, 3);
+  EXPECT_GE(growth, 8.0);
+  EXPECT_LE(growth, 12.0);
+}
+
+TEST(NreModel, ClaimC1MillionUnitsToPayMaskSet) {
+  // "for a chip sold at a price of $5, and a profit margin of 20%, this
+  // implies selling over one million chips simply to pay for the mask set".
+  const ChipProduct paper_product{};  // defaults: $5, 20%
+  EXPECT_DOUBLE_EQ(paper_product.margin_per_unit(), 1.0);
+  const double units = NreModel::break_even_units(
+      NreModel::mask_set_usd(node_90nm()), paper_product);
+  EXPECT_GT(units, 1e6);
+  EXPECT_LT(units, 3e6);
+}
+
+TEST(NreModel, MaskCostGrowthValidation) {
+  const auto n250 = *find_node(std::string("250nm"));
+  EXPECT_THROW(NreModel::mask_cost_growth(n250, 99), std::out_of_range);
+  auto fake = n250;
+  fake.name = "bogus";
+  EXPECT_THROW(NreModel::mask_cost_growth(fake, 1), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(NreModel::mask_cost_growth(n250, 0), 1.0);
+}
+
+// ----------------------------------------------------------------- C2 ---
+
+TEST(NreModel, ClaimC2DesignNreRange) {
+  // "design NRE, which ranges from 10M$ to 100M$ for today's complex 0.13
+  // micron designs", implying 10-100 M units to break even.
+  const auto n130 = *find_node(std::string("130nm"));
+  const DesignNre nre = NreModel::design_nre(n130);
+  EXPECT_DOUBLE_EQ(nre.low_usd, 10e6);
+  EXPECT_DOUBLE_EQ(nre.high_usd, 100e6);
+
+  const ChipProduct p{};
+  EXPECT_NEAR(NreModel::break_even_units(nre.low_usd, p), 10e6, 1.0);
+  EXPECT_NEAR(NreModel::break_even_units(nre.high_usd, p), 100e6, 1.0);
+}
+
+TEST(NreModel, DesignNreGrowsBelow130nm) {
+  // Capacity outruns productivity: design NRE keeps rising.
+  const auto n130 = *find_node(std::string("130nm"));
+  const auto at90 = NreModel::design_nre(node_90nm());
+  const auto at50 = NreModel::design_nre(*find_node(std::string("50nm")));
+  EXPECT_GT(at90.low_usd, NreModel::design_nre(n130).low_usd);
+  EXPECT_GT(at50.low_usd, at90.low_usd);
+}
+
+TEST(NreModel, HigherMarginLowersBreakEven) {
+  ChipProduct cheap{5.0, 0.20};
+  ChipProduct premium{50.0, 0.40};
+  EXPECT_GT(NreModel::break_even_units(1e6, cheap),
+            NreModel::break_even_units(1e6, premium));
+}
+
+// -------------------------------------------------------- Amortization ---
+
+TEST(Amortization, PlatformBeatsAsicsWithEnoughVariants) {
+  // Platform: $40M once + $4M per derivative. ASIC: $25M each.
+  const int n = PlatformAmortization::break_even_variants(
+      /*platform_nre=*/40e6, /*mask_nre=*/1.2e6,
+      /*derivative_nre=*/4e6, /*asic_design_nre=*/25e6);
+  EXPECT_GT(n, 1);
+  EXPECT_LE(n, 3);
+}
+
+TEST(Amortization, PlatformNeverWinsWhenDerivativesCostMore) {
+  const int n = PlatformAmortization::break_even_variants(
+      40e6, 1.2e6, /*derivative_nre=*/30e6, /*asic_design_nre=*/25e6);
+  EXPECT_EQ(n, 0);
+}
+
+TEST(Amortization, TotalsAndPerUnit) {
+  PlatformAmortization pa(/*platform_design_nre=*/40e6, /*mask=*/1.2e6);
+  pa.add_variant({2e6, 4e6, false});   // S/W variant, no new masks
+  pa.add_variant({1e6, 4e6, true});    // metal respin variant
+  EXPECT_EQ(pa.variant_count(), 2u);
+  EXPECT_DOUBLE_EQ(pa.total_volume(), 3e6);
+  // 40M + 1.2M + 4M + 4M + 1.2M = 50.4M
+  EXPECT_DOUBLE_EQ(pa.platform_total_nre(), 50.4e6);
+  EXPECT_NEAR(pa.platform_nre_per_unit(), 50.4e6 / 3e6, 1e-9);
+  // Two from-scratch ASICs at 25M design each:
+  EXPECT_DOUBLE_EQ(pa.asic_total_nre(25e6), 2 * (25e6 + 1.2e6));
+  EXPECT_LT(pa.platform_total_nre(), pa.asic_total_nre(25e6));
+}
+
+TEST(Amortization, EmptyPlatformPerUnitIsZero) {
+  PlatformAmortization pa(40e6, 1.2e6);
+  EXPECT_DOUBLE_EQ(pa.platform_nre_per_unit(), 0.0);
+}
+
+// ----------------------------------------------------------------- C3 ---
+
+TEST(Trends, ClaimC3GrowthRates) {
+  // "growth of 56% in transistor count per year ... complexity of embedded
+  // S/W is rising at a staggering 140% per year".
+  EXPECT_DOUBLE_EQ(hw_complexity_trend().rate(), 0.56);
+  EXPECT_DOUBLE_EQ(sw_complexity_trend().rate(), 1.40);
+}
+
+TEST(Trends, CompoundGrowthMath) {
+  CompoundGrowth g(100.0, 0.5, 2000.0);
+  EXPECT_DOUBLE_EQ(g.value_at(2000.0), 100.0);
+  EXPECT_DOUBLE_EQ(g.value_at(2001.0), 150.0);
+  EXPECT_DOUBLE_EQ(g.value_at(2002.0), 225.0);
+  EXPECT_NEAR(g.years_to_grow(2.25), 2.0, 1e-12);
+}
+
+TEST(Trends, ClaimC3SwOvertakesHwAroundPaperDate) {
+  // "In many leading SoC's today [2003], the embedded S/W development
+  // effort has surpassed that of the H/W design effort."
+  const double year = crossover_year(hw_complexity_trend(), sw_complexity_trend());
+  EXPECT_GT(year, 2001.0);
+  EXPECT_LT(year, 2005.0);
+  // After the crossover S/W stays above.
+  EXPECT_GT(sw_complexity_trend().value_at(year + 1.0),
+            hw_complexity_trend().value_at(year + 1.0));
+  EXPECT_LT(sw_complexity_trend().value_at(year - 1.0),
+            hw_complexity_trend().value_at(year - 1.0));
+}
+
+TEST(Trends, EqualRatesNeverCross) {
+  CompoundGrowth a(1.0, 0.5, 2000.0);
+  CompoundGrowth b(2.0, 0.5, 2000.0);
+  EXPECT_TRUE(std::isinf(crossover_year(a, b)));
+}
+
+TEST(Trends, MooresLawDoublingTime) {
+  // 56%/yr doubles transistor count roughly every 18-19 months.
+  const double years = hw_complexity_trend().years_to_grow(2.0);
+  EXPECT_GT(years, 1.4);
+  EXPECT_LT(years, 1.7);
+}
+
+// ------------------------------------------------------------ yield (Y1) ---
+
+TEST(Yield, ZeroAreaYieldsPerfectly) {
+  EXPECT_DOUBLE_EQ(die_yield(0.0, YieldParams{}), 1.0);
+  EXPECT_THROW(die_yield(-1.0, YieldParams{}), std::invalid_argument);
+}
+
+TEST(Yield, MonotoneInAreaAndDefects) {
+  const YieldParams p{0.5, 2.0};
+  EXPECT_GT(die_yield(50.0, p), die_yield(100.0, p));
+  EXPECT_GT(die_yield(100.0, YieldParams{0.3, 2.0}),
+            die_yield(100.0, YieldParams{0.8, 2.0}));
+  // Yield is a probability.
+  for (const double a : {1.0, 100.0, 1000.0}) {
+    EXPECT_GT(die_yield(a, p), 0.0);
+    EXPECT_LE(die_yield(a, p), 1.0);
+  }
+}
+
+TEST(Yield, DefectDensityRisesForNewNodes) {
+  double prev = 0.0;
+  for (const auto& n : soc::tech::roadmap()) {
+    const auto p = defect_params_for(n);
+    EXPECT_GT(p.defects_per_cm2, prev) << n.name;
+    prev = p.defects_per_cm2;
+  }
+}
+
+TEST(Yield, SparesImproveArrayYield) {
+  const YieldParams p{1.0, 2.0};
+  const double none = array_yield_with_spares(64, 64, 2.0, 60.0, p);
+  const double two = array_yield_with_spares(66, 64, 2.0, 60.0, p);
+  const double four = array_yield_with_spares(68, 64, 2.0, 60.0, p);
+  EXPECT_GT(two, none);
+  EXPECT_GE(four, two);
+  // Ceiling: the non-redundant rest of the die.
+  EXPECT_LE(four, die_yield(60.0, p));
+}
+
+TEST(Yield, ArrayYieldMatchesBruteForceSmallCase) {
+  // 3 blocks, need 2: P = C(3,2) q^2 (1-q) + q^3, times rest yield.
+  const YieldParams p{2.0, 2.0};
+  const double q = die_yield(5.0, p);
+  const double expected =
+      (3.0 * q * q * (1.0 - q) + q * q * q) * die_yield(10.0, p);
+  EXPECT_NEAR(array_yield_with_spares(3, 2, 5.0, 10.0, p), expected, 1e-12);
+}
+
+TEST(Yield, ArrayYieldValidation) {
+  EXPECT_THROW(array_yield_with_spares(4, 5, 1.0, 1.0, YieldParams{}),
+               std::invalid_argument);
+}
+
+TEST(Yield, DiesPerWaferSane) {
+  // 100 mm2 die on 300 mm wafer: ~600 gross dies.
+  const int gross = dies_per_wafer(100.0);
+  EXPECT_GT(gross, 500);
+  EXPECT_LT(gross, 707);  // area bound
+  EXPECT_GT(dies_per_wafer(50.0), dies_per_wafer(200.0));
+  EXPECT_THROW(dies_per_wafer(0.0), std::invalid_argument);
+}
+
+TEST(Yield, CostPerGoodDie) {
+  const double full = cost_per_good_die(100.0, 1.0, 4000.0);
+  const double half = cost_per_good_die(100.0, 0.5, 4000.0);
+  EXPECT_NEAR(half, 2.0 * full, 1e-9);
+  EXPECT_TRUE(std::isinf(cost_per_good_die(100.0, 0.0)));
+}
+
+}  // namespace
+}  // namespace soc::econ

@@ -1,0 +1,190 @@
+// Memory technology models, set-associative cache and stride prefetcher.
+#include <gtest/gtest.h>
+
+#include "soc/mem/cache.hpp"
+#include "soc/mem/mem_tech.hpp"
+#include "soc/mem/prefetch.hpp"
+#include "soc/sim/rng.hpp"
+
+namespace soc::mem {
+namespace {
+
+using soc::tech::find_node;
+using soc::tech::node_90nm;
+
+// ------------------------------------------------------------- mem tech ---
+
+TEST(MemTech, SramMacroBasics) {
+  const auto m = memory_macro(MemoryKind::kSram, 1u << 20, node_90nm());
+  EXPECT_GT(m.area_mm2, 0.0);
+  EXPECT_GE(m.read_cycles, 2u);
+  EXPECT_GT(m.read_energy_pj_per_word, 0.0);
+  EXPECT_FALSE(m.non_volatile);
+}
+
+TEST(MemTech, DensityOrderingSramEdramEflash) {
+  // Paper Section 3: eSRAM vs eDRAM vs eFlash is one of the two main
+  // MP-SoC design tradeoffs. For the same capacity: area shrinks.
+  const auto cmp = compare_memories(8u << 20, node_90nm());
+  EXPECT_GT(cmp.sram.area_mm2, cmp.edram.area_mm2);
+  EXPECT_GT(cmp.edram.area_mm2, cmp.eflash.area_mm2);
+  EXPECT_DOUBLE_EQ(cmp.external.area_mm2, 0.0);  // off-die
+}
+
+TEST(MemTech, LatencyOrdering) {
+  const auto cmp = compare_memories(8u << 20, node_90nm());
+  EXPECT_LT(cmp.sram.read_cycles, cmp.edram.read_cycles);
+  EXPECT_LT(cmp.edram.read_cycles, cmp.external.read_cycles);
+  // eFlash writes are catastrophically slow (program time).
+  EXPECT_GT(cmp.eflash.write_cycles, 1000u * cmp.sram.write_cycles);
+  EXPECT_TRUE(cmp.eflash.non_volatile);
+}
+
+TEST(MemTech, LatencyGrowsWithCapacity) {
+  const auto small = memory_macro(MemoryKind::kSram, 64 * 1024, node_90nm());
+  const auto large = memory_macro(MemoryKind::kSram, 64u << 20, node_90nm());
+  EXPECT_LT(small.read_cycles, large.read_cycles);
+}
+
+TEST(MemTech, ExternalDramCycleCountGrowsAcrossRoadmap) {
+  // Fixed 55 ns wall clock = more cycles as clocks speed up: the memory
+  // wall that motivates latency hiding.
+  const auto old_node =
+      memory_macro(MemoryKind::kExternalDram, 1u << 20, *find_node(250.0));
+  const auto new_node = memory_macro(MemoryKind::kExternalDram, 1u << 20,
+                                     *find_node(std::string("50nm")));
+  EXPECT_GT(new_node.read_cycles, old_node.read_cycles);
+  EXPECT_GT(new_node.read_cycles, 100u);  // >100 cycles at 50 nm
+}
+
+TEST(MemTech, RejectsZeroCapacity) {
+  EXPECT_THROW(memory_macro(MemoryKind::kSram, 0, node_90nm()),
+               std::invalid_argument);
+}
+
+TEST(MemTech, Names) {
+  EXPECT_EQ(to_string(MemoryKind::kSram), "eSRAM");
+  EXPECT_EQ(to_string(MemoryKind::kExternalDram), "ext-DRAM");
+}
+
+// ----------------------------------------------------------------- cache ---
+
+TEST(Cache, GeometryValidation) {
+  EXPECT_NO_THROW(Cache(CacheConfig{16 * 1024, 32, 4}));
+  EXPECT_THROW(Cache(CacheConfig{16 * 1024, 0, 4}), std::invalid_argument);
+  EXPECT_THROW(Cache(CacheConfig{16 * 1024, 33, 4}), std::invalid_argument);
+  EXPECT_THROW(Cache(CacheConfig{100, 32, 3}), std::invalid_argument);
+}
+
+TEST(Cache, ColdMissThenHit) {
+  Cache c(CacheConfig{1024, 32, 2});
+  EXPECT_FALSE(c.access(0x100, false).hit);
+  EXPECT_TRUE(c.access(0x100, false).hit);
+  EXPECT_TRUE(c.access(0x11F, false).hit);   // same line
+  EXPECT_FALSE(c.access(0x120, false).hit);  // next line
+  EXPECT_EQ(c.hits(), 2u);
+  EXPECT_EQ(c.misses(), 2u);
+}
+
+TEST(Cache, LruEvictionOrder) {
+  // 2-way, line 32, size 128 -> 2 sets. Addresses mapping to set 0:
+  // line addresses 0, 2, 4, ... (even).
+  Cache c(CacheConfig{128, 32, 2});
+  c.access(0 * 64, false);    // set0 way0
+  c.access(1 * 64 + 32, false);  // odd set; irrelevant
+  c.access(2 * 64, false);    // set0 way1
+  EXPECT_TRUE(c.access(0, false).hit);       // touch 0: LRU is now 2*64? no:
+  c.access(4 * 64, false);    // evicts 2*64 (LRU)
+  EXPECT_TRUE(c.access(0, false).hit);
+  EXPECT_FALSE(c.access(2 * 64, false).hit);  // was evicted
+}
+
+TEST(Cache, DirtyEvictionCountsWriteback) {
+  Cache c(CacheConfig{64, 32, 1});  // direct-mapped, 2 sets
+  c.access(0, true);              // dirty line in set 0
+  const auto ev = c.access(64, false);  // evicts dirty line
+  EXPECT_TRUE(ev.evicted_dirty);
+  EXPECT_EQ(c.writebacks(), 1u);
+}
+
+TEST(Cache, ProbeAndFillDoNotCountAccesses) {
+  Cache c(CacheConfig{1024, 32, 2});
+  EXPECT_FALSE(c.probe(0x40));
+  c.fill(0x40);
+  EXPECT_TRUE(c.probe(0x40));
+  EXPECT_EQ(c.hits() + c.misses(), 0u);
+  EXPECT_TRUE(c.access(0x40, false).hit);  // prefetched line hits
+}
+
+TEST(Cache, FlushInvalidatesEverything) {
+  Cache c(CacheConfig{1024, 32, 2});
+  c.access(0, false);
+  c.flush();
+  EXPECT_FALSE(c.access(0, false).hit);
+}
+
+TEST(Cache, SequentialWorkingSetFitsOrThrashes) {
+  // Working set smaller than capacity: second pass all hits.
+  Cache small(CacheConfig{4096, 32, 4});
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::uint64_t a = 0; a < 4096; a += 32) small.access(a, false);
+  }
+  EXPECT_DOUBLE_EQ(small.hit_rate(), 0.5);  // 128 misses then 128 hits
+
+  // Working set 2x capacity with LRU: second pass all misses too.
+  Cache thrash(CacheConfig{4096, 32, 4});
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::uint64_t a = 0; a < 8192; a += 32) thrash.access(a, false);
+  }
+  EXPECT_LT(thrash.hit_rate(), 0.01);
+}
+
+// ------------------------------------------------------------ prefetcher ---
+
+TEST(Prefetch, DetectsUnitStrideAndFillsAhead) {
+  Cache c(CacheConfig{8192, 32, 4});
+  StridePrefetcher pf(StridePrefetcher::Config{16, 2, 2});
+  // Sequential scan with stride 32 (one line).
+  int prefetched = 0;
+  for (std::uint64_t a = 0; a < 2048; a += 32) {
+    c.access(a, false);
+    prefetched += pf.observe(a, c);
+  }
+  EXPECT_GT(prefetched, 10);
+  EXPECT_GT(pf.issued(), 10u);
+}
+
+TEST(Prefetch, ExperimentShowsHitRateGain) {
+  // Stream access pattern over a buffer much larger than the cache.
+  std::vector<std::uint64_t> trace;
+  for (std::uint64_t a = 0; a < 256 * 1024; a += 8) trace.push_back(a);
+  const auto r = run_prefetch_experiment(
+      trace, CacheConfig{8192, 32, 4}, StridePrefetcher::Config{16, 4, 2});
+  EXPECT_GT(r.prefetch_hit_rate, r.baseline_hit_rate + 0.15);
+  EXPECT_GT(r.prefetches_issued, 100u);
+}
+
+TEST(Prefetch, RandomTrafficGainsLittle) {
+  soc::sim::Rng rng(17);
+  std::vector<std::uint64_t> trace;
+  for (int i = 0; i < 40'000; ++i) {
+    trace.push_back(rng.next_below(1u << 22) & ~7ULL);
+  }
+  const auto r = run_prefetch_experiment(
+      trace, CacheConfig{8192, 32, 4}, StridePrefetcher::Config{16, 2, 2});
+  EXPECT_LT(r.prefetch_hit_rate, r.baseline_hit_rate + 0.05);
+}
+
+TEST(Prefetch, NegativeStrideSupported) {
+  Cache c(CacheConfig{8192, 32, 4});
+  StridePrefetcher pf(StridePrefetcher::Config{16, 2, 2});
+  int prefetched = 0;
+  for (std::int64_t a = 4096; a >= 64; a -= 32) {
+    c.access(static_cast<std::uint64_t>(a), false);
+    prefetched += pf.observe(static_cast<std::uint64_t>(a), c);
+  }
+  EXPECT_GT(prefetched, 5);
+}
+
+}  // namespace
+}  // namespace soc::mem

@@ -1,0 +1,183 @@
+// Topology construction, routing-table and hop-count properties for every
+// member of the paper's "bus, ring, tree to full-crossbar" range.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "soc/noc/topologies.hpp"
+
+namespace soc::noc {
+namespace {
+
+std::string sanitize(std::string s) {
+  std::replace(s.begin(), s.end(), '-', '_');
+  return s;
+}
+
+// Parameterized over (kind, terminal count): structural invariants that
+// every topology must satisfy.
+class TopologyInvariants
+    : public ::testing::TestWithParam<std::tuple<TopologyKind, int>> {};
+
+TEST_P(TopologyInvariants, EveryPairIsRoutable) {
+  const auto [kind, n] = GetParam();
+  const auto topo = make_topology(kind, n);
+  EXPECT_EQ(topo->terminal_count(), n);
+  for (TerminalId s = 0; s < static_cast<TerminalId>(n); ++s) {
+    for (TerminalId d = 0; d < static_cast<TerminalId>(n); ++d) {
+      if (s == d) continue;
+      // Walking the routing tables terminates at the destination.
+      const int h = topo->hops_between(s, d);
+      EXPECT_GT(h, 0) << to_string(kind) << " " << s << "->" << d;
+      EXPECT_LE(h, topo->diameter_hops());
+    }
+  }
+}
+
+TEST_P(TopologyInvariants, SelfHopsZero) {
+  const auto [kind, n] = GetParam();
+  const auto topo = make_topology(kind, n);
+  for (TerminalId t = 0; t < static_cast<TerminalId>(n); ++t) {
+    EXPECT_EQ(topo->hops_between(t, t), 0);
+  }
+}
+
+TEST_P(TopologyInvariants, AverageHopsConsistent) {
+  const auto [kind, n] = GetParam();
+  const auto topo = make_topology(kind, n);
+  double sum = 0.0;
+  int pairs = 0;
+  for (TerminalId s = 0; s < static_cast<TerminalId>(n); ++s) {
+    for (TerminalId d = 0; d < static_cast<TerminalId>(n); ++d) {
+      if (s == d) continue;
+      sum += topo->hops_between(s, d);
+      ++pairs;
+    }
+  }
+  EXPECT_NEAR(topo->average_hops(), sum / pairs, 1e-9) << to_string(kind);
+}
+
+TEST_P(TopologyInvariants, EjectRouteAtAttachRouter) {
+  const auto [kind, n] = GetParam();
+  const auto topo = make_topology(kind, n);
+  for (TerminalId t = 0; t < static_cast<TerminalId>(n); ++t) {
+    EXPECT_EQ(topo->route(topo->attach_router(t), t), -1);
+  }
+}
+
+TEST_P(TopologyInvariants, LinkEndpointsValid) {
+  const auto [kind, n] = GetParam();
+  const auto topo = make_topology(kind, n);
+  for (const auto& l : topo->links()) {
+    EXPECT_GE(l.from_router, 0);
+    EXPECT_LT(l.from_router, topo->router_count());
+    EXPECT_GE(l.to_router, 0);
+    EXPECT_LT(l.to_router, topo->router_count());
+    EXPECT_GT(l.bandwidth, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKindsAndSizes, TopologyInvariants,
+    ::testing::Combine(
+        ::testing::Values(TopologyKind::kBus, TopologyKind::kRing,
+                          TopologyKind::kBinaryTree, TopologyKind::kFatTree,
+                          TopologyKind::kMesh2D, TopologyKind::kTorus2D,
+                          TopologyKind::kCrossbar),
+        ::testing::Values(4, 16, 32)),
+    [](const auto& info) {
+      return sanitize(std::string(to_string(std::get<0>(info.param))) + "_" +
+                      std::to_string(std::get<1>(info.param)));
+    });
+
+// ------------------------------------------------------- per-kind facts ---
+
+TEST(BusTopology, ConstantHopsAndSingleBottleneck) {
+  const auto topo = make_bus(16);
+  // NI -> entry -> exit -> NI = 3 hops for every pair.
+  EXPECT_EQ(topo->diameter_hops(), 3);
+  EXPECT_NEAR(topo->average_hops(), 3.0, 1e-9);
+}
+
+TEST(RingTopology, DiameterIsHalfN) {
+  EXPECT_EQ(make_ring(16)->diameter_hops(), 8);
+  EXPECT_EQ(make_ring(15)->diameter_hops(), 7);
+  EXPECT_EQ(make_ring(4)->diameter_hops(), 2);
+}
+
+TEST(RingTopology, ShortestDirectionChosen) {
+  const auto topo = make_ring(8);
+  EXPECT_EQ(topo->hops_between(0, 1), 1);
+  EXPECT_EQ(topo->hops_between(0, 7), 1);  // wraps backwards
+  EXPECT_EQ(topo->hops_between(0, 4), 4);
+}
+
+TEST(TreeTopology, DiameterIsTwiceDepth) {
+  // 16 leaves -> depth 4 -> corner-to-corner 8.
+  EXPECT_EQ(make_binary_tree(16)->diameter_hops(), 8);
+  EXPECT_EQ(make_fat_tree(16)->diameter_hops(), 8);
+}
+
+TEST(TreeTopology, RequiresPowerOfTwo) {
+  EXPECT_THROW(make_binary_tree(12), std::invalid_argument);
+  EXPECT_NO_THROW(make_binary_tree(8));
+}
+
+TEST(TreeTopology, FatTreeRootLinksWider) {
+  const auto thin = make_binary_tree(16);
+  const auto fat = make_fat_tree(16);
+  EXPECT_GT(fat->total_link_bandwidth(), thin->total_link_bandwidth());
+  double max_bw = 0.0;
+  for (const auto& l : fat->links()) max_bw = std::max(max_bw, l.bandwidth);
+  EXPECT_DOUBLE_EQ(max_bw, 8.0);  // root link carries half the leaves
+}
+
+TEST(MeshTopology, ManhattanDistances) {
+  const auto topo = make_mesh(16);  // 4x4
+  EXPECT_EQ(topo->hops_between(0, 3), 3);    // same row
+  EXPECT_EQ(topo->hops_between(0, 12), 3);   // same column
+  EXPECT_EQ(topo->hops_between(0, 15), 6);   // corner to corner
+  EXPECT_EQ(topo->diameter_hops(), 6);
+}
+
+TEST(TorusTopology, WraparoundShortensPaths) {
+  const auto mesh = make_mesh(16);
+  const auto torus = make_torus(16);
+  EXPECT_LT(torus->diameter_hops(), mesh->diameter_hops());
+  EXPECT_EQ(torus->hops_between(0, 12), 1);  // wrap in the column
+}
+
+TEST(CrossbarTopology, AlwaysTwoHops) {
+  const auto topo = make_crossbar(32);
+  EXPECT_EQ(topo->diameter_hops(), 2);
+  EXPECT_NEAR(topo->average_hops(), 2.0, 1e-9);
+}
+
+TEST(TopologyOrdering, AverageHopsRingVsMeshVsCrossbar) {
+  // For large N: crossbar constant, mesh grows as sqrt(N), ring as N.
+  const int n = 64;
+  const auto ring = make_ring(n);
+  const auto mesh = make_mesh(n);
+  const auto xbar = make_crossbar(n);
+  EXPECT_GT(ring->average_hops(), mesh->average_hops());
+  EXPECT_GT(mesh->average_hops(), xbar->average_hops());
+}
+
+TEST(TopologyFactory, NamesRoundTrip) {
+  for (const auto k :
+       {TopologyKind::kBus, TopologyKind::kRing, TopologyKind::kBinaryTree,
+        TopologyKind::kFatTree, TopologyKind::kMesh2D, TopologyKind::kTorus2D,
+        TopologyKind::kCrossbar}) {
+    const auto topo = make_topology(k, 16);
+    EXPECT_EQ(topo->name(), to_string(k));
+  }
+}
+
+TEST(TopologyValidation, RejectsBadParameters) {
+  EXPECT_THROW(make_mesh(0), std::invalid_argument);
+  EXPECT_THROW(make_ring(-1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace soc::noc

@@ -1,0 +1,429 @@
+// Platform layer: work queue, multithreaded PE behavior (latency hiding,
+// the A1 ablation's simulation side), FPPA assembly and cost models.
+#include <gtest/gtest.h>
+
+#include "soc/noc/topologies.hpp"
+#include "soc/platform/cost.hpp"
+#include "soc/platform/fppa.hpp"
+#include "soc/platform/mt_pe.hpp"
+#include "soc/proc/multithread.hpp"
+
+namespace soc::platform {
+namespace {
+
+// -------------------------------------------------------------- WorkQueue ---
+
+TEST(WorkQueue, FifoOrder) {
+  WorkQueue q;
+  for (std::uint64_t i = 0; i < 5; ++i) q.push(WorkItem{i, nullptr, 0});
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    const auto item = q.pop();
+    ASSERT_TRUE(item.has_value());
+    EXPECT_EQ(item->id, i);
+  }
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(WorkQueue, WaiterWokenOnPush) {
+  WorkQueue q;
+  int woken = 0;
+  q.wait([&] { ++woken; });
+  q.wait([&] { ++woken; });
+  q.push(WorkItem{});
+  EXPECT_EQ(woken, 1);  // one waiter per push
+  q.push(WorkItem{});
+  EXPECT_EQ(woken, 2);
+}
+
+TEST(WorkQueue, DepthTracking) {
+  WorkQueue q;
+  q.push(WorkItem{});
+  q.push(WorkItem{});
+  EXPECT_EQ(q.depth(), 2u);
+  q.pop();
+  EXPECT_EQ(q.depth(), 1u);
+  EXPECT_EQ(q.max_depth(), 2u);
+  EXPECT_EQ(q.pushed(), 2u);
+  EXPECT_EQ(q.popped(), 1u);
+}
+
+// ------------------------------------------------------------------ MtPe ---
+
+/// Rig with one PE (configurable contexts) and one memory endpoint whose
+/// round-trip latency is controlled through NoC link latency.
+struct PeRig {
+  explicit PeRig(int contexts, std::uint32_t link_latency = 1)
+      : net(noc::make_crossbar(4),
+            [&] {
+              noc::NetworkConfig c;
+              c.link_latency_cycles = link_latency;
+              return c;
+            }(),
+            queue),
+        transport(net, queue),
+        mem(tlm::MemoryTiming{4, 2, 4}, 4096, queue) {
+    transport.attach(1, mem);
+    PeConfig pc;
+    pc.terminal = 0;
+    pc.thread_contexts = contexts;
+    pc.switch_penalty = 1;
+    pe = std::make_unique<MtPe>("pe", pc, transport, pool, queue);
+    pe->start();
+  }
+
+  /// Pushes `n` tasks, each: compute C, remote read, compute C, done.
+  void push_tasks(int n, sim::Cycle c) {
+    for (int i = 0; i < n; ++i) {
+      WorkItem item;
+      item.id = static_cast<std::uint64_t>(i);
+      item.created_at = queue.now();
+      item.gen = [c, step = 0](const std::vector<std::uint32_t>&) mutable
+          -> Step {
+        switch (step++) {
+          case 0: return Step::compute(c);
+          case 1: return Step::read(1, 0, 1);
+          case 2: return Step::compute(c);
+          default: return Step::done();
+        }
+      };
+      pool.push(std::move(item));
+    }
+  }
+
+  sim::EventQueue queue;
+  noc::Network net;
+  tlm::Transport transport;
+  tlm::MemoryEndpoint mem;
+  WorkQueue pool;
+  std::unique_ptr<MtPe> pe;
+};
+
+TEST(MtPe, RequiresAtLeastOneContext) {
+  PeRig rig(1);
+  PeConfig bad;
+  bad.thread_contexts = 0;
+  EXPECT_THROW(MtPe("x", bad, rig.transport, rig.pool, rig.queue),
+               std::invalid_argument);
+}
+
+TEST(MtPe, CompletesTasksAndCountsBusyCycles) {
+  PeRig rig(1);
+  rig.push_tasks(10, 20);
+  rig.queue.run_all();
+  EXPECT_EQ(rig.pe->tasks_completed(), 10u);
+  EXPECT_EQ(rig.pe->busy_cycles(), 10u * 40u);
+  EXPECT_EQ(rig.pe->task_latency().size(), 10u);
+  EXPECT_EQ(rig.pe->remote_latency().size(), 10u);
+}
+
+TEST(MtPe, MoreThreadsHideMoreLatency) {
+  // A1's mechanism: with high remote latency, single-context utilization
+  // collapses; 4 contexts keep the core busy.
+  const auto utilization = [](int contexts) {
+    PeRig rig(contexts, /*link_latency=*/40);
+    rig.push_tasks(400, 25);
+    rig.queue.run_until(20'000);
+    return rig.pe->utilization(20'000);
+  };
+  const double u1 = utilization(1);
+  const double u2 = utilization(2);
+  const double u4 = utilization(4);
+  const double u8 = utilization(8);
+  EXPECT_LT(u1, 0.45);
+  EXPECT_GT(u2, u1 * 1.5);
+  EXPECT_GT(u4, u2 * 1.2);
+  EXPECT_GT(u8, 0.85);   // saturated: near-100% (claim C6's shape)
+  EXPECT_LE(u8, 1.0);
+}
+
+TEST(MtPe, SimulationMatchesAnalyticModel) {
+  // Cross-check the event-driven PE against proc::mt_utilization.
+  // Measure the actual remote round trip first, then compare.
+  for (const int contexts : {1, 2, 3, 4, 6}) {
+    PeRig rig(contexts, /*link_latency=*/30);
+    rig.push_tasks(2000, 30);
+    rig.queue.run_until(40'000);
+    const double sim_util = rig.pe->utilization(40'000);
+    const double latency = rig.pe->remote_latency().mean();
+    // Task shape: compute 30 | remote L | compute 30 -> per 60 compute
+    // cycles one remote op: effective C = 60 between blocking points is
+    // wrong; each task blocks once per 30-cycle segment boundary. Model
+    // as C=60 (two compute halves around one read).
+    soc::proc::MtParams p;
+    p.threads = contexts;
+    p.compute_cycles = 60.0;
+    p.remote_latency = latency;
+    p.switch_penalty = 1.0;
+    const double model = soc::proc::mt_utilization(p);
+    EXPECT_NEAR(sim_util, model, 0.12)
+        << "contexts=" << contexts << " latency=" << latency;
+  }
+}
+
+TEST(MtPe, SwitchPenaltyAccounted) {
+  PeRig rig(4, 40);
+  rig.push_tasks(100, 10);
+  rig.queue.run_all();
+  EXPECT_GT(rig.pe->switch_cycles(), 0u);
+  EXPECT_LT(rig.pe->switch_cycles(), rig.pe->busy_cycles());
+}
+
+TEST(MtPe, ResetStatsClearsCounters) {
+  PeRig rig(2);
+  rig.push_tasks(5, 10);
+  rig.queue.run_all();
+  rig.pe->reset_stats();
+  EXPECT_EQ(rig.pe->tasks_completed(), 0u);
+  EXPECT_EQ(rig.pe->busy_cycles(), 0u);
+  EXPECT_TRUE(rig.pe->task_latency().empty());
+}
+
+TEST(MtPe, SendStepPostsWithoutBlocking) {
+  PeRig rig(1);
+  // Attach a sink at terminal 2.
+  tlm::SinkEndpoint sink(rig.queue);
+  rig.transport.attach(2, sink);
+  WorkItem item;
+  item.gen = [step = 0](const std::vector<std::uint32_t>&) mutable -> Step {
+    switch (step++) {
+      case 0: return Step::compute(5);
+      case 1: return Step::send(2, 3);
+      default: return Step::done();
+    }
+  };
+  rig.pool.push(std::move(item));
+  rig.queue.run_all();
+  EXPECT_EQ(sink.received(), 1u);
+  EXPECT_EQ(rig.pe->tasks_completed(), 1u);
+}
+
+// ------------------------------------------------------------------ Fppa ---
+
+TEST(Fppa, TerminalLayout) {
+  FppaConfig cfg;
+  cfg.num_pes = 4;
+  cfg.num_memories = 2;
+  cfg.num_sinks = 1;
+  cfg.num_io = 2;
+  Fppa f(cfg);
+  EXPECT_EQ(f.pe_terminal(0), 0u);
+  EXPECT_EQ(f.pe_terminal(3), 3u);
+  EXPECT_EQ(f.memory_terminal(0), 4u);
+  EXPECT_EQ(f.memory_terminal(1), 5u);
+  EXPECT_EQ(f.sink_terminal(0), 6u);
+  EXPECT_EQ(f.io_terminal(0), 7u);
+  EXPECT_EQ(f.io_terminal(1), 8u);
+  EXPECT_EQ(f.network().topology().terminal_count(), 9);
+  EXPECT_THROW(f.pe_terminal(4), std::out_of_range);
+  EXPECT_THROW(f.memory_terminal(2), std::out_of_range);
+  EXPECT_THROW(f.sink_terminal(1), std::out_of_range);
+  EXPECT_THROW(f.io_terminal(2), std::out_of_range);
+}
+
+TEST(Fppa, RunsSharedPoolAcrossPes) {
+  FppaConfig cfg;
+  cfg.num_pes = 4;
+  cfg.threads_per_pe = 2;
+  Fppa f(cfg);
+  f.start();
+  for (int i = 0; i < 100; ++i) {
+    WorkItem item;
+    item.created_at = f.queue().now();
+    item.gen = [step = 0](const std::vector<std::uint32_t>&) mutable -> Step {
+      return step++ == 0 ? Step::compute(50) : Step::done();
+    };
+    f.pool().push(std::move(item));
+  }
+  f.queue().run_all();
+  const auto report = f.report(f.queue().now());
+  EXPECT_EQ(report.tasks_completed, 100u);
+  EXPECT_GT(report.mean_pe_utilization, 0.0);
+  // Work spread over all four PEs.
+  for (int i = 0; i < 4; ++i) EXPECT_GT(f.pe(i).tasks_completed(), 0u);
+}
+
+TEST(Fppa, PartitionedQueuesRoundRobin) {
+  FppaConfig cfg;
+  cfg.num_pes = 4;
+  cfg.threads_per_pe = 1;
+  cfg.pool_mode = PoolMode::kPartitionedQueues;
+  Fppa f(cfg);
+  auto sink = f.work_sink();
+  for (int i = 0; i < 8; ++i) {
+    WorkItem item;
+    item.id = static_cast<std::uint64_t>(i);
+    item.gen = [](const std::vector<std::uint32_t>&) { return Step::done(); };
+    sink(std::move(item));
+  }
+  for (int pe = 0; pe < 4; ++pe) {
+    EXPECT_EQ(f.queue_for_pe(pe).pushed(), 2u) << pe;
+  }
+  EXPECT_THROW(f.queue_for_pe(9), std::out_of_range);
+}
+
+TEST(Fppa, SharedQueueAvoidsHeadOfLineBlocking) {
+  // One long task plus many short tasks: with a shared queue idle PEs
+  // drain the short ones; with partitioned round-robin, every 4th short
+  // task lands behind the long task's PE... with num_pes=2 the contrast is
+  // sharpest: PE0 gets the elephant, half the mice queue behind it.
+  const auto run_mode = [](PoolMode mode) {
+    FppaConfig cfg;
+    cfg.num_pes = 2;
+    cfg.threads_per_pe = 1;
+    cfg.pool_mode = mode;
+    Fppa f(cfg);
+    f.start();
+    auto sink = f.work_sink();
+    auto push = [&](sim::Cycle cycles) {
+      WorkItem item;
+      item.created_at = f.queue().now();
+      item.gen = [cycles, fired = false](
+                     const std::vector<std::uint32_t>&) mutable -> Step {
+        if (!fired) {
+          fired = true;
+          return Step::compute(cycles);
+        }
+        return Step::done();
+      };
+      sink(std::move(item));
+    };
+    push(20'000);                        // elephant -> PE0
+    for (int i = 0; i < 20; ++i) push(50);  // mice
+    f.queue().run_all();
+    sim::SampleSet all;
+    for (int pe = 0; pe < 2; ++pe) {
+      for (const double s : f.pe(pe).task_latency().samples()) all.push(s);
+    }
+    return all.quantile(0.90);
+  };
+  const double shared_p90 = run_mode(PoolMode::kSharedQueue);
+  const double partitioned_p90 = run_mode(PoolMode::kPartitionedQueues);
+  EXPECT_LT(shared_p90 * 5.0, partitioned_p90);
+}
+
+TEST(Fppa, ValidatesConfig) {
+  FppaConfig bad;
+  bad.num_pes = 0;
+  EXPECT_THROW(Fppa{bad}, std::invalid_argument);
+}
+
+TEST(Fppa, ReportAggregatesAllFields) {
+  FppaConfig cfg;
+  cfg.num_pes = 2;
+  cfg.threads_per_pe = 2;
+  Fppa f(cfg);
+  f.start();
+  const auto mem = f.memory_terminal(0);
+  for (int i = 0; i < 20; ++i) {
+    WorkItem item;
+    item.created_at = f.queue().now();
+    item.gen = [mem, step = 0](const std::vector<std::uint32_t>&) mutable
+        -> Step {
+      switch (step++) {
+        case 0: return Step::compute(30);
+        case 1: return Step::read(mem, 0, 1);
+        default: return Step::done();
+      }
+    };
+    f.pool().push(std::move(item));
+  }
+  f.queue().run_all();
+  const auto r = f.report(f.queue().now());
+  EXPECT_EQ(r.tasks_completed, 20u);
+  EXPECT_GT(r.tasks_per_kcycle, 0.0);
+  EXPECT_GT(r.mean_task_latency, 0.0);
+  EXPECT_GE(r.p99_task_latency, r.mean_task_latency * 0.5);
+  EXPECT_GT(r.mean_remote_latency, 0.0);
+  EXPECT_EQ(r.noc_packets, 40u);  // 20 read requests + 20 responses
+  EXPECT_GT(r.noc_avg_packet_latency, 0.0);
+  EXPECT_LE(r.min_pe_utilization, r.mean_pe_utilization);
+  EXPECT_LE(r.mean_pe_utilization, r.max_pe_utilization);
+  // reset_stats clears the window.
+  f.reset_stats();
+  const auto r2 = f.report(1000);
+  EXPECT_EQ(r2.tasks_completed, 0u);
+  EXPECT_EQ(r2.noc_packets, 0u);
+}
+
+// ------------------------------------------------------------------ cost ---
+
+TEST(Cost, AreaScalesWithPes) {
+  FppaConfig small;
+  small.num_pes = 4;
+  FppaConfig big;
+  big.num_pes = 32;
+  const auto node = soc::tech::node_90nm();
+  const auto cs = estimate_cost(small, node);
+  const auto cb = estimate_cost(big, node);
+  EXPECT_GT(cb.pe_area_mm2, cs.pe_area_mm2 * 7.0);
+  EXPECT_GT(cb.total_area_mm2, cs.total_area_mm2);
+  EXPECT_GT(cb.peak_dynamic_mw, cs.peak_dynamic_mw);
+}
+
+TEST(Cost, MultithreadingCostsArea) {
+  FppaConfig st;
+  st.threads_per_pe = 1;
+  FppaConfig mt;
+  mt.threads_per_pe = 8;
+  const auto node = soc::tech::node_90nm();
+  EXPECT_GT(estimate_cost(mt, node).pe_area_mm2,
+            estimate_cost(st, node).pe_area_mm2 * 1.5);
+}
+
+TEST(Cost, PaperClaimThousandRiscAt100nm) {
+  // Section 1: "over 100 million transistors - enough to theoretically
+  // place the logic of over one thousand 32 bit RISC processors on a die".
+  // At 90 nm a 300 mm^2 die holds ~100 Mtx of logic; with 2.5 Mtx PEs the
+  // *theoretical* count (all area to logic) is 40/die-mm2-budget... our
+  // model: die budget x density / PE size.
+  const auto node = soc::tech::node_90nm();
+  const double mtx_per_die = node.density_mtx_mm2 * 300.0;
+  EXPECT_GT(mtx_per_die, 100.0);  // >100 Mtx on a 300 mm^2 die
+  EXPECT_GT(mtx_per_die / kPeMtx, 100.0);  // >100 PEs even conservatively
+  // And the roadmap's 32 nm node crosses the thousand-RISC line:
+  const auto n32 = *soc::tech::find_node(std::string("32nm"));
+  EXPECT_GT(n32.density_mtx_mm2 * 300.0 / kPeMtx, 800.0);
+}
+
+TEST(Cost, PePowerModelAnchorsAndOrderings) {
+  const auto& n90 = soc::tech::node_90nm();
+  // Anchor: 90nm GP CPU at ~1.56 GHz, 0.20 mW/MHz -> ~300-350 mW.
+  const double gp = pe_power_mw(n90, soc::tech::Fabric::kGeneralPurposeCpu);
+  EXPECT_GT(gp, 250.0);
+  EXPECT_LT(gp, 400.0);
+  // Specialized fabrics burn less per engine despite wider datapaths.
+  EXPECT_LT(pe_power_mw(n90, soc::tech::Fabric::kAsip), gp);
+  EXPECT_LT(pe_power_mw(n90, soc::tech::Fabric::kDsp), gp);
+}
+
+TEST(Cost, PowerBudgetLimitsPeCount) {
+  const auto& n90 = soc::tech::node_90nm();
+  const int one_watt =
+      pes_within_power(n90, soc::tech::Fabric::kGeneralPurposeCpu, 1000.0);
+  const int ten_watt =
+      pes_within_power(n90, soc::tech::Fabric::kGeneralPurposeCpu, 10'000.0);
+  EXPECT_GE(one_watt, 2);
+  EXPECT_LE(one_watt, 5);
+  EXPECT_NEAR(ten_watt, one_watt * 10, one_watt + 1);
+  // The dark-silicon gap: area affords far more PEs than 1 W can feed.
+  EXPECT_GT(pes_per_die(n90, 200.0, 4), 3 * one_watt);
+}
+
+TEST(Cost, PesPerDieGrowsAcrossRoadmap) {
+  int prev = 0;
+  for (const auto& n : soc::tech::roadmap()) {
+    const int pes = pes_per_die(n, 200.0, 4);
+    EXPECT_GT(pes, prev) << n.name;
+    prev = pes;
+  }
+  // Paper Section 6: "MP-SoC platforms will include ten to hundreds of
+  // embedded processors" — on a large networking-class die (200 mm^2),
+  // tens are reachable at 130 nm and ~a hundred at the 50 nm node.
+  EXPECT_GE(pes_per_die(*soc::tech::find_node(std::string("130nm")), 200.0, 4),
+            10);
+  EXPECT_GE(pes_per_die(*soc::tech::find_node(std::string("50nm")), 200.0, 4),
+            100);
+}
+
+}  // namespace
+}  // namespace soc::platform

@@ -1,0 +1,355 @@
+// ISS semantics: every opcode class, remote-op blocking protocol, custom
+// ops, budgets and lifetime counters.
+#include <gtest/gtest.h>
+
+#include "soc/proc/assembler.hpp"
+#include "soc/proc/cpu.hpp"
+#include "soc/proc/multithread.hpp"
+
+namespace soc::proc {
+namespace {
+
+/// Assembles, runs to halt, returns the CPU for inspection.
+Cpu run_to_halt(const std::string& src) {
+  static std::vector<std::unique_ptr<Program>> programs;  // keep alive
+  programs.push_back(std::make_unique<Program>(assemble(src)));
+  Cpu cpu(*programs.back());
+  const auto r = cpu.run(1'000'000);
+  EXPECT_EQ(r.reason, StopReason::kHalted);
+  return cpu;
+}
+
+TEST(Cpu, AluArithmetic) {
+  const auto cpu = run_to_halt(R"(
+    addi r1, r0, 7
+    addi r2, r0, 5
+    add  r3, r1, r2
+    sub  r4, r1, r2
+    mul  r5, r1, r2
+    halt
+  )");
+  EXPECT_EQ(cpu.reg(3), 12u);
+  EXPECT_EQ(cpu.reg(4), 2u);
+  EXPECT_EQ(cpu.reg(5), 35u);
+}
+
+TEST(Cpu, LogicAndShifts) {
+  const auto cpu = run_to_halt(R"(
+    addi r1, r0, 0xF0
+    addi r2, r0, 0x0F
+    and  r3, r1, r2
+    or   r4, r1, r2
+    xor  r5, r1, r2
+    addi r6, r0, 4
+    sll  r7, r2, r6
+    srl  r8, r1, r6
+    halt
+  )");
+  EXPECT_EQ(cpu.reg(3), 0u);
+  EXPECT_EQ(cpu.reg(4), 0xFFu);
+  EXPECT_EQ(cpu.reg(5), 0xFFu);
+  EXPECT_EQ(cpu.reg(7), 0xF0u);
+  EXPECT_EQ(cpu.reg(8), 0x0Fu);
+}
+
+TEST(Cpu, ArithmeticShiftSignExtends) {
+  const auto cpu = run_to_halt(R"(
+    addi r1, r0, -16
+    srai r2, r1, 2
+    srli r3, r1, 2
+    halt
+  )");
+  EXPECT_EQ(static_cast<std::int32_t>(cpu.reg(2)), -4);
+  EXPECT_EQ(cpu.reg(3), 0x3FFFFFFCu);
+}
+
+TEST(Cpu, ComparisonsSignedAndUnsigned) {
+  const auto cpu = run_to_halt(R"(
+    addi r1, r0, -1
+    addi r2, r0, 1
+    slt  r3, r1, r2
+    sltu r4, r1, r2
+    slti r5, r1, 0
+    halt
+  )");
+  EXPECT_EQ(cpu.reg(3), 1u);  // signed: -1 < 1
+  EXPECT_EQ(cpu.reg(4), 0u);  // unsigned: 0xFFFFFFFF > 1
+  EXPECT_EQ(cpu.reg(5), 1u);
+}
+
+TEST(Cpu, LuiBuildsUpper) {
+  const auto cpu = run_to_halt("lui r1, 0xDEAD\nori r1, r1, 0xBEEF\nhalt");
+  EXPECT_EQ(cpu.reg(1), 0xDEADBEEFu);
+}
+
+TEST(Cpu, R0IsHardwiredZero) {
+  const auto cpu = run_to_halt("addi r0, r0, 99\nadd r1, r0, r0\nhalt");
+  EXPECT_EQ(cpu.reg(0), 0u);
+  EXPECT_EQ(cpu.reg(1), 0u);
+}
+
+TEST(Cpu, LoadStoreWordAndByte) {
+  const auto cpu = run_to_halt(R"(
+    lui  r1, 0x1234
+    ori  r1, r1, 0x5678
+    sw   r1, 100(r0)
+    lw   r2, 100(r0)
+    lbu  r3, 100(r0)
+    lbu  r4, 103(r0)
+    addi r5, r0, 0xAB
+    sb   r5, 200(r0)
+    lbu  r6, 200(r0)
+    halt
+  )");
+  EXPECT_EQ(cpu.reg(2), 0x12345678u);
+  EXPECT_EQ(cpu.reg(3), 0x78u);  // little-endian byte 0
+  EXPECT_EQ(cpu.reg(4), 0x12u);
+  EXPECT_EQ(cpu.reg(6), 0xABu);
+}
+
+TEST(Cpu, MisalignedAndOutOfRangeAccessesThrow) {
+  Program p = assemble("lw r1, 2(r0)\nhalt");
+  Cpu cpu(p);
+  EXPECT_THROW(cpu.run(), std::out_of_range);
+
+  Program p2 = assemble("lw r1, 0x40000(r0)\nhalt");
+  Cpu cpu2(p2, 1024);
+  EXPECT_THROW(cpu2.run(), std::out_of_range);
+}
+
+TEST(Cpu, BranchesAndLoop) {
+  // Sum 1..10 via loop.
+  const auto cpu = run_to_halt(R"(
+      addi r1, r0, 10
+      addi r2, r0, 0
+    loop:
+      add  r2, r2, r1
+      addi r1, r1, -1
+      bne  r1, r0, loop
+      halt
+  )");
+  EXPECT_EQ(cpu.reg(2), 55u);
+}
+
+TEST(Cpu, TakenBranchCostsMore) {
+  Program taken = assemble("beq r0, r0, 2\nnop\nhalt");
+  Program not_taken = assemble("bne r0, r0, 2\nnop\nhalt");
+  Cpu a(taken), b(not_taken);
+  const auto ra = a.run();
+  const auto rb = b.run();
+  EXPECT_EQ(ra.reason, StopReason::kHalted);
+  EXPECT_EQ(rb.reason, StopReason::kHalted);
+  // taken: beq(2) + halt(1) = 3; not taken: bne(1) + nop(1) + halt(1) = 3
+  // but instruction counts differ:
+  EXPECT_EQ(ra.instructions, 2u);
+  EXPECT_EQ(rb.instructions, 3u);
+  EXPECT_EQ(ra.cycles, 3u);
+  EXPECT_EQ(rb.cycles, 3u);
+}
+
+TEST(Cpu, JalLinksAndJrReturns) {
+  const auto cpu = run_to_halt(R"(
+      jal r31, func
+      addi r1, r0, 1     ; executed after return
+      halt
+    func:
+      addi r2, r0, 2
+      jr r31
+  )");
+  EXPECT_EQ(cpu.reg(1), 1u);
+  EXPECT_EQ(cpu.reg(2), 2u);
+  EXPECT_EQ(cpu.reg(31), 1u);  // return address
+}
+
+TEST(Cpu, RunsOffEndReportsBadPc) {
+  Program p = assemble("nop");
+  Cpu cpu(p);
+  EXPECT_EQ(cpu.run().reason, StopReason::kBadPc);
+}
+
+TEST(Cpu, BudgetStopsExecution) {
+  Program p = assemble("loop: j loop");
+  Cpu cpu(p);
+  const auto r = cpu.run(100);
+  EXPECT_EQ(r.reason, StopReason::kBudget);
+  EXPECT_EQ(r.instructions, 100u);
+  EXPECT_FALSE(cpu.halted());
+}
+
+// ------------------------------------------------------------ remote ops ---
+
+TEST(Cpu, RloadBlocksAndCompletes) {
+  Program p = assemble(R"(
+    addi r1, r0, 0x100
+    rload r2, 4(r1)
+    add  r3, r2, r2
+    halt
+  )");
+  Cpu cpu(p);
+  auto r = cpu.run();
+  EXPECT_EQ(r.reason, StopReason::kRemoteOp);
+  ASSERT_TRUE(cpu.blocked());
+  EXPECT_EQ(cpu.pending().kind, RemoteRequest::Kind::kLoad);
+  EXPECT_EQ(cpu.pending().address, 0x104u);
+  EXPECT_EQ(cpu.pending().dest_reg, 2);
+
+  cpu.complete_remote(21);
+  EXPECT_FALSE(cpu.blocked());
+  r = cpu.run();
+  EXPECT_EQ(r.reason, StopReason::kHalted);
+  EXPECT_EQ(cpu.reg(3), 42u);
+}
+
+TEST(Cpu, RstoreCarriesValue) {
+  Program p = assemble(R"(
+    addi r1, r0, 0x200
+    addi r2, r0, 77
+    rstore r2, 8(r1)
+    halt
+  )");
+  Cpu cpu(p);
+  EXPECT_EQ(cpu.run().reason, StopReason::kRemoteOp);
+  EXPECT_EQ(cpu.pending().kind, RemoteRequest::Kind::kStore);
+  EXPECT_EQ(cpu.pending().address, 0x208u);
+  EXPECT_EQ(cpu.pending().value, 77u);
+  cpu.complete_remote();
+  EXPECT_EQ(cpu.run().reason, StopReason::kHalted);
+}
+
+TEST(Cpu, SendRecvChannelProtocol) {
+  Program p = assemble(R"(
+    addi r1, r0, 3      ; channel
+    addi r2, r0, 99     ; payload
+    send r1, r2
+    recv r4, r1
+    halt
+  )");
+  Cpu cpu(p);
+  EXPECT_EQ(cpu.run().reason, StopReason::kRemoteOp);
+  EXPECT_EQ(cpu.pending().kind, RemoteRequest::Kind::kSend);
+  EXPECT_EQ(cpu.pending().address, 3u);
+  EXPECT_EQ(cpu.pending().value, 99u);
+  cpu.complete_remote();
+  EXPECT_EQ(cpu.run().reason, StopReason::kRemoteOp);
+  EXPECT_EQ(cpu.pending().kind, RemoteRequest::Kind::kRecv);
+  cpu.complete_remote(123);
+  EXPECT_EQ(cpu.run().reason, StopReason::kHalted);
+  EXPECT_EQ(cpu.reg(4), 123u);
+}
+
+TEST(Cpu, RemoteProtocolMisuseThrows) {
+  Program p = assemble("halt");
+  Cpu cpu(p);
+  EXPECT_THROW(cpu.pending(), std::logic_error);
+  EXPECT_THROW(cpu.complete_remote(0), std::logic_error);
+}
+
+TEST(Cpu, RunWhileBlockedReturnsRemoteOp) {
+  Program p = assemble("rload r1, 0(r0)\nhalt");
+  Cpu cpu(p);
+  cpu.run();
+  EXPECT_EQ(cpu.run().reason, StopReason::kRemoteOp);  // still blocked
+  EXPECT_EQ(cpu.run().instructions, 0u);
+}
+
+// ------------------------------------------------------------ custom ops ---
+
+TEST(Cpu, CustomOpExecutesWithConfiguredCost) {
+  Program p = assemble(R"(
+    addi r1, r0, 6
+    addi r2, r0, 7
+    xop0 r3, r1, r2
+    halt
+  )");
+  Cpu cpu(p);
+  cpu.set_custom_op(0, CustomOp{[](std::uint32_t a, std::uint32_t b) {
+                                  return a * b + 1;
+                                },
+                                5});
+  const auto r = cpu.run();
+  EXPECT_EQ(r.reason, StopReason::kHalted);
+  EXPECT_EQ(cpu.reg(3), 43u);
+  // addi(1) + addi(1) + xop(5) + halt(1)
+  EXPECT_EQ(r.cycles, 8u);
+}
+
+TEST(Cpu, UnconfiguredCustomOpThrows) {
+  Program p = assemble("xop2 r1, r2, r3\nhalt");
+  Cpu cpu(p);
+  EXPECT_THROW(cpu.run(), std::logic_error);
+  EXPECT_THROW(cpu.set_custom_op(4, CustomOp{}), std::out_of_range);
+}
+
+// -------------------------------------------------------------- counters ---
+
+TEST(Cpu, LifetimeCountersAccumulate) {
+  Program p = assemble("addi r1, r0, 1\nmul r2, r1, r1\nlw r3, 0(r0)\nhalt");
+  Cpu cpu(p);
+  cpu.run();
+  EXPECT_EQ(cpu.total_instructions(), 4u);
+  EXPECT_EQ(cpu.total_cycles(), 1u + 3u + 2u + 1u);
+  EXPECT_EQ(cpu.class_counts()[static_cast<std::size_t>(OpClass::kMul)], 1u);
+  EXPECT_EQ(cpu.class_counts()[static_cast<std::size_t>(OpClass::kMem)], 1u);
+}
+
+TEST(Cpu, ResetPreservesMemory) {
+  Program p = assemble("addi r1, r0, 5\nsw r1, 0(r0)\nhalt");
+  Cpu cpu(p);
+  cpu.run();
+  cpu.reset();
+  EXPECT_EQ(cpu.pc(), 0u);
+  EXPECT_EQ(cpu.reg(1), 0u);
+  EXPECT_FALSE(cpu.halted());
+  EXPECT_EQ(cpu.load_word(0), 5u);  // scratchpad retained
+}
+
+TEST(Cpu, RejectsUnalignedScratchSize) {
+  Program p = assemble("halt");
+  EXPECT_THROW(Cpu(p, 1023), std::invalid_argument);
+}
+
+// ------------------------------------------------- analytic multithreading ---
+
+TEST(MtModel, SaturationFormula) {
+  // C=50, L=100, s=1: need ceil(150/51) = 3 threads.
+  EXPECT_EQ(threads_to_hide_latency(50, 100, 1), 3);
+  // With 3+ threads utilization is C/(C+s) ~= 0.98.
+  MtParams p{3, 50, 100, 1};
+  EXPECT_NEAR(mt_utilization(p), 50.0 / 51.0, 1e-12);
+  p.threads = 8;
+  EXPECT_NEAR(mt_utilization(p), 50.0 / 51.0, 1e-12);
+}
+
+TEST(MtModel, UnsaturatedScalesLinearly) {
+  MtParams one{1, 50, 100, 1};
+  MtParams two{2, 50, 100, 1};
+  EXPECT_NEAR(mt_utilization(one), 50.0 / 150.0, 1e-12);
+  EXPECT_NEAR(mt_utilization(two), 100.0 / 150.0, 1e-12);
+}
+
+TEST(MtModel, ZeroLatencyNeedsOneThread) {
+  EXPECT_EQ(threads_to_hide_latency(50, 0, 1), 1);
+  MtParams p{1, 50, 0, 1};
+  EXPECT_NEAR(mt_utilization(p), 50.0 / 51.0, 1e-12);
+}
+
+TEST(MtModel, DegenerateInputs) {
+  EXPECT_EQ(mt_utilization({0, 50, 100, 1}), 0.0);
+  EXPECT_EQ(mt_utilization({4, 0, 100, 1}), 0.0);
+  EXPECT_EQ(threads_to_hide_latency(0, 100, 1), 0);
+}
+
+TEST(MtModel, TransactionsPerCycle) {
+  // Saturated: 1/(C+s) transactions per cycle.
+  MtParams p{8, 50, 100, 1};
+  EXPECT_NEAR(mt_transactions_per_cycle(p), 1.0 / 51.0, 1e-12);
+}
+
+TEST(MtModel, AreaOverheadLinearInContexts) {
+  EXPECT_DOUBLE_EQ(mt_area_overhead(1), 1.0);
+  EXPECT_DOUBLE_EQ(mt_area_overhead(4), 1.45);
+  EXPECT_DOUBLE_EQ(mt_area_overhead(8), 2.05);
+}
+
+}  // namespace
+}  // namespace soc::proc

@@ -1,0 +1,401 @@
+// Unit tests for the simulation kernel: RNG, statistics, event queue,
+// cycle engine and logging.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "soc/sim/engine.hpp"
+#include "soc/sim/event_queue.hpp"
+#include "soc/sim/logging.hpp"
+#include "soc/sim/rng.hpp"
+#include "soc/sim/stats.hpp"
+
+namespace soc::sim {
+namespace {
+
+// ----------------------------------------------------------------- RNG ---
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng r(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(r.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowIsRoughlyUniform) {
+  Rng r(11);
+  constexpr int kBuckets = 8;
+  constexpr int kDraws = 80'000;
+  std::array<int, kBuckets> counts{};
+  for (int i = 0; i < kDraws; ++i) ++counts[r.next_below(kBuckets)];
+  for (const int c : counts) {
+    EXPECT_NEAR(c, kDraws / kBuckets, kDraws / kBuckets * 0.1);
+  }
+}
+
+TEST(Rng, NextInInclusiveRange) {
+  Rng r(3);
+  for (int i = 0; i < 500; ++i) {
+    const auto v = r.next_in(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng r(9);
+  double min = 1.0, max = 0.0;
+  for (int i = 0; i < 10'000; ++i) {
+    const double v = r.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    min = std::min(min, v);
+    max = std::max(max, v);
+  }
+  EXPECT_LT(min, 0.01);
+  EXPECT_GT(max, 0.99);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng r(5);
+  EXPECT_FALSE(r.next_bool(0.0));
+  EXPECT_TRUE(r.next_bool(1.0));
+  EXPECT_FALSE(r.next_bool(-1.0));
+  EXPECT_TRUE(r.next_bool(2.0));
+}
+
+TEST(Rng, ExponentialMeanConverges) {
+  Rng r(21);
+  RunningStats s;
+  for (int i = 0; i < 50'000; ++i) s.push(r.next_exponential(10.0));
+  EXPECT_NEAR(s.mean(), 10.0, 0.3);
+  EXPECT_GE(s.min(), 0.0);
+}
+
+TEST(Rng, GeometricMeanConverges) {
+  Rng r(22);
+  const double p = 0.25;
+  RunningStats s;
+  for (int i = 0; i < 50'000; ++i) {
+    s.push(static_cast<double>(r.next_geometric(p)));
+  }
+  // Mean failures before success = (1-p)/p = 3.
+  EXPECT_NEAR(s.mean(), 3.0, 0.15);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng r(23);
+  RunningStats s;
+  for (int i = 0; i < 50'000; ++i) s.push(r.next_normal());
+  EXPECT_NEAR(s.mean(), 0.0, 0.05);
+  EXPECT_NEAR(s.stddev(), 1.0, 0.05);
+}
+
+TEST(Rng, SplitStreamsAreIndependent) {
+  Rng parent(77);
+  Rng a = parent.split();
+  Rng b = parent.split();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, WorksWithStdShuffle) {
+  Rng r(13);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  const auto orig = v;
+  std::shuffle(v.begin(), v.end(), r);
+  auto sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, orig);
+}
+
+// --------------------------------------------------------- RunningStats ---
+
+TEST(RunningStats, BasicMoments) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.push(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  Rng r(31);
+  RunningStats all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = r.next_normal() * 3 + 1;
+    all.push(x);
+    (i % 2 ? a : b).push(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.push(1.0);
+  a.push(3.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+// ------------------------------------------------------------ Histogram ---
+
+TEST(Histogram, BinPlacementAndOverflow) {
+  Histogram h(10.0, 5);  // [0,50) + overflow
+  h.push(0.0);
+  h.push(9.999);
+  h.push(10.0);
+  h.push(49.0);
+  h.push(50.0);
+  h.push(1000.0);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(1), 1u);
+  EXPECT_EQ(h.bin_count(4), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.count(), 6u);
+}
+
+TEST(Histogram, RejectsBadConfig) {
+  EXPECT_THROW(Histogram(0.0, 5), std::invalid_argument);
+  EXPECT_THROW(Histogram(1.0, 0), std::invalid_argument);
+}
+
+TEST(Histogram, QuantileApproximatesExact) {
+  Histogram h(1.0, 200);
+  SampleSet exact;
+  Rng r(55);
+  for (int i = 0; i < 20'000; ++i) {
+    const double v = r.next_exponential(20.0);
+    h.push(v);
+    exact.push(v);
+  }
+  for (const double q : {0.5, 0.9, 0.99}) {
+    EXPECT_NEAR(h.quantile(q), exact.quantile(q), 2.0) << "q=" << q;
+  }
+}
+
+TEST(Histogram, NegativeValuesClampToFirstBin) {
+  Histogram h(1.0, 4);
+  h.push(-5.0);
+  EXPECT_EQ(h.bin_count(0), 1u);
+}
+
+// ------------------------------------------------------------ SampleSet ---
+
+TEST(SampleSet, ExactQuantiles) {
+  SampleSet s;
+  for (int i = 100; i >= 1; --i) s.push(i);  // 1..100
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+  EXPECT_NEAR(s.quantile(0.5), 50.5, 1e-9);
+  EXPECT_NEAR(s.mean(), 50.5, 1e-9);
+}
+
+TEST(SampleSet, PushAfterQuantileStillCorrect) {
+  SampleSet s;
+  s.push(3);
+  s.push(1);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+  s.push(0.5);  // invalidates sort
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 0.5);
+}
+
+// -------------------------------------------------------------- Counter ---
+
+TEST(Counter, NamedAccumulation) {
+  Counter c("flits_routed");
+  EXPECT_EQ(c.name(), "flits_routed");
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+// ----------------------------------------------------------- EventQueue ---
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(30, [&] { order.push_back(3); });
+  q.schedule_at(10, [&] { order.push_back(1); });
+  q.schedule_at(20, [&] { order.push_back(2); });
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 30u);
+}
+
+TEST(EventQueue, FifoTieBreakAtSameCycle) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule_at(5, [&order, i] { order.push_back(i); });
+  }
+  q.run_all();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_at(1, [&] {
+    ++fired;
+    q.schedule_in(1, [&] { ++fired; });
+  });
+  q.run_all();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(q.now(), 2u);
+}
+
+TEST(EventQueue, RunUntilStopsAtLimit) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_at(5, [&] { ++fired; });
+  q.schedule_at(10, [&] { ++fired; });
+  q.schedule_at(11, [&] { ++fired; });
+  const auto ran = q.run_until(10);
+  EXPECT_EQ(ran, 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(q.now(), 10u);
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueue, RunUntilAdvancesTimeWhenIdle) {
+  EventQueue q;
+  q.run_until(100);
+  EXPECT_EQ(q.now(), 100u);
+}
+
+TEST(EventQueue, SchedulingInPastThrows) {
+  EventQueue q;
+  q.schedule_at(10, [] {});
+  q.run_all();
+  EXPECT_THROW(q.schedule_at(5, [] {}), std::logic_error);
+}
+
+TEST(EventQueue, StepReturnsFalseWhenEmpty) {
+  EventQueue q;
+  EXPECT_FALSE(q.step());
+}
+
+// --------------------------------------------------------------- Engine ---
+
+class TickCounter : public Clocked {
+ public:
+  TickCounter() : Clocked("counter") {}
+  void tick(Cycle) override { ++ticks; }
+  void tock(Cycle) override { ++tocks; }
+  int ticks = 0;
+  int tocks = 0;
+};
+
+TEST(Engine, RunsAllComponentsEveryCycle) {
+  Engine e;
+  TickCounter a, b;
+  e.add(a);
+  e.add(b);
+  e.run(50);
+  EXPECT_EQ(a.ticks, 50);
+  EXPECT_EQ(a.tocks, 50);
+  EXPECT_EQ(b.ticks, 50);
+  EXPECT_EQ(e.now(), 50u);
+}
+
+TEST(Engine, TwoPhaseOrdering) {
+  // All ticks of a cycle run before any tock of that cycle.
+  Engine e;
+  class Checker : public Clocked {
+   public:
+    explicit Checker(int* phase) : Clocked("c"), phase_(phase) {}
+    void tick(Cycle) override {
+      EXPECT_EQ(*phase_, 0);
+    }
+    void tock(Cycle) override { *phase_ = 0; }
+    int* phase_;
+  };
+  class Setter : public Clocked {
+   public:
+    explicit Setter(int* phase) : Clocked("s"), phase_(phase) {}
+    void tick(Cycle) override {}
+    void tock(Cycle) override { *phase_ = 0; }
+    int* phase_;
+  };
+  int phase = 0;
+  Checker c(&phase);
+  Setter s(&phase);
+  e.add(c);
+  e.add(s);
+  e.run(3);
+}
+
+TEST(Engine, StopRequestHonored) {
+  Engine e;
+  class Stopper : public Clocked {
+   public:
+    Stopper(Engine& eng) : Clocked("stopper"), eng_(eng) {}
+    void tick(Cycle now) override {
+      if (now == 4) eng_.request_stop();
+    }
+    Engine& eng_;
+  };
+  Stopper s(e);
+  e.add(s);
+  e.run(100);
+  EXPECT_EQ(e.now(), 5u);  // stops after cycle 4 completes
+}
+
+// -------------------------------------------------------------- Logging ---
+
+TEST(Logging, LevelFiltering) {
+  static std::vector<std::string> captured;
+  captured.clear();
+  log::set_sink([](LogLevel, const std::string& m) { captured.push_back(m); });
+  log::set_level(LogLevel::kWarn);
+  log::debug("d");
+  log::info("i");
+  log::warn("w");
+  log::error("e");
+  EXPECT_EQ(captured.size(), 2u);
+  log::set_level(LogLevel::kOff);
+  log::error("nope");
+  EXPECT_EQ(captured.size(), 2u);
+  log::set_sink(nullptr);
+  log::set_level(LogLevel::kWarn);
+}
+
+}  // namespace
+}  // namespace soc::sim

@@ -1,0 +1,272 @@
+// Tests of the technology-scaling layer: roadmap integrity, wire-delay
+// model (claim C4: 6-10 cycles cross-chip at 50 nm), clock and energy
+// models.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "soc/tech/clock_model.hpp"
+#include "soc/tech/energy_model.hpp"
+#include "soc/tech/process_node.hpp"
+#include "soc/tech/variation.hpp"
+#include "soc/tech/wire_model.hpp"
+
+namespace soc::tech {
+namespace {
+
+TEST(Roadmap, HasSevenGenerations) {
+  EXPECT_EQ(roadmap().size(), 7u);
+}
+
+TEST(Roadmap, MonotoneScaling) {
+  const auto nodes = roadmap();
+  for (std::size_t i = 1; i < nodes.size(); ++i) {
+    EXPECT_LT(nodes[i].feature_nm, nodes[i - 1].feature_nm);
+    EXPECT_GT(nodes[i].year, nodes[i - 1].year);
+    EXPECT_LE(nodes[i].vdd_v, nodes[i - 1].vdd_v);
+    EXPECT_LT(nodes[i].fo4_ps, nodes[i - 1].fo4_ps);          // gates faster
+    EXPECT_GT(nodes[i].wire_r_ohm_per_mm, nodes[i - 1].wire_r_ohm_per_mm);
+    EXPECT_GT(nodes[i].density_mtx_mm2, nodes[i - 1].density_mtx_mm2);
+    EXPECT_GT(nodes[i].mask_set_cost_usd, nodes[i - 1].mask_set_cost_usd);
+    EXPECT_LT(nodes[i].sram_bit_um2, nodes[i - 1].sram_bit_um2);
+    EXPECT_GT(nodes[i].leakage_rel, nodes[i - 1].leakage_rel);
+  }
+}
+
+TEST(Roadmap, FindByNameAndFeature) {
+  ASSERT_TRUE(find_node(std::string("90nm")).has_value());
+  EXPECT_EQ(find_node(std::string("90nm"))->year, 2003);
+  ASSERT_TRUE(find_node(130.0).has_value());
+  EXPECT_EQ(find_node(130.0)->name, "130nm");
+  EXPECT_FALSE(find_node(std::string("37nm")).has_value());
+  EXPECT_FALSE(find_node(999.0).has_value());
+}
+
+TEST(Roadmap, PaperAnchors) {
+  // Section 1: mask set "exceeding 1M$ for current 90nm process".
+  EXPECT_GT(node_90nm().mask_set_cost_usd, 1e6);
+  EXPECT_EQ(node_50nm().name, "50nm");
+}
+
+TEST(Roadmap, GenerationsBetween) {
+  const auto n130 = *find_node(std::string("130nm"));
+  EXPECT_EQ(generations_between(n130, node_90nm()), 1);
+  EXPECT_EQ(generations_between(node_90nm(), n130), -1);
+  EXPECT_EQ(generations_between(n130, n130), 0);
+  ProcessNode fake = n130;
+  fake.name = "bogus";
+  EXPECT_THROW(generations_between(fake, n130), std::invalid_argument);
+}
+
+TEST(ClockScaling, FrequencyRisesAcrossRoadmap) {
+  double prev = 0.0;
+  for (const auto& n : roadmap()) {
+    const double ghz = n.clock_ghz();
+    EXPECT_GT(ghz, prev);
+    prev = ghz;
+  }
+  // 90 nm aggressive clock should land in the low-GHz range.
+  EXPECT_GT(node_90nm().clock_ghz(), 1.5);
+  EXPECT_LT(node_90nm().clock_ghz(), 4.0);
+}
+
+// ------------------------------------------------------------ WireModel ---
+
+TEST(WireModel, UnrepeatedDelayIsQuadratic) {
+  const WireModel w(node_90nm());
+  const double d1 = w.unrepeated_delay_ps(1.0);
+  const double d2 = w.unrepeated_delay_ps(2.0);
+  const double d4 = w.unrepeated_delay_ps(4.0);
+  EXPECT_NEAR(d2 / d1, 4.0, 1e-9);
+  EXPECT_NEAR(d4 / d1, 16.0, 1e-9);
+}
+
+TEST(WireModel, RepeatedDelayIsLinear) {
+  const WireModel w(node_90nm());
+  const auto r5 = w.repeated(5.0);
+  const auto r10 = w.repeated(10.0);
+  EXPECT_NEAR(r10.delay_ps / r5.delay_ps, 2.0, 1e-9);
+  EXPECT_DOUBLE_EQ(r5.delay_per_mm_ps, r10.delay_per_mm_ps);
+}
+
+TEST(WireModel, RepeatersBeatUnrepeatedForLongWires) {
+  for (const auto& n : roadmap()) {
+    const WireModel w(n);
+    EXPECT_LT(w.repeated(10.0).delay_ps, w.unrepeated_delay_ps(10.0))
+        << n.name;
+  }
+}
+
+TEST(WireModel, RepeaterCountGrowsWithLength) {
+  const WireModel w(node_50nm());
+  EXPECT_GE(w.repeated(10.0).repeater_count, w.repeated(2.0).repeater_count);
+  EXPECT_GT(w.repeated(20.0).repeater_count, 0);
+}
+
+TEST(WireModel, PerMmDelayWorsensWithScaling) {
+  // The nanometer wall: even optimally repeated wires get slower per mm
+  // as r*c grows faster than gates speed up.
+  double prev = 0.0;
+  for (const auto& n : roadmap()) {
+    const double per_mm = WireModel(n).repeated(1.0).delay_per_mm_ps;
+    EXPECT_GT(per_mm, prev * 0.9) << n.name;  // non-decreasing (10% slack)
+    prev = per_mm;
+  }
+}
+
+TEST(WireModel, CriticalLengthShrinksWithScaling) {
+  // The reachable-in-one-cycle radius collapses across generations.
+  const double at250 = WireModel(*find_node(250.0)).critical_length_mm();
+  const double at90 = WireModel(node_90nm()).critical_length_mm();
+  const double at50 = WireModel(node_50nm()).critical_length_mm();
+  EXPECT_GT(at250, at90);
+  EXPECT_GT(at90, at50);
+  EXPECT_LT(at50, 5.0);  // well below a 15 mm die edge
+}
+
+TEST(WireModel, ClaimC4CrossChipCyclesAt50nm) {
+  // Paper Section 6.1: "In 50 nm technologies, it is predicted that the
+  // intra-chip propagation delay will be between six and ten clock cycles".
+  const double cycles = WireModel(node_50nm()).cross_chip_cycles();
+  EXPECT_GE(cycles, 6.0);
+  EXPECT_LE(cycles, 10.0);
+}
+
+TEST(WireModel, CrossChipSubCycleAt250nm) {
+  // At 250 nm the same route fits within ~1 cycle — communication used to
+  // be free; that is what changed.
+  const double cycles = WireModel(*find_node(250.0)).cross_chip_cycles();
+  EXPECT_LT(cycles, 1.5);
+}
+
+TEST(WireModel, CrossChipMonotoneAcrossRoadmap) {
+  double prev = 0.0;
+  for (const auto& n : roadmap()) {
+    const double c = WireModel(n).cross_chip_cycles();
+    EXPECT_GT(c, prev) << n.name;
+    prev = c;
+  }
+}
+
+TEST(WireModel, WireEnergyPositiveAndScalesDown) {
+  const auto e250 = WireModel(*find_node(250.0)).repeated(1.0).energy_pj_per_mm;
+  const auto e50 = WireModel(node_50nm()).repeated(1.0).energy_pj_per_mm;
+  EXPECT_GT(e250, 0.0);
+  EXPECT_LT(e50, e250);  // lower Vdd dominates
+}
+
+// ----------------------------------------------------------- ClockModel ---
+
+TEST(ClockModel, DesignStyleOrdering) {
+  const ClockModel ck(node_90nm());
+  EXPECT_GT(ck.custom_ghz(), ck.asic_ghz());
+  EXPECT_GT(ck.asic_ghz(), ck.efpga_ghz());
+  EXPECT_NEAR(ck.custom_ghz() / ck.efpga_ghz(), 5.0, 0.1);  // 60/12
+}
+
+// ---------------------------------------------------------- EnergyModel ---
+
+TEST(EnergyModel, FabricSpectrumOrdering) {
+  // Figure 1: energy per op falls monotonically from GP CPU to hardwired.
+  const EnergyModel em(node_90nm());
+  const double cpu = em.op_energy_pj(Fabric::kGeneralPurposeCpu);
+  const double dsp = em.op_energy_pj(Fabric::kDsp);
+  const double asip = em.op_energy_pj(Fabric::kAsip);
+  const double efpga = em.op_energy_pj(Fabric::kEfpga);
+  const double hw = em.op_energy_pj(Fabric::kHardwired);
+  EXPECT_GT(cpu, dsp);
+  EXPECT_GT(dsp, asip);
+  EXPECT_GE(asip, efpga);
+  EXPECT_GT(efpga, hw);
+}
+
+TEST(EnergyModel, ClaimC7EfpgaTenXPenalty) {
+  // Section 6.3: "The 10X cost and power penalty of eFPGAs".
+  const auto& p = fabric_profile(Fabric::kEfpga);
+  EXPECT_DOUBLE_EQ(p.energy_per_op_rel, 10.0);
+  EXPECT_DOUBLE_EQ(p.area_per_op_rel, 10.0);
+}
+
+TEST(EnergyModel, FlexibilityOrdering) {
+  // Development effort rises toward hardwired; respin flexibility falls.
+  double prev_effort = 0.0;
+  for (const Fabric f : {Fabric::kGeneralPurposeCpu, Fabric::kDsp,
+                         Fabric::kAsip, Fabric::kEfpga, Fabric::kHardwired}) {
+    const auto& p = fabric_profile(f);
+    EXPECT_GT(p.dev_effort_rel, prev_effort);
+    prev_effort = p.dev_effort_rel;
+  }
+  EXPECT_DOUBLE_EQ(fabric_profile(Fabric::kHardwired).respin_flexibility, 0.0);
+  EXPECT_DOUBLE_EQ(
+      fabric_profile(Fabric::kGeneralPurposeCpu).respin_flexibility, 1.0);
+}
+
+TEST(EnergyModel, OpEnergyScalesDownWithNode) {
+  const EnergyModel old_node(*find_node(250.0));
+  const EnergyModel new_node(node_50nm());
+  EXPECT_GT(old_node.hardwired_op_pj(), new_node.hardwired_op_pj());
+}
+
+TEST(EnergyModel, LeakageExplodesBelow90nm) {
+  // Section 4: leakage control becomes a first-class problem.
+  const double at130 = EnergyModel(*find_node(130.0)).leakage_mw_per_mm2();
+  const double at50 = EnergyModel(node_50nm()).leakage_mw_per_mm2();
+  EXPECT_GT(at50 / at130, 10.0);
+}
+
+// -------------------------------------------------- on-chip variation (OCV) ---
+
+TEST(Variation, NormalCdfSanity) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.6448536), 0.95, 1e-6);
+  EXPECT_NEAR(normal_cdf(-1.6448536), 0.05, 1e-6);
+}
+
+TEST(Variation, SigmaGrowsAcrossRoadmap) {
+  double prev = 0.0;
+  for (const auto& n : roadmap()) {
+    const auto v = variation_for(n);
+    EXPECT_GT(v.sigma_fraction, prev) << n.name;
+    prev = v.sigma_fraction;
+  }
+  EXPECT_NEAR(variation_for(*find_node(250.0)).sigma_fraction, 0.04, 1e-12);
+  EXPECT_GT(variation_for(*find_node(std::string("32nm"))).sigma_fraction, 0.10);
+}
+
+TEST(Variation, TimingYieldBehaviour) {
+  const VariationParams v{0.05};
+  // At the nominal period, each path has 50% yield; N paths compound.
+  EXPECT_NEAR(timing_yield(100.0, 100.0, v, 1), 0.5, 1e-9);
+  EXPECT_NEAR(timing_yield(100.0, 100.0, v, 10), std::pow(0.5, 10), 1e-9);
+  // Generous slack -> yield -> 1; tight -> 0.
+  EXPECT_GT(timing_yield(100.0, 130.0, v, 1000), 0.99);
+  EXPECT_LT(timing_yield(100.0, 90.0, v, 1), 0.05);
+  EXPECT_THROW(timing_yield(0.0, 1.0, v, 1), std::invalid_argument);
+  EXPECT_THROW(timing_yield(1.0, 1.0, v, 0), std::invalid_argument);
+}
+
+TEST(Variation, PeriodForYieldInvertsTimingYield) {
+  const VariationParams v{0.08};
+  for (const int n_paths : {1, 100, 10'000}) {
+    const double period = period_for_yield(100.0, v, n_paths, 0.99);
+    EXPECT_NEAR(timing_yield(100.0, period, v, n_paths), 0.99, 1e-3);
+    EXPECT_GT(period, 100.0);
+  }
+  EXPECT_THROW(period_for_yield(100.0, v, 1, 1.5), std::invalid_argument);
+}
+
+TEST(Variation, GuardbandGrowsWithPathsAndScaling) {
+  // More critical paths -> larger statistical max -> more guardband.
+  const auto& n90 = node_90nm();
+  EXPECT_GT(guardband_fraction(n90, 10'000), guardband_fraction(n90, 100));
+  // Newer nodes pay more for the same yield: the statistical-design tax.
+  EXPECT_GT(guardband_fraction(node_50nm(), 1000),
+            guardband_fraction(*find_node(250.0), 1000));
+  // Magnitudes for 1k paths: ~17% at 250nm vs >40% at 50nm — the growing
+  // statistical-design tax.
+  EXPECT_LT(guardband_fraction(*find_node(250.0), 1000), 0.20);
+  EXPECT_GT(guardband_fraction(node_50nm(), 1000), 0.40);
+}
+
+}  // namespace
+}  // namespace soc::tech
