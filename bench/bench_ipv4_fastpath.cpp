@@ -80,7 +80,9 @@ int main() {
   bench::note("10G worst case = 14.88 Mpps -> offered 0.0140 packets/cycle;");
   bench::note("40G row = 4x that. Paper: 'ten to hundreds of processors'.");
   bench::rule();
-  const auto& node130 = *tech::find_node(std::string("130nm"));
+  // Copy, not reference: find_node returns the optional by value, so a
+  // reference would dangle once the temporary dies at end of statement.
+  const auto node130 = *tech::find_node(std::string("130nm"));
   const double clk130_hz = node130.clock_ghz(20.0) * 1e9;
   const double line10_ppc = line.packets_per_sec() / clk130_hz;
   std::printf("  line-rate budget at 130nm: %.1f cycles/packet\n",

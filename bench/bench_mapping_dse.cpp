@@ -103,8 +103,9 @@ int main() {
   space.fabrics = {tech::Fabric::kAsip, tech::Fabric::kDsp};
   core::AnnealConfig quick;
   quick.iterations = 3'000;
+  core::DseConfig dc;  // num_threads = 0: shard across every hardware core
   auto points = core::run_dse(apps::mjpeg_task_graph(), space, tech::node_90nm(),
-                              {}, quick);
+                              {}, quick, dc);
   int shown = 0;
   for (const auto& pt : points) {
     if (pt.pareto_optimal) {

@@ -34,10 +34,11 @@ void demo_dsoc_platform() {
   platform::FppaConfig cfg;
   cfg.num_pes = 6;
   cfg.threads_per_pe = 4;
-  cfg.topology = noc::TopologyKind::kFatTree;  // needs power-of-two terminals
+  cfg.topology = noc::TopologyKind::kFatTree;
   cfg.num_memories = 1;
   cfg.num_sinks = 1;
-  cfg.num_io = 8;  // pad to 16 terminals for the fat tree
+  cfg.num_io = 2;  // skeleton + host client (10 terminals; the fat tree
+                   // pads its leaf layer to the next power of two itself)
   platform::Fppa fppa(cfg);
 
   dsoc::Broker broker(fppa.transport());

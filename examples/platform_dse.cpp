@@ -3,7 +3,10 @@
 // full table and the Pareto front, then validate the winner's mapping on
 // the cycle-level platform simulator.
 //
-//   ./build/examples/platform_dse [ipv4|mjpeg|wlan] [anneal_iters]
+//   ./build/examples/platform_dse [ipv4|mjpeg|wlan] [anneal_iters] [threads]
+//
+// `threads` shards the sweep: 0 (default) uses every hardware core, 1 runs
+// serially. The points are bit-identical either way.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -17,6 +20,7 @@ using namespace soc;
 int main(int argc, char** argv) {
   const char* which = argc > 1 ? argv[1] : "mjpeg";
   const int iters = argc > 2 ? std::atoi(argv[2]) : 5000;
+  const int threads = argc > 3 ? std::atoi(argv[3]) : 0;
 
   core::TaskGraph graph = [&] {
     if (!std::strcmp(which, "ipv4")) return apps::ipv4_task_graph();
@@ -36,8 +40,11 @@ int main(int argc, char** argv) {
   core::AnnealConfig ac;
   ac.iterations = iters;
 
+  core::DseConfig dc;
+  dc.num_threads = threads;
+
   const auto& node = tech::node_90nm();
-  auto points = core::run_dse(graph, space, node, {}, ac);
+  auto points = core::run_dse(graph, space, node, {}, ac, dc);
   std::printf("\n%zu candidates at %s:\n", points.size(), node.name.c_str());
   for (const auto& pt : points) {
     std::printf("  %s\n", core::to_string(pt).c_str());

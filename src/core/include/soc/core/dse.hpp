@@ -5,6 +5,7 @@
 
 #include "soc/core/mapping.hpp"
 #include "soc/platform/cost.hpp"
+#include "soc/sim/parallel.hpp"
 
 namespace soc::core {
 
@@ -39,6 +40,17 @@ struct DsePoint {
   bool pareto_optimal = false;
 };
 
+/// Execution knobs for the sweep itself (0 = one thread per hardware core,
+/// 1 = serial, N = exactly N shards). Candidates are independent, so the
+/// sweep shards them across a thread pool; each candidate's annealer is
+/// seeded by a stateless hash of (anneal.seed, candidate index), which makes
+/// the returned points bit-identical for every thread count.
+using DseConfig = sim::ParallelConfig;
+
+/// Enumerates the cartesian candidate space in sweep order (pe_counts
+/// outermost, fabrics innermost) — the order run_dse returns points in.
+std::vector<DseCandidate> enumerate_candidates(const DseSpace& space);
+
 /// Sweeps the design space, mapping `graph` onto each candidate with the
 /// annealing mapper, and evaluates silicon cost at `node`. This is the
 /// "rapid exploration and optimization" loop the paper says the DSOC
@@ -46,11 +58,15 @@ struct DsePoint {
 std::vector<DsePoint> run_dse(const TaskGraph& graph, const DseSpace& space,
                               const tech::ProcessNode& node,
                               const ObjectiveWeights& weights = {},
-                              const AnnealConfig& anneal = {});
+                              const AnnealConfig& anneal = {},
+                              const DseConfig& config = {});
 
 /// Marks (and returns indices of) the Pareto front over
-/// (throughput max, area min, power min).
-std::vector<std::size_t> mark_pareto_front(std::vector<DsePoint>& points);
+/// (throughput max, area min, power min). The all-pairs dominance pass is
+/// sharded per point under the same config; the flag and index vector it
+/// produces do not depend on thread count.
+std::vector<std::size_t> mark_pareto_front(std::vector<DsePoint>& points,
+                                           const DseConfig& config = {});
 
 /// One-line table row for reports.
 std::string to_string(const DsePoint& p);

@@ -3,85 +3,129 @@
 #include <algorithm>
 #include <sstream>
 
+#include "soc/sim/parallel.hpp"
+
 namespace soc::core {
 
-std::vector<DsePoint> run_dse(const TaskGraph& graph, const DseSpace& space,
-                              const tech::ProcessNode& node,
-                              const ObjectiveWeights& weights,
-                              const AnnealConfig& anneal) {
-  std::vector<DsePoint> points;
+namespace {
+
+/// Maps and costs one candidate. Pure function of its arguments (the anneal
+/// config already carries this candidate's derived seed), so candidates can
+/// be evaluated on any thread in any order.
+DsePoint evaluate_candidate(const TaskGraph& graph, const DseCandidate& cand,
+                            const tech::ProcessNode& node,
+                            const ObjectiveWeights& weights,
+                            const AnnealConfig& anneal) {
+  std::vector<PeDesc> pe_descs(static_cast<std::size_t>(cand.num_pes),
+                               PeDesc{cand.pe_fabric, cand.threads_per_pe});
+  PlatformDesc platform(std::move(pe_descs), cand.topology, node);
+  // Larger platforms host data-parallel stream replicas: one graph
+  // instance per |graph| PEs, at least one.
+  const int replicas = std::max(1, cand.num_pes / graph.node_count());
+  const TaskGraph work =
+      replicas > 1 ? graph.replicated(replicas) : TaskGraph(graph);
+  const Mapping m = anneal_mapping(work, platform, weights, anneal);
+  const MappingCost mc = evaluate_mapping(work, platform, m, weights);
+
+  platform::FppaConfig fc;
+  fc.num_pes = cand.num_pes;
+  fc.threads_per_pe = cand.threads_per_pe;
+  fc.topology = cand.topology;
+  const platform::PlatformCost sc = platform::estimate_cost(fc, node);
+
+  DsePoint pt;
+  pt.candidate = cand;
+  pt.mapping_cost = mc;
+  pt.silicon = sc;
+  // One "item" of the replicated graph carries `replicas` stream
+  // items, one per copy.
+  pt.throughput_per_kcycle = mc.bottleneck_cycles > 0.0
+                                 ? 1000.0 * replicas / mc.bottleneck_cycles
+                                 : 0.0;
+  const double power = sc.peak_dynamic_mw + sc.leakage_mw;
+  pt.mw_per_throughput =
+      pt.throughput_per_kcycle > 0.0 ? power / pt.throughput_per_kcycle : 0.0;
+  return pt;
+}
+
+}  // namespace
+
+std::vector<DseCandidate> enumerate_candidates(const DseSpace& space) {
+  std::vector<DseCandidate> candidates;
+  candidates.reserve(space.pe_counts.size() * space.thread_counts.size() *
+                     space.topologies.size() * space.fabrics.size());
   for (const int pes : space.pe_counts) {
     for (const int threads : space.thread_counts) {
       for (const auto topo : space.topologies) {
         for (const auto fabric : space.fabrics) {
-          DseCandidate cand{pes, threads, topo, fabric};
-
-          std::vector<PeDesc> pe_descs(
-              static_cast<std::size_t>(pes), PeDesc{fabric, threads});
-          PlatformDesc platform(std::move(pe_descs), topo, node);
-          // Larger platforms host data-parallel stream replicas: one graph
-          // instance per |graph| PEs, at least one.
-          const int replicas = std::max(1, pes / graph.node_count());
-          const TaskGraph work = replicas > 1 ? graph.replicated(replicas)
-                                              : TaskGraph(graph);
-          const Mapping m = anneal_mapping(work, platform, weights, anneal);
-          MappingCost mc = evaluate_mapping(work, platform, m, weights);
-
-          platform::FppaConfig fc;
-          fc.num_pes = pes;
-          fc.threads_per_pe = threads;
-          fc.topology = topo;
-          const platform::PlatformCost sc = platform::estimate_cost(fc, node);
-
-          DsePoint pt;
-          pt.candidate = cand;
-          pt.mapping_cost = mc;
-          pt.silicon = sc;
-          // One "item" of the replicated graph carries `replicas` stream
-          // items, one per copy.
-          pt.throughput_per_kcycle =
-              mc.bottleneck_cycles > 0.0
-                  ? 1000.0 * replicas / mc.bottleneck_cycles
-                  : 0.0;
-          const double power = sc.peak_dynamic_mw + sc.leakage_mw;
-          pt.mw_per_throughput = pt.throughput_per_kcycle > 0.0
-                                     ? power / pt.throughput_per_kcycle
-                                     : 0.0;
-          points.push_back(std::move(pt));
+          candidates.push_back(DseCandidate{pes, threads, topo, fabric});
         }
       }
     }
   }
-  mark_pareto_front(points);
+  return candidates;
+}
+
+std::vector<DsePoint> run_dse(const TaskGraph& graph, const DseSpace& space,
+                              const tech::ProcessNode& node,
+                              const ObjectiveWeights& weights,
+                              const AnnealConfig& anneal,
+                              const DseConfig& config) {
+  const std::vector<DseCandidate> candidates = enumerate_candidates(space);
+  std::vector<DsePoint> points(candidates.size());
+  sim::parallel_for(
+      candidates.size(), config,
+      [&](std::size_t i) {
+        AnnealConfig ac = anneal;
+        ac.seed = sim::derive_seed(anneal.seed, i);
+        points[i] = evaluate_candidate(graph, candidates[i], node, weights, ac);
+      });
+  mark_pareto_front(points, config);
   return points;
 }
 
-std::vector<std::size_t> mark_pareto_front(std::vector<DsePoint>& points) {
+std::vector<std::size_t> mark_pareto_front(std::vector<DsePoint>& points,
+                                           const DseConfig& config) {
+  // Each point's dominance check reads every other point's cost fields but
+  // writes only its own pareto_optimal flag, so the all-pairs pass shards
+  // cleanly per point. The O(n^2) pass only outweighs pool dispatch on big
+  // sweeps; small fronts run inline.
+  const int threads = points.size() < 256 ? 1 : config.num_threads;
+  sim::parallel_for(
+      points.size(), DseConfig{threads},
+      [&](std::size_t i) {
+        if (!points[i].mapping_cost.feasible) {
+          points[i].pareto_optimal = false;
+          return;
+        }
+        bool dominated = false;
+        for (std::size_t j = 0; j < points.size() && !dominated; ++j) {
+          if (i == j || !points[j].mapping_cost.feasible) continue;
+          const bool better_tp = points[j].throughput_per_kcycle >=
+                                 points[i].throughput_per_kcycle;
+          const bool better_area = points[j].silicon.total_area_mm2 <=
+                                   points[i].silicon.total_area_mm2;
+          const bool better_power =
+              (points[j].silicon.peak_dynamic_mw +
+               points[j].silicon.leakage_mw) <=
+              (points[i].silicon.peak_dynamic_mw + points[i].silicon.leakage_mw);
+          const bool strictly =
+              points[j].throughput_per_kcycle >
+                  points[i].throughput_per_kcycle ||
+              points[j].silicon.total_area_mm2 <
+                  points[i].silicon.total_area_mm2 ||
+              (points[j].silicon.peak_dynamic_mw +
+               points[j].silicon.leakage_mw) <
+                  (points[i].silicon.peak_dynamic_mw +
+                   points[i].silicon.leakage_mw);
+          dominated = better_tp && better_area && better_power && strictly;
+        }
+        points[i].pareto_optimal = !dominated;
+      });
+
   std::vector<std::size_t> front;
   for (std::size_t i = 0; i < points.size(); ++i) {
-    if (!points[i].mapping_cost.feasible) {
-      points[i].pareto_optimal = false;
-      continue;
-    }
-    bool dominated = false;
-    for (std::size_t j = 0; j < points.size() && !dominated; ++j) {
-      if (i == j || !points[j].mapping_cost.feasible) continue;
-      const bool better_tp = points[j].throughput_per_kcycle >=
-                             points[i].throughput_per_kcycle;
-      const bool better_area =
-          points[j].silicon.total_area_mm2 <= points[i].silicon.total_area_mm2;
-      const bool better_power =
-          (points[j].silicon.peak_dynamic_mw + points[j].silicon.leakage_mw) <=
-          (points[i].silicon.peak_dynamic_mw + points[i].silicon.leakage_mw);
-      const bool strictly =
-          points[j].throughput_per_kcycle > points[i].throughput_per_kcycle ||
-          points[j].silicon.total_area_mm2 < points[i].silicon.total_area_mm2 ||
-          (points[j].silicon.peak_dynamic_mw + points[j].silicon.leakage_mw) <
-              (points[i].silicon.peak_dynamic_mw + points[i].silicon.leakage_mw);
-      dominated = better_tp && better_area && better_power && strictly;
-    }
-    points[i].pareto_optimal = !dominated;
-    if (!dominated) front.push_back(i);
+    if (points[i].pareto_optimal) front.push_back(i);
   }
   return front;
 }

@@ -7,7 +7,11 @@ namespace soc::noc {
 
 namespace {
 
-bool is_power_of_two(int n) { return n > 0 && (n & (n - 1)) == 0; }
+int next_power_of_two(int n) {
+  int p = 1;
+  while (p < n) p *= 2;
+  return p;
+}
 
 /// Shared bus. Router layout: routers 0..N-1 are per-terminal network
 /// interfaces, router N is the bus entry (arbitration queue), router N+1 is
@@ -43,37 +47,38 @@ class RingTopology final : public Topology {
 };
 
 /// Binary tree (optionally fat). Routers in heap order: root 0, children of
-/// i at 2i+1 / 2i+2; the last `terminals` routers are the leaves.
+/// i at 2i+1 / 2i+2; the last `leaves` routers are the leaf layer. A
+/// non-power-of-two terminal count gets the next-larger full tree with only
+/// the first `terminals` leaves populated — platform terminal counts (PEs
+/// plus memories plus I/O sinks) are rarely exact powers of two.
 class TreeTopology final : public Topology {
  public:
   TreeTopology(int terminals, bool fat)
-      : Topology(fat ? "fat-tree" : "binary-tree", 2 * terminals - 1,
-                 terminals) {
-    if (!is_power_of_two(terminals)) {
-      throw std::invalid_argument("tree topology requires power-of-two terminals");
-    }
-    const int internal = terminals - 1;
+      : Topology(fat ? "fat-tree" : "binary-tree",
+                 2 * next_power_of_two(terminals) - 1, terminals) {
+    const int leaves = next_power_of_two(terminals);
+    const int internal = leaves - 1;
     for (int t = 0; t < terminals; ++t) {
       attach_terminal(static_cast<TerminalId>(t), internal + t);
     }
     // Link from child c (depth d) to parent carries the traffic of the
     // c-subtree's leaves; a fat tree provisions bandwidth equal to that
     // leaf count, keeping bisection bandwidth constant (SPIN's design).
-    for (int c = 1; c < 2 * terminals - 1; ++c) {
+    for (int c = 1; c < 2 * leaves - 1; ++c) {
       const int parent = (c - 1) / 2;
-      const double bw = fat ? static_cast<double>(leaves_below(c, terminals)) : 1.0;
+      const double bw = fat ? static_cast<double>(leaves_below(c, leaves)) : 1.0;
       add_bidir(c, parent, bw);
     }
     finalize();
   }
 
  private:
-  static int leaves_below(int router, int terminals) {
+  static int leaves_below(int router, int leaves) {
     // Depth of `router` in the heap numbering.
     int depth = 0;
     for (int r = router; r > 0; r = (r - 1) / 2) ++depth;
     int total_depth = 0;
-    for (int n = terminals; n > 1; n /= 2) ++total_depth;
+    for (int n = leaves; n > 1; n /= 2) ++total_depth;
     return 1 << (total_depth - depth);
   }
 };

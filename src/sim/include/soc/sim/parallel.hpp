@@ -1,0 +1,82 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "soc/sim/rng.hpp"
+
+namespace soc::sim {
+
+/// Execution knobs shared by every parallel sweep in the repo. Thread count
+/// never changes results: callers derive per-index RNG seeds with
+/// derive_seed(), so a run is bit-identical at 1 thread or 64.
+struct ParallelConfig {
+  /// 0 = one shard per hardware core; 1 = run inline on the caller (serial);
+  /// N > 1 = split into N strided shards.
+  int num_threads = 0;
+};
+
+/// Number of chunks `requested` resolves to for `n` independent work items
+/// (never more chunks than items, never fewer than one).
+int resolve_num_threads(int requested, std::size_t n) noexcept;
+
+/// Stateless (seed, index) hash — the SplitMix64 "splittable" construction
+/// (state = seed + index * golden gamma, then the finalizer). Every index
+/// gets the same stream no matter which thread, chunk, or run evaluates it.
+std::uint64_t derive_seed(std::uint64_t base_seed, std::uint64_t index) noexcept;
+
+/// Fixed-size FIFO thread pool: no work stealing, no task priorities. Workers
+/// pull jobs from a single queue; parallel_for() statically partitions an
+/// index range into strided sets (shard c runs c, c+C, c+2C, ...). Striding
+/// matters because per-item cost often trends with index — DSE candidates
+/// are ordered by PE count, so contiguous chunks would pile the expensive
+/// tail onto the last worker — and it load-balances such sweeps without
+/// work stealing or any effect on results.
+class ThreadPool {
+ public:
+  /// num_threads == 0 sizes the pool to std::thread::hardware_concurrency().
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const noexcept { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues one job; returns immediately.
+  void run(std::function<void()> job);
+
+  /// Runs body(i) for every i in [0, n), split into num_chunks strided
+  /// shards executed on the pool. Blocks until all shards finish; rethrows
+  /// the first exception any shard threw. num_chunks == 1 runs inline.
+  /// Must not be called from inside a pool job (the waiter would occupy
+  /// no worker, but a job submitting-and-waiting can deadlock a full pool).
+  void parallel_for(std::size_t n, std::size_t num_chunks,
+                    const std::function<void(std::size_t)>& body);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Process-wide pool sized to hardware_concurrency, created on first use.
+ThreadPool& global_pool();
+
+/// Strided parallel-for over [0, n) on the global pool. cfg.num_threads
+/// picks the shard count (see ParallelConfig); a resolved count of 1 runs
+/// inline with no synchronization at all, so the serial path costs nothing
+/// beyond the std::function call.
+void parallel_for(std::size_t n, const ParallelConfig& cfg,
+                  const std::function<void(std::size_t)>& body);
+
+}  // namespace soc::sim

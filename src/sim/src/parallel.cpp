@@ -1,0 +1,137 @@
+#include "soc/sim/parallel.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <limits>
+#include <utility>
+
+namespace soc::sim {
+
+int resolve_num_threads(int requested, std::size_t n) noexcept {
+  if (n == 0) return 1;
+  int t = requested;
+  if (t <= 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    t = hw > 0 ? static_cast<int>(hw) : 1;
+  }
+  const auto cap = static_cast<std::size_t>(t);
+  return static_cast<int>(std::min(cap, n));
+}
+
+std::uint64_t derive_seed(std::uint64_t base_seed, std::uint64_t index) noexcept {
+  // state = base + (index + 1) * gamma, pushed through one SplitMix64 step:
+  // exactly the splittable-PRNG stream construction, and stateless, so the
+  // seed for index i is the same whichever thread evaluates it.
+  SplitMix64 sm(base_seed + (index + 1) * 0x9e3779b97f4a7c15ULL);
+  return sm.next();
+}
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int t = resolve_num_threads(num_threads,
+                                    std::numeric_limits<std::size_t>::max());
+  workers_.reserve(static_cast<std::size_t>(t));
+  for (int i = 0; i < t; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::run(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    queue_.push_back(std::move(job));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and queue drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    job();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n, std::size_t num_chunks,
+                              const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  num_chunks = std::clamp<std::size_t>(num_chunks, 1, n);
+  if (num_chunks == 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  struct Join {
+    std::mutex mu;
+    std::condition_variable done;
+    std::size_t remaining = 0;
+    std::exception_ptr error;
+  } join;
+  join.remaining = num_chunks;
+
+  const auto wait_all = [&join] {
+    std::unique_lock<std::mutex> lk(join.mu);
+    join.done.wait(lk, [&join] { return join.remaining == 0; });
+  };
+
+  std::size_t queued = 0;
+  try {
+    for (std::size_t c = 0; c < num_chunks; ++c) {
+      run([&join, &body, c, num_chunks, n] {
+        std::exception_ptr error;
+        try {
+          for (std::size_t i = c; i < n; i += num_chunks) body(i);
+        } catch (...) {
+          error = std::current_exception();
+        }
+        std::lock_guard<std::mutex> lk(join.mu);
+        if (error && !join.error) join.error = error;
+        if (--join.remaining == 0) join.done.notify_all();
+      });
+      ++queued;
+    }
+  } catch (...) {
+    // Enqueue failed (allocation): the queued shards still reference `join`
+    // and `body` on this stack frame, so drain them before unwinding.
+    {
+      std::lock_guard<std::mutex> lk(join.mu);
+      join.remaining -= num_chunks - queued;
+    }
+    wait_all();
+    throw;
+  }
+
+  wait_all();
+  if (join.error) std::rethrow_exception(join.error);
+}
+
+ThreadPool& global_pool() {
+  static ThreadPool pool(0);
+  return pool;
+}
+
+void parallel_for(std::size_t n, const ParallelConfig& cfg,
+                  const std::function<void(std::size_t)>& body) {
+  const int chunks = resolve_num_threads(cfg.num_threads, n);
+  if (chunks <= 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  global_pool().parallel_for(n, static_cast<std::size_t>(chunks), body);
+}
+
+}  // namespace soc::sim

@@ -280,6 +280,67 @@ TEST(Dse, ParetoDominanceLogic) {
   EXPECT_FALSE(pts[1].pareto_optimal);
 }
 
+TEST(Dse, EnumerateCandidatesMatchesSweepOrder) {
+  DseSpace space;
+  space.pe_counts = {4, 8};
+  space.thread_counts = {1, 2};
+  space.topologies = {noc::TopologyKind::kBus};
+  space.fabrics = {Fabric::kAsip, Fabric::kDsp};
+  const auto cands = enumerate_candidates(space);
+  ASSERT_EQ(cands.size(), 8u);
+  // pe_counts outermost, fabrics innermost.
+  EXPECT_EQ(cands[0].num_pes, 4);
+  EXPECT_EQ(cands[0].pe_fabric, Fabric::kAsip);
+  EXPECT_EQ(cands[1].pe_fabric, Fabric::kDsp);
+  EXPECT_EQ(cands[2].threads_per_pe, 2);
+  EXPECT_EQ(cands[4].num_pes, 8);
+}
+
+TEST(Dse, ParallelSweepBitIdenticalToSerial) {
+  // The tentpole contract: sharding candidates across threads must not
+  // change a single bit of the result — same ordering, same costs, same
+  // Pareto front — because every candidate's annealer is seeded from
+  // (anneal.seed, index), not from whichever thread picked it up.
+  DseSpace space;
+  space.pe_counts = {4, 8};
+  space.thread_counts = {2};
+  space.topologies = {noc::TopologyKind::kBus, noc::TopologyKind::kMesh2D};
+  space.fabrics = {Fabric::kAsip, Fabric::kDsp};
+  AnnealConfig quick;
+  quick.iterations = 400;
+
+  const auto graph = soc::apps::ipv4_task_graph();
+  const auto& node = tech::node_90nm();
+  const auto serial = run_dse(graph, space, node, {}, quick, DseConfig{1});
+  for (const int threads : {2, 5, 0}) {  // 0 = hardware_concurrency
+    const auto parallel =
+        run_dse(graph, space, node, {}, quick, DseConfig{threads});
+    ASSERT_EQ(parallel.size(), serial.size()) << "threads=" << threads;
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      SCOPED_TRACE("threads=" + std::to_string(threads) + " point " +
+                   std::to_string(i));
+      EXPECT_EQ(parallel[i].candidate.num_pes, serial[i].candidate.num_pes);
+      EXPECT_EQ(parallel[i].candidate.threads_per_pe,
+                serial[i].candidate.threads_per_pe);
+      EXPECT_EQ(parallel[i].candidate.topology, serial[i].candidate.topology);
+      EXPECT_EQ(parallel[i].candidate.pe_fabric, serial[i].candidate.pe_fabric);
+      // Bit-identical doubles: plain EQ, no tolerance.
+      EXPECT_EQ(parallel[i].mapping_cost.objective,
+                serial[i].mapping_cost.objective);
+      EXPECT_EQ(parallel[i].mapping_cost.bottleneck_cycles,
+                serial[i].mapping_cost.bottleneck_cycles);
+      EXPECT_EQ(parallel[i].mapping_cost.comm_word_hops,
+                serial[i].mapping_cost.comm_word_hops);
+      EXPECT_EQ(parallel[i].mapping_cost.energy_pj_per_item,
+                serial[i].mapping_cost.energy_pj_per_item);
+      EXPECT_EQ(parallel[i].throughput_per_kcycle,
+                serial[i].throughput_per_kcycle);
+      EXPECT_EQ(parallel[i].mw_per_throughput, serial[i].mw_per_throughput);
+      EXPECT_EQ(parallel[i].pareto_optimal, serial[i].pareto_optimal);
+    }
+  }
+}
+
 TEST(Dse, ToStringContainsKeyFields) {
   DsePoint pt;
   pt.candidate = {16, 4, noc::TopologyKind::kMesh2D, Fabric::kAsip};

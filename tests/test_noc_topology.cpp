@@ -119,9 +119,17 @@ TEST(TreeTopology, DiameterIsTwiceDepth) {
   EXPECT_EQ(make_fat_tree(16)->diameter_hops(), 8);
 }
 
-TEST(TreeTopology, RequiresPowerOfTwo) {
-  EXPECT_THROW(make_binary_tree(12), std::invalid_argument);
+TEST(TreeTopology, NonPowerOfTwoUsesNextFullTree) {
+  // 12 terminals populate the first 12 leaves of a 16-leaf tree: same
+  // depth, so same diameter, and platform terminal counts (PEs + memories
+  // + sinks) need not be exact powers of two.
   EXPECT_NO_THROW(make_binary_tree(8));
+  const auto t12 = make_binary_tree(12);
+  EXPECT_EQ(t12->terminal_count(), 12);
+  EXPECT_EQ(t12->router_count(), 31);  // 16-leaf full tree
+  EXPECT_EQ(t12->diameter_hops(), 8);
+  EXPECT_NO_THROW(make_fat_tree(7));
+  EXPECT_THROW(make_binary_tree(0), std::invalid_argument);
 }
 
 TEST(TreeTopology, FatTreeRootLinksWider) {
