@@ -1,6 +1,9 @@
 // A2: automatic application-to-platform mapping (MultiFlex, Section 7.2)
 // — mapper quality comparison and the platform DSE sweep with Pareto
-// extraction, on the three bundled application graphs.
+// extraction, on the three bundled application graphs. Headline numbers
+// land in BENCH_mapping_dse.json for cross-commit perf tracking.
+#include <chrono>
+
 #include "bench_util.hpp"
 #include "soc/apps/graphs.hpp"
 #include "soc/core/dse.hpp"
@@ -35,6 +38,8 @@ core::PlatformDesc mixed_platform(int pes) {
 }  // namespace
 
 int main() {
+  bench::JsonReport json("mapping_dse");
+
   bench::title("A2a", "Mapper quality: random vs greedy vs annealing");
   bench::rule();
   std::printf("  %-16s %14s %14s %14s\n", "graph", "random(best5)", "greedy",
@@ -65,6 +70,8 @@ int main() {
     anneal_wins &= anneal <= greedy + 1e-9 && anneal <= rnd + 1e-9;
     std::printf("  %-16s %14.2f %14.2f %14.2f\n", graph.name().c_str(), rnd,
                 greedy, anneal);
+    json.add(graph.name() + ".anneal_objective", anneal);
+    json.add(graph.name() + ".greedy_objective", greedy);
   }
   bench::verdict(anneal_wins, "annealing >= greedy >= random on every graph");
 
@@ -104,8 +111,12 @@ int main() {
   core::AnnealConfig quick;
   quick.iterations = 3'000;
   core::DseConfig dc;  // num_threads = 0: shard across every hardware core
+  const auto t_dse = std::chrono::steady_clock::now();
   auto points = core::run_dse(apps::mjpeg_task_graph(), space, tech::node_90nm(),
                               {}, quick, dc);
+  const double dse_ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - t_dse)
+                            .count();
   int shown = 0;
   for (const auto& pt : points) {
     if (pt.pareto_optimal) {
@@ -114,10 +125,14 @@ int main() {
     }
   }
   bench::rule();
-  std::printf("  %zu candidates evaluated, %d on the Pareto front\n",
-              points.size(), shown);
+  std::printf("  %zu candidates evaluated in %.0f ms, %d on the Pareto front\n",
+              points.size(), dse_ms, shown);
   bench::verdict(shown >= 2 && shown < static_cast<int>(points.size()),
                  "DSE exposes a non-trivial throughput/area/power frontier");
+  json.add("dse.candidates", static_cast<long long>(points.size()));
+  json.add("dse.pareto_points", static_cast<long long>(shown));
+  json.add("dse.sweep_ms", dse_ms);
+  json.add("dse.mapper", points.empty() ? dc.mapper : points[0].mapper);
 
   bench::title("A2d", "Cross-level validation: analytic model vs simulation");
   bench::note("each mapping runs as a real DSOC pipeline on the event-driven");
@@ -146,6 +161,7 @@ int main() {
     std::printf("  %-24s %10.0f %10.1f %8.2f %8.2f\n", "coarse 4-stage chain",
                 r.predicted_bottleneck_cycles, r.measured_cycles_per_item,
                 r.ratio, r.bottleneck_pe_utilization);
+    json.add("validate.coarse_ratio", r.ratio);
   }
   {
     // Fine-grained IPv4 pipeline: marshalling/NI overheads the analytic
@@ -167,5 +183,6 @@ int main() {
                  "analytic mapper predictions hold on-platform for "
                  "coarse-grained pipelines (fine-grained ones expose "
                  "marshalling overheads, motivating the cycle-level layer)");
+  json.write();
   return 0;
 }

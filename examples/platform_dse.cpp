@@ -4,23 +4,53 @@
 // the cycle-level platform simulator.
 //
 //   ./build/examples/platform_dse [ipv4|mjpeg|wlan] [anneal_iters] [threads]
+//                                 [--mapper <name>]
 //
 // `threads` shards the sweep: 0 (default) uses every hardware core, 1 runs
-// serially. The points are bit-identical either way.
+// serially. The points are bit-identical either way. `--mapper` picks any
+// registered mapping strategy (random | greedy | heft | anneal).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
+#include <vector>
 
 #include "soc/apps/graphs.hpp"
 #include "soc/core/dse.hpp"
+#include "soc/core/mapper.hpp"
 #include "soc/core/validate.hpp"
 
 using namespace soc;
 
 int main(int argc, char** argv) {
-  const char* which = argc > 1 ? argv[1] : "mjpeg";
-  const int iters = argc > 2 ? std::atoi(argv[2]) : 5000;
-  const int threads = argc > 3 ? std::atoi(argv[3]) : 0;
+  std::string mapper_name = "anneal";
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--mapper")) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--mapper needs a strategy name; registered:");
+        for (const auto& n : core::registered_mappers()) {
+          std::fprintf(stderr, " %s", n.c_str());
+        }
+        std::fprintf(stderr, "\n");
+        return 2;
+      }
+      mapper_name = argv[++i];
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  if (!core::is_registered_mapper(mapper_name)) {
+    std::fprintf(stderr, "unknown mapper '%s'; registered:", mapper_name.c_str());
+    for (const auto& n : core::registered_mappers()) {
+      std::fprintf(stderr, " %s", n.c_str());
+    }
+    std::fprintf(stderr, "\n");
+    return 2;
+  }
+  const char* which = positional.size() > 0 ? positional[0] : "mjpeg";
+  const int iters = positional.size() > 1 ? std::atoi(positional[1]) : 5000;
+  const int threads = positional.size() > 2 ? std::atoi(positional[2]) : 0;
 
   core::TaskGraph graph = [&] {
     if (!std::strcmp(which, "ipv4")) return apps::ipv4_task_graph();
@@ -42,10 +72,12 @@ int main(int argc, char** argv) {
 
   core::DseConfig dc;
   dc.num_threads = threads;
+  dc.mapper = mapper_name;
 
   const auto& node = tech::node_90nm();
   auto points = core::run_dse(graph, space, node, {}, ac, dc);
-  std::printf("\n%zu candidates at %s:\n", points.size(), node.name.c_str());
+  std::printf("\n%zu candidates at %s (mapper: %s):\n", points.size(),
+              node.name.c_str(), mapper_name.c_str());
   for (const auto& pt : points) {
     std::printf("  %s\n", core::to_string(pt).c_str());
   }
@@ -64,12 +96,15 @@ int main(int argc, char** argv) {
   }
   std::printf("\nselected: %s\n", core::to_string(*best).c_str());
 
-  // Validation needs the concrete mapping on that candidate.
+  // Validation needs the concrete mapping on that candidate, produced by the
+  // same strategy the sweep used.
   std::vector<core::PeDesc> pes(
       static_cast<std::size_t>(best->candidate.num_pes),
       core::PeDesc{best->candidate.pe_fabric, best->candidate.threads_per_pe});
   core::PlatformDesc platform(std::move(pes), best->candidate.topology, node);
-  const auto mapping = core::anneal_mapping(graph, platform, {}, ac);
+  sim::Rng map_rng(ac.seed);
+  const auto mapping =
+      core::make_mapper(mapper_name, ac)->map(graph, platform, {}, map_rng);
   try {
     core::ValidationConfig vc;
     vc.threads_per_pe = best->candidate.threads_per_pe;

@@ -33,6 +33,8 @@ struct DsePoint {
   DseCandidate candidate;
   MappingCost mapping_cost;
   platform::PlatformCost silicon;
+  /// Registered mapper strategy that produced mapping_cost.
+  std::string mapper = "anneal";
   /// Items per kilocycle the platform sustains at the bottleneck.
   double throughput_per_kcycle = 0.0;
   /// mW burned per unit throughput (efficiency axis).
@@ -40,12 +42,18 @@ struct DsePoint {
   bool pareto_optimal = false;
 };
 
-/// Execution knobs for the sweep itself (0 = one thread per hardware core,
-/// 1 = serial, N = exactly N shards). Candidates are independent, so the
-/// sweep shards them across a thread pool; each candidate's annealer is
+/// Execution knobs for the sweep itself. Candidates are independent, so the
+/// sweep shards them across a thread pool; each candidate's mapper RNG is
 /// seeded by a stateless hash of (anneal.seed, candidate index), which makes
-/// the returned points bit-identical for every thread count.
-using DseConfig = sim::ParallelConfig;
+/// the returned points bit-identical for every thread count — with every
+/// registered mapper.
+struct DseConfig {
+  /// 0 = one shard per hardware core, 1 = serial, N = exactly N shards.
+  int num_threads = 0;
+  /// Registered mapping strategy used for every candidate (see mapper.hpp);
+  /// run_dse throws std::invalid_argument on an unknown name.
+  std::string mapper = "anneal";
+};
 
 /// Enumerates the cartesian candidate space in sweep order (pe_counts
 /// outermost, fabrics innermost) — the order run_dse returns points in.

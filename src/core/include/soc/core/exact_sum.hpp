@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace soc::core {
+
+/// Fixed-shape pairwise-summation tree over a vector of doubles with O(log n)
+/// point updates.
+///
+/// Floating-point addition is not associative, so a running total that is
+/// patched with `total += new - old` drifts away from a from-scratch
+/// re-summation — which would break the contract that the incremental
+/// objective evaluator agrees *bit-exactly* with the full one. This tree fixes
+/// the association order instead: the total is always the root of the same
+/// complete binary tree (leaves padded with 0.0 to a power of two), whether it
+/// was built in one pass or reached through any sequence of point updates.
+/// Both `evaluate_mapping` and `IncrementalObjective` reduce their per-edge /
+/// per-node contribution arrays through this class, so their totals are
+/// identical by construction.
+class PairwiseSum {
+ public:
+  PairwiseSum() = default;
+
+  /// n leaves, all zero.
+  explicit PairwiseSum(std::size_t n) { resize(n); }
+
+  void resize(std::size_t n) {
+    n_ = n;
+    cap_ = 1;
+    while (cap_ < n_) cap_ <<= 1;
+    tree_.assign(2 * cap_, 0.0);
+  }
+
+  /// Rebuilds the tree from `leaves` (resizes to match).
+  void assign(const std::vector<double>& leaves) {
+    resize(leaves.size());
+    for (std::size_t i = 0; i < leaves.size(); ++i) tree_[cap_ + i] = leaves[i];
+    for (std::size_t i = cap_ - 1; i >= 1; --i) {
+      tree_[i] = tree_[2 * i] + tree_[2 * i + 1];
+    }
+  }
+
+  std::size_t size() const noexcept { return n_; }
+
+  double get(std::size_t i) const { return tree_[cap_ + i]; }
+
+  /// Replaces leaf i and recomputes the path to the root: O(log n).
+  void set(std::size_t i, double v) {
+    std::size_t p = cap_ + i;
+    tree_[p] = v;
+    for (p >>= 1; p >= 1; p >>= 1) {
+      tree_[p] = tree_[2 * p] + tree_[2 * p + 1];
+    }
+  }
+
+  /// The pairwise total: O(1). Zero for an empty tree.
+  double total() const noexcept { return n_ ? tree_[1] : 0.0; }
+
+  /// One-shot reduction with the same tree shape (what assign + total give).
+  static double reduce(const std::vector<double>& leaves) {
+    PairwiseSum s;
+    s.assign(leaves);
+    return s.total();
+  }
+
+ private:
+  std::size_t n_ = 0;
+  std::size_t cap_ = 1;
+  std::vector<double> tree_;  // 1-rooted heap layout; leaves at [cap_, cap_+n_)
+};
+
+}  // namespace soc::core

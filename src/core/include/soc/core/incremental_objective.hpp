@@ -1,0 +1,84 @@
+#pragma once
+
+#include <vector>
+
+#include "soc/core/exact_sum.hpp"
+#include "soc/core/mapping.hpp"
+#include "soc/tech/energy_model.hpp"
+
+namespace soc::core {
+
+/// Incremental evaluator of the scalarized mapping objective.
+///
+/// Caches per-PE cycle loads, per-edge comm word-hops, and per-node / per-edge
+/// energy contributions, so scoring a single-task move touches only the moved
+/// task's incident edges instead of re-walking the whole graph the way
+/// `evaluate_mapping` does. Per move the cost is
+/// O(degree·log E + tasks-on-the-two-affected-PEs + P), versus O(V·E) for a
+/// full evaluation — the difference that makes `anneal_mapping`'s hot loop
+/// cheap enough for the DSE sweep.
+///
+/// Exactness contract: objective(), bottleneck_cycles(), comm_word_hops(),
+/// energy_pj_per_item(), and feasible() are *bit-identical* to what
+/// `evaluate_mapping` returns for mapping() after any sequence of
+/// try_move/revert calls (regression-tested by a randomized property test).
+/// This holds because the scalarized objective excludes pipeline latency (a
+/// path maximum that has no cheap exact delta); edge/node sums are reduced
+/// through the same fixed-shape PairwiseSum trees the full evaluator uses, and
+/// per-PE loads are re-summed over the affected PEs' members in ascending node
+/// order — the full evaluator's exact association order.
+class IncrementalObjective {
+ public:
+  /// Snapshots graph/platform/weights (all must outlive this object) and runs
+  /// one full evaluation of `initial`. Throws like evaluate_mapping on size
+  /// mismatch or out-of-range PE indices.
+  IncrementalObjective(const TaskGraph& graph, const PlatformDesc& platform,
+                       const ObjectiveWeights& weights, Mapping initial);
+
+  const Mapping& mapping() const noexcept { return mapping_; }
+
+  double objective() const noexcept { return objective_; }
+  double bottleneck_cycles() const noexcept { return bottleneck_; }
+  double comm_word_hops() const noexcept { return comm_.total(); }
+  double energy_pj_per_item() const noexcept {
+    return node_energy_.total() + wire_energy_.total();
+  }
+  bool feasible() const noexcept { return infeasible_count_ == 0; }
+
+  /// Applies "move `task` to `new_pe`" to the cached state and returns the
+  /// new objective. The move stays applied; call revert() to undo it (the
+  /// annealer's reject path). Throws std::out_of_range on bad indices.
+  double try_move(int task, int new_pe);
+
+  /// Undoes the most recent try_move (at most one level of undo). The restored
+  /// state is bit-identical to the pre-move state. Throws std::logic_error if
+  /// there is no move to revert.
+  void revert();
+
+ private:
+  void apply(int task, int new_pe);
+  void recompute_pe_load(int pe);
+  void refresh_incident_edges(int task);
+
+  const TaskGraph* graph_;
+  const PlatformDesc* platform_;
+  ObjectiveWeights weights_;
+  tech::EnergyModel em_;
+  double pj_per_word_hop_;
+
+  Mapping mapping_;
+  std::vector<double> node_cycles_;        // cycles on the currently mapped PE
+  std::vector<std::vector<int>> pe_members_;  // per PE, ascending node indices
+  std::vector<double> pe_load_;
+  PairwiseSum node_energy_;  // leaf per node: compute energy on its PE
+  PairwiseSum comm_;         // leaf per edge: words x hops
+  PairwiseSum wire_energy_;  // leaf per edge: words x hops x pJ/word-hop
+  int infeasible_count_ = 0;
+  double bottleneck_ = 0.0;
+  double objective_ = 0.0;
+
+  int last_task_ = -1;  // undo record for revert()
+  int last_old_pe_ = -1;
+};
+
+}  // namespace soc::core

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "soc/core/mapping.hpp"
+
+namespace soc::core {
+
+/// Polymorphic mapping strategy: one algorithm that places a task graph onto
+/// a platform. Implementations must be stateless across map() calls and
+/// deterministic given (graph, platform, weights, rng state) — the DSE sweep
+/// invokes a single instance concurrently from many threads and relies on
+/// per-candidate RNG streams for bit-identical results at any thread count.
+class Mapper {
+ public:
+  virtual ~Mapper() = default;
+
+  /// Registry key, e.g. "anneal".
+  virtual std::string_view name() const noexcept = 0;
+
+  /// Places every task; may return infeasible placements (scored with the
+  /// usual penalty) rather than throwing. Strategies that are deterministic
+  /// (greedy, heft) simply ignore `rng`.
+  virtual Mapping map(const TaskGraph& graph, const PlatformDesc& platform,
+                      const ObjectiveWeights& weights, sim::Rng& rng) const = 0;
+};
+
+/// Factory signature: builds a strategy instance. The AnnealConfig carries
+/// the only strategy-specific knobs the DSE exposes (iteration budget,
+/// temperature schedule); strategies that don't anneal ignore it.
+using MapperFactory =
+    std::function<std::unique_ptr<Mapper>(const AnnealConfig&)>;
+
+/// Registers (or replaces) a strategy under `name`. The built-in strategies
+/// — "random", "greedy", "heft", "anneal" — are pre-registered.
+void register_mapper(std::string name, MapperFactory factory);
+
+/// Sorted names of every registered strategy.
+std::vector<std::string> registered_mappers();
+
+bool is_registered_mapper(std::string_view name);
+
+/// Builds the named strategy; throws std::invalid_argument (listing the
+/// registered names) when unknown.
+std::unique_ptr<Mapper> make_mapper(std::string_view name,
+                                    const AnnealConfig& anneal = {});
+
+}  // namespace soc::core

@@ -77,6 +77,13 @@ Mapping random_mapping(const TaskGraph& graph, const PlatformDesc& platform,
 Mapping greedy_mapping(const TaskGraph& graph, const PlatformDesc& platform,
                        const ObjectiveWeights& weights = {});
 
+/// HEFT/PEFT-style list scheduler: tasks ranked by upward rank (mean execution
+/// cycles plus the critical downstream path, hop latency included), then each
+/// task greedily placed on the PE minimizing its predicted finish time over
+/// the platform's hop matrix. Deterministic; no RNG involved.
+Mapping heft_mapping(const TaskGraph& graph, const PlatformDesc& platform,
+                     const ObjectiveWeights& weights = {});
+
 /// Simulated-annealing refinement starting from the greedy solution.
 struct AnnealConfig {
   int iterations = 20'000;
@@ -87,5 +94,12 @@ struct AnnealConfig {
 Mapping anneal_mapping(const TaskGraph& graph, const PlatformDesc& platform,
                        const ObjectiveWeights& weights = {},
                        const AnnealConfig& cfg = {});
+
+/// Same annealer driven by an external RNG (cfg.seed ignored) — the form the
+/// Mapper registry and the DSE sweep use so per-candidate streams can be
+/// derived statelessly from (seed, index).
+Mapping anneal_mapping(const TaskGraph& graph, const PlatformDesc& platform,
+                       const ObjectiveWeights& weights, const AnnealConfig& cfg,
+                       sim::Rng& rng);
 
 }  // namespace soc::core

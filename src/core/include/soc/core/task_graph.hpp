@@ -42,9 +42,25 @@ class TaskGraph {
 
   const std::string& name() const noexcept { return name_; }
   int node_count() const noexcept { return static_cast<int>(nodes_.size()); }
+  int edge_count() const noexcept { return static_cast<int>(edges_.size()); }
   const TaskNode& node(int i) const { return nodes_.at(static_cast<std::size_t>(i)); }
+  const TaskEdge& edge(int e) const { return edges_.at(static_cast<std::size_t>(e)); }
   const std::vector<TaskNode>& nodes() const noexcept { return nodes_; }
   const std::vector<TaskEdge>& edges() const noexcept { return edges_; }
+
+  /// CSR-style adjacency: the indices (into edges()) of the edges entering /
+  /// leaving `node`, maintained by add_edge. Consumers that previously
+  /// scanned the whole edge vector per node (the latency pass, list
+  /// schedulers, the incremental objective) use these to touch only
+  /// O(degree) edges.
+  const std::vector<int>& in_edges(int node) const {
+    return in_edges_.at(static_cast<std::size_t>(node));
+  }
+  const std::vector<int>& out_edges(int node) const {
+    return out_edges_.at(static_cast<std::size_t>(node));
+  }
+  int in_degree(int node) const { return static_cast<int>(in_edges(node).size()); }
+  int out_degree(int node) const { return static_cast<int>(out_edges(node).size()); }
 
   double total_work_ops() const noexcept;
   double total_comm_words() const noexcept;
@@ -66,6 +82,8 @@ class TaskGraph {
   std::string name_;
   std::vector<TaskNode> nodes_;
   std::vector<TaskEdge> edges_;
+  std::vector<std::vector<int>> in_edges_;   // per node, edge indices
+  std::vector<std::vector<int>> out_edges_;  // per node, edge indices
 };
 
 }  // namespace soc::core

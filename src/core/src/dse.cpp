@@ -3,19 +3,20 @@
 #include <algorithm>
 #include <sstream>
 
+#include "soc/core/mapper.hpp"
 #include "soc/sim/parallel.hpp"
 
 namespace soc::core {
 
 namespace {
 
-/// Maps and costs one candidate. Pure function of its arguments (the anneal
-/// config already carries this candidate's derived seed), so candidates can
-/// be evaluated on any thread in any order.
+/// Maps and costs one candidate. Pure function of its arguments (the rng
+/// carries this candidate's derived stream), so candidates can be evaluated
+/// on any thread in any order.
 DsePoint evaluate_candidate(const TaskGraph& graph, const DseCandidate& cand,
                             const tech::ProcessNode& node,
                             const ObjectiveWeights& weights,
-                            const AnnealConfig& anneal) {
+                            const Mapper& mapper, sim::Rng& rng) {
   std::vector<PeDesc> pe_descs(static_cast<std::size_t>(cand.num_pes),
                                PeDesc{cand.pe_fabric, cand.threads_per_pe});
   PlatformDesc platform(std::move(pe_descs), cand.topology, node);
@@ -24,7 +25,7 @@ DsePoint evaluate_candidate(const TaskGraph& graph, const DseCandidate& cand,
   const int replicas = std::max(1, cand.num_pes / graph.node_count());
   const TaskGraph work =
       replicas > 1 ? graph.replicated(replicas) : TaskGraph(graph);
-  const Mapping m = anneal_mapping(work, platform, weights, anneal);
+  const Mapping m = mapper.map(work, platform, weights, rng);
   const MappingCost mc = evaluate_mapping(work, platform, m, weights);
 
   platform::FppaConfig fc;
@@ -37,6 +38,7 @@ DsePoint evaluate_candidate(const TaskGraph& graph, const DseCandidate& cand,
   pt.candidate = cand;
   pt.mapping_cost = mc;
   pt.silicon = sc;
+  pt.mapper = std::string(mapper.name());
   // One "item" of the replicated graph carries `replicas` stream
   // items, one per copy.
   pt.throughput_per_kcycle = mc.bottleneck_cycles > 0.0
@@ -72,13 +74,16 @@ std::vector<DsePoint> run_dse(const TaskGraph& graph, const DseSpace& space,
                               const AnnealConfig& anneal,
                               const DseConfig& config) {
   const std::vector<DseCandidate> candidates = enumerate_candidates(space);
+  // Resolve the strategy once, outside the sharded loop: Mapper instances are
+  // stateless, so one instance serves every worker thread.
+  const std::unique_ptr<Mapper> mapper = make_mapper(config.mapper, anneal);
   std::vector<DsePoint> points(candidates.size());
   sim::parallel_for(
-      candidates.size(), config,
+      candidates.size(), sim::ParallelConfig{config.num_threads},
       [&](std::size_t i) {
-        AnnealConfig ac = anneal;
-        ac.seed = sim::derive_seed(anneal.seed, i);
-        points[i] = evaluate_candidate(graph, candidates[i], node, weights, ac);
+        sim::Rng rng(sim::derive_seed(anneal.seed, i));
+        points[i] =
+            evaluate_candidate(graph, candidates[i], node, weights, *mapper, rng);
       });
   mark_pareto_front(points, config);
   return points;
@@ -92,7 +97,7 @@ std::vector<std::size_t> mark_pareto_front(std::vector<DsePoint>& points,
   // sweeps; small fronts run inline.
   const int threads = points.size() < 256 ? 1 : config.num_threads;
   sim::parallel_for(
-      points.size(), DseConfig{threads},
+      points.size(), sim::ParallelConfig{threads},
       [&](std::size_t i) {
         if (!points[i].mapping_cost.feasible) {
           points[i].pareto_optimal = false;

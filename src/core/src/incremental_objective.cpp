@@ -1,0 +1,151 @@
+#include "soc/core/incremental_objective.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "mapping_internal.hpp"
+
+namespace soc::core {
+
+using internal::cycles_on;
+using internal::edge_comm_contribution;
+using internal::energy_on;
+using internal::scalarized_objective;
+
+IncrementalObjective::IncrementalObjective(const TaskGraph& graph,
+                                           const PlatformDesc& platform,
+                                           const ObjectiveWeights& weights,
+                                           Mapping initial)
+    : graph_(&graph),
+      platform_(&platform),
+      weights_(weights),
+      em_(platform.node()),
+      pj_per_word_hop_(internal::wire_pj_per_word_hop(em_)),
+      mapping_(std::move(initial)) {
+  const int n = graph.node_count();
+  const int npe = platform.pe_count();
+  if (static_cast<int>(mapping_.size()) != n) {
+    throw std::invalid_argument("IncrementalObjective: mapping size mismatch");
+  }
+
+  node_cycles_.assign(static_cast<std::size_t>(n), 0.0);
+  pe_members_.assign(static_cast<std::size_t>(npe), {});
+  pe_load_.assign(static_cast<std::size_t>(npe), 0.0);
+
+  std::vector<double> node_energy(static_cast<std::size_t>(n), 0.0);
+  for (int i = 0; i < n; ++i) {
+    const int pe = mapping_[static_cast<std::size_t>(i)];
+    if (pe < 0 || pe >= npe) {
+      throw std::out_of_range("IncrementalObjective: PE index out of range");
+    }
+    const TaskNode& node = graph.node(i);
+    const tech::Fabric fabric = platform.pe(pe).fabric;
+    if (!node.allows(fabric)) ++infeasible_count_;
+    node_cycles_[static_cast<std::size_t>(i)] = cycles_on(node, fabric);
+    node_energy[static_cast<std::size_t>(i)] = energy_on(node, fabric, em_);
+    pe_members_[static_cast<std::size_t>(pe)].push_back(i);  // ascending: i grows
+    pe_load_[static_cast<std::size_t>(pe)] +=
+        node_cycles_[static_cast<std::size_t>(i)];
+  }
+  node_energy_.assign(node_energy);
+  bottleneck_ = *std::max_element(pe_load_.begin(), pe_load_.end());
+
+  const int ne = graph.edge_count();
+  std::vector<double> comm(static_cast<std::size_t>(ne), 0.0);
+  std::vector<double> wire(static_cast<std::size_t>(ne), 0.0);
+  for (int e = 0; e < ne; ++e) {
+    const TaskEdge& edge = graph.edge(e);
+    const int h = platform.hops(mapping_[static_cast<std::size_t>(edge.src)],
+                                mapping_[static_cast<std::size_t>(edge.dst)]);
+    comm[static_cast<std::size_t>(e)] = edge_comm_contribution(edge, h);
+    wire[static_cast<std::size_t>(e)] =
+        comm[static_cast<std::size_t>(e)] * pj_per_word_hop_;
+  }
+  comm_.assign(comm);
+  wire_energy_.assign(wire);
+
+  objective_ = scalarized_objective(weights_, bottleneck_, comm_.total(),
+                                    energy_pj_per_item(), feasible());
+}
+
+void IncrementalObjective::recompute_pe_load(int pe) {
+  // Re-summing the members in ascending node order reproduces, bit for bit,
+  // the accumulation order of the full evaluator's single pass over nodes.
+  double load = 0.0;
+  for (const int i : pe_members_[static_cast<std::size_t>(pe)]) {
+    load += node_cycles_[static_cast<std::size_t>(i)];
+  }
+  pe_load_[static_cast<std::size_t>(pe)] = load;
+}
+
+void IncrementalObjective::refresh_incident_edges(int task) {
+  const auto touch = [&](int ei) {
+    const TaskEdge& edge = graph_->edge(ei);
+    const int h = platform_->hops(mapping_[static_cast<std::size_t>(edge.src)],
+                                  mapping_[static_cast<std::size_t>(edge.dst)]);
+    const double c = edge_comm_contribution(edge, h);
+    comm_.set(static_cast<std::size_t>(ei), c);
+    wire_energy_.set(static_cast<std::size_t>(ei), c * pj_per_word_hop_);
+  };
+  for (const int ei : graph_->in_edges(task)) touch(ei);
+  for (const int ei : graph_->out_edges(task)) touch(ei);
+}
+
+void IncrementalObjective::apply(int task, int new_pe) {
+  const int old_pe = mapping_[static_cast<std::size_t>(task)];
+  const TaskNode& node = graph_->node(task);
+  const tech::Fabric old_fabric = platform_->pe(old_pe).fabric;
+  const tech::Fabric new_fabric = platform_->pe(new_pe).fabric;
+
+  mapping_[static_cast<std::size_t>(task)] = new_pe;
+
+  if (!node.allows(old_fabric)) --infeasible_count_;
+  if (!node.allows(new_fabric)) ++infeasible_count_;
+
+  node_cycles_[static_cast<std::size_t>(task)] = cycles_on(node, new_fabric);
+  node_energy_.set(static_cast<std::size_t>(task),
+                   energy_on(node, new_fabric, em_));
+
+  if (new_pe != old_pe) {
+    auto& old_members = pe_members_[static_cast<std::size_t>(old_pe)];
+    old_members.erase(
+        std::lower_bound(old_members.begin(), old_members.end(), task));
+    auto& new_members = pe_members_[static_cast<std::size_t>(new_pe)];
+    new_members.insert(
+        std::lower_bound(new_members.begin(), new_members.end(), task), task);
+  }
+  recompute_pe_load(old_pe);
+  recompute_pe_load(new_pe);
+  bottleneck_ = *std::max_element(pe_load_.begin(), pe_load_.end());
+
+  refresh_incident_edges(task);
+
+  objective_ = scalarized_objective(weights_, bottleneck_, comm_.total(),
+                                    energy_pj_per_item(), feasible());
+}
+
+double IncrementalObjective::try_move(int task, int new_pe) {
+  if (task < 0 || task >= graph_->node_count()) {
+    throw std::out_of_range("IncrementalObjective::try_move: bad task");
+  }
+  if (new_pe < 0 || new_pe >= platform_->pe_count()) {
+    throw std::out_of_range("IncrementalObjective::try_move: bad PE");
+  }
+  last_task_ = task;
+  last_old_pe_ = mapping_[static_cast<std::size_t>(task)];
+  apply(task, new_pe);
+  return objective_;
+}
+
+void IncrementalObjective::revert() {
+  if (last_task_ < 0) {
+    throw std::logic_error("IncrementalObjective::revert: nothing to revert");
+  }
+  // Replaying the inverse move recomputes every touched cache entry from the
+  // same deterministic expressions, so the restored state is bit-identical.
+  apply(last_task_, last_old_pe_);
+  last_task_ = -1;
+  last_old_pe_ = -1;
+}
+
+}  // namespace soc::core

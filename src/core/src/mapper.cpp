@@ -1,0 +1,125 @@
+#include "soc/core/mapper.hpp"
+
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+namespace soc::core {
+
+namespace {
+
+class RandomMapper final : public Mapper {
+ public:
+  std::string_view name() const noexcept override { return "random"; }
+  Mapping map(const TaskGraph& graph, const PlatformDesc& platform,
+              const ObjectiveWeights&, sim::Rng& rng) const override {
+    return random_mapping(graph, platform, rng);
+  }
+};
+
+class GreedyMapper final : public Mapper {
+ public:
+  std::string_view name() const noexcept override { return "greedy"; }
+  Mapping map(const TaskGraph& graph, const PlatformDesc& platform,
+              const ObjectiveWeights& weights, sim::Rng&) const override {
+    return greedy_mapping(graph, platform, weights);
+  }
+};
+
+class HeftMapper final : public Mapper {
+ public:
+  std::string_view name() const noexcept override { return "heft"; }
+  Mapping map(const TaskGraph& graph, const PlatformDesc& platform,
+              const ObjectiveWeights& weights, sim::Rng&) const override {
+    return heft_mapping(graph, platform, weights);
+  }
+};
+
+class AnnealMapper final : public Mapper {
+ public:
+  explicit AnnealMapper(const AnnealConfig& cfg) : cfg_(cfg) {}
+  std::string_view name() const noexcept override { return "anneal"; }
+  Mapping map(const TaskGraph& graph, const PlatformDesc& platform,
+              const ObjectiveWeights& weights, sim::Rng& rng) const override {
+    return anneal_mapping(graph, platform, weights, cfg_, rng);
+  }
+
+ private:
+  AnnealConfig cfg_;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, MapperFactory> factories;
+};
+
+Registry& registry() {
+  static Registry& r = *[] {
+    auto* reg = new Registry();
+    reg->factories["random"] = [](const AnnealConfig&) {
+      return std::unique_ptr<Mapper>(new RandomMapper());
+    };
+    reg->factories["greedy"] = [](const AnnealConfig&) {
+      return std::unique_ptr<Mapper>(new GreedyMapper());
+    };
+    reg->factories["heft"] = [](const AnnealConfig&) {
+      return std::unique_ptr<Mapper>(new HeftMapper());
+    };
+    reg->factories["anneal"] = [](const AnnealConfig& cfg) {
+      return std::unique_ptr<Mapper>(new AnnealMapper(cfg));
+    };
+    return reg;
+  }();
+  return r;
+}
+
+}  // namespace
+
+void register_mapper(std::string name, MapperFactory factory) {
+  if (name.empty() || !factory) {
+    throw std::invalid_argument("register_mapper: empty name or factory");
+  }
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mu);
+  reg.factories[std::move(name)] = std::move(factory);
+}
+
+std::vector<std::string> registered_mappers() {
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mu);
+  std::vector<std::string> names;
+  names.reserve(reg.factories.size());
+  for (const auto& [name, factory] : reg.factories) names.push_back(name);
+  return names;  // std::map iterates sorted
+}
+
+bool is_registered_mapper(std::string_view name) {
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mu);
+  return reg.factories.find(std::string(name)) != reg.factories.end();
+}
+
+std::unique_ptr<Mapper> make_mapper(std::string_view name,
+                                    const AnnealConfig& anneal) {
+  MapperFactory factory;
+  {
+    Registry& reg = registry();
+    const std::lock_guard<std::mutex> lock(reg.mu);
+    const auto it = reg.factories.find(std::string(name));
+    if (it != reg.factories.end()) factory = it->second;
+  }
+  if (!factory) {
+    std::string known;
+    for (const auto& n : registered_mappers()) {
+      if (!known.empty()) known += ", ";
+      known += n;
+    }
+    throw std::invalid_argument("make_mapper: unknown strategy '" +
+                                std::string(name) + "' (registered: " + known +
+                                ")");
+  }
+  return factory(anneal);
+}
+
+}  // namespace soc::core

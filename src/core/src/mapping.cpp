@@ -6,22 +6,20 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "mapping_internal.hpp"
+#include "soc/core/exact_sum.hpp"
+#include "soc/core/incremental_objective.hpp"
+
 namespace soc::core {
 
+using internal::cycles_on;
+using internal::edge_comm_contribution;
+using internal::energy_on;
+
+/// NoC hop latency used by the pipeline-latency model and the HEFT ranker:
+/// ~5 cycles per hop on an unloaded network.
 namespace {
-constexpr double kInfeasiblePenalty = 1e9;
-
-/// Cycles one item of `node` costs on `fabric`.
-double cycles_on(const TaskNode& node, tech::Fabric fabric) {
-  return node.work_ops / tech::fabric_profile(fabric).ops_per_cycle;
-}
-
-/// Compute energy of one item of `node` on `fabric` at `proc` (pJ).
-double energy_on(const TaskNode& node, tech::Fabric fabric,
-                 const tech::ProcessNode& proc) {
-  const tech::EnergyModel em(proc);
-  return node.work_ops * em.op_energy_pj(fabric);
-}
+constexpr double kCyclesPerHop = 5.0;
 }  // namespace
 
 PlatformDesc::PlatformDesc(std::vector<PeDesc> pes, noc::TopologyKind topology,
@@ -65,10 +63,14 @@ MappingCost evaluate_mapping(const TaskGraph& graph,
     throw std::invalid_argument("evaluate_mapping: mapping size mismatch");
   }
   MappingCost cost;
+  const int n = graph.node_count();
   const int npe = platform.pe_count();
-  std::vector<double> pe_cycles(static_cast<std::size_t>(npe), 0.0);
+  const tech::EnergyModel em(platform.node());  // hoisted out of the task loop
 
-  for (int i = 0; i < graph.node_count(); ++i) {
+  std::vector<double> pe_cycles(static_cast<std::size_t>(npe), 0.0);
+  std::vector<double> node_cycles(static_cast<std::size_t>(n), 0.0);
+  std::vector<double> node_energy(static_cast<std::size_t>(n), 0.0);
+  for (int i = 0; i < n; ++i) {
     const int pe = mapping[static_cast<std::size_t>(i)];
     if (pe < 0 || pe >= npe) {
       throw std::out_of_range("evaluate_mapping: PE index out of range");
@@ -76,45 +78,56 @@ MappingCost evaluate_mapping(const TaskGraph& graph,
     const TaskNode& node = graph.node(i);
     const tech::Fabric fabric = platform.pe(pe).fabric;
     if (!node.allows(fabric)) cost.feasible = false;
-    pe_cycles[static_cast<std::size_t>(pe)] += cycles_on(node, fabric);
-    cost.energy_pj_per_item += energy_on(node, fabric, platform.node());
+    node_cycles[static_cast<std::size_t>(i)] = cycles_on(node, fabric);
+    pe_cycles[static_cast<std::size_t>(pe)] +=
+        node_cycles[static_cast<std::size_t>(i)];
+    node_energy[static_cast<std::size_t>(i)] = energy_on(node, fabric, em);
   }
   cost.bottleneck_cycles =
-      *std::max_element(pe_cycles.begin(), pe_cycles.end());
+      n ? *std::max_element(pe_cycles.begin(), pe_cycles.end()) : 0.0;
 
-  const tech::EnergyModel em(platform.node());
-  // Wire energy: ~1 mm of global wire per hop, 32 bits per word.
-  const double pj_per_word_hop = em.wire_bit_pj_per_mm() * 32.0;
-  for (const auto& e : graph.edges()) {
-    const int h = platform.hops(mapping[static_cast<std::size_t>(e.src)],
-                                mapping[static_cast<std::size_t>(e.dst)]);
-    cost.comm_word_hops += e.words_per_item * h;
-    cost.energy_pj_per_item += e.words_per_item * h * pj_per_word_hop;
+  // Per-edge contributions, reduced with the fixed-shape pairwise sum so the
+  // incremental evaluator can reproduce the totals exactly after point
+  // updates (see exact_sum.hpp).
+  const double pj_per_word_hop = internal::wire_pj_per_word_hop(em);
+  const int ne = graph.edge_count();
+  std::vector<double> comm(static_cast<std::size_t>(ne), 0.0);
+  std::vector<double> wire(static_cast<std::size_t>(ne), 0.0);
+  for (int e = 0; e < ne; ++e) {
+    const TaskEdge& edge = graph.edge(e);
+    const int h = platform.hops(mapping[static_cast<std::size_t>(edge.src)],
+                                mapping[static_cast<std::size_t>(edge.dst)]);
+    comm[static_cast<std::size_t>(e)] = edge_comm_contribution(edge, h);
+    wire[static_cast<std::size_t>(e)] =
+        comm[static_cast<std::size_t>(e)] * pj_per_word_hop;
   }
+  cost.comm_word_hops = PairwiseSum::reduce(comm);
+  cost.energy_pj_per_item =
+      PairwiseSum::reduce(node_energy) + PairwiseSum::reduce(wire);
 
   // Pipeline latency: longest path through the DAG, each node costing its
-  // mapped-cycles plus per-edge NoC hop latency (~5 cycles/hop unloaded).
+  // mapped-cycles plus per-edge NoC hop latency. O(V+E) over the adjacency
+  // lists (this pass used to scan the full edge vector per node).
   const auto order = graph.topological_order();
-  std::vector<double> finish(static_cast<std::size_t>(graph.node_count()), 0.0);
+  std::vector<double> finish(static_cast<std::size_t>(n), 0.0);
   for (const int u : order) {
     double start = 0.0;
-    for (const auto& e : graph.edges()) {
-      if (e.dst != u) continue;
+    for (const int ei : graph.in_edges(u)) {
+      const TaskEdge& e = graph.edge(ei);
       const int h = platform.hops(mapping[static_cast<std::size_t>(e.src)],
                                   mapping[static_cast<std::size_t>(e.dst)]);
-      start = std::max(start, finish[static_cast<std::size_t>(e.src)] + 5.0 * h);
+      start = std::max(start,
+                       finish[static_cast<std::size_t>(e.src)] + kCyclesPerHop * h);
     }
     finish[static_cast<std::size_t>(u)] =
-        start + cycles_on(graph.node(u),
-                          platform.pe(mapping[static_cast<std::size_t>(u)]).fabric);
+        start + node_cycles[static_cast<std::size_t>(u)];
   }
   cost.pipeline_latency =
       finish.empty() ? 0.0 : *std::max_element(finish.begin(), finish.end());
 
-  cost.objective = weights.load * cost.bottleneck_cycles +
-                   weights.comm * cost.comm_word_hops +
-                   weights.energy * cost.energy_pj_per_item +
-                   (cost.feasible ? 0.0 : kInfeasiblePenalty);
+  cost.objective = internal::scalarized_objective(
+      weights, cost.bottleneck_cycles, cost.comm_word_hops,
+      cost.energy_pj_per_item, cost.feasible);
   return cost;
 }
 
@@ -146,6 +159,8 @@ Mapping greedy_mapping(const TaskGraph& graph, const PlatformDesc& platform,
     return graph.node(a).work_ops > graph.node(b).work_ops;
   });
 
+  const tech::EnergyModel em(platform.node());
+
   // Incremental state: per-PE accumulated cycles; partial mapping.
   Mapping m(static_cast<std::size_t>(n), -1);
   std::vector<double> pe_cycles(static_cast<std::size_t>(platform.pe_count()), 0.0);
@@ -159,19 +174,22 @@ Mapping greedy_mapping(const TaskGraph& graph, const PlatformDesc& platform,
       if (!node.allows(fabric)) continue;
       const double new_load =
           pe_cycles[static_cast<std::size_t>(p)] + cycles_on(node, fabric);
-      // Communication with already-placed neighbors.
+      // Communication with already-placed neighbors: only the node's own
+      // incident edges, not the whole edge vector.
       double comm = 0.0;
-      for (const auto& e : graph.edges()) {
-        const int other = e.src == node_idx ? e.dst
-                          : e.dst == node_idx ? e.src
-                                              : -1;
-        if (other < 0 || m[static_cast<std::size_t>(other)] < 0) continue;
+      const auto add_comm = [&](const TaskEdge& e, int other) {
+        if (m[static_cast<std::size_t>(other)] < 0) return;
         comm += e.words_per_item *
                 platform.hops(p, m[static_cast<std::size_t>(other)]);
+      };
+      for (const int ei : graph.in_edges(node_idx)) {
+        add_comm(graph.edge(ei), graph.edge(ei).src);
       }
-      const double score =
-          weights.load * new_load + weights.comm * comm +
-          weights.energy * energy_on(node, fabric, platform.node());
+      for (const int ei : graph.out_edges(node_idx)) {
+        add_comm(graph.edge(ei), graph.edge(ei).dst);
+      }
+      const double score = weights.load * new_load + weights.comm * comm +
+                           weights.energy * energy_on(node, fabric, em);
       if (score < best) {
         best = score;
         best_pe = p;
@@ -184,44 +202,150 @@ Mapping greedy_mapping(const TaskGraph& graph, const PlatformDesc& platform,
   return m;
 }
 
-Mapping anneal_mapping(const TaskGraph& graph, const PlatformDesc& platform,
-                       const ObjectiveWeights& weights,
-                       const AnnealConfig& cfg) {
-  sim::Rng rng(cfg.seed);
-  Mapping current = greedy_mapping(graph, platform, weights);
-  double cur_obj = evaluate_mapping(graph, platform, current, weights).objective;
-  Mapping best = current;
-  double best_obj = cur_obj;
+Mapping heft_mapping(const TaskGraph& graph, const PlatformDesc& platform,
+                     const ObjectiveWeights& weights) {
+  (void)weights;  // HEFT optimizes predicted finish time, not the scalarized
+                  // objective; the parameter keeps the strategy signature
+                  // uniform across mappers.
+  const int n = graph.node_count();
+  const int npe = platform.pe_count();
+  Mapping m(static_cast<std::size_t>(n), 0);
+  if (n == 0) return m;
 
+  // Mean execution cycles over the PEs each task may run on (all PEs when the
+  // platform offers no feasible fabric — mirroring the other mappers, which
+  // also degrade to infeasible placements rather than failing).
+  std::vector<double> avg_cycles(static_cast<std::size_t>(n), 0.0);
+  std::vector<char> any_allowed(static_cast<std::size_t>(n), 0);
+  for (int i = 0; i < n; ++i) {
+    const TaskNode& node = graph.node(i);
+    double sum_allowed = 0.0, sum_all = 0.0;
+    int n_allowed = 0;
+    for (int p = 0; p < npe; ++p) {
+      const double c = cycles_on(node, platform.pe(p).fabric);
+      sum_all += c;
+      if (node.allows(platform.pe(p).fabric)) {
+        sum_allowed += c;
+        ++n_allowed;
+      }
+    }
+    any_allowed[static_cast<std::size_t>(i)] = n_allowed > 0;
+    avg_cycles[static_cast<std::size_t>(i)] =
+        n_allowed > 0 ? sum_allowed / n_allowed : sum_all / npe;
+  }
+
+  // Upward rank over the reverse topological order: rank(u) = avg_cycles(u) +
+  // max over successors of (hop latency at the platform's average distance +
+  // rank(succ)). Guarantees rank(pred) >= rank(succ).
+  const double avg_edge_latency = kCyclesPerHop * platform.avg_hops();
+  const auto topo = graph.topological_order();
+  std::vector<double> rank(static_cast<std::size_t>(n), 0.0);
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const int u = *it;
+    double down = 0.0;
+    for (const int ei : graph.out_edges(u)) {
+      down = std::max(
+          down, avg_edge_latency + rank[static_cast<std::size_t>(graph.edge(ei).dst)]);
+    }
+    rank[static_cast<std::size_t>(u)] = avg_cycles[static_cast<std::size_t>(u)] + down;
+  }
+
+  // Schedule order: rank descending; ties broken by topological position so
+  // predecessors always precede successors (equal ranks only happen along
+  // zero-cost chains).
+  std::vector<int> topo_pos(static_cast<std::size_t>(n), 0);
+  for (int i = 0; i < n; ++i) {
+    topo_pos[static_cast<std::size_t>(topo[static_cast<std::size_t>(i)])] = i;
+  }
+  std::vector<int> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const double ra = rank[static_cast<std::size_t>(a)];
+    const double rb = rank[static_cast<std::size_t>(b)];
+    if (ra != rb) return ra > rb;
+    return topo_pos[static_cast<std::size_t>(a)] < topo_pos[static_cast<std::size_t>(b)];
+  });
+
+  // Earliest-finish-time placement over the hop matrix.
+  std::vector<double> pe_free(static_cast<std::size_t>(npe), 0.0);
+  std::vector<double> finish(static_cast<std::size_t>(n), 0.0);
+  for (const int u : order) {
+    const TaskNode& node = graph.node(u);
+    double best_eft = std::numeric_limits<double>::infinity();
+    int best_pe = 0;
+    for (int p = 0; p < npe; ++p) {
+      if (any_allowed[static_cast<std::size_t>(u)] &&
+          !node.allows(platform.pe(p).fabric)) {
+        continue;
+      }
+      double ready = pe_free[static_cast<std::size_t>(p)];
+      for (const int ei : graph.in_edges(u)) {
+        const int pred = graph.edge(ei).src;
+        ready = std::max(
+            ready, finish[static_cast<std::size_t>(pred)] +
+                       kCyclesPerHop *
+                           platform.hops(m[static_cast<std::size_t>(pred)], p));
+      }
+      const double eft = ready + cycles_on(node, platform.pe(p).fabric);
+      if (eft < best_eft) {
+        best_eft = eft;
+        best_pe = p;
+      }
+    }
+    m[static_cast<std::size_t>(u)] = best_pe;
+    finish[static_cast<std::size_t>(u)] = best_eft;
+    pe_free[static_cast<std::size_t>(best_pe)] = best_eft;
+  }
+  return m;
+}
+
+Mapping anneal_mapping(const TaskGraph& graph, const PlatformDesc& platform,
+                       const ObjectiveWeights& weights, const AnnealConfig& cfg,
+                       sim::Rng& rng) {
+  Mapping best = greedy_mapping(graph, platform, weights);
   if (graph.node_count() == 0 || platform.pe_count() < 2) return best;
 
+  // All scoring goes through the O(degree) incremental evaluator; the full
+  // evaluator runs zero times inside the loop (latency, which the objective
+  // excludes, is whatever the caller recomputes once on the result).
+  IncrementalObjective obj(graph, platform, weights, best);
+  double cur_obj = obj.objective();
+  double best_obj = cur_obj;
+
+  const std::uint64_t n = static_cast<std::uint64_t>(graph.node_count());
+  const std::uint64_t npe = static_cast<std::uint64_t>(platform.pe_count());
   const double decay =
       std::pow(cfg.t_end / cfg.t_start, 1.0 / std::max(1, cfg.iterations - 1));
   double temp = cfg.t_start;
 
   for (int it = 0; it < cfg.iterations; ++it, temp *= decay) {
-    const auto node_idx = static_cast<std::size_t>(
-        rng.next_below(static_cast<std::uint64_t>(graph.node_count())));
-    const int old_pe = current[node_idx];
-    int new_pe = static_cast<int>(
-        rng.next_below(static_cast<std::uint64_t>(platform.pe_count())));
-    if (new_pe == old_pe) continue;
+    const int task = static_cast<int>(rng.next_below(n));
+    const int old_pe = obj.mapping()[static_cast<std::size_t>(task)];
+    // Sample from the pe_count-1 PEs that differ from old_pe, so every
+    // iteration proposes a real move (no budget burned on collisions).
+    int new_pe = static_cast<int>(rng.next_below(npe - 1));
+    if (new_pe >= old_pe) ++new_pe;
 
-    current[node_idx] = new_pe;
-    const double new_obj =
-        evaluate_mapping(graph, platform, current, weights).objective;
+    const double new_obj = obj.try_move(task, new_pe);
     const double delta = new_obj - cur_obj;
     if (delta <= 0.0 || rng.next_double() < std::exp(-delta / temp)) {
       cur_obj = new_obj;
       if (cur_obj < best_obj) {
         best_obj = cur_obj;
-        best = current;
+        best = obj.mapping();
       }
     } else {
-      current[node_idx] = old_pe;  // reject
+      obj.revert();
     }
   }
   return best;
+}
+
+Mapping anneal_mapping(const TaskGraph& graph, const PlatformDesc& platform,
+                       const ObjectiveWeights& weights,
+                       const AnnealConfig& cfg) {
+  sim::Rng rng(cfg.seed);
+  return anneal_mapping(graph, platform, weights, cfg, rng);
 }
 
 }  // namespace soc::core

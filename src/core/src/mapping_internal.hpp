@@ -1,0 +1,52 @@
+#pragma once
+
+// Internal helpers shared by the full mapping evaluator, the incremental
+// objective, and every mapper strategy. Not installed: the bit-exactness
+// contract between evaluate_mapping and IncrementalObjective rests on both
+// sides computing each per-node / per-edge contribution with *these exact
+// expressions* (and reducing them in the same order), so the formulas live in
+// one place.
+
+#include "soc/core/mapping.hpp"
+#include "soc/core/task_graph.hpp"
+#include "soc/tech/energy_model.hpp"
+
+namespace soc::core::internal {
+
+constexpr double kInfeasiblePenalty = 1e9;
+
+/// Cycles one item of `node` costs on `fabric`.
+inline double cycles_on(const TaskNode& node, tech::Fabric fabric) {
+  return node.work_ops / tech::fabric_profile(fabric).ops_per_cycle;
+}
+
+/// Compute energy of one item of `node` on `fabric` (pJ). Callers construct
+/// the EnergyModel once per evaluation, not once per task.
+inline double energy_on(const TaskNode& node, tech::Fabric fabric,
+                        const tech::EnergyModel& em) {
+  return node.work_ops * em.op_energy_pj(fabric);
+}
+
+/// NoC energy of moving one word across one hop: ~1 mm of global wire per
+/// hop, 32 bits per word.
+inline double wire_pj_per_word_hop(const tech::EnergyModel& em) {
+  return em.wire_bit_pj_per_mm() * 32.0;
+}
+
+/// Word-hop contribution of one edge under the current placement.
+inline double edge_comm_contribution(const TaskEdge& e, int hops) {
+  return e.words_per_item * hops;
+}
+
+/// The scalarized objective both evaluators report (pipeline latency is a
+/// reported metric, not part of the objective — which is what makes exact
+/// delta evaluation possible).
+inline double scalarized_objective(const ObjectiveWeights& w,
+                                   double bottleneck_cycles,
+                                   double comm_word_hops,
+                                   double energy_pj_per_item, bool feasible) {
+  return w.load * bottleneck_cycles + w.comm * comm_word_hops +
+         w.energy * energy_pj_per_item + (feasible ? 0.0 : kInfeasiblePenalty);
+}
+
+}  // namespace soc::core::internal

@@ -21,6 +21,8 @@ int TaskGraph::add_node(TaskNode node) {
     throw std::invalid_argument("TaskGraph: negative work");
   }
   nodes_.push_back(std::move(node));
+  in_edges_.emplace_back();
+  out_edges_.emplace_back();
   return static_cast<int>(nodes_.size()) - 1;
 }
 
@@ -30,7 +32,10 @@ void TaskGraph::add_edge(TaskEdge edge) {
       edge.src == edge.dst) {
     throw std::invalid_argument("TaskGraph: bad edge endpoints");
   }
+  const int e = static_cast<int>(edges_.size());
   edges_.push_back(edge);
+  out_edges_[static_cast<std::size_t>(edge.src)].push_back(e);
+  in_edges_[static_cast<std::size_t>(edge.dst)].push_back(e);
 }
 
 double TaskGraph::total_work_ops() const noexcept {
@@ -48,7 +53,7 @@ double TaskGraph::total_comm_words() const noexcept {
 std::vector<int> TaskGraph::topological_order() const {
   const int n = node_count();
   std::vector<int> indeg(static_cast<std::size_t>(n), 0);
-  for (const auto& e : edges_) ++indeg[static_cast<std::size_t>(e.dst)];
+  for (int i = 0; i < n; ++i) indeg[static_cast<std::size_t>(i)] = in_degree(i);
   std::queue<int> ready;
   for (int i = 0; i < n; ++i) {
     if (indeg[static_cast<std::size_t>(i)] == 0) ready.push(i);
@@ -59,10 +64,9 @@ std::vector<int> TaskGraph::topological_order() const {
     const int u = ready.front();
     ready.pop();
     order.push_back(u);
-    for (const auto& e : edges_) {
-      if (e.src == u && --indeg[static_cast<std::size_t>(e.dst)] == 0) {
-        ready.push(e.dst);
-      }
+    for (const int ei : out_edges(u)) {
+      const int dst = edges_[static_cast<std::size_t>(ei)].dst;
+      if (--indeg[static_cast<std::size_t>(dst)] == 0) ready.push(dst);
     }
   }
   if (static_cast<int>(order.size()) != n) {
@@ -72,11 +76,9 @@ std::vector<int> TaskGraph::topological_order() const {
 }
 
 std::vector<int> TaskGraph::sources() const {
-  std::vector<bool> has_in(static_cast<std::size_t>(node_count()), false);
-  for (const auto& e : edges_) has_in[static_cast<std::size_t>(e.dst)] = true;
   std::vector<int> out;
   for (int i = 0; i < node_count(); ++i) {
-    if (!has_in[static_cast<std::size_t>(i)]) out.push_back(i);
+    if (in_degree(i) == 0) out.push_back(i);
   }
   return out;
 }
@@ -99,11 +101,9 @@ TaskGraph TaskGraph::replicated(int copies) const {
 }
 
 std::vector<int> TaskGraph::sinks() const {
-  std::vector<bool> has_out(static_cast<std::size_t>(node_count()), false);
-  for (const auto& e : edges_) has_out[static_cast<std::size_t>(e.src)] = true;
   std::vector<int> out;
   for (int i = 0; i < node_count(); ++i) {
-    if (!has_out[static_cast<std::size_t>(i)]) out.push_back(i);
+    if (out_degree(i) == 0) out.push_back(i);
   }
   return out;
 }
