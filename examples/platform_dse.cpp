@@ -4,14 +4,19 @@
 // the cycle-level platform simulator.
 //
 //   ./build/examples/platform_dse [ipv4|mjpeg|wlan] [anneal_iters] [threads]
-//                                 [--mapper <name>]
+//                                 [--mapper <name>] [--validate]
 //
 // `threads` shards the sweep: 0 (default) uses every hardware core, 1 runs
 // serially. The points are bit-identical either way. `--mapper` picks any
 // registered mapping strategy (random | greedy | heft | anneal).
+// `--validate` enables the second DSE stage: every Pareto-front point's
+// mapping is replayed on the event-driven NoC simulator and the analytic
+// vs simulated throughput is printed side by side (also bit-identical at
+// any thread count).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -24,9 +29,12 @@ using namespace soc;
 
 int main(int argc, char** argv) {
   std::string mapper_name = "anneal";
+  bool validate = false;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
-    if (!std::strcmp(argv[i], "--mapper")) {
+    if (!std::strcmp(argv[i], "--validate")) {
+      validate = true;
+    } else if (!std::strcmp(argv[i], "--mapper")) {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "--mapper needs a strategy name; registered:");
         for (const auto& n : core::registered_mappers()) {
@@ -73,13 +81,39 @@ int main(int argc, char** argv) {
   core::DseConfig dc;
   dc.num_threads = threads;
   dc.mapper = mapper_name;
+  dc.validate_pareto = validate;
 
   const auto& node = tech::node_90nm();
-  auto points = core::run_dse(graph, space, node, {}, ac, dc);
+  auto points = [&] {
+    try {
+      return core::run_dse(graph, space, node, {}, ac, dc);
+    } catch (const std::invalid_argument& e) {
+      std::fprintf(stderr, "bad DSE inputs: %s\n", e.what());
+      std::exit(2);
+    }
+  }();
   std::printf("\n%zu candidates at %s (mapper: %s):\n", points.size(),
               node.name.c_str(), mapper_name.c_str());
   for (const auto& pt : points) {
     std::printf("  %s\n", core::to_string(pt).c_str());
+  }
+
+  if (validate) {
+    std::printf("\nsimulation-validated Pareto front (analytic vs NoC "
+                "replay):\n");
+    std::printf("  %-34s %12s %12s %7s %10s\n", "candidate", "analytic",
+                "simulated", "ratio", "peak link");
+    for (const auto& pt : points) {
+      if (!pt.validated) continue;
+      std::printf("  %3d PEs x%dT %-12s %-8s %12.2f %12.2f %7.2f %9.0f%%%s\n",
+                  pt.candidate.num_pes, pt.candidate.threads_per_pe,
+                  noc::to_string(pt.candidate.topology),
+                  tech::fabric_profile(pt.candidate.pe_fabric).name,
+                  pt.throughput_per_kcycle, pt.sim_throughput_per_kcycle,
+                  pt.sim_to_analytic_ratio,
+                  100.0 * pt.sim_peak_link_utilization,
+                  pt.sim_network_saturated ? "  SATURATED" : "");
+    }
   }
 
   // Pick the Pareto point with the best throughput and validate it.

@@ -1,9 +1,13 @@
 #pragma once
 
+/// \file
+/// Two-stage design-space exploration: analytic sweep plus NoC validation.
+
 #include <string>
 #include <vector>
 
 #include "soc/core/mapping.hpp"
+#include "soc/core/mapping_validator.hpp"
 #include "soc/platform/cost.hpp"
 #include "soc/sim/parallel.hpp"
 
@@ -11,35 +15,63 @@ namespace soc::core {
 
 /// One platform configuration candidate for design-space exploration.
 struct DseCandidate {
-  int num_pes = 16;
-  int threads_per_pe = 4;
-  noc::TopologyKind topology = noc::TopologyKind::kMesh2D;
-  tech::Fabric pe_fabric = tech::Fabric::kGeneralPurposeCpu;
+  int num_pes = 16;        ///< processing elements in the pool
+  int threads_per_pe = 4;  ///< hardware threads per PE
+  noc::TopologyKind topology = noc::TopologyKind::kMesh2D;   ///< interconnect
+  tech::Fabric pe_fabric = tech::Fabric::kGeneralPurposeCpu; ///< PE fabric
 };
 
 /// Axes the DSE sweeps (cartesian product).
 struct DseSpace {
+  /// PE-pool sizes to try (each entry must be positive).
   std::vector<int> pe_counts{4, 8, 16, 32};
+  /// Hardware-thread counts per PE (each entry must be positive).
   std::vector<int> thread_counts{1, 2, 4, 8};
+  /// Interconnect families to try.
   std::vector<noc::TopologyKind> topologies{
       noc::TopologyKind::kBus, noc::TopologyKind::kMesh2D,
       noc::TopologyKind::kFatTree, noc::TopologyKind::kCrossbar};
+  /// PE fabrics to try.
   std::vector<tech::Fabric> fabrics{tech::Fabric::kGeneralPurposeCpu,
                                     tech::Fabric::kAsip};
 };
 
 /// Result of evaluating one candidate with the best mapping found.
 struct DsePoint {
-  DseCandidate candidate;
-  MappingCost mapping_cost;
-  platform::PlatformCost silicon;
+  DseCandidate candidate;          ///< the platform configuration scored
+  MappingCost mapping_cost;        ///< analytic cost of the best mapping
+  platform::PlatformCost silicon;  ///< silicon area/power estimate
+  /// The placement behind mapping_cost: one PE index per node of the
+  /// candidate's work graph (the input graph replicated num_pes/|graph|
+  /// times, at least once — see run_dse). The validation stage replays
+  /// exactly this mapping instead of re-running the mapper.
+  Mapping mapping;
   /// Registered mapper strategy that produced mapping_cost.
   std::string mapper = "anneal";
   /// Items per kilocycle the platform sustains at the bottleneck.
   double throughput_per_kcycle = 0.0;
   /// mW burned per unit throughput (efficiency axis).
   double mw_per_throughput = 0.0;
+  /// Set by mark_pareto_front: not dominated on (throughput, area, power).
   bool pareto_optimal = false;
+
+  // --- second-stage (simulation-validated) figures; populated only when
+  // --- DseConfig.validate_pareto re-scored this point through the
+  // --- event-driven NoC simulator.
+  /// True when the MappingValidator ran for this point.
+  bool validated = false;
+  /// Items per kilocycle the simulated NoC sustained (stream items — same
+  /// replica scaling as throughput_per_kcycle, so the two compare directly).
+  double sim_throughput_per_kcycle = 0.0;
+  /// Simulated / analytic throughput. ~the validator's load_factor when the
+  /// network keeps up; lower when contention throttles the platform.
+  double sim_to_analytic_ratio = 0.0;
+  /// Busy fraction of the most contended NoC link during measurement.
+  double sim_peak_link_utilization = 0.0;
+  /// Mean end-to-end packet latency over the measurement window.
+  double sim_avg_packet_latency = 0.0;
+  /// The network could not accept the offered open-loop load.
+  bool sim_network_saturated = false;
 };
 
 /// Execution knobs for the sweep itself. Candidates are independent, so the
@@ -53,6 +85,15 @@ struct DseConfig {
   /// Registered mapping strategy used for every candidate (see mapper.hpp);
   /// run_dse throws std::invalid_argument on an unknown name.
   std::string mapper = "anneal";
+  /// Opt-in second stage: after the analytic sweep marks the Pareto front,
+  /// re-score only the front points through the event-driven NoC simulator
+  /// (MappingValidator) and record the measured figures in DsePoint. Each
+  /// point's mapping is re-derived from the same stateless (seed, index)
+  /// stream the sweep used, and the validator itself is RNG-free, so the
+  /// validated points stay bit-identical at any num_threads.
+  bool validate_pareto = false;
+  /// Validator knobs used by the second stage.
+  ValidatorConfig validation{};
 };
 
 /// Enumerates the cartesian candidate space in sweep order (pe_counts
@@ -60,9 +101,16 @@ struct DseConfig {
 std::vector<DseCandidate> enumerate_candidates(const DseSpace& space);
 
 /// Sweeps the design space, mapping `graph` onto each candidate with the
-/// annealing mapper, and evaluates silicon cost at `node`. This is the
+/// configured mapper, and evaluates silicon cost at `node`. This is the
 /// "rapid exploration and optimization" loop the paper says the DSOC
-/// properties enable (end of Section 7.2).
+/// properties enable (end of Section 7.2). With config.validate_pareto the
+/// sweep runs a second stage that replays each Pareto point's mapped traffic
+/// on the contention-aware NoC simulator (analytic sweep → Pareto front →
+/// simulation-validated refinement).
+///
+/// Inputs are validated up front: every DseSpace axis must be non-empty with
+/// strictly positive PE/thread counts, and config.num_threads must be >= 0;
+/// violations throw std::invalid_argument naming the offending field.
 std::vector<DsePoint> run_dse(const TaskGraph& graph, const DseSpace& space,
                               const tech::ProcessNode& node,
                               const ObjectiveWeights& weights = {},

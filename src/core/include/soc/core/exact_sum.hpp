@@ -1,5 +1,8 @@
 #pragma once
 
+/// \file
+/// Fixed-shape pairwise summation with exact O(log n) point updates.
+
 #include <cstddef>
 #include <vector>
 
@@ -20,11 +23,12 @@ namespace soc::core {
 /// identical by construction.
 class PairwiseSum {
  public:
-  PairwiseSum() = default;
+  PairwiseSum() = default;  ///< empty tree (total 0)
 
   /// n leaves, all zero.
   explicit PairwiseSum(std::size_t n) { resize(n); }
 
+  /// Re-shapes to n zero leaves (discards current contents).
   void resize(std::size_t n) {
     n_ = n;
     cap_ = 1;
@@ -41,8 +45,10 @@ class PairwiseSum {
     }
   }
 
+  /// Number of leaves.
   std::size_t size() const noexcept { return n_; }
 
+  /// Current value of leaf i.
   double get(std::size_t i) const { return tree_[cap_ + i]; }
 
   /// Replaces leaf i and recomputes the path to the root: O(log n).

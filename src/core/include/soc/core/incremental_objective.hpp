@@ -1,5 +1,8 @@
 #pragma once
 
+/// \file
+/// O(degree) incremental evaluator of the mapping objective.
+
 #include <vector>
 
 #include "soc/core/exact_sum.hpp"
@@ -35,14 +38,20 @@ class IncrementalObjective {
   IncrementalObjective(const TaskGraph& graph, const PlatformDesc& platform,
                        const ObjectiveWeights& weights, Mapping initial);
 
+  /// The current (possibly moved) mapping.
   const Mapping& mapping() const noexcept { return mapping_; }
 
+  /// Scalarized objective of mapping() — bit-exact vs evaluate_mapping.
   double objective() const noexcept { return objective_; }
+  /// Max per-PE cycles per item of mapping().
   double bottleneck_cycles() const noexcept { return bottleneck_; }
+  /// Total words x hops of mapping().
   double comm_word_hops() const noexcept { return comm_.total(); }
+  /// Compute + wire energy per item of mapping().
   double energy_pj_per_item() const noexcept {
     return node_energy_.total() + wire_energy_.total();
   }
+  /// True when every task sits on an allowed fabric.
   bool feasible() const noexcept { return infeasible_count_ == 0; }
 
   /// Applies "move `task` to `new_pe`" to the cached state and returns the

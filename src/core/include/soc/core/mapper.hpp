@@ -1,5 +1,8 @@
 #pragma once
 
+/// \file
+/// Pluggable mapping-strategy interface and its string registry.
+
 #include <functional>
 #include <memory>
 #include <string>
@@ -17,7 +20,7 @@ namespace soc::core {
 /// per-candidate RNG streams for bit-identical results at any thread count.
 class Mapper {
  public:
-  virtual ~Mapper() = default;
+  virtual ~Mapper() = default;  ///< virtual: strategies held by unique_ptr
 
   /// Registry key, e.g. "anneal".
   virtual std::string_view name() const noexcept = 0;
@@ -42,6 +45,7 @@ void register_mapper(std::string name, MapperFactory factory);
 /// Sorted names of every registered strategy.
 std::vector<std::string> registered_mappers();
 
+/// True when a strategy is registered under `name`.
 bool is_registered_mapper(std::string_view name);
 
 /// Builds the named strategy; throws std::invalid_argument (listing the

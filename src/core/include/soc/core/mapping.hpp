@@ -1,5 +1,8 @@
 #pragma once
 
+/// \file
+/// Platform abstraction, mapping objective, and the built-in mappers.
+
 #include <memory>
 #include <vector>
 
@@ -12,8 +15,8 @@ namespace soc::core {
 
 /// One execution resource the mapper may place tasks on.
 struct PeDesc {
-  tech::Fabric fabric = tech::Fabric::kGeneralPurposeCpu;
-  int threads = 4;
+  tech::Fabric fabric = tech::Fabric::kGeneralPurposeCpu;  ///< PE fabric class
+  int threads = 4;  ///< hardware threads the PE interleaves
 };
 
 /// Abstract platform view used by the mapper: resources plus the hop
@@ -22,14 +25,22 @@ struct PeDesc {
 /// simulator enforces.
 class PlatformDesc {
  public:
+  /// Builds the hop matrix by instantiating (and routing) the topology.
+  /// Throws std::invalid_argument when `pes` is empty.
   PlatformDesc(std::vector<PeDesc> pes, noc::TopologyKind topology,
                const tech::ProcessNode& node);
 
+  /// Number of PEs (== NoC terminals).
   int pe_count() const noexcept { return static_cast<int>(pes_.size()); }
+  /// Descriptor of PE `i` (bounds-checked).
   const PeDesc& pe(int i) const { return pes_.at(static_cast<std::size_t>(i)); }
+  /// Routed hop count between two PEs; throws std::out_of_range.
   int hops(int pe_a, int pe_b) const;
+  /// NoC topology family connecting the PEs.
   noc::TopologyKind topology() const noexcept { return topology_; }
+  /// Process node costs are evaluated at.
   const tech::ProcessNode& node() const noexcept { return node_; }
+  /// Mean hop count over all ordered PE pairs.
   double avg_hops() const noexcept { return avg_hops_; }
 
  private:
@@ -86,10 +97,10 @@ Mapping heft_mapping(const TaskGraph& graph, const PlatformDesc& platform,
 
 /// Simulated-annealing refinement starting from the greedy solution.
 struct AnnealConfig {
-  int iterations = 20'000;
-  double t_start = 2.0;
-  double t_end = 0.01;
-  std::uint64_t seed = 42;
+  int iterations = 20'000;   ///< proposed moves
+  double t_start = 2.0;      ///< initial temperature
+  double t_end = 0.01;       ///< final temperature (geometric decay)
+  std::uint64_t seed = 42;   ///< RNG seed (single-RNG overload only)
 };
 Mapping anneal_mapping(const TaskGraph& graph, const PlatformDesc& platform,
                        const ObjectiveWeights& weights = {},

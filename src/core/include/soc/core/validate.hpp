@@ -1,5 +1,10 @@
 #pragma once
 
+/// \file
+/// Full-platform (FPPA + DSOC pipeline) validation of chain mappings. For
+/// the NoC-level validator that handles arbitrary DAGs and feeds the DSE
+/// second stage, see mapping_validator.hpp.
+
 #include "soc/core/mapping.hpp"
 #include "soc/noc/network.hpp"
 
@@ -14,10 +19,10 @@ struct ValidationConfig {
   /// capacity is uninformative: FIFO pools then spend the window on
   /// early-stage work of items that never finish.)
   double inject_per_cycle = 0.0;
-  int threads_per_pe = 4;
-  noc::NetworkConfig net{};
-  sim::Cycle warmup_cycles = 10'000;
-  sim::Cycle measure_cycles = 60'000;
+  int threads_per_pe = 4;              ///< hardware threads per platform PE
+  noc::NetworkConfig net{};            ///< NoC timing of the built platform
+  sim::Cycle warmup_cycles = 10'000;   ///< cycles before stats reset
+  sim::Cycle measure_cycles = 60'000;  ///< measurement window length
 };
 
 /// Outcome: the analytic model's prediction against the event-driven
@@ -26,9 +31,9 @@ struct ValidationResult {
   double predicted_bottleneck_cycles = 0.0;  ///< from evaluate_mapping
   double measured_cycles_per_item = 0.0;     ///< from the simulation
   double ratio = 0.0;                        ///< measured / predicted
-  double mean_pe_utilization = 0.0;
+  double mean_pe_utilization = 0.0;          ///< average busy fraction
   double bottleneck_pe_utilization = 0.0;    ///< max over PEs
-  std::uint64_t items_completed = 0;
+  std::uint64_t items_completed = 0;         ///< items through the sink
 };
 
 /// Builds a real FPPA (same PE count and NoC topology as `platform`),

@@ -1,7 +1,9 @@
 #include "soc/core/dse.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <sstream>
+#include <string>
 
 #include "soc/core/mapper.hpp"
 #include "soc/sim/parallel.hpp"
@@ -10,6 +12,65 @@ namespace soc::core {
 
 namespace {
 
+/// The concrete workload one candidate is scored on: platform view plus the
+/// (possibly replicated) task graph. Shared by the analytic stage and the
+/// simulation-validation stage so both see the same work.
+struct CandidateWorkload {
+  PlatformDesc platform;
+  TaskGraph work;
+  int replicas;
+};
+
+CandidateWorkload build_workload(const TaskGraph& graph,
+                                 const DseCandidate& cand,
+                                 const tech::ProcessNode& node) {
+  std::vector<PeDesc> pe_descs(static_cast<std::size_t>(cand.num_pes),
+                               PeDesc{cand.pe_fabric, cand.threads_per_pe});
+  // Larger platforms host data-parallel stream replicas: one graph
+  // instance per |graph| PEs, at least one.
+  const int replicas = std::max(1, cand.num_pes / graph.node_count());
+  return CandidateWorkload{
+      PlatformDesc(std::move(pe_descs), cand.topology, node),
+      replicas > 1 ? graph.replicated(replicas) : TaskGraph(graph), replicas};
+}
+
+void validate_space(const DseSpace& space) {
+  if (space.pe_counts.empty()) {
+    throw std::invalid_argument("DseSpace: pe_counts axis is empty");
+  }
+  if (space.thread_counts.empty()) {
+    throw std::invalid_argument("DseSpace: thread_counts axis is empty");
+  }
+  if (space.topologies.empty()) {
+    throw std::invalid_argument("DseSpace: topologies axis is empty");
+  }
+  if (space.fabrics.empty()) {
+    throw std::invalid_argument("DseSpace: fabrics axis is empty");
+  }
+  for (const int p : space.pe_counts) {
+    if (p <= 0) {
+      throw std::invalid_argument(
+          "DseSpace: pe_counts entries must be positive, got " +
+          std::to_string(p));
+    }
+  }
+  for (const int t : space.thread_counts) {
+    if (t <= 0) {
+      throw std::invalid_argument(
+          "DseSpace: thread_counts entries must be positive, got " +
+          std::to_string(t));
+    }
+  }
+}
+
+void validate_config(const DseConfig& config) {
+  if (config.num_threads < 0) {
+    throw std::invalid_argument(
+        "DseConfig: num_threads must be >= 0 (0 = all cores), got " +
+        std::to_string(config.num_threads));
+  }
+}
+
 /// Maps and costs one candidate. Pure function of its arguments (the rng
 /// carries this candidate's derived stream), so candidates can be evaluated
 /// on any thread in any order.
@@ -17,14 +78,10 @@ DsePoint evaluate_candidate(const TaskGraph& graph, const DseCandidate& cand,
                             const tech::ProcessNode& node,
                             const ObjectiveWeights& weights,
                             const Mapper& mapper, sim::Rng& rng) {
-  std::vector<PeDesc> pe_descs(static_cast<std::size_t>(cand.num_pes),
-                               PeDesc{cand.pe_fabric, cand.threads_per_pe});
-  PlatformDesc platform(std::move(pe_descs), cand.topology, node);
-  // Larger platforms host data-parallel stream replicas: one graph
-  // instance per |graph| PEs, at least one.
-  const int replicas = std::max(1, cand.num_pes / graph.node_count());
-  const TaskGraph work =
-      replicas > 1 ? graph.replicated(replicas) : TaskGraph(graph);
+  CandidateWorkload wl = build_workload(graph, cand, node);
+  const PlatformDesc& platform = wl.platform;
+  const TaskGraph& work = wl.work;
+  const int replicas = wl.replicas;
   const Mapping m = mapper.map(work, platform, weights, rng);
   const MappingCost mc = evaluate_mapping(work, platform, m, weights);
 
@@ -38,6 +95,7 @@ DsePoint evaluate_candidate(const TaskGraph& graph, const DseCandidate& cand,
   pt.candidate = cand;
   pt.mapping_cost = mc;
   pt.silicon = sc;
+  pt.mapping = m;
   pt.mapper = std::string(mapper.name());
   // One "item" of the replicated graph carries `replicas` stream
   // items, one per copy.
@@ -53,6 +111,7 @@ DsePoint evaluate_candidate(const TaskGraph& graph, const DseCandidate& cand,
 }  // namespace
 
 std::vector<DseCandidate> enumerate_candidates(const DseSpace& space) {
+  validate_space(space);
   std::vector<DseCandidate> candidates;
   candidates.reserve(space.pe_counts.size() * space.thread_counts.size() *
                      space.topologies.size() * space.fabrics.size());
@@ -73,6 +132,10 @@ std::vector<DsePoint> run_dse(const TaskGraph& graph, const DseSpace& space,
                               const ObjectiveWeights& weights,
                               const AnnealConfig& anneal,
                               const DseConfig& config) {
+  validate_config(config);
+  if (graph.node_count() == 0) {
+    throw std::invalid_argument("run_dse: task graph has no nodes");
+  }
   const std::vector<DseCandidate> candidates = enumerate_candidates(space);
   // Resolve the strategy once, outside the sharded loop: Mapper instances are
   // stateless, so one instance serves every worker thread.
@@ -85,12 +148,41 @@ std::vector<DsePoint> run_dse(const TaskGraph& graph, const DseSpace& space,
         points[i] =
             evaluate_candidate(graph, candidates[i], node, weights, *mapper, rng);
       });
-  mark_pareto_front(points, config);
+  const std::vector<std::size_t> front = mark_pareto_front(points, config);
+
+  if (config.validate_pareto) {
+    // Stage two: replay each survivor's stage-1 mapping (stored in the
+    // point) on the event-driven NoC. Each validation is a pure function of
+    // its point — the validator is RNG-free — so sharding the front across
+    // threads cannot change any figure.
+    sim::parallel_for(
+        front.size(), sim::ParallelConfig{config.num_threads},
+        [&](std::size_t k) {
+          const std::size_t i = front[k];
+          DsePoint& pt = points[i];
+          const CandidateWorkload wl =
+              build_workload(graph, pt.candidate, node);
+          MappingValidator validator(wl.work, wl.platform, pt.mapping,
+                                     config.validation);
+          const ValidationReport rep = validator.run();
+          pt.validated = true;
+          // One replay round is one item of the (replicated) work graph,
+          // i.e. `replicas` stream items — the same scaling the analytic
+          // throughput uses.
+          pt.sim_throughput_per_kcycle =
+              rep.simulated_items_per_kcycle * wl.replicas;
+          pt.sim_to_analytic_ratio = rep.sim_to_analytic_ratio;
+          pt.sim_peak_link_utilization = rep.peak_link_utilization;
+          pt.sim_avg_packet_latency = rep.avg_packet_latency;
+          pt.sim_network_saturated = rep.network_saturated;
+        });
+  }
   return points;
 }
 
 std::vector<std::size_t> mark_pareto_front(std::vector<DsePoint>& points,
                                            const DseConfig& config) {
+  validate_config(config);
   // Each point's dominance check reads every other point's cost fields but
   // writes only its own pareto_optimal flag, so the all-pairs pass shards
   // cleanly per point. The O(n^2) pass only outweighs pool dispatch on big
@@ -144,6 +236,13 @@ std::string to_string(const DsePoint& p) {
      << " area=" << p.silicon.total_area_mm2 << "mm2"
      << " power=" << p.silicon.peak_dynamic_mw + p.silicon.leakage_mw << "mW"
      << (p.pareto_optimal ? " *pareto*" : "");
+  if (p.validated) {
+    os << " | sim=" << p.sim_throughput_per_kcycle << " items/kcyc"
+       << " (ratio " << p.sim_to_analytic_ratio << ", peak link "
+       << p.sim_peak_link_utilization << (p.sim_network_saturated
+                                              ? ", SATURATED)"
+                                              : ")");
+  }
   return os.str();
 }
 

@@ -1,5 +1,8 @@
 #pragma once
 
+/// \file
+/// Event-driven virtual-cut-through network simulator.
+
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -40,13 +43,16 @@ struct NetworkConfig {
 /// models in the same simulation.
 class Network {
  public:
+  /// Delivery-notification callback type (see set_deliver).
   using DeliverFn = std::function<void(const Packet&)>;
 
+  /// Takes ownership of `topology` and schedules on `queue` (which must
+  /// outlive the network). Throws std::invalid_argument on a null topology.
   Network(std::unique_ptr<Topology> topology, NetworkConfig cfg,
           sim::EventQueue& queue);
 
-  Network(const Network&) = delete;
-  Network& operator=(const Network&) = delete;
+  Network(const Network&) = delete;             ///< non-copyable
+  Network& operator=(const Network&) = delete;  ///< non-copyable
 
   /// Injects a packet at `src`'s network interface at the current cycle.
   /// Returns the packet id.
@@ -58,21 +64,44 @@ class Network {
   /// construction).
   void set_deliver(DeliverFn fn) { deliver_ = std::move(fn); }
 
+  /// The routed topology this network simulates.
   const Topology& topology() const noexcept { return *topology_; }
+  /// Active timing/buffering parameters.
   const NetworkConfig& config() const noexcept { return cfg_; }
 
   // --- statistics ---
+  /// Packets injected since construction or the last reset_stats().
   std::uint64_t injected() const noexcept { return injected_; }
+  /// Packets fully delivered since construction or the last reset_stats().
   std::uint64_t delivered() const noexcept { return delivered_count_; }
   /// Packets currently inside the fabric (unaffected by reset_stats()).
   std::uint64_t in_flight() const noexcept { return in_flight_; }
+  /// Flits delivered since construction or the last reset_stats().
   std::uint64_t flits_delivered() const noexcept { return flits_delivered_; }
+  /// Exact per-packet latency samples (empty when record_latency is off).
   const sim::SampleSet& latency_samples() const noexcept { return latency_; }
+  /// Running statistics over delivered packets' hop counts.
   const sim::RunningStats& hop_stats() const noexcept { return hops_; }
   /// Peak queue depth over all links (buffer sizing signal).
   std::size_t max_queue_depth() const noexcept { return max_queue_depth_; }
   /// Busy-cycle fraction of the most utilized link given elapsed cycles.
   double peak_link_utilization(sim::Cycle elapsed) const noexcept;
+
+  /// Number of link queues the simulator tracks: the topology's links first,
+  /// then one network-interface injection link per terminal. Valid indices
+  /// for link_busy_cycles()/link_utilization().
+  std::size_t link_count() const noexcept { return links_.size(); }
+  /// Cycles link `li` has spent serializing flits since construction or the
+  /// last reset_stats(). Indices below topology().links().size() address
+  /// router-to-router links (see Topology::links() for their endpoints); the
+  /// remainder are NI injection links in terminal order. Throws
+  /// std::out_of_range on a bad index. Together with link_count() this lets
+  /// contention analyses (the mapping validator's hot-spot report) rank
+  /// individual links instead of only seeing the peak.
+  std::uint64_t link_busy_cycles(std::size_t li) const;
+  /// Busy-cycle fraction of one link over `elapsed` cycles (0 when elapsed
+  /// is 0). Same index space and bounds checking as link_busy_cycles().
+  double link_utilization(std::size_t li, sim::Cycle elapsed) const;
 
   /// Clears counters and samples (e.g. after warmup) without disturbing
   /// in-flight packets. Latency is still recorded for packets injected

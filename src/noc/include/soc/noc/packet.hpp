@@ -1,5 +1,8 @@
 #pragma once
 
+/// \file
+/// Packet and terminal-id primitives of the NoC simulator.
+
 #include <cstdint>
 
 #include "soc/sim/types.hpp"
@@ -16,8 +19,8 @@ using TerminalId = std::uint32_t;
 /// latency, and queues at contended links.
 struct Packet {
   std::uint64_t id = 0;          ///< unique, assigned by Network::inject
-  TerminalId src = 0;
-  TerminalId dst = 0;
+  TerminalId src = 0;            ///< injecting terminal
+  TerminalId dst = 0;            ///< destination terminal
   std::uint32_t size_flits = 1;  ///< payload + header flits
   std::uint64_t tag = 0;         ///< opaque user cookie (e.g. DSOC message id)
   sim::Cycle injected_at = 0;    ///< cycle the packet entered the source NI

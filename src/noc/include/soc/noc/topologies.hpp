@@ -1,5 +1,8 @@
 #pragma once
 
+/// \file
+/// Factories for the paper's bus → ring → tree → crossbar topology range.
+
 #include <memory>
 
 #include "soc/noc/topology.hpp"
@@ -9,15 +12,16 @@ namespace soc::noc {
 /// Identifier for the topology families the paper asks to characterize
 /// (Section 6.1: "ranging from bus, ring, tree to full-crossbar").
 enum class TopologyKind {
-  kBus,
-  kRing,
-  kBinaryTree,
-  kFatTree,
-  kMesh2D,
-  kTorus2D,
-  kCrossbar,
+  kBus,         ///< single arbitrated medium (see make_bus)
+  kRing,        ///< bidirectional ring (see make_ring)
+  kBinaryTree,  ///< constant-bandwidth binary tree (see make_binary_tree)
+  kFatTree,     ///< bandwidth-doubling fat tree (see make_fat_tree)
+  kMesh2D,      ///< 2-D mesh (see make_mesh)
+  kTorus2D,     ///< 2-D torus (see make_torus)
+  kCrossbar,    ///< full crossbar (see make_crossbar)
 };
 
+/// Short lower-case name of a topology kind (e.g. "mesh-2d").
 const char* to_string(TopologyKind k) noexcept;
 
 /// Shared bus: every packet serializes through one arbitrated medium.

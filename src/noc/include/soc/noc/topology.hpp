@@ -1,5 +1,8 @@
 #pragma once
 
+/// \file
+/// Router-graph topology base class with BFS routing tables.
+
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -11,8 +14,8 @@ namespace soc::noc {
 
 /// One unidirectional router-to-router channel.
 struct LinkSpec {
-  int from_router;
-  int to_router;
+  int from_router;  ///< source router index
+  int to_router;    ///< sink router index
   /// Relative bandwidth in flits/cycle (fat-tree upper levels get > 1).
   double bandwidth = 1.0;
   /// Extra propagation cycles on top of the router pipeline (long global
@@ -29,15 +32,20 @@ struct LinkSpec {
 /// topologies.hpp produce every member of that range.
 class Topology {
  public:
+  /// Sizes the router graph; links and attachments are added by subclasses.
   Topology(std::string name, int routers, int terminals);
-  virtual ~Topology() = default;
+  virtual ~Topology() = default;  ///< virtual: held by unique_ptr<Topology>
 
-  Topology(const Topology&) = delete;
-  Topology& operator=(const Topology&) = delete;
+  Topology(const Topology&) = delete;             ///< non-copyable
+  Topology& operator=(const Topology&) = delete;  ///< non-copyable
 
+  /// Human-readable topology name (e.g. "mesh4x4").
   const std::string& name() const noexcept { return name_; }
+  /// Number of routers in the graph.
   int router_count() const noexcept { return routers_; }
+  /// Number of terminals (network interfaces) attached to routers.
   int terminal_count() const noexcept { return terminals_; }
+  /// All unidirectional router-to-router channels.
   const std::vector<LinkSpec>& links() const noexcept { return links_; }
 
   /// Router a terminal's network interface attaches to.
@@ -73,6 +81,7 @@ class Topology {
   /// Adds a link pair in both directions.
   void add_bidir(int a, int b, double bandwidth = 1.0,
                  std::uint32_t extra_latency = 0);
+  /// Attaches terminal `t`'s network interface to `router`.
   void attach_terminal(TerminalId t, int router) { attach_.at(t) = router; }
 
   /// Computes BFS routing tables and hop statistics. Must be called once

@@ -142,6 +142,19 @@ void Network::kick_waiters(int li) {
   for (int w : pending) try_start_service(w);
 }
 
+std::uint64_t Network::link_busy_cycles(std::size_t li) const {
+  if (li >= links_.size()) {
+    throw std::out_of_range("Network::link_busy_cycles: link index");
+  }
+  return links_[li].busy_cycles;
+}
+
+double Network::link_utilization(std::size_t li, sim::Cycle elapsed) const {
+  const auto busy = link_busy_cycles(li);  // bounds-checks even when idle
+  if (elapsed == 0) return 0.0;
+  return static_cast<double>(busy) / static_cast<double>(elapsed);
+}
+
 double Network::peak_link_utilization(sim::Cycle elapsed) const noexcept {
   if (elapsed == 0) return 0.0;
   std::uint64_t peak = 0;

@@ -79,6 +79,111 @@ void TrafficGenerator::schedule_next(TerminalId t) {
   });
 }
 
+FlowReplayer::FlowReplayer(Network& net, std::vector<Flow> flows,
+                           ReplayConfig cfg, sim::EventQueue& queue)
+    : net_(net), flows_(std::move(flows)), cfg_(cfg), queue_(queue) {
+  if (flows_.empty()) {
+    throw std::invalid_argument("FlowReplayer: empty flow set");
+  }
+  const auto terminals =
+      static_cast<TerminalId>(net_.topology().terminal_count());
+  for (const Flow& f : flows_) {
+    if (f.src >= terminals || f.dst >= terminals) {
+      throw std::invalid_argument("FlowReplayer: terminal id out of range");
+    }
+    if (f.flits == 0) {
+      throw std::invalid_argument("FlowReplayer: flow needs >= 1 flit");
+    }
+  }
+  if (cfg_.mode == ReplayConfig::Mode::kOpenLoop && cfg_.period == 0) {
+    throw std::invalid_argument("FlowReplayer: open-loop period must be > 0");
+  }
+  if (cfg_.mode == ReplayConfig::Mode::kClosedLoop &&
+      cfg_.max_outstanding_rounds <= 0) {
+    throw std::invalid_argument(
+        "FlowReplayer: closed-loop window must be > 0");
+  }
+  stats_.resize(flows_.size());
+  frontier_remaining_ = flows_.size();
+  net_.set_deliver([this](const Packet& p) { on_delivery(p); });
+}
+
+void FlowReplayer::start() {
+  running_ = true;
+  if (cfg_.mode == ReplayConfig::Mode::kOpenLoop) {
+    queue_.schedule_in(1, [this] { open_loop_tick(); });
+  } else {
+    queue_.schedule_in(1, [this] {
+      // Fill the window; deliveries then keep it full via on_delivery().
+      while (running_ &&
+             rounds_injected_ - rounds_completed_ <
+                 static_cast<std::uint64_t>(cfg_.max_outstanding_rounds)) {
+        inject_round();
+      }
+    });
+  }
+}
+
+void FlowReplayer::inject_round() {
+  for (std::size_t i = 0; i < flows_.size(); ++i) {
+    const Flow& f = flows_[i];
+    net_.inject(f.src, f.dst, f.flits, static_cast<std::uint64_t>(i));
+  }
+  ++rounds_injected_;
+}
+
+void FlowReplayer::open_loop_tick() {
+  if (!running_) return;
+  inject_round();
+  queue_.schedule_in(cfg_.period, [this] { open_loop_tick(); });
+}
+
+void FlowReplayer::on_delivery(const Packet& p) {
+  FlowStats& fs = stats_.at(p.tag);
+  ++fs.delivered;
+  ++fs.window_delivered;
+  const auto lat = static_cast<double>(p.latency());
+  fs.latency_sum += lat;
+  fs.latency_max = std::max(fs.latency_max, lat);
+
+  // Rounds complete in order (per-flow packets stay FIFO), so tracking how
+  // many flows still owe the frontier round keeps each delivery O(1); only
+  // an actual round completion pays an O(flows) rescan.
+  if (fs.delivered == rounds_completed_ + 1 && --frontier_remaining_ == 0) {
+    advance_frontier();
+  }
+
+  if (cfg_.mode == ReplayConfig::Mode::kClosedLoop) {
+    while (running_ &&
+           rounds_injected_ - rounds_completed_ <
+               static_cast<std::uint64_t>(cfg_.max_outstanding_rounds)) {
+      inject_round();
+    }
+  }
+}
+
+void FlowReplayer::advance_frontier() {
+  do {
+    ++rounds_completed_;
+    frontier_remaining_ = 0;
+    for (const FlowStats& s : stats_) {
+      if (s.delivered <= rounds_completed_) ++frontier_remaining_;
+    }
+    // Every flow may already be past the new frontier (they ran ahead while
+    // one slow flow held the round open) — keep advancing until one owes.
+    // Terminates with frontier_remaining_ >= 1: the minimum-delivery flow
+    // always owes the round after its own count.
+  } while (frontier_remaining_ == 0);
+}
+
+void FlowReplayer::reset_stats() noexcept {
+  for (FlowStats& s : stats_) {
+    s.window_delivered = 0;
+    s.latency_sum = 0.0;
+    s.latency_max = 0.0;
+  }
+}
+
 namespace {
 
 LoadPoint summarize(const Network& net, const TrafficConfig& traffic,

@@ -33,9 +33,19 @@ class EventQueue {
   /// Drains the queue completely. Returns number of events run.
   std::uint64_t run_all();
 
+  /// Current simulation cycle.
   Cycle now() const noexcept { return now_; }
+  /// True when no events are pending.
   bool empty() const noexcept { return heap_.empty(); }
+  /// Number of pending events.
   std::size_t pending() const noexcept { return heap_.size(); }
+
+  /// Discards every pending event and rewinds the clock to cycle 0, so one
+  /// queue can be reused across independent simulation runs (the mapping
+  /// validator re-runs many short simulations on a single queue instead of
+  /// reallocating the event heap per run). Sequence numbers keep advancing,
+  /// which preserves FIFO determinism across the reuse boundary.
+  void reset() noexcept;
 
  private:
   struct Entry {

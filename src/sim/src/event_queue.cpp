@@ -39,4 +39,9 @@ std::uint64_t EventQueue::run_all() {
   return ran;
 }
 
+void EventQueue::reset() noexcept {
+  while (!heap_.empty()) heap_.pop();
+  now_ = 0;
+}
+
 }  // namespace soc::sim

@@ -372,6 +372,87 @@ TEST(Dse, ParallelSweepBitIdenticalToSerial) {
   }
 }
 
+TEST(Dse, RejectsEmptyAxesWithClearErrors) {
+  const auto expect_throw_mentioning = [](DseSpace space,
+                                          const std::string& field) {
+    try {
+      enumerate_candidates(space);
+      FAIL() << "expected invalid_argument for empty " << field;
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(field), std::string::npos)
+          << e.what();
+    }
+  };
+  DseSpace s;
+  s.pe_counts.clear();
+  expect_throw_mentioning(s, "pe_counts");
+  s = DseSpace{};
+  s.thread_counts.clear();
+  expect_throw_mentioning(s, "thread_counts");
+  s = DseSpace{};
+  s.topologies.clear();
+  expect_throw_mentioning(s, "topologies");
+  s = DseSpace{};
+  s.fabrics.clear();
+  expect_throw_mentioning(s, "fabrics");
+
+  // run_dse performs the same validation before doing any work.
+  s = DseSpace{};
+  s.pe_counts.clear();
+  EXPECT_THROW(run_dse(soc::apps::ipv4_task_graph(), s, tech::node_90nm()),
+               std::invalid_argument);
+}
+
+TEST(Dse, RejectsNonPositiveAxisEntries) {
+  DseSpace s;
+  s.pe_counts = {4, 0};
+  EXPECT_THROW(enumerate_candidates(s), std::invalid_argument);
+  s = DseSpace{};
+  s.thread_counts = {-1};
+  EXPECT_THROW(enumerate_candidates(s), std::invalid_argument);
+}
+
+TEST(Dse, RejectsEmptyTaskGraph) {
+  EXPECT_THROW(run_dse(TaskGraph("empty"), DseSpace{}, tech::node_90nm()),
+               std::invalid_argument);
+}
+
+TEST(Dse, RecordsTheMappingBehindEachPoint) {
+  DseSpace space;
+  space.pe_counts = {8};  // 8 PEs on a 4-node graph -> 2 replicas
+  space.thread_counts = {2};
+  space.topologies = {noc::TopologyKind::kMesh2D};
+  space.fabrics = {Fabric::kAsip};
+  TaskGraph g("quad");
+  for (int i = 0; i < 4; ++i) g.add_node(TaskNode{"t", 100, 1, {}});
+  AnnealConfig quick;
+  quick.iterations = 200;
+  const auto points = run_dse(g, space, tech::node_90nm(), {}, quick);
+  ASSERT_EQ(points.size(), 1u);
+  ASSERT_EQ(points[0].mapping.size(), 8u);  // replicated work graph
+  for (const int pe : points[0].mapping) {
+    EXPECT_GE(pe, 0);
+    EXPECT_LT(pe, 8);
+  }
+  // The stored mapping is the one the recorded cost was computed from.
+  std::vector<PeDesc> pes(8, PeDesc{Fabric::kAsip, 2});
+  PlatformDesc platform(std::move(pes), noc::TopologyKind::kMesh2D,
+                        tech::node_90nm());
+  const auto cost =
+      evaluate_mapping(g.replicated(2), platform, points[0].mapping);
+  EXPECT_EQ(cost.objective, points[0].mapping_cost.objective);
+}
+
+TEST(Dse, RejectsNegativeThreadCount) {
+  DseConfig bad;
+  bad.num_threads = -2;
+  EXPECT_THROW(run_dse(soc::apps::ipv4_task_graph(), DseSpace{},
+                       tech::node_90nm(), {}, {}, bad),
+               std::invalid_argument);
+  std::vector<DsePoint> pts(1);
+  EXPECT_THROW(mark_pareto_front(pts, bad), std::invalid_argument);
+}
+
 TEST(Dse, ToStringContainsKeyFields) {
   DsePoint pt;
   pt.candidate = {16, 4, noc::TopologyKind::kMesh2D, Fabric::kAsip};

@@ -2,6 +2,8 @@
 // contention serialization, backpressure and statistics hygiene.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <stdexcept>
 #include <vector>
 
 #include "soc/noc/network.hpp"
@@ -245,6 +247,68 @@ TEST(Network, FiniteBuffersApplyBackpressure) {
   EXPECT_LE(h.net.max_queue_depth(), 2u + 40u);  // NI queue is at source
   // All internal (topology) link queues were capped; the max tracked
   // includes the source NI which legitimately holds the backlog.
+}
+
+TEST(Network, RecordLatencyOffStillCountsEverything) {
+  // Long-run mode: no per-packet latency samples accumulate (bounded
+  // memory), but every counter the validator reads stays exact.
+  NetworkConfig lean;
+  lean.record_latency = false;
+  Harness h(make_mesh(16), lean);
+  for (int i = 0; i < 200; ++i) {
+    h.net.inject(static_cast<TerminalId>(i % 16),
+                 static_cast<TerminalId>((i * 5 + 2) % 16), 4,
+                 static_cast<std::uint64_t>(i));
+  }
+  h.queue.run_all();
+  EXPECT_EQ(h.net.delivered(), 200u);
+  EXPECT_EQ(h.net.flits_delivered(), 800u);
+  EXPECT_TRUE(h.net.latency_samples().empty());
+  EXPECT_EQ(h.net.hop_stats().count(), 200u);
+  // Per-packet timestamps still flow to the deliver callback.
+  for (const auto& p : h.delivered) EXPECT_GT(p.latency(), 0u);
+}
+
+TEST(Network, RecordLatencyOffUnderBackpressureLongRun) {
+  // The exact combination the validator's long runs exercise: finite
+  // buffers (credit backpressure) plus disabled latency recording, over
+  // many packets. Nothing may be lost, duplicated, or recorded.
+  NetworkConfig cfg;
+  cfg.record_latency = false;
+  cfg.queue_capacity_pkts = 2;
+  Harness h(make_mesh(16), cfg);
+  sim::Rng rng(99);
+  for (int i = 0; i < 600; ++i) {
+    h.net.inject(static_cast<TerminalId>(rng.next_below(16)),
+                 static_cast<TerminalId>(rng.next_below(16)),
+                 static_cast<std::uint32_t>(1 + rng.next_below(8)),
+                 static_cast<std::uint64_t>(i));
+    if (i % 5 == 0) h.queue.run_until(h.queue.now() + 20);
+  }
+  h.queue.run_all();
+  EXPECT_EQ(h.delivered.size(), 600u);
+  EXPECT_EQ(h.net.in_flight(), 0u);
+  EXPECT_TRUE(h.net.latency_samples().empty());
+}
+
+TEST(Network, PerLinkStatsExposeContention) {
+  Harness h(make_bus(4));
+  for (int i = 0; i < 10; ++i) h.net.inject(0, 1, 8);
+  h.queue.run_all();
+  // Link space: topology links first, then one NI link per terminal.
+  EXPECT_EQ(h.net.link_count(),
+            h.net.topology().links().size() +
+                static_cast<std::size_t>(h.net.topology().terminal_count()));
+  double max_util = 0.0;
+  std::uint64_t total_busy = 0;
+  for (std::size_t li = 0; li < h.net.link_count(); ++li) {
+    max_util = std::max(max_util, h.net.link_utilization(li, h.queue.now()));
+    total_busy += h.net.link_busy_cycles(li);
+  }
+  EXPECT_GT(total_busy, 0u);
+  EXPECT_DOUBLE_EQ(max_util, h.net.peak_link_utilization(h.queue.now()));
+  EXPECT_THROW(h.net.link_busy_cycles(h.net.link_count()), std::out_of_range);
+  EXPECT_EQ(h.net.link_utilization(0, 0), 0.0);
 }
 
 TEST(Network, BackpressureDoesNotLoseOrReorderFlow) {

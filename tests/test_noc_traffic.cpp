@@ -3,6 +3,9 @@
 // range (claim C5 instrumentation).
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <tuple>
+
 #include "soc/noc/traffic.hpp"
 
 namespace soc::noc {
@@ -168,6 +171,103 @@ TEST(LoadSweep, FatTreeSustainsBisectionTrafficTreeDoesNot) {
   const double fat =
       find_saturation_rate(TopologyKind::kFatTree, 16, {}, bc, m);
   EXPECT_GT(fat, thin * 3.0);  // root bandwidth is the whole story
+}
+
+// ----------------------------------------------------------- FlowReplayer ---
+
+TEST(FlowReplayer, RejectsBadConfiguration) {
+  sim::EventQueue q;
+  Network net(make_mesh(4), {}, q);
+  EXPECT_THROW(FlowReplayer(net, {}, {}, q), std::invalid_argument);
+  EXPECT_THROW(FlowReplayer(net, {Flow{0, 9, 4}}, {}, q),
+               std::invalid_argument);
+  EXPECT_THROW(FlowReplayer(net, {Flow{0, 1, 0}}, {}, q),
+               std::invalid_argument);
+  ReplayConfig bad;
+  bad.period = 0;
+  EXPECT_THROW(FlowReplayer(net, {Flow{0, 1, 4}}, bad, q),
+               std::invalid_argument);
+  bad = {};
+  bad.mode = ReplayConfig::Mode::kClosedLoop;
+  bad.max_outstanding_rounds = 0;
+  EXPECT_THROW(FlowReplayer(net, {Flow{0, 1, 4}}, bad, q),
+               std::invalid_argument);
+}
+
+TEST(FlowReplayer, OpenLoopPacesRoundsOnThePeriod) {
+  sim::EventQueue q;
+  Network net(make_crossbar(4), {}, q);
+  ReplayConfig rc;
+  rc.period = 100;
+  FlowReplayer rep(net, {Flow{0, 1, 4}, Flow{2, 3, 4}}, rc, q);
+  rep.start();
+  q.run_until(1001);  // injections at cycles 1, 101, ..., 1001
+  EXPECT_EQ(rep.rounds_injected(), 11u);
+  rep.stop();
+  q.run_all();
+  EXPECT_EQ(rep.rounds_completed(), rep.rounds_injected());
+  for (std::size_t f = 0; f < rep.flow_count(); ++f) {
+    EXPECT_EQ(rep.stats(f).delivered, rep.rounds_injected());
+    EXPECT_GT(rep.stats(f).avg_latency(), 0.0);
+    EXPECT_GE(rep.stats(f).latency_max, rep.stats(f).avg_latency());
+  }
+}
+
+TEST(FlowReplayer, ClosedLoopBoundsOutstandingRounds) {
+  sim::EventQueue q;
+  Network net(make_mesh(4), {}, q);
+  ReplayConfig rc;
+  rc.mode = ReplayConfig::Mode::kClosedLoop;
+  rc.max_outstanding_rounds = 2;
+  FlowReplayer rep(net, {Flow{0, 3, 8}, Flow{3, 0, 8}}, rc, q);
+  rep.start();
+  for (int step = 0; step < 40; ++step) {
+    q.run_until(q.now() + 25);
+    EXPECT_LE(rep.rounds_injected() - rep.rounds_completed(), 2u);
+  }
+  EXPECT_GT(rep.rounds_completed(), 10u);  // self-clocked progress
+  rep.stop();
+  q.run_all();
+  EXPECT_EQ(rep.rounds_completed(), rep.rounds_injected());
+}
+
+TEST(FlowReplayer, ResetStatsKeepsRoundAccounting) {
+  sim::EventQueue q;
+  Network net(make_ring(4), {}, q);
+  ReplayConfig rc;
+  rc.period = 50;
+  FlowReplayer rep(net, {Flow{0, 2, 4}}, rc, q);
+  rep.start();
+  q.run_until(500);
+  const auto rounds_before = rep.rounds_completed();
+  ASSERT_GT(rounds_before, 0u);
+  rep.reset_stats();
+  EXPECT_EQ(rep.rounds_completed(), rounds_before);  // cumulative survives
+  EXPECT_EQ(rep.stats(0).window_delivered, 0u);      // window rebased
+  EXPECT_EQ(rep.stats(0).latency_sum, 0.0);
+  q.run_until(1000);
+  EXPECT_GT(rep.stats(0).window_delivered, 0u);
+  EXPECT_GT(rep.rounds_completed(), rounds_before);
+  rep.stop();
+  q.run_all();
+}
+
+TEST(FlowReplayer, DeterministicAcrossIdenticalRuns) {
+  const auto run = [] {
+    sim::EventQueue q;
+    Network net(make_mesh(8), {}, q);
+    ReplayConfig rc;
+    rc.period = 37;
+    FlowReplayer rep(net, {Flow{0, 7, 6}, Flow{3, 4, 2}, Flow{5, 1, 9}}, rc,
+                     q);
+    rep.start();
+    q.run_until(2'000);
+    rep.stop();
+    q.run_all();
+    return std::tuple{rep.rounds_completed(), rep.stats(0).latency_sum,
+                      rep.stats(1).latency_sum, rep.stats(2).latency_sum};
+  };
+  EXPECT_EQ(run(), run());
 }
 
 TEST(PatternDifficulty, NeighborEasierThanBitComplementOnRing) {

@@ -314,6 +314,38 @@ TEST(EventQueue, StepReturnsFalseWhenEmpty) {
   EXPECT_FALSE(q.step());
 }
 
+TEST(EventQueue, ResetDropsPendingEventsAndRewindsClock) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_at(5, [&] { ++fired; });
+  q.schedule_at(50, [&] { ++fired; });
+  q.run_until(10);
+  EXPECT_EQ(fired, 1);
+  q.reset();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.pending(), 0u);
+  EXPECT_EQ(q.now(), 0u);
+  q.run_all();
+  EXPECT_EQ(fired, 1);  // the cycle-50 event was discarded
+}
+
+TEST(EventQueue, ReusableAfterResetWithEarlierTimestamps) {
+  // The queue-reuse contract the mapping validator relies on: after reset()
+  // a new run may schedule at cycles that would have been "in the past".
+  EventQueue q;
+  q.schedule_at(100, [] {});
+  q.run_all();
+  EXPECT_EQ(q.now(), 100u);
+  q.reset();
+  std::vector<int> order;
+  q.schedule_at(5, [&] { order.push_back(1); });
+  q.schedule_at(5, [&] { order.push_back(2); });  // FIFO still holds
+  q.schedule_at(3, [&] { order.push_back(0); });
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(q.now(), 5u);
+}
+
 // --------------------------------------------------------------- Engine ---
 
 class TickCounter : public Clocked {
