@@ -5,6 +5,7 @@
 //
 //   ./build/examples/platform_dse [ipv4|mjpeg|wlan] [anneal_iters] [threads]
 //                                 [--mapper <name>] [--validate]
+//                                 [--nodes 130,90,65] [--die-mm2 <area>]
 //
 // `threads` shards the sweep: 0 (default) uses every hardware core, 1 runs
 // serially. The points are bit-identical either way. `--mapper` picks any
@@ -13,6 +14,12 @@
 // mapping is replayed on the event-driven NoC simulator and the analytic
 // vs simulated throughput is printed side by side (also bit-identical at
 // any thread count).
+// `--nodes` sweeps the process node as a cartesian axis (names like "90nm"
+// or feature sizes like "90" — see tech::roadmap()); each candidate's NoC
+// is floorplanned on its die and wire delay/energy priced at its node.
+// `--die-mm2` fixes the floorplan die area (default: auto-sized per
+// candidate from its logic area) — fix it to compare nodes on the same
+// geometry, the paper's nanometer-wall experiment.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -27,9 +34,49 @@
 
 using namespace soc;
 
+namespace {
+
+/// Parses "130,90nm,65" into roadmap nodes; exits with a message on an
+/// unknown entry.
+std::vector<tech::ProcessNode> parse_nodes(const char* list) {
+  std::vector<tech::ProcessNode> nodes;
+  std::string item;
+  for (const char* p = list;; ++p) {
+    if (*p && *p != ',') {
+      item.push_back(*p);
+      continue;
+    }
+    if (!item.empty()) {
+      auto found = tech::find_node(item);
+      if (!found) found = tech::find_node(std::atof(item.c_str()));
+      if (!found) {
+        std::fprintf(stderr, "unknown process node '%s'; roadmap:",
+                     item.c_str());
+        for (const auto& n : tech::roadmap()) {
+          std::fprintf(stderr, " %s", n.name.c_str());
+        }
+        std::fprintf(stderr, "\n");
+        std::exit(2);
+      }
+      nodes.push_back(*found);
+      item.clear();
+    }
+    if (!*p) break;
+  }
+  if (nodes.empty()) {
+    std::fprintf(stderr, "--nodes needs a non-empty list\n");
+    std::exit(2);
+  }
+  return nodes;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   std::string mapper_name = "anneal";
   bool validate = false;
+  std::vector<tech::ProcessNode> nodes;
+  double die_mm2 = 0.0;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--validate")) {
@@ -44,6 +91,23 @@ int main(int argc, char** argv) {
         return 2;
       }
       mapper_name = argv[++i];
+    } else if (!std::strcmp(argv[i], "--nodes")) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--nodes needs a comma-separated list (e.g. "
+                             "130,90,65)\n");
+        return 2;
+      }
+      nodes = parse_nodes(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--die-mm2")) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--die-mm2 needs an area in mm^2\n");
+        return 2;
+      }
+      die_mm2 = std::atof(argv[++i]);
+      if (die_mm2 <= 0.0) {
+        std::fprintf(stderr, "--die-mm2 must be positive\n");
+        return 2;
+      }
     } else {
       positional.push_back(argv[i]);
     }
@@ -70,6 +134,7 @@ int main(int argc, char** argv) {
               graph.total_comm_words());
 
   core::DseSpace space;
+  space.nodes = nodes;  // empty = single node below
   space.pe_counts = {4, 8, 16};
   space.thread_counts = {2, 4};
   space.topologies = {noc::TopologyKind::kBus, noc::TopologyKind::kMesh2D,
@@ -82,6 +147,7 @@ int main(int argc, char** argv) {
   dc.num_threads = threads;
   dc.mapper = mapper_name;
   dc.validate_pareto = validate;
+  dc.die_mm2 = die_mm2;
 
   const auto& node = tech::node_90nm();
   auto points = [&] {
@@ -92,8 +158,18 @@ int main(int argc, char** argv) {
       std::exit(2);
     }
   }();
-  std::printf("\n%zu candidates at %s (mapper: %s):\n", points.size(),
-              node.name.c_str(), mapper_name.c_str());
+  if (nodes.empty()) {
+    std::printf("\n%zu candidates at %s (mapper: %s", points.size(),
+                node.name.c_str(), mapper_name.c_str());
+  } else {
+    std::printf("\n%zu candidates over %zu nodes (mapper: %s", points.size(),
+                nodes.size(), mapper_name.c_str());
+  }
+  if (die_mm2 > 0.0) {
+    std::printf(", die fixed at %.0f mm2):\n", die_mm2);
+  } else {
+    std::printf(", die auto-sized):\n");
+  }
   for (const auto& pt : points) {
     std::printf("  %s\n", core::to_string(pt).c_str());
   }
@@ -101,12 +177,14 @@ int main(int argc, char** argv) {
   if (validate) {
     std::printf("\nsimulation-validated Pareto front (analytic vs NoC "
                 "replay):\n");
-    std::printf("  %-34s %12s %12s %7s %10s\n", "candidate", "analytic",
+    std::printf("  %-40s %12s %12s %7s %10s\n", "candidate", "analytic",
                 "simulated", "ratio", "peak link");
     for (const auto& pt : points) {
       if (!pt.validated) continue;
-      std::printf("  %3d PEs x%dT %-12s %-8s %12.2f %12.2f %7.2f %9.0f%%%s\n",
-                  pt.candidate.num_pes, pt.candidate.threads_per_pe,
+      std::printf("  %-6s %3d PEs x%dT %-12s %-8s %12.2f %12.2f %7.2f "
+                  "%9.0f%%%s\n",
+                  pt.candidate.node.name.c_str(), pt.candidate.num_pes,
+                  pt.candidate.threads_per_pe,
                   noc::to_string(pt.candidate.topology),
                   tech::fabric_profile(pt.candidate.pe_fabric).name,
                   pt.throughput_per_kcycle, pt.sim_throughput_per_kcycle,
@@ -130,12 +208,12 @@ int main(int argc, char** argv) {
   }
   std::printf("\nselected: %s\n", core::to_string(*best).c_str());
 
-  // Validation needs the concrete mapping on that candidate, produced by the
-  // same strategy the sweep used.
-  std::vector<core::PeDesc> pes(
-      static_cast<std::size_t>(best->candidate.num_pes),
-      core::PeDesc{best->candidate.pe_fabric, best->candidate.threads_per_pe});
-  core::PlatformDesc platform(std::move(pes), best->candidate.topology, node);
+  // The cycle-level chain validator replays the unreplicated application
+  // graph, so it maps that graph afresh with the sweep's strategy on the
+  // re-derived (physically annotated) platform; the sweep's stored mapping
+  // covers the replicated workload and is validated by --validate above.
+  core::PlatformDesc platform =
+      core::make_candidate_platform(best->candidate, dc);
   sim::Rng map_rng(ac.seed);
   const auto mapping =
       core::make_mapper(mapper_name, ac)->map(graph, platform, {}, map_rng);

@@ -19,10 +19,16 @@ struct DseCandidate {
   int threads_per_pe = 4;  ///< hardware threads per PE
   noc::TopologyKind topology = noc::TopologyKind::kMesh2D;   ///< interconnect
   tech::Fabric pe_fabric = tech::Fabric::kGeneralPurposeCpu; ///< PE fabric
+  /// Process node the candidate is evaluated at — a first-class sweep axis
+  /// (DseSpace::nodes); defaults to the paper's "current" 90 nm node.
+  tech::ProcessNode node = tech::node_90nm();
 };
 
 /// Axes the DSE sweeps (cartesian product).
 struct DseSpace {
+  /// Process nodes to try (outermost axis). Empty means "the single node
+  /// passed to run_dse" — the pre-node-axis behavior.
+  std::vector<tech::ProcessNode> nodes{};
   /// PE-pool sizes to try (each entry must be positive).
   std::vector<int> pe_counts{4, 8, 16, 32};
   /// Hardware-thread counts per PE (each entry must be positive).
@@ -94,23 +100,53 @@ struct DseConfig {
   bool validate_pareto = false;
   /// Validator knobs used by the second stage.
   ValidatorConfig validation{};
+  /// Physically-aware link timing: floorplan every candidate's NoC on its
+  /// die (see noc::Floorplan) and fold the tech-derived wire delays/energy
+  /// into the analytic matrices AND the stage-2 NoC replay. Disabling
+  /// reverts the *link timing* (zero extra cycles, 1 mm/hop wire energy)
+  /// while silicon estimation stays physically floorplanned.
+  bool physical_links = true;
+  /// Fixed die area in mm^2 for the floorplan; 0 auto-sizes each
+  /// candidate's die from its estimated logic area. Fixing the die makes
+  /// cross-node comparisons geometry-controlled ("same floorplan, smaller
+  /// transistors") — the paper's nanometer-wall experiment.
+  double die_mm2 = 0.0;
+  /// Wire-to-cycles conversion knobs (NoC clock FO4 budget, variation
+  /// guardband) shared by the cost model and the link annotation.
+  noc::LinkTimingModel::Config link_timing{};
 };
 
-/// Enumerates the cartesian candidate space in sweep order (pe_counts
-/// outermost, fabrics innermost) — the order run_dse returns points in.
-std::vector<DseCandidate> enumerate_candidates(const DseSpace& space);
+/// Enumerates the cartesian candidate space in sweep order (nodes
+/// outermost, then pe_counts, fabrics innermost) — the order run_dse
+/// returns points in. An empty DseSpace::nodes axis enumerates at
+/// `fallback_node` only.
+std::vector<DseCandidate> enumerate_candidates(
+    const DseSpace& space,
+    const tech::ProcessNode& fallback_node = tech::node_90nm());
+
+/// Rebuilds the exact PlatformDesc a sweep under `config` evaluates
+/// `cand` on — candidate PEs at the candidate's node, with the same
+/// physically annotated topology (die sized through estimate_cost unless
+/// config.die_mm2 fixes it). Use this to re-derive or re-validate a
+/// DsePoint's mapping outside the sweep.
+PlatformDesc make_candidate_platform(const DseCandidate& cand,
+                                     const DseConfig& config = {});
 
 /// Sweeps the design space, mapping `graph` onto each candidate with the
-/// configured mapper, and evaluates silicon cost at `node`. This is the
-/// "rapid exploration and optimization" loop the paper says the DSOC
+/// configured mapper, and evaluates silicon cost at each candidate's node
+/// (`node` serves as the single node when space.nodes is empty). This is
+/// the "rapid exploration and optimization" loop the paper says the DSOC
 /// properties enable (end of Section 7.2). With config.validate_pareto the
 /// sweep runs a second stage that replays each Pareto point's mapped traffic
 /// on the contention-aware NoC simulator (analytic sweep → Pareto front →
-/// simulation-validated refinement).
+/// simulation-validated refinement); with config.physical_links (the
+/// default) both stages price the floorplanned wire lengths of every
+/// candidate's interconnect at its node.
 ///
 /// Inputs are validated up front: every DseSpace axis must be non-empty with
-/// strictly positive PE/thread counts, and config.num_threads must be >= 0;
-/// violations throw std::invalid_argument naming the offending field.
+/// strictly positive PE/thread counts (nodes may be empty = single-node
+/// sweep), and config.num_threads must be >= 0; violations throw
+/// std::invalid_argument naming the offending field.
 std::vector<DsePoint> run_dse(const TaskGraph& graph, const DseSpace& space,
                               const tech::ProcessNode& node,
                               const ObjectiveWeights& weights = {},

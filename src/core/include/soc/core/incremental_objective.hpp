@@ -73,7 +73,6 @@ class IncrementalObjective {
   const PlatformDesc* platform_;
   ObjectiveWeights weights_;
   tech::EnergyModel em_;
-  double pj_per_word_hop_;
 
   Mapping mapping_;
   std::vector<double> node_cycles_;        // cycles on the currently mapped PE
@@ -81,7 +80,7 @@ class IncrementalObjective {
   std::vector<double> pe_load_;
   PairwiseSum node_energy_;  // leaf per node: compute energy on its PE
   PairwiseSum comm_;         // leaf per edge: words x hops
-  PairwiseSum wire_energy_;  // leaf per edge: words x hops x pJ/word-hop
+  PairwiseSum wire_energy_;  // leaf per edge: words x routed-path pJ/word
   int infeasible_count_ = 0;
   double bottleneck_ = 0.0;
   double objective_ = 0.0;

@@ -4,14 +4,22 @@
 /// Platform abstraction, mapping objective, and the built-in mappers.
 
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "soc/core/task_graph.hpp"
+#include "soc/noc/floorplan.hpp"
 #include "soc/noc/topologies.hpp"
 #include "soc/sim/rng.hpp"
 #include "soc/tech/process_node.hpp"
 
 namespace soc::core {
+
+/// NoC latency per hop on an unloaded network (router pipeline + base link
+/// traversal + amortized NI overhead), cycles. Used by the pipeline-latency
+/// model and the HEFT ranker; physically annotated platforms add the
+/// tech-derived per-link extra cycles on top.
+inline constexpr double kNocCyclesPerHop = 5.0;
 
 /// One execution resource the mapper may place tasks on.
 struct PeDesc {
@@ -20,15 +28,20 @@ struct PeDesc {
 };
 
 /// Abstract platform view used by the mapper: resources plus the hop
-/// distance the NoC imposes between them. Built from a concrete
-/// noc::Topology so mapping decisions see the same distances the
-/// simulator enforces.
+/// distance, wire latency, and wire energy the NoC imposes between them.
+/// Built from a concrete noc::Topology so mapping decisions see the same
+/// distances the simulator enforces. With a physical spec the topology is
+/// floorplanned first (see noc::Floorplan / noc::LinkTimingModel) and every
+/// per-pair figure reflects the routed path's real wire lengths; without
+/// one the platform falls back to the abstract 1 mm/hop pre-physical model.
 class PlatformDesc {
  public:
-  /// Builds the hop matrix by instantiating (and routing) the topology.
-  /// Throws std::invalid_argument when `pes` is empty.
+  /// Builds the per-pair matrices by instantiating (and routing) the
+  /// topology, physically annotated when `phys` is present. Throws
+  /// std::invalid_argument when `pes` is empty.
   PlatformDesc(std::vector<PeDesc> pes, noc::TopologyKind topology,
-               const tech::ProcessNode& node);
+               const tech::ProcessNode& node,
+               std::optional<noc::PhysicalSpec> phys = std::nullopt);
 
   /// Number of PEs (== NoC terminals).
   int pe_count() const noexcept { return static_cast<int>(pes_.size()); }
@@ -36,19 +49,47 @@ class PlatformDesc {
   const PeDesc& pe(int i) const { return pes_.at(static_cast<std::size_t>(i)); }
   /// Routed hop count between two PEs; throws std::out_of_range.
   int hops(int pe_a, int pe_b) const;
+  /// Tech-derived extra propagation cycles summed over the routed path
+  /// between two PEs (0 on unplaced platforms); throws std::out_of_range.
+  int path_extra_cycles(int pe_a, int pe_b) const;
+  /// Unloaded-network latency of the routed path between two PEs:
+  /// kNocCyclesPerHop per hop plus the path's wire extra cycles.
+  double path_latency_cycles(int pe_a, int pe_b) const {
+    return kNocCyclesPerHop * hops(pe_a, pe_b) + path_extra_cycles(pe_a, pe_b);
+  }
+  /// Wire energy of moving one 32-bit word between two PEs, pJ: summed over
+  /// the routed path's links from their floorplanned length and tech-derived
+  /// pJ/mm (falls back to 1 mm/hop at the node's wire energy when unplaced).
+  double wire_pj_per_word(int pe_a, int pe_b) const;
   /// NoC topology family connecting the PEs.
   noc::TopologyKind topology() const noexcept { return topology_; }
   /// Process node costs are evaluated at.
   const tech::ProcessNode& node() const noexcept { return node_; }
   /// Mean hop count over all ordered PE pairs.
   double avg_hops() const noexcept { return avg_hops_; }
+  /// Mean path_latency_cycles over all ordered distinct PE pairs (the HEFT
+  /// ranker's expected edge latency).
+  double avg_path_latency_cycles() const noexcept { return avg_latency_; }
+  /// Physical spec the topology was annotated with, if any.
+  const std::optional<noc::PhysicalSpec>& physical() const noexcept {
+    return phys_;
+  }
+  /// Rebuilds the exact topology (same physical annotation) the matrices
+  /// were derived from — for simulators that need to own a live instance
+  /// (noc::Network takes ownership). Deterministic: every rebuild is
+  /// identical.
+  std::unique_ptr<noc::Topology> build_topology() const;
 
  private:
   std::vector<PeDesc> pes_;
   noc::TopologyKind topology_;
   tech::ProcessNode node_;
-  std::vector<int> hop_matrix_;  // pe_count x pe_count
+  std::optional<noc::PhysicalSpec> phys_;
+  std::vector<int> hop_matrix_;      // pe_count x pe_count
+  std::vector<int> extra_matrix_;    // per-pair wire extra cycles
+  std::vector<double> wire_pj_matrix_;  // per-pair pJ per 32-bit word
   double avg_hops_ = 0.0;
+  double avg_latency_ = 0.0;
 };
 
 /// Assignment of every task-graph node to a PE index.

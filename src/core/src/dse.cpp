@@ -12,26 +12,55 @@ namespace soc::core {
 
 namespace {
 
+/// Silicon estimate of a candidate under the sweep's physical config; also
+/// the source of the auto-sized die the floorplan uses.
+platform::PlatformCost candidate_cost(const DseCandidate& cand,
+                                      const DseConfig& config) {
+  platform::FppaConfig fc;
+  fc.num_pes = cand.num_pes;
+  fc.threads_per_pe = cand.threads_per_pe;
+  fc.topology = cand.topology;
+  return platform::estimate_cost(
+      fc, cand.node,
+      platform::PhysicalCostConfig{config.die_mm2, config.link_timing});
+}
+
 /// The concrete workload one candidate is scored on: platform view plus the
-/// (possibly replicated) task graph. Shared by the analytic stage and the
-/// simulation-validation stage so both see the same work.
+/// (possibly replicated) task graph and the silicon estimate its die came
+/// from. Shared by the analytic stage and the simulation-validation stage
+/// so both see the same work on the same annotated interconnect.
 struct CandidateWorkload {
   PlatformDesc platform;
   TaskGraph work;
   int replicas;
+  platform::PlatformCost silicon;
 };
+
+PlatformDesc build_platform(const DseCandidate& cand, const DseConfig& config,
+                            const platform::PlatformCost& silicon) {
+  std::vector<PeDesc> pe_descs(static_cast<std::size_t>(cand.num_pes),
+                               PeDesc{cand.pe_fabric, cand.threads_per_pe});
+  std::optional<noc::PhysicalSpec> phys;
+  if (config.physical_links) {
+    phys.emplace(noc::PhysicalSpec{
+        noc::LinkTimingModel(cand.node, config.link_timing),
+        silicon.die_mm2});
+  }
+  return PlatformDesc(std::move(pe_descs), cand.topology, cand.node,
+                      std::move(phys));
+}
 
 CandidateWorkload build_workload(const TaskGraph& graph,
                                  const DseCandidate& cand,
-                                 const tech::ProcessNode& node) {
-  std::vector<PeDesc> pe_descs(static_cast<std::size_t>(cand.num_pes),
-                               PeDesc{cand.pe_fabric, cand.threads_per_pe});
+                                 const DseConfig& config) {
+  platform::PlatformCost silicon = candidate_cost(cand, config);
   // Larger platforms host data-parallel stream replicas: one graph
   // instance per |graph| PEs, at least one.
   const int replicas = std::max(1, cand.num_pes / graph.node_count());
   return CandidateWorkload{
-      PlatformDesc(std::move(pe_descs), cand.topology, node),
-      replicas > 1 ? graph.replicated(replicas) : TaskGraph(graph), replicas};
+      build_platform(cand, config, silicon),
+      replicas > 1 ? graph.replicated(replicas) : TaskGraph(graph), replicas,
+      std::move(silicon)};
 }
 
 void validate_space(const DseSpace& space) {
@@ -69,32 +98,31 @@ void validate_config(const DseConfig& config) {
         "DseConfig: num_threads must be >= 0 (0 = all cores), got " +
         std::to_string(config.num_threads));
   }
+  if (config.die_mm2 < 0.0) {
+    throw std::invalid_argument(
+        "DseConfig: die_mm2 must be >= 0 (0 = auto-size), got " +
+        std::to_string(config.die_mm2));
+  }
 }
 
 /// Maps and costs one candidate. Pure function of its arguments (the rng
 /// carries this candidate's derived stream), so candidates can be evaluated
 /// on any thread in any order.
 DsePoint evaluate_candidate(const TaskGraph& graph, const DseCandidate& cand,
-                            const tech::ProcessNode& node,
+                            const DseConfig& config,
                             const ObjectiveWeights& weights,
                             const Mapper& mapper, sim::Rng& rng) {
-  CandidateWorkload wl = build_workload(graph, cand, node);
+  CandidateWorkload wl = build_workload(graph, cand, config);
   const PlatformDesc& platform = wl.platform;
   const TaskGraph& work = wl.work;
   const int replicas = wl.replicas;
   const Mapping m = mapper.map(work, platform, weights, rng);
   const MappingCost mc = evaluate_mapping(work, platform, m, weights);
 
-  platform::FppaConfig fc;
-  fc.num_pes = cand.num_pes;
-  fc.threads_per_pe = cand.threads_per_pe;
-  fc.topology = cand.topology;
-  const platform::PlatformCost sc = platform::estimate_cost(fc, node);
-
   DsePoint pt;
   pt.candidate = cand;
   pt.mapping_cost = mc;
-  pt.silicon = sc;
+  pt.silicon = wl.silicon;
   pt.mapping = m;
   pt.mapper = std::string(mapper.name());
   // One "item" of the replicated graph carries `replicas` stream
@@ -102,7 +130,7 @@ DsePoint evaluate_candidate(const TaskGraph& graph, const DseCandidate& cand,
   pt.throughput_per_kcycle = mc.bottleneck_cycles > 0.0
                                  ? 1000.0 * replicas / mc.bottleneck_cycles
                                  : 0.0;
-  const double power = sc.peak_dynamic_mw + sc.leakage_mw;
+  const double power = wl.silicon.peak_dynamic_mw + wl.silicon.leakage_mw;
   pt.mw_per_throughput =
       pt.throughput_per_kcycle > 0.0 ? power / pt.throughput_per_kcycle : 0.0;
   return pt;
@@ -110,21 +138,33 @@ DsePoint evaluate_candidate(const TaskGraph& graph, const DseCandidate& cand,
 
 }  // namespace
 
-std::vector<DseCandidate> enumerate_candidates(const DseSpace& space) {
+std::vector<DseCandidate> enumerate_candidates(
+    const DseSpace& space, const tech::ProcessNode& fallback_node) {
   validate_space(space);
+  const std::vector<tech::ProcessNode> nodes =
+      space.nodes.empty() ? std::vector<tech::ProcessNode>{fallback_node}
+                          : space.nodes;
   std::vector<DseCandidate> candidates;
-  candidates.reserve(space.pe_counts.size() * space.thread_counts.size() *
-                     space.topologies.size() * space.fabrics.size());
-  for (const int pes : space.pe_counts) {
-    for (const int threads : space.thread_counts) {
-      for (const auto topo : space.topologies) {
-        for (const auto fabric : space.fabrics) {
-          candidates.push_back(DseCandidate{pes, threads, topo, fabric});
+  candidates.reserve(nodes.size() * space.pe_counts.size() *
+                     space.thread_counts.size() * space.topologies.size() *
+                     space.fabrics.size());
+  for (const auto& node : nodes) {
+    for (const int pes : space.pe_counts) {
+      for (const int threads : space.thread_counts) {
+        for (const auto topo : space.topologies) {
+          for (const auto fabric : space.fabrics) {
+            candidates.push_back(DseCandidate{pes, threads, topo, fabric, node});
+          }
         }
       }
     }
   }
   return candidates;
+}
+
+PlatformDesc make_candidate_platform(const DseCandidate& cand,
+                                     const DseConfig& config) {
+  return build_platform(cand, config, candidate_cost(cand, config));
 }
 
 std::vector<DsePoint> run_dse(const TaskGraph& graph, const DseSpace& space,
@@ -136,7 +176,8 @@ std::vector<DsePoint> run_dse(const TaskGraph& graph, const DseSpace& space,
   if (graph.node_count() == 0) {
     throw std::invalid_argument("run_dse: task graph has no nodes");
   }
-  const std::vector<DseCandidate> candidates = enumerate_candidates(space);
+  const std::vector<DseCandidate> candidates =
+      enumerate_candidates(space, node);
   // Resolve the strategy once, outside the sharded loop: Mapper instances are
   // stateless, so one instance serves every worker thread.
   const std::unique_ptr<Mapper> mapper = make_mapper(config.mapper, anneal);
@@ -145,8 +186,8 @@ std::vector<DsePoint> run_dse(const TaskGraph& graph, const DseSpace& space,
       candidates.size(), sim::ParallelConfig{config.num_threads},
       [&](std::size_t i) {
         sim::Rng rng(sim::derive_seed(anneal.seed, i));
-        points[i] =
-            evaluate_candidate(graph, candidates[i], node, weights, *mapper, rng);
+        points[i] = evaluate_candidate(graph, candidates[i], config, weights,
+                                       *mapper, rng);
       });
   const std::vector<std::size_t> front = mark_pareto_front(points, config);
 
@@ -161,7 +202,7 @@ std::vector<DsePoint> run_dse(const TaskGraph& graph, const DseSpace& space,
           const std::size_t i = front[k];
           DsePoint& pt = points[i];
           const CandidateWorkload wl =
-              build_workload(graph, pt.candidate, node);
+              build_workload(graph, pt.candidate, config);
           MappingValidator validator(wl.work, wl.platform, pt.mapping,
                                      config.validation);
           const ValidationReport rep = validator.run();
@@ -229,7 +270,8 @@ std::vector<std::size_t> mark_pareto_front(std::vector<DsePoint>& points,
 
 std::string to_string(const DsePoint& p) {
   std::ostringstream os;
-  os << p.candidate.num_pes << " PEs x" << p.candidate.threads_per_pe << "T "
+  os << p.candidate.node.name << " " << p.candidate.num_pes << " PEs x"
+     << p.candidate.threads_per_pe << "T "
      << noc::to_string(p.candidate.topology) << " "
      << tech::fabric_profile(p.candidate.pe_fabric).name
      << " | tp=" << p.throughput_per_kcycle << " items/kcyc"

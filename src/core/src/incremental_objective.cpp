@@ -20,7 +20,6 @@ IncrementalObjective::IncrementalObjective(const TaskGraph& graph,
       platform_(&platform),
       weights_(weights),
       em_(platform.node()),
-      pj_per_word_hop_(internal::wire_pj_per_word_hop(em_)),
       mapping_(std::move(initial)) {
   const int n = graph.node_count();
   const int npe = platform.pe_count();
@@ -55,11 +54,12 @@ IncrementalObjective::IncrementalObjective(const TaskGraph& graph,
   std::vector<double> wire(static_cast<std::size_t>(ne), 0.0);
   for (int e = 0; e < ne; ++e) {
     const TaskEdge& edge = graph.edge(e);
-    const int h = platform.hops(mapping_[static_cast<std::size_t>(edge.src)],
-                                mapping_[static_cast<std::size_t>(edge.dst)]);
-    comm[static_cast<std::size_t>(e)] = edge_comm_contribution(edge, h);
+    const int src_pe = mapping_[static_cast<std::size_t>(edge.src)];
+    const int dst_pe = mapping_[static_cast<std::size_t>(edge.dst)];
+    comm[static_cast<std::size_t>(e)] =
+        edge_comm_contribution(edge, platform.hops(src_pe, dst_pe));
     wire[static_cast<std::size_t>(e)] =
-        comm[static_cast<std::size_t>(e)] * pj_per_word_hop_;
+        internal::edge_wire_contribution(edge, platform, src_pe, dst_pe);
   }
   comm_.assign(comm);
   wire_energy_.assign(wire);
@@ -81,11 +81,13 @@ void IncrementalObjective::recompute_pe_load(int pe) {
 void IncrementalObjective::refresh_incident_edges(int task) {
   const auto touch = [&](int ei) {
     const TaskEdge& edge = graph_->edge(ei);
-    const int h = platform_->hops(mapping_[static_cast<std::size_t>(edge.src)],
-                                  mapping_[static_cast<std::size_t>(edge.dst)]);
-    const double c = edge_comm_contribution(edge, h);
-    comm_.set(static_cast<std::size_t>(ei), c);
-    wire_energy_.set(static_cast<std::size_t>(ei), c * pj_per_word_hop_);
+    const int src_pe = mapping_[static_cast<std::size_t>(edge.src)];
+    const int dst_pe = mapping_[static_cast<std::size_t>(edge.dst)];
+    comm_.set(static_cast<std::size_t>(ei),
+              edge_comm_contribution(edge, platform_->hops(src_pe, dst_pe)));
+    wire_energy_.set(
+        static_cast<std::size_t>(ei),
+        internal::edge_wire_contribution(edge, *platform_, src_pe, dst_pe));
   };
   for (const int ei : graph_->in_edges(task)) touch(ei);
   for (const int ei : graph_->out_edges(task)) touch(ei);

@@ -16,34 +16,64 @@ using internal::cycles_on;
 using internal::edge_comm_contribution;
 using internal::energy_on;
 
-/// NoC hop latency used by the pipeline-latency model and the HEFT ranker:
-/// ~5 cycles per hop on an unloaded network.
-namespace {
-constexpr double kCyclesPerHop = 5.0;
-}  // namespace
-
 PlatformDesc::PlatformDesc(std::vector<PeDesc> pes, noc::TopologyKind topology,
-                           const tech::ProcessNode& node)
-    : pes_(std::move(pes)), topology_(topology), node_(node) {
+                           const tech::ProcessNode& node,
+                           std::optional<noc::PhysicalSpec> phys)
+    : pes_(std::move(pes)),
+      topology_(topology),
+      node_(node),
+      phys_(std::move(phys)) {
   if (pes_.empty()) throw std::invalid_argument("PlatformDesc: no PEs");
   const int n = pe_count();
-  const auto topo = noc::make_topology(topology, n);
-  hop_matrix_.assign(static_cast<std::size_t>(n) * static_cast<std::size_t>(n), 0);
+  const auto topo = build_topology();
+  const std::size_t cells =
+      static_cast<std::size_t>(n) * static_cast<std::size_t>(n);
+  hop_matrix_.assign(cells, 0);
+  extra_matrix_.assign(cells, 0);
+  wire_pj_matrix_.assign(cells, 0.0);
+  // Legacy energy scale for unplaced platforms: one mm of global wire per
+  // hop, 32 bits per word.
+  const double legacy_pj_per_word_hop =
+      tech::EnergyModel(node_).wire_bit_pj_per_mm() * 32.0;
   double sum = 0.0;
+  double lat_sum = 0.0;
   int pairs = 0;
   for (int a = 0; a < n; ++a) {
     for (int b = 0; b < n; ++b) {
-      const int h = topo->hops_between(static_cast<noc::TerminalId>(a),
-                                       static_cast<noc::TerminalId>(b));
-      hop_matrix_[static_cast<std::size_t>(a) * static_cast<std::size_t>(n) +
-                  static_cast<std::size_t>(b)] = h;
+      const std::size_t cell =
+          static_cast<std::size_t>(a) * static_cast<std::size_t>(n) +
+          static_cast<std::size_t>(b);
+      // Walk the routed path once, accumulating hops, wire pipeline stages
+      // and wire energy from the links actually traversed.
+      int h = 0;
+      int extra = 0;
+      double pj = 0.0;
+      int router = topo->attach_router(static_cast<noc::TerminalId>(a));
+      for (int li = topo->route(router, static_cast<noc::TerminalId>(b));
+           li >= 0; li = topo->route(router, static_cast<noc::TerminalId>(b))) {
+        const noc::LinkSpec& l = topo->links()[static_cast<std::size_t>(li)];
+        ++h;
+        extra += static_cast<int>(l.extra_latency);
+        pj += 32.0 * l.energy_pj_per_mm * l.length_mm;
+        router = l.to_router;
+      }
+      hop_matrix_[cell] = h;
+      extra_matrix_[cell] = extra;
+      wire_pj_matrix_[cell] = phys_ ? pj : h * legacy_pj_per_word_hop;
       if (a != b) {
         sum += h;
+        lat_sum += kNocCyclesPerHop * h + extra;
         ++pairs;
       }
     }
   }
   avg_hops_ = pairs ? sum / pairs : 0.0;
+  avg_latency_ = pairs ? lat_sum / pairs : 0.0;
+}
+
+std::unique_ptr<noc::Topology> PlatformDesc::build_topology() const {
+  return noc::make_topology(topology_, pe_count(),
+                            phys_ ? &*phys_ : nullptr);
 }
 
 int PlatformDesc::hops(int pe_a, int pe_b) const {
@@ -53,6 +83,26 @@ int PlatformDesc::hops(int pe_a, int pe_b) const {
   }
   return hop_matrix_[static_cast<std::size_t>(pe_a) * static_cast<std::size_t>(n) +
                      static_cast<std::size_t>(pe_b)];
+}
+
+int PlatformDesc::path_extra_cycles(int pe_a, int pe_b) const {
+  const int n = pe_count();
+  if (pe_a < 0 || pe_a >= n || pe_b < 0 || pe_b >= n) {
+    throw std::out_of_range("PlatformDesc::path_extra_cycles");
+  }
+  return extra_matrix_[static_cast<std::size_t>(pe_a) *
+                           static_cast<std::size_t>(n) +
+                       static_cast<std::size_t>(pe_b)];
+}
+
+double PlatformDesc::wire_pj_per_word(int pe_a, int pe_b) const {
+  const int n = pe_count();
+  if (pe_a < 0 || pe_a >= n || pe_b < 0 || pe_b >= n) {
+    throw std::out_of_range("PlatformDesc::wire_pj_per_word");
+  }
+  return wire_pj_matrix_[static_cast<std::size_t>(pe_a) *
+                             static_cast<std::size_t>(n) +
+                         static_cast<std::size_t>(pe_b)];
 }
 
 MappingCost evaluate_mapping(const TaskGraph& graph,
@@ -88,36 +138,38 @@ MappingCost evaluate_mapping(const TaskGraph& graph,
 
   // Per-edge contributions, reduced with the fixed-shape pairwise sum so the
   // incremental evaluator can reproduce the totals exactly after point
-  // updates (see exact_sum.hpp).
-  const double pj_per_word_hop = internal::wire_pj_per_word_hop(em);
+  // updates (see exact_sum.hpp). Wire energy prices the routed path's real
+  // floorplanned length on physical platforms (1 mm/hop otherwise).
   const int ne = graph.edge_count();
   std::vector<double> comm(static_cast<std::size_t>(ne), 0.0);
   std::vector<double> wire(static_cast<std::size_t>(ne), 0.0);
   for (int e = 0; e < ne; ++e) {
     const TaskEdge& edge = graph.edge(e);
-    const int h = platform.hops(mapping[static_cast<std::size_t>(edge.src)],
-                                mapping[static_cast<std::size_t>(edge.dst)]);
-    comm[static_cast<std::size_t>(e)] = edge_comm_contribution(edge, h);
+    const int src_pe = mapping[static_cast<std::size_t>(edge.src)];
+    const int dst_pe = mapping[static_cast<std::size_t>(edge.dst)];
+    comm[static_cast<std::size_t>(e)] =
+        edge_comm_contribution(edge, platform.hops(src_pe, dst_pe));
     wire[static_cast<std::size_t>(e)] =
-        comm[static_cast<std::size_t>(e)] * pj_per_word_hop;
+        internal::edge_wire_contribution(edge, platform, src_pe, dst_pe);
   }
   cost.comm_word_hops = PairwiseSum::reduce(comm);
   cost.energy_pj_per_item =
       PairwiseSum::reduce(node_energy) + PairwiseSum::reduce(wire);
 
   // Pipeline latency: longest path through the DAG, each node costing its
-  // mapped-cycles plus per-edge NoC hop latency. O(V+E) over the adjacency
-  // lists (this pass used to scan the full edge vector per node).
+  // mapped-cycles plus per-edge NoC path latency (hop pipeline plus the
+  // tech-derived wire stages on physical platforms). O(V+E) over the
+  // adjacency lists (this pass used to scan the full edge vector per node).
   const auto order = graph.topological_order();
   std::vector<double> finish(static_cast<std::size_t>(n), 0.0);
   for (const int u : order) {
     double start = 0.0;
     for (const int ei : graph.in_edges(u)) {
       const TaskEdge& e = graph.edge(ei);
-      const int h = platform.hops(mapping[static_cast<std::size_t>(e.src)],
-                                  mapping[static_cast<std::size_t>(e.dst)]);
-      start = std::max(start,
-                       finish[static_cast<std::size_t>(e.src)] + kCyclesPerHop * h);
+      const double lat = platform.path_latency_cycles(
+          mapping[static_cast<std::size_t>(e.src)],
+          mapping[static_cast<std::size_t>(e.dst)]);
+      start = std::max(start, finish[static_cast<std::size_t>(e.src)] + lat);
     }
     finish[static_cast<std::size_t>(u)] =
         start + node_cycles[static_cast<std::size_t>(u)];
@@ -235,9 +287,9 @@ Mapping heft_mapping(const TaskGraph& graph, const PlatformDesc& platform,
   }
 
   // Upward rank over the reverse topological order: rank(u) = avg_cycles(u) +
-  // max over successors of (hop latency at the platform's average distance +
+  // max over successors of (path latency at the platform's average distance +
   // rank(succ)). Guarantees rank(pred) >= rank(succ).
-  const double avg_edge_latency = kCyclesPerHop * platform.avg_hops();
+  const double avg_edge_latency = platform.avg_path_latency_cycles();
   const auto topo = graph.topological_order();
   std::vector<double> rank(static_cast<std::size_t>(n), 0.0);
   for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
@@ -281,10 +333,10 @@ Mapping heft_mapping(const TaskGraph& graph, const PlatformDesc& platform,
       double ready = pe_free[static_cast<std::size_t>(p)];
       for (const int ei : graph.in_edges(u)) {
         const int pred = graph.edge(ei).src;
-        ready = std::max(
-            ready, finish[static_cast<std::size_t>(pred)] +
-                       kCyclesPerHop *
-                           platform.hops(m[static_cast<std::size_t>(pred)], p));
+        ready = std::max(ready,
+                         finish[static_cast<std::size_t>(pred)] +
+                             platform.path_latency_cycles(
+                                 m[static_cast<std::size_t>(pred)], p));
       }
       const double eft = ready + cycles_on(node, platform.pe(p).fabric);
       if (eft < best_eft) {

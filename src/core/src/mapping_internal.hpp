@@ -27,15 +27,19 @@ inline double energy_on(const TaskNode& node, tech::Fabric fabric,
   return node.work_ops * em.op_energy_pj(fabric);
 }
 
-/// NoC energy of moving one word across one hop: ~1 mm of global wire per
-/// hop, 32 bits per word.
-inline double wire_pj_per_word_hop(const tech::EnergyModel& em) {
-  return em.wire_bit_pj_per_mm() * 32.0;
-}
-
 /// Word-hop contribution of one edge under the current placement.
 inline double edge_comm_contribution(const TaskEdge& e, int hops) {
   return e.words_per_item * hops;
+}
+
+/// Wire energy of one edge under the current placement (pJ): payload words
+/// times the platform's routed-path energy per word — floorplanned lengths
+/// on physical platforms, the legacy 1 mm/hop scale otherwise (both baked
+/// into PlatformDesc::wire_pj_per_word).
+inline double edge_wire_contribution(const TaskEdge& e,
+                                     const PlatformDesc& platform, int src_pe,
+                                     int dst_pe) {
+  return e.words_per_item * platform.wire_pj_per_word(src_pe, dst_pe);
 }
 
 /// The scalarized objective both evaluators report (pipeline latency is a

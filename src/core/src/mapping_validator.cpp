@@ -4,8 +4,6 @@
 #include <cmath>
 #include <stdexcept>
 
-#include "soc/noc/topologies.hpp"
-
 namespace soc::core {
 
 MappingValidator::MappingValidator(const TaskGraph& graph,
@@ -92,10 +90,10 @@ ValidationReport MappingValidator::run() {
   }
   r.network_active = true;
 
+  // The platform rebuilds its own topology so physically annotated sweeps
+  // replay on the same per-link wire latencies the analytic matrices saw.
   queue_.reset();
-  noc::Network net(noc::make_topology(platform_->topology(),
-                                      platform_->pe_count()),
-                   cfg_.net, queue_);
+  noc::Network net(platform_->build_topology(), cfg_.net, queue_);
   noc::ReplayConfig rc;
   rc.mode = cfg_.mode;
   rc.period = period;

@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file
+/// Deterministic router placement on a square die, yielding per-link
+/// Manhattan wire lengths — the geometry input to LinkTimingModel.
+
+#include <vector>
+
+#include "soc/noc/link_timing.hpp"
+#include "soc/noc/topology.hpp"
+
+namespace soc::noc {
+
+/// Places a topology's routers on a square die of the given area and
+/// derives per-link Manhattan wire lengths.
+///
+/// Placement is topology-agnostic and fully deterministic: routers with
+/// attached terminals are anchored at the cells of a near-square grid (the
+/// same grid factoring GridTopology uses, so a mesh floorplan reproduces
+/// its logical geometry and neighbor links get one-pitch wires), and
+/// terminal-less routers (bus medium, crossbar core, tree internals) relax
+/// to the centroid of their link neighbors over a fixed number of Jacobi
+/// iterations — tree internals settle over their subtrees, central switches
+/// at the die center. No RNG, no iteration-order dependence: results are
+/// bit-identical across runs and threads.
+class Floorplan {
+ public:
+  /// Router coordinates in mm from the die's lower-left corner.
+  struct Point {
+    double x = 0.0;  ///< horizontal position, mm
+    double y = 0.0;  ///< vertical position, mm
+  };
+
+  /// Floorplans `topo` (which must outlive nothing — geometry is copied out)
+  /// on a square die of `die_mm2` mm^2. Throws std::invalid_argument when
+  /// die_mm2 is not positive.
+  Floorplan(const Topology& topo, double die_mm2);
+
+  /// Die area in mm^2.
+  double die_mm2() const noexcept { return die_mm2_; }
+  /// Die edge in mm (square die).
+  double die_edge_mm() const noexcept { return edge_mm_; }
+  /// Placed position of router `r` (bounds-checked).
+  const Point& router_position(int r) const;
+  /// Manhattan wire length of link `li` (index into Topology::links()).
+  double link_length_mm(std::size_t li) const;
+  /// All link lengths, in Topology::links() order.
+  const std::vector<double>& link_lengths_mm() const noexcept {
+    return link_mm_;
+  }
+  /// Total routed wire length over all links, mm.
+  double total_wire_mm() const noexcept { return total_mm_; }
+  /// Longest single link, mm.
+  double max_link_mm() const noexcept { return max_mm_; }
+
+ private:
+  double die_mm2_;
+  double edge_mm_;
+  std::vector<Point> pos_;       // per router
+  std::vector<double> link_mm_;  // per link
+  double total_mm_ = 0.0;
+  double max_mm_ = 0.0;
+};
+
+/// Optional physical annotation for the topology factories: floorplan the
+/// router graph on `die_mm2` and fold the resulting wire delays/energy into
+/// every LinkSpec via `timing` (see Topology::apply_physical).
+struct PhysicalSpec {
+  LinkTimingModel timing;  ///< wire-length -> cycles/energy conversion
+  double die_mm2 = 100.0;  ///< square die area the floorplan spreads over
+};
+
+}  // namespace soc::noc

@@ -1,0 +1,85 @@
+#pragma once
+
+/// \file
+/// Technology-derived timing/energy of one NoC link: wire length in mm to
+/// propagation cycles (at a variation-guardbanded clock) and switching
+/// energy. The bridge between the soc::tech electrical models and
+/// LinkSpec.extra_latency / LinkSpec.energy_pj_per_mm.
+
+#include <cstdint>
+
+#include "soc/tech/process_node.hpp"
+
+namespace soc::noc {
+
+/// Physical figures of one repeated global wire at the model's clock.
+struct LinkTiming {
+  /// Propagation cycles beyond the 1-cycle base link budget
+  /// (NetworkConfig.link_latency_cycles): a wire that fits in one clock
+  /// period adds 0; every further period adds one pipeline stage.
+  std::uint32_t extra_cycles = 0;
+  /// Raw repeated-wire propagation delay, ps.
+  double delay_ps = 0.0;
+  /// Switching energy of wire + repeaters, pJ per mm per bit toggled.
+  double energy_pj_per_mm = 0.0;
+};
+
+/// Converts floorplanned wire lengths into clock cycles and energy at one
+/// process node. Delay comes from tech::WireModel::repeated() (Bakoglu-style
+/// optimal repeaters, linear in length); the clock is the node's
+/// tech::ClockModel period at `Config.fo4_per_cycle`, stretched by the
+/// statistical guardband tech::period_for_yield demands for
+/// `Config.critical_paths` independent paths — the deep-submicron clock a
+/// manufacturable chip actually ships at, not the deterministic one.
+///
+/// Copyable/assignable by design: per-node sweeps keep one model per
+/// roadmap entry in a container.
+class LinkTimingModel {
+ public:
+  /// Knobs of the link-timing conversion.
+  struct Config {
+    /// FO4 delays per NoC clock cycle (14 = the aggressive-SoC budget the
+    /// paper's wire-delay projection assumes; tech::ClockModel::kAsicFo4
+    /// for conservative synthesized fabrics).
+    double fo4_per_cycle = 14.0;
+    /// Independent critical paths the timing-yield guardband covers.
+    int critical_paths = 10'000;
+    /// Timing yield the guardbanded period must meet.
+    double yield_target = 0.99;
+    /// Set false to clock at the deterministic (nominal) period.
+    bool apply_guardband = true;
+  };
+
+  /// Precomputes the guardbanded period for `node`. Throws
+  /// std::invalid_argument on non-positive fo4_per_cycle/critical_paths or
+  /// a yield_target outside (0, 1). (Two overloads rather than a defaulted
+  /// Config argument: a nested aggregate's member initializers cannot be
+  /// used in a default argument of its own enclosing class.)
+  explicit LinkTimingModel(tech::ProcessNode node);
+  LinkTimingModel(tech::ProcessNode node, Config cfg);
+
+  /// Cycles/energy of a repeated wire of the given length (>= 0 mm).
+  LinkTiming evaluate(double length_mm) const noexcept;
+
+  /// The NoC clock period the conversion divides by, ps (guardbanded
+  /// unless Config.apply_guardband is false).
+  double period_ps() const noexcept { return period_ps_; }
+  /// Deterministic period before the variation guardband, ps.
+  double nominal_period_ps() const noexcept { return nominal_period_ps_; }
+  /// NoC clock in GHz (1000 / period_ps()).
+  double clock_ghz() const noexcept { return 1000.0 / period_ps_; }
+  /// Process node the model prices against.
+  const tech::ProcessNode& node() const noexcept { return node_; }
+  /// Active configuration.
+  const Config& config() const noexcept { return cfg_; }
+
+ private:
+  tech::ProcessNode node_;
+  Config cfg_;
+  double nominal_period_ps_ = 0.0;
+  double period_ps_ = 0.0;
+  double delay_per_mm_ps_ = 0.0;
+  double energy_pj_per_mm_ = 0.0;
+};
+
+}  // namespace soc::noc

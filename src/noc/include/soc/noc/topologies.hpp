@@ -9,6 +9,8 @@
 
 namespace soc::noc {
 
+struct PhysicalSpec;  // soc/noc/floorplan.hpp
+
 /// Identifier for the topology families the paper asks to characterize
 /// (Section 6.1: "ranging from bus, ring, tree to full-crossbar").
 enum class TopologyKind {
@@ -24,33 +26,47 @@ enum class TopologyKind {
 /// Short lower-case name of a topology kind (e.g. "mesh-2d").
 const char* to_string(TopologyKind k) noexcept;
 
+/// Every factory takes an optional physical spec: when non-null the router
+/// graph is floorplanned on phys->die_mm2 and each link's extra_latency /
+/// length_mm / energy_pj_per_mm is derived through phys->timing (see
+/// Topology::apply_physical). With nullptr the topology stays abstract —
+/// all links at zero wire delay, the pre-physical behavior.
+
 /// Shared bus: every packet serializes through one arbitrated medium.
 /// Models the legacy STBUS-style interconnect the paper argues NoCs must
 /// replace. `bandwidth` is the bus width in flits/cycle.
-std::unique_ptr<Topology> make_bus(int terminals, double bandwidth = 1.0);
+std::unique_ptr<Topology> make_bus(int terminals, double bandwidth = 1.0,
+                                   const PhysicalSpec* phys = nullptr);
 
 /// Bidirectional ring with shortest-direction routing.
-std::unique_ptr<Topology> make_ring(int terminals);
+std::unique_ptr<Topology> make_ring(int terminals,
+                                    const PhysicalSpec* phys = nullptr);
 
 /// Binary tree with terminals at the leaves; constant link bandwidth (the
 /// root is the bottleneck — included deliberately, the paper's point).
-std::unique_ptr<Topology> make_binary_tree(int terminals);
+std::unique_ptr<Topology> make_binary_tree(int terminals,
+                                           const PhysicalSpec* phys = nullptr);
 
 /// Fat tree (SPIN-like, cf. Guerrier & Greiner): binary tree whose link
 /// bandwidth doubles toward the root, keeping bisection constant.
-std::unique_ptr<Topology> make_fat_tree(int terminals);
+std::unique_ptr<Topology> make_fat_tree(int terminals,
+                                        const PhysicalSpec* phys = nullptr);
 
 /// 2-D mesh, near-square factoring of `terminals`, one terminal per router.
-std::unique_ptr<Topology> make_mesh(int terminals);
+std::unique_ptr<Topology> make_mesh(int terminals,
+                                    const PhysicalSpec* phys = nullptr);
 
 /// 2-D torus (mesh with wraparound links).
-std::unique_ptr<Topology> make_torus(int terminals);
+std::unique_ptr<Topology> make_torus(int terminals,
+                                     const PhysicalSpec* phys = nullptr);
 
 /// Full crossbar: dedicated path from every source to every destination;
 /// contention only at the destination port. The upper bound of the range.
-std::unique_ptr<Topology> make_crossbar(int terminals);
+std::unique_ptr<Topology> make_crossbar(int terminals,
+                                        const PhysicalSpec* phys = nullptr);
 
 /// Factory by kind, used by sweep drivers.
-std::unique_ptr<Topology> make_topology(TopologyKind k, int terminals);
+std::unique_ptr<Topology> make_topology(TopologyKind k, int terminals,
+                                        const PhysicalSpec* phys = nullptr);
 
 }  // namespace soc::noc

@@ -12,15 +12,27 @@
 
 namespace soc::noc {
 
+class LinkTimingModel;  // soc/noc/link_timing.hpp
+
 /// One unidirectional router-to-router channel.
 struct LinkSpec {
   int from_router;  ///< source router index
   int to_router;    ///< sink router index
   /// Relative bandwidth in flits/cycle (fat-tree upper levels get > 1).
   double bandwidth = 1.0;
-  /// Extra propagation cycles on top of the router pipeline (long global
-  /// wires computed from soc::tech can be folded in here).
+  /// Extra propagation cycles on top of the router pipeline — the
+  /// tech-derived pipeline stages of a long global wire. Populated by
+  /// Topology::apply_physical (zero for abstract, unplaced topologies).
   std::uint32_t extra_latency = 0;
+  /// Floorplanned Manhattan wire length, mm (0 when unplaced).
+  double length_mm = 0.0;
+  /// Switching energy of the wire + repeaters, pJ per mm per bit toggled
+  /// (0 when unplaced); from tech::RepeatedWire::energy_pj_per_mm.
+  double energy_pj_per_mm = 0.0;
+  /// True for a multi-drop shared medium (the bus) that must physically
+  /// reach every tap: its floorplanned length is at least one die edge,
+  /// however close its endpoint routers place.
+  bool spans_die = false;
 };
 
 /// A network topology: a router graph plus the attachment of terminals to
@@ -74,6 +86,15 @@ class Topology {
   /// metric wire-limited designs care about.
   double total_link_bandwidth() const noexcept;
 
+  /// Physically annotates every link: floorplans the router graph on a
+  /// square die of `die_mm2` mm^2 (see Floorplan) and folds the resulting
+  /// wire lengths through `timing` into each LinkSpec's extra_latency /
+  /// length_mm / energy_pj_per_mm. Routing tables are untouched — BFS
+  /// routes by hop count, so call order relative to finalize() does not
+  /// matter (the factories annotate after finalize()). Defined in
+  /// floorplan.cpp.
+  void apply_physical(const LinkTimingModel& timing, double die_mm2);
+
  protected:
   /// Subclass construction API: add a unidirectional link, returns its index.
   int add_link(int from, int to, double bandwidth = 1.0,
@@ -81,6 +102,11 @@ class Topology {
   /// Adds a link pair in both directions.
   void add_bidir(int a, int b, double bandwidth = 1.0,
                  std::uint32_t extra_latency = 0);
+  /// Marks link `li` as a die-spanning multi-drop medium (LinkSpec
+  /// spans_die; see Floorplan's length floor).
+  void mark_spans_die(int li) {
+    links_.at(static_cast<std::size_t>(li)).spans_die = true;
+  }
   /// Attaches terminal `t`'s network interface to `router`.
   void attach_terminal(TerminalId t, int router) { attach_.at(t) = router; }
 

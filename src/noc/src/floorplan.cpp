@@ -1,0 +1,118 @@
+#include "soc/noc/floorplan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace soc::noc {
+
+namespace {
+
+/// Number of Jacobi relaxation passes for terminal-less routers. Trees of
+/// practical depth (<= ~7 levels for 128 terminals) settle well within this;
+/// a fixed count keeps the placement bit-deterministic.
+constexpr int kRelaxIterations = 32;
+
+}  // namespace
+
+Floorplan::Floorplan(const Topology& topo, double die_mm2)
+    : die_mm2_(die_mm2), edge_mm_(std::sqrt(die_mm2)) {
+  if (die_mm2 <= 0.0) {
+    throw std::invalid_argument("Floorplan: die_mm2 must be > 0");
+  }
+  const int routers = topo.router_count();
+  const int terminals = topo.terminal_count();
+
+  // Anchor: terminals occupy the cells of a near-square grid (the same
+  // factoring GridTopology uses); a router's anchor is the mean of its
+  // terminals' cell centers.
+  const int cols = static_cast<int>(
+      std::ceil(std::sqrt(static_cast<double>(std::max(1, terminals)))));
+  const int rows = (std::max(1, terminals) + cols - 1) / cols;
+  std::vector<Point> anchor_sum(static_cast<std::size_t>(routers));
+  std::vector<int> anchor_n(static_cast<std::size_t>(routers), 0);
+  for (int t = 0; t < terminals; ++t) {
+    const int r = topo.attach_router(static_cast<TerminalId>(t));
+    const double cx = (static_cast<double>(t % cols) + 0.5) /
+                      static_cast<double>(cols) * edge_mm_;
+    const double cy = (static_cast<double>(t / cols) + 0.5) /
+                      static_cast<double>(rows) * edge_mm_;
+    anchor_sum[static_cast<std::size_t>(r)].x += cx;
+    anchor_sum[static_cast<std::size_t>(r)].y += cy;
+    ++anchor_n[static_cast<std::size_t>(r)];
+  }
+
+  pos_.assign(static_cast<std::size_t>(routers),
+              Point{0.5 * edge_mm_, 0.5 * edge_mm_});
+  for (int r = 0; r < routers; ++r) {
+    if (anchor_n[static_cast<std::size_t>(r)] > 0) {
+      pos_[static_cast<std::size_t>(r)] = Point{
+          anchor_sum[static_cast<std::size_t>(r)].x /
+              anchor_n[static_cast<std::size_t>(r)],
+          anchor_sum[static_cast<std::size_t>(r)].y /
+              anchor_n[static_cast<std::size_t>(r)]};
+    }
+  }
+
+  // Undirected neighbor lists for the relaxation (bidirectional links
+  // contribute one neighbor each way; duplicates just weight the centroid).
+  std::vector<std::vector<int>> nbrs(static_cast<std::size_t>(routers));
+  for (const LinkSpec& l : topo.links()) {
+    nbrs[static_cast<std::size_t>(l.from_router)].push_back(l.to_router);
+    nbrs[static_cast<std::size_t>(l.to_router)].push_back(l.from_router);
+  }
+
+  // Jacobi passes: every terminal-less router moves to the centroid of its
+  // neighbors' previous-iteration positions. Anchored routers never move.
+  std::vector<Point> next = pos_;
+  for (int it = 0; it < kRelaxIterations; ++it) {
+    for (int r = 0; r < routers; ++r) {
+      if (anchor_n[static_cast<std::size_t>(r)] > 0 ||
+          nbrs[static_cast<std::size_t>(r)].empty()) {
+        continue;
+      }
+      double sx = 0.0, sy = 0.0;
+      for (const int n : nbrs[static_cast<std::size_t>(r)]) {
+        sx += pos_[static_cast<std::size_t>(n)].x;
+        sy += pos_[static_cast<std::size_t>(n)].y;
+      }
+      const auto deg =
+          static_cast<double>(nbrs[static_cast<std::size_t>(r)].size());
+      next[static_cast<std::size_t>(r)] = Point{sx / deg, sy / deg};
+    }
+    pos_ = next;
+  }
+
+  link_mm_.reserve(topo.links().size());
+  for (const LinkSpec& l : topo.links()) {
+    const Point& a = pos_[static_cast<std::size_t>(l.from_router)];
+    const Point& b = pos_[static_cast<std::size_t>(l.to_router)];
+    double mm = std::abs(a.x - b.x) + std::abs(a.y - b.y);
+    // A multi-drop medium must run past every tap, however close its two
+    // hub routers place: floor it at one die edge.
+    if (l.spans_die) mm = std::max(mm, edge_mm_);
+    link_mm_.push_back(mm);
+    total_mm_ += mm;
+    max_mm_ = std::max(max_mm_, mm);
+  }
+}
+
+const Floorplan::Point& Floorplan::router_position(int r) const {
+  return pos_.at(static_cast<std::size_t>(r));
+}
+
+double Floorplan::link_length_mm(std::size_t li) const {
+  return link_mm_.at(li);
+}
+
+void Topology::apply_physical(const LinkTimingModel& timing, double die_mm2) {
+  const Floorplan fp(*this, die_mm2);
+  for (std::size_t li = 0; li < links_.size(); ++li) {
+    const LinkTiming t = timing.evaluate(fp.link_length_mm(li));
+    links_[li].length_mm = fp.link_length_mm(li);
+    links_[li].extra_latency = t.extra_cycles;
+    links_[li].energy_pj_per_mm = t.energy_pj_per_mm;
+  }
+}
+
+}  // namespace soc::noc

@@ -1,0 +1,58 @@
+#include "soc/noc/link_timing.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "soc/tech/clock_model.hpp"
+#include "soc/tech/variation.hpp"
+#include "soc/tech/wire_model.hpp"
+
+namespace soc::noc {
+
+LinkTimingModel::LinkTimingModel(tech::ProcessNode node)
+    : LinkTimingModel(std::move(node), Config{}) {}
+
+LinkTimingModel::LinkTimingModel(tech::ProcessNode node, Config cfg)
+    : node_(std::move(node)), cfg_(cfg) {
+  if (cfg_.fo4_per_cycle <= 0.0) {
+    throw std::invalid_argument("LinkTimingModel: fo4_per_cycle must be > 0");
+  }
+  if (cfg_.critical_paths <= 0) {
+    throw std::invalid_argument("LinkTimingModel: critical_paths must be > 0");
+  }
+  if (cfg_.yield_target <= 0.0 || cfg_.yield_target >= 1.0) {
+    throw std::invalid_argument(
+        "LinkTimingModel: yield_target must be in (0, 1)");
+  }
+  const tech::ClockModel ck(node_);
+  nominal_period_ps_ = ck.period_ps(cfg_.fo4_per_cycle);
+  period_ps_ = cfg_.apply_guardband
+                   ? tech::period_for_yield(nominal_period_ps_,
+                                            tech::variation_for(node_),
+                                            cfg_.critical_paths,
+                                            cfg_.yield_target)
+                   : nominal_period_ps_;
+  const tech::WireModel wm(node_);
+  const tech::RepeatedWire unit = wm.repeated(1.0);
+  delay_per_mm_ps_ = unit.delay_per_mm_ps;
+  energy_pj_per_mm_ = unit.energy_pj_per_mm;
+}
+
+LinkTiming LinkTimingModel::evaluate(double length_mm) const noexcept {
+  LinkTiming t;
+  if (length_mm <= 0.0) {
+    t.energy_pj_per_mm = energy_pj_per_mm_;
+    return t;
+  }
+  t.delay_ps = delay_per_mm_ps_ * length_mm;
+  t.energy_pj_per_mm = energy_pj_per_mm_;
+  // Total traversal cycles = ceil(delay / period); the first one is the base
+  // link budget every hop already pays, the rest become pipeline stages.
+  const double cycles = std::ceil(t.delay_ps / period_ps_);
+  t.extra_cycles =
+      cycles > 1.0 ? static_cast<std::uint32_t>(cycles) - 1u : 0u;
+  return t;
+}
+
+}  // namespace soc::noc

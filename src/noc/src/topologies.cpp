@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "soc/noc/floorplan.hpp"
+
 namespace soc::noc {
 
 namespace {
@@ -11,6 +13,13 @@ int next_power_of_two(int n) {
   int p = 1;
   while (p < n) p *= 2;
   return p;
+}
+
+/// Applies the optional physical annotation a factory received.
+std::unique_ptr<Topology> with_physical(std::unique_ptr<Topology> topo,
+                                        const PhysicalSpec* phys) {
+  if (phys) topo->apply_physical(phys->timing, phys->die_mm2);
+  return topo;
 }
 
 /// Shared bus. Router layout: routers 0..N-1 are per-terminal network
@@ -28,7 +37,9 @@ class BusTopology final : public Topology {
       add_link(t, entry);
       add_link(exit, t);
     }
-    add_link(entry, exit, bandwidth);
+    // The shared medium is a physical multi-drop wire that spans the die to
+    // reach every tap, however the entry/exit hubs floorplan.
+    mark_spans_die(add_link(entry, exit, bandwidth));
     finalize();
   }
 };
@@ -156,37 +167,47 @@ const char* to_string(TopologyKind k) noexcept {
   return "?";
 }
 
-std::unique_ptr<Topology> make_bus(int terminals, double bandwidth) {
-  return std::make_unique<BusTopology>(terminals, bandwidth);
+std::unique_ptr<Topology> make_bus(int terminals, double bandwidth,
+                                   const PhysicalSpec* phys) {
+  return with_physical(std::make_unique<BusTopology>(terminals, bandwidth),
+                       phys);
 }
-std::unique_ptr<Topology> make_ring(int terminals) {
-  return std::make_unique<RingTopology>(terminals);
+std::unique_ptr<Topology> make_ring(int terminals, const PhysicalSpec* phys) {
+  return with_physical(std::make_unique<RingTopology>(terminals), phys);
 }
-std::unique_ptr<Topology> make_binary_tree(int terminals) {
-  return std::make_unique<TreeTopology>(terminals, /*fat=*/false);
+std::unique_ptr<Topology> make_binary_tree(int terminals,
+                                           const PhysicalSpec* phys) {
+  return with_physical(std::make_unique<TreeTopology>(terminals, /*fat=*/false),
+                       phys);
 }
-std::unique_ptr<Topology> make_fat_tree(int terminals) {
-  return std::make_unique<TreeTopology>(terminals, /*fat=*/true);
+std::unique_ptr<Topology> make_fat_tree(int terminals,
+                                        const PhysicalSpec* phys) {
+  return with_physical(std::make_unique<TreeTopology>(terminals, /*fat=*/true),
+                       phys);
 }
-std::unique_ptr<Topology> make_mesh(int terminals) {
-  return std::make_unique<GridTopology>(terminals, /*wrap=*/false);
+std::unique_ptr<Topology> make_mesh(int terminals, const PhysicalSpec* phys) {
+  return with_physical(std::make_unique<GridTopology>(terminals, /*wrap=*/false),
+                       phys);
 }
-std::unique_ptr<Topology> make_torus(int terminals) {
-  return std::make_unique<GridTopology>(terminals, /*wrap=*/true);
+std::unique_ptr<Topology> make_torus(int terminals, const PhysicalSpec* phys) {
+  return with_physical(std::make_unique<GridTopology>(terminals, /*wrap=*/true),
+                       phys);
 }
-std::unique_ptr<Topology> make_crossbar(int terminals) {
-  return std::make_unique<CrossbarTopology>(terminals);
+std::unique_ptr<Topology> make_crossbar(int terminals,
+                                        const PhysicalSpec* phys) {
+  return with_physical(std::make_unique<CrossbarTopology>(terminals), phys);
 }
 
-std::unique_ptr<Topology> make_topology(TopologyKind k, int terminals) {
+std::unique_ptr<Topology> make_topology(TopologyKind k, int terminals,
+                                        const PhysicalSpec* phys) {
   switch (k) {
-    case TopologyKind::kBus: return make_bus(terminals);
-    case TopologyKind::kRing: return make_ring(terminals);
-    case TopologyKind::kBinaryTree: return make_binary_tree(terminals);
-    case TopologyKind::kFatTree: return make_fat_tree(terminals);
-    case TopologyKind::kMesh2D: return make_mesh(terminals);
-    case TopologyKind::kTorus2D: return make_torus(terminals);
-    case TopologyKind::kCrossbar: return make_crossbar(terminals);
+    case TopologyKind::kBus: return make_bus(terminals, 1.0, phys);
+    case TopologyKind::kRing: return make_ring(terminals, phys);
+    case TopologyKind::kBinaryTree: return make_binary_tree(terminals, phys);
+    case TopologyKind::kFatTree: return make_fat_tree(terminals, phys);
+    case TopologyKind::kMesh2D: return make_mesh(terminals, phys);
+    case TopologyKind::kTorus2D: return make_torus(terminals, phys);
+    case TopologyKind::kCrossbar: return make_crossbar(terminals, phys);
   }
   throw std::invalid_argument("make_topology: unknown kind");
 }

@@ -1,5 +1,8 @@
 #pragma once
 
+#include <cstdint>
+
+#include "soc/noc/link_timing.hpp"
 #include "soc/platform/fppa.hpp"
 #include "soc/tech/process_node.hpp"
 
@@ -8,7 +11,11 @@ namespace soc::platform {
 /// Silicon cost estimate of an FPPA configuration at a process node.
 /// Drives the DSE objective functions (area/power axes of the paper's
 /// "quality of service, real-time response, power consumption, area"
-/// mapping constraints, Section 5.3).
+/// mapping constraints, Section 5.3). NoC area/power are physically
+/// derived: the interconnect is floorplanned on the die (see
+/// noc::Floorplan) and its wires priced per floorplanned mm, so
+/// wire-hungry topologies (crossbar, bus) pay their real deep-submicron
+/// cost instead of an abstract per-bandwidth constant.
 struct PlatformCost {
   double pe_area_mm2 = 0.0;
   double mem_area_mm2 = 0.0;
@@ -17,6 +24,31 @@ struct PlatformCost {
   double peak_dynamic_mw = 0.0;  ///< all PEs at 100% + NoC at 50% load
   double leakage_mw = 0.0;
   double mask_nre_usd = 0.0;
+  // --- physical-interconnect figures (from the floorplan) ---
+  /// Die area the NoC was floorplanned on: the caller's override, or the
+  /// logic area grossed up for whitespace/IO when auto-sized.
+  double die_mm2 = 0.0;
+  /// Total routed NoC wire length over all links, mm, weighted by link
+  /// bandwidth (a double-bandwidth link routes two 32-bit bundles).
+  double noc_wire_mm = 0.0;
+  /// Switching power of the NoC wires (links at 50% load), mW; included in
+  /// peak_dynamic_mw.
+  double noc_wire_mw = 0.0;
+  /// Clock/register power of the wire pipeline stages long links need, mW;
+  /// included in peak_dynamic_mw. Nonzero exactly where wire delay exceeds
+  /// one guardbanded clock — the silicon price of the nanometer wall.
+  double noc_pipeline_mw = 0.0;
+  /// Largest per-link extra_latency on the floorplanned interconnect.
+  std::uint32_t noc_max_extra_latency = 0;
+};
+
+/// Physical knobs of estimate_cost's floorplan stage.
+struct PhysicalCostConfig {
+  /// Fixed die area in mm^2; 0 auto-sizes the die from the logic area
+  /// (PEs + memories + routers) grossed up by 1/0.8 for whitespace/IO.
+  double die_mm2 = 0.0;
+  /// Wire-to-cycles conversion used for the pipeline-stage census.
+  noc::LinkTimingModel::Config link_timing{};
 };
 
 /// Transistor budget of one single-context embedded PE (RISC core +
@@ -27,7 +59,8 @@ inline constexpr double kPeMtx = 2.5;
 inline constexpr double kRouterMtx = 0.2;
 
 PlatformCost estimate_cost(const FppaConfig& cfg,
-                           const soc::tech::ProcessNode& node);
+                           const soc::tech::ProcessNode& node,
+                           const PhysicalCostConfig& phys = {});
 
 /// How many PEs of this class fit in a given die area at a node — the
 /// paper's "enough to theoretically place the logic of over one thousand

@@ -1,9 +1,11 @@
 #include "soc/platform/cost.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
 #include "soc/mem/mem_tech.hpp"
+#include "soc/noc/floorplan.hpp"
 #include "soc/noc/topologies.hpp"
 #include "soc/proc/multithread.hpp"
 #include "soc/tech/clock_model.hpp"
@@ -16,6 +18,31 @@ namespace {
 /// Transistor budget per router crosspoint (switch + buffer share),
 /// millions. A 5x5 mesh router at ~0.25 Mtx implies ~0.01 Mtx/crosspoint.
 constexpr double kCrosspointMtx = 0.01;
+
+/// Fraction of the auto-sized die occupied by placed logic; the rest is
+/// whitespace, I/O ring and power grid.
+constexpr double kDieUtilization = 0.8;
+
+/// NoC links are 32-bit flit channels; each data bit is one global wire.
+constexpr double kLinkBits = 32.0;
+
+/// Global-wire pitch in units of the drawn feature size (wire + spacing on
+/// a repeater-ready top metal layer).
+constexpr double kWirePitchFeatures = 8.0;
+
+/// Average toggle activity of a NoC wire relative to the 50%-loaded link
+/// clock (random payload toggles about half the bits of an occupied flit).
+constexpr double kWireActivity = 0.25;
+
+/// Transistors of one 32-bit wire pipeline stage (register bank + local
+/// clock buffering), millions.
+constexpr double kPipeStageMtx = 0.001;
+
+/// Switched capacitance of one 32-bit pipeline register bank per clock,
+/// relative to a hardwired datapath op (clock pins + internal nodes toggle
+/// every cycle regardless of data — pipelined global wires burn clock
+/// power even when idle).
+constexpr double kPipeStageOpFraction = 2.0;
 
 /// Bandwidth-weighted crosspoint count of the interconnect: for every
 /// router, (weighted in-degree) x (weighted out-degree). Captures why a
@@ -46,7 +73,8 @@ double weighted_crosspoints(const noc::Topology& topo) {
 }  // namespace
 
 PlatformCost estimate_cost(const FppaConfig& cfg,
-                           const soc::tech::ProcessNode& node) {
+                           const soc::tech::ProcessNode& node,
+                           const PhysicalCostConfig& phys) {
   PlatformCost c;
 
   // PEs: base core area from transistor budget, multiplied by the
@@ -61,28 +89,60 @@ PlatformCost estimate_cost(const FppaConfig& cfg,
       static_cast<std::uint64_t>(cfg.mem_words) * 32ULL, node);
   c.mem_area_mm2 = macro.area_mm2 * static_cast<double>(cfg.num_memories);
 
-  // NoC: bandwidth-weighted crosspoints of the actual topology, plus a
-  // wiring overhead that scales with total link bandwidth and wire pitch.
+  // NoC silicon, stage 1: bandwidth-weighted crosspoints of the topology.
   const auto topo = noc::make_topology(cfg.topology, cfg.terminal_count());
   const double xpoints = weighted_crosspoints(*topo);
-  const double wiring_mm2 =
-      topo->total_link_bandwidth() * 0.01 * (node.feature_nm / 90.0);
-  c.noc_area_mm2 =
-      xpoints * kCrosspointMtx / node.density_mtx_mm2 + wiring_mm2;
+  const double xpoint_mm2 = xpoints * kCrosspointMtx / node.density_mtx_mm2;
+
+  // Stage 2: size the die (logic area grossed up for whitespace, unless the
+  // caller fixed it), floorplan the router graph on it, and fold the
+  // resulting wire lengths through the tech timing model.
+  const double logic_mm2 = c.pe_area_mm2 + c.mem_area_mm2 + xpoint_mm2;
+  c.die_mm2 =
+      phys.die_mm2 > 0.0 ? phys.die_mm2 : logic_mm2 / kDieUtilization;
+  const noc::LinkTimingModel timing(node, phys.link_timing);
+  topo->apply_physical(timing, c.die_mm2);
+
+  // Stage 3: price the annotated links. A bandwidth-B link routes B 32-bit
+  // bundles, so area, switching power and pipeline registers all scale with
+  // bandwidth (fat-tree roots pay for their width in every currency).
+  const double pitch_mm = kWirePitchFeatures * node.feature_nm * 1e-6;
+  double wire_mm = 0.0;
+  double wire_pj_per_cycle = 0.0;  // at 50% link load, kWireActivity toggles
+  double pipe_stages = 0.0;        // 32-bit register banks, bandwidth-weighted
+  for (const noc::LinkSpec& l : topo->links()) {
+    wire_mm += l.bandwidth * l.length_mm;
+    wire_pj_per_cycle += 0.5 * kWireActivity * kLinkBits * l.bandwidth *
+                         l.energy_pj_per_mm * l.length_mm;
+    pipe_stages += l.bandwidth * static_cast<double>(l.extra_latency);
+    c.noc_max_extra_latency = std::max(c.noc_max_extra_latency,
+                                       l.extra_latency);
+  }
+  c.noc_wire_mm = wire_mm;
+  const double wiring_mm2 = wire_mm * kLinkBits * pitch_mm;
+  const double pipe_mm2 = pipe_stages * kPipeStageMtx / node.density_mtx_mm2;
+  c.noc_area_mm2 = xpoint_mm2 + wiring_mm2 + pipe_mm2;
 
   c.total_area_mm2 = c.pe_area_mm2 + c.mem_area_mm2 + c.noc_area_mm2;
 
   // Power: each PE at the ASIC clock retiring ~1 op/cycle at 100% duty,
-  // NoC routers at 50% switching activity.
+  // NoC routers at 50% switching activity. Wires and their pipeline
+  // registers switch at the NoC clock the stage census was computed at
+  // (timing's guardbanded period), not the PE clock.
   const soc::tech::EnergyModel em(node);
   const soc::tech::ClockModel ck(node);
   const double ghz = ck.asic_ghz();
+  const double noc_ghz = timing.clock_ghz();
   const double pe_op_pj =
       em.op_energy_pj(soc::tech::Fabric::kGeneralPurposeCpu);
+  c.noc_wire_mw = wire_pj_per_cycle * noc_ghz;  // pJ * GHz = mW
+  c.noc_pipeline_mw =
+      pipe_stages * kPipeStageOpFraction * em.hardwired_op_pj() * noc_ghz;
   c.peak_dynamic_mw =
-      pe_op_pj * ghz * static_cast<double>(cfg.num_pes)  // pJ * GHz = mW
+      pe_op_pj * ghz * static_cast<double>(cfg.num_pes)
       + 0.5 * em.hardwired_op_pj() * ghz *
-            static_cast<double>(topo->router_count());
+            static_cast<double>(topo->router_count())
+      + c.noc_wire_mw + c.noc_pipeline_mw;
   c.leakage_mw = em.leakage_mw_per_mm2() * c.total_area_mm2 +
                  macro.static_power_mw * static_cast<double>(cfg.num_memories);
   c.mask_nre_usd = node.mask_set_cost_usd;

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <utility>
+
 #include "soc/tech/process_node.hpp"
 
 namespace soc::tech {
@@ -14,7 +16,7 @@ class ClockModel {
   static constexpr double kAsicFo4 = 20.0;        ///< synthesized SoC logic
   static constexpr double kEfpgaFo4 = 60.0;       ///< mapped onto eFPGA fabric
 
-  explicit ClockModel(const ProcessNode& node) : node_(node) {}
+  explicit ClockModel(ProcessNode node) : node_(std::move(node)) {}
 
   double custom_ghz() const noexcept { return node_.clock_ghz(kCustomFo4); }
   double asic_ghz() const noexcept { return node_.clock_ghz(kAsicFo4); }
@@ -28,7 +30,8 @@ class ClockModel {
   const ProcessNode& node() const noexcept { return node_; }
 
  private:
-  const ProcessNode node_;
+  // Plain value (not const): keeps the model assignable/container-storable.
+  ProcessNode node_;
 };
 
 }  // namespace soc::tech

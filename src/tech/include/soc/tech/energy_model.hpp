@@ -1,5 +1,7 @@
 #pragma once
 
+#include <utility>
+
 #include "soc/tech/process_node.hpp"
 
 namespace soc::tech {
@@ -37,7 +39,7 @@ const FabricProfile& fabric_profile(Fabric f) noexcept;
 /// fabric's relative energy coefficient.
 class EnergyModel {
  public:
-  explicit EnergyModel(const ProcessNode& node) : node_(node) {}
+  explicit EnergyModel(ProcessNode node) : node_(std::move(node)) {}
 
   /// Dynamic energy of one hardwired-datapath operation, pJ.
   double hardwired_op_pj() const noexcept;
@@ -54,7 +56,8 @@ class EnergyModel {
   const ProcessNode& node() const noexcept { return node_; }
 
  private:
-  const ProcessNode node_;
+  // Plain value (not const): keeps the model assignable/container-storable.
+  ProcessNode node_;
 };
 
 }  // namespace soc::tech

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <utility>
+
 #include "soc/tech/process_node.hpp"
 
 namespace soc::tech {
@@ -19,7 +21,7 @@ struct RepeatedWire {
 /// six and ten clock cycles" (Section 6.1, citing Benini & De Micheli).
 class WireModel {
  public:
-  explicit WireModel(const ProcessNode& node) : node_(node) {}
+  explicit WireModel(ProcessNode node) : node_(std::move(node)) {}
 
   /// Elmore delay of an unrepeated distributed RC line of given length:
   /// t = 0.38 * r * c * L^2 (quadratic in length — the nanometer wall).
@@ -45,7 +47,9 @@ class WireModel {
   double tau0_ps() const noexcept { return node_.fo4_ps / 4.5; }
 
  private:
-  const ProcessNode node_;
+  // Plain value (not const): keeps the model copy- and move-assignable, so
+  // per-node sweeps can hold WireModels in containers.
+  ProcessNode node_;
 };
 
 }  // namespace soc::tech

@@ -2,6 +2,10 @@
 // quality ordering (A2), and DSE sweep/Pareto logic.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <set>
+#include <string>
+
 #include "soc/apps/graphs.hpp"
 #include "soc/core/dse.hpp"
 #include "soc/core/mapping.hpp"
@@ -441,6 +445,168 @@ TEST(Dse, RecordsTheMappingBehindEachPoint) {
   const auto cost =
       evaluate_mapping(g.replicated(2), platform, points[0].mapping);
   EXPECT_EQ(cost.objective, points[0].mapping_cost.objective);
+}
+
+// -------------------------------------------------- process-node DSE axis ---
+
+TEST(Dse, NodeAxisMultipliesTheCandidateSpace) {
+  DseSpace space;
+  space.nodes = {*tech::find_node("130nm"), *tech::find_node("65nm")};
+  space.pe_counts = {4, 8};
+  space.thread_counts = {2};
+  space.topologies = {noc::TopologyKind::kMesh2D};
+  space.fabrics = {Fabric::kAsip};
+  const auto cands = enumerate_candidates(space);
+  ASSERT_EQ(cands.size(), 4u);  // 2 nodes x 2 pe_counts
+  // Nodes are the outermost axis.
+  EXPECT_EQ(cands[0].node.name, "130nm");
+  EXPECT_EQ(cands[1].node.name, "130nm");
+  EXPECT_EQ(cands[2].node.name, "65nm");
+  EXPECT_EQ(cands[3].node.name, "65nm");
+  EXPECT_EQ(cands[0].num_pes, 4);
+  EXPECT_EQ(cands[1].num_pes, 8);
+}
+
+TEST(Dse, EmptyNodeAxisUsesTheFallbackNode) {
+  DseSpace space;
+  space.pe_counts = {4};
+  space.thread_counts = {2};
+  space.topologies = {noc::TopologyKind::kBus};
+  space.fabrics = {Fabric::kAsip};
+  const auto cands = enumerate_candidates(space, *tech::find_node("50nm"));
+  ASSERT_EQ(cands.size(), 1u);
+  EXPECT_EQ(cands[0].node.name, "50nm");
+}
+
+TEST(Dse, SweepRecordsEachCandidatesNode) {
+  DseSpace space;
+  space.nodes = {*tech::find_node("130nm"), *tech::find_node("65nm")};
+  space.pe_counts = {4};
+  space.thread_counts = {2};
+  space.topologies = {noc::TopologyKind::kMesh2D};
+  space.fabrics = {Fabric::kAsip};
+  AnnealConfig quick;
+  quick.iterations = 200;
+  const auto points =
+      run_dse(soc::apps::ipv4_task_graph(), space, tech::node_90nm(), {}, quick);
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_EQ(points[0].candidate.node.name, "130nm");
+  EXPECT_EQ(points[1].candidate.node.name, "65nm");
+  // Silicon shrinks and the mask set gets dearer with the node.
+  EXPECT_GT(points[0].silicon.total_area_mm2, points[1].silicon.total_area_mm2);
+  EXPECT_LT(points[0].silicon.mask_nre_usd, points[1].silicon.mask_nre_usd);
+}
+
+TEST(Dse, PhysicalFrontShiftsBetween130nmAnd65nm) {
+  // The acceptance experiment: the same design space swept at 130 nm and at
+  // 65 nm on the same fixed 225 mm^2 die must Pareto-select different
+  // platforms, and the shift must coincide with nonzero tech-derived wire
+  // latency at 65 nm (at 130 nm every wire still fits in one clock).
+  DseSpace space;
+  space.pe_counts = {4, 8, 16};
+  space.thread_counts = {2, 4};
+  space.topologies = {noc::TopologyKind::kBus, noc::TopologyKind::kMesh2D,
+                      noc::TopologyKind::kCrossbar};
+  space.fabrics = {Fabric::kAsip};
+  AnnealConfig ac;
+  ac.iterations = 2000;
+  DseConfig dc;
+  dc.die_mm2 = 225.0;
+  const auto graph = soc::apps::mjpeg_task_graph();
+
+  const auto front_of = [&](const char* node_name) {
+    DseSpace s = space;
+    s.nodes = {*tech::find_node(node_name)};
+    const auto points = run_dse(graph, s, tech::node_90nm(), {}, ac, dc);
+    std::set<std::string> front;
+    for (const auto& pt : points) {
+      if (!pt.pareto_optimal) continue;
+      front.insert(std::to_string(pt.candidate.num_pes) + "x" +
+                   std::to_string(pt.candidate.threads_per_pe) + " " +
+                   noc::to_string(pt.candidate.topology));
+    }
+    return front;
+  };
+  const auto front_130 = front_of("130nm");
+  const auto front_65 = front_of("65nm");
+  EXPECT_FALSE(front_130.empty());
+  EXPECT_FALSE(front_65.empty());
+  EXPECT_NE(front_130, front_65);
+
+  // The driver of the shift: at 65 nm the shared-medium topologies carry
+  // multi-cycle wires, at 130 nm none do.
+  for (const auto topo : space.topologies) {
+    DseCandidate cand{16, 4, topo, Fabric::kAsip, *tech::find_node("65nm")};
+    const auto p65 = make_candidate_platform(cand, dc);
+    cand.node = *tech::find_node("130nm");
+    const auto p130 = make_candidate_platform(cand, dc);
+    int extra65 = 0, extra130 = 0;
+    for (int a = 0; a < 16; ++a) {
+      for (int b = 0; b < 16; ++b) {
+        extra65 += p65.path_extra_cycles(a, b);
+        extra130 += p130.path_extra_cycles(a, b);
+      }
+    }
+    EXPECT_EQ(extra130, 0) << noc::to_string(topo);
+    if (topo != noc::TopologyKind::kMesh2D) {
+      EXPECT_GT(extra65, 0) << noc::to_string(topo);
+    }
+  }
+}
+
+TEST(Dse, MakeCandidatePlatformReproducesSweepCosts) {
+  // The stored mapping re-evaluated on the re-derived (physically
+  // annotated) platform must reproduce the sweep's recorded cost bit for
+  // bit — the contract platform_dse relies on to re-derive mappings.
+  DseSpace space;
+  space.pe_counts = {8};
+  space.thread_counts = {2};
+  space.topologies = {noc::TopologyKind::kCrossbar};
+  space.fabrics = {Fabric::kAsip};
+  space.nodes = {*tech::find_node("65nm")};
+  AnnealConfig quick;
+  quick.iterations = 300;
+  DseConfig dc;
+  dc.die_mm2 = 225.0;
+  const auto graph = soc::apps::mjpeg_task_graph();
+  const auto points = run_dse(graph, space, tech::node_90nm(), {}, quick, dc);
+  ASSERT_EQ(points.size(), 1u);
+  const PlatformDesc platform = make_candidate_platform(points[0].candidate, dc);
+  ASSERT_TRUE(platform.physical().has_value());
+  const int replicas = std::max(1, 8 / graph.node_count());
+  const auto work = replicas > 1 ? graph.replicated(replicas) : graph;
+  const auto cost = evaluate_mapping(work, platform, points[0].mapping);
+  EXPECT_EQ(cost.objective, points[0].mapping_cost.objective);
+  EXPECT_EQ(cost.energy_pj_per_item, points[0].mapping_cost.energy_pj_per_item);
+  EXPECT_EQ(cost.pipeline_latency, points[0].mapping_cost.pipeline_latency);
+}
+
+TEST(Dse, PhysicalLinksOffRecoversAbstractSweep) {
+  DseSpace space;
+  space.pe_counts = {4};
+  space.thread_counts = {2};
+  space.topologies = {noc::TopologyKind::kCrossbar};
+  space.fabrics = {Fabric::kAsip};
+  space.nodes = {*tech::find_node("65nm")};
+  DseConfig abstract;
+  abstract.physical_links = false;
+  abstract.die_mm2 = 225.0;
+  const auto platform =
+      make_candidate_platform(enumerate_candidates(space)[0], abstract);
+  EXPECT_FALSE(platform.physical().has_value());
+  for (int a = 0; a < 4; ++a) {
+    for (int b = 0; b < 4; ++b) {
+      EXPECT_EQ(platform.path_extra_cycles(a, b), 0);
+    }
+  }
+}
+
+TEST(Dse, RejectsNegativeDieArea) {
+  DseConfig bad;
+  bad.die_mm2 = -1.0;
+  EXPECT_THROW(run_dse(soc::apps::ipv4_task_graph(), DseSpace{},
+                       tech::node_90nm(), {}, {}, bad),
+               std::invalid_argument);
 }
 
 TEST(Dse, RejectsNegativeThreadCount) {

@@ -231,6 +231,60 @@ TEST(Dse, ValidateParetoPopulatesFrontOnly) {
   EXPECT_GE(validated, 1);
 }
 
+// ------------------------------------------------- physical link latency ---
+
+PlatformDesc physical_platform(int pes, noc::TopologyKind topo,
+                               const tech::ProcessNode& node, double die_mm2) {
+  return PlatformDesc(
+      std::vector<PeDesc>(static_cast<std::size_t>(pes),
+                          PeDesc{tech::Fabric::kGeneralPurposeCpu, 4}),
+      topo, node,
+      noc::PhysicalSpec{noc::LinkTimingModel(node), die_mm2});
+}
+
+TEST(MappingValidator, ReplayPicksUpNonzeroExtraLatency) {
+  // A crossbar at 65 nm on a big die carries multi-cycle wires; the replay
+  // must measure the longer packets flights the annotated topology imposes.
+  // (Before the physical chain existed, extra_latency was always 0 and this
+  // path was untestable.)
+  const auto g = chain(4, 400, 16);
+  const auto node = *tech::find_node("65nm");
+  const auto abstract = gp_platform(4, noc::TopologyKind::kCrossbar);
+  const auto physical =
+      physical_platform(4, noc::TopologyKind::kCrossbar, node, 225.0);
+  // The physical platform's matrices really carry wire stages.
+  int extra = 0;
+  for (int a = 0; a < 4; ++a) {
+    for (int b = 0; b < 4; ++b) extra += physical.path_extra_cycles(a, b);
+  }
+  ASSERT_GT(extra, 0);
+  const Mapping spread{0, 1, 2, 3};
+  const auto fast = validate_mapping_on_network(g, abstract, spread);
+  const auto slow = validate_mapping_on_network(g, physical, spread);
+  EXPECT_TRUE(slow.network_active);
+  EXPECT_GT(slow.avg_packet_latency, fast.avg_packet_latency);
+  // Per-edge means shift by at least the per-path wire stages.
+  for (std::size_t e = 0; e < slow.edges.size(); ++e) {
+    if (slow.edges[e].local) continue;
+    const int stages = physical.path_extra_cycles(slow.edges[e].src_pe,
+                                                  slow.edges[e].dst_pe);
+    EXPECT_GE(slow.edges[e].avg_latency_cycles,
+              fast.edges[e].avg_latency_cycles + stages);
+  }
+}
+
+TEST(MappingValidator, PhysicalReplayStaysDeterministic) {
+  const auto g = chain(4, 300, 12);
+  const auto node = *tech::find_node("50nm");
+  const auto p = physical_platform(4, noc::TopologyKind::kMesh2D, node, 225.0);
+  MappingValidator v(g, p, Mapping{0, 1, 2, 3});
+  const auto r1 = v.run();
+  const auto r2 = v.run();
+  EXPECT_EQ(r1.simulated_items_per_kcycle, r2.simulated_items_per_kcycle);
+  EXPECT_EQ(r1.avg_packet_latency, r2.avg_packet_latency);
+  EXPECT_EQ(r1.peak_link_utilization, r2.peak_link_utilization);
+}
+
 TEST(Dse, ValidatedSweepBitIdenticalAcrossThreadCounts) {
   DseSpace space;
   space.pe_counts = {4, 8};

@@ -1,0 +1,250 @@
+// Floorplan + link-timing chain: router placement geometry, the
+// wire-length -> cycles conversion across the process roadmap, and the
+// physical annotation the topology factories fold into LinkSpec.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "soc/noc/floorplan.hpp"
+#include "soc/noc/link_timing.hpp"
+#include "soc/noc/topologies.hpp"
+#include "soc/tech/process_node.hpp"
+
+namespace soc::noc {
+namespace {
+
+constexpr double kDie = 100.0;  // 10 mm x 10 mm
+
+std::vector<tech::ProcessNode> shrinking_roadmap() {
+  return {*tech::find_node("130nm"), *tech::find_node("90nm"),
+          *tech::find_node("65nm"), *tech::find_node("50nm"),
+          *tech::find_node("32nm")};
+}
+
+// ------------------------------------------------------------- Floorplan ---
+
+TEST(Floorplan, MeshLinksAreOnePitchEach) {
+  const auto topo = make_mesh(16);
+  const Floorplan fp(*topo, kDie);
+  EXPECT_DOUBLE_EQ(fp.die_edge_mm(), 10.0);
+  // 4x4 grid on a 10 mm edge: every neighbor link spans one 2.5 mm pitch.
+  for (std::size_t li = 0; li < topo->links().size(); ++li) {
+    EXPECT_NEAR(fp.link_length_mm(li), 2.5, 1e-12);
+  }
+  EXPECT_NEAR(fp.total_wire_mm(), 2.5 * static_cast<double>(topo->links().size()),
+              1e-9);
+}
+
+TEST(Floorplan, CrossbarOutwiresMeshAtSameDie) {
+  // The crossbar's star wiring must cost more total and more worst-case
+  // length than the mesh's neighbor wiring — the geometric fact behind the
+  // paper's nanometer wall.
+  const auto mesh = make_mesh(16);
+  const auto xbar = make_crossbar(16);
+  const Floorplan fm(*mesh, kDie);
+  const Floorplan fx(*xbar, kDie);
+  EXPECT_GT(fx.total_wire_mm(), fm.total_wire_mm());
+  EXPECT_GT(fx.max_link_mm(), 2.0 * fm.max_link_mm());
+  // Terminal-less crossbar core relaxes to the die center.
+  const auto& core = fx.router_position(16);
+  EXPECT_NEAR(core.x, 5.0, 1e-9);
+  EXPECT_NEAR(core.y, 5.0, 1e-9);
+}
+
+TEST(Floorplan, AllTopologiesPlaceRoutersOnDie) {
+  for (const TopologyKind k :
+       {TopologyKind::kBus, TopologyKind::kRing, TopologyKind::kBinaryTree,
+        TopologyKind::kFatTree, TopologyKind::kMesh2D, TopologyKind::kTorus2D,
+        TopologyKind::kCrossbar}) {
+    const auto topo = make_topology(k, 12);
+    const Floorplan fp(*topo, kDie);
+    for (int r = 0; r < topo->router_count(); ++r) {
+      const auto& p = fp.router_position(r);
+      EXPECT_GE(p.x, 0.0) << topo->name();
+      EXPECT_LE(p.x, fp.die_edge_mm()) << topo->name();
+      EXPECT_GE(p.y, 0.0) << topo->name();
+      EXPECT_LE(p.y, fp.die_edge_mm()) << topo->name();
+    }
+    EXPECT_GT(fp.total_wire_mm(), 0.0) << topo->name();
+  }
+}
+
+TEST(Floorplan, DeterministicAcrossRebuilds) {
+  const auto a = make_fat_tree(16);
+  const auto b = make_fat_tree(16);
+  const Floorplan fa(*a, kDie);
+  const Floorplan fb(*b, kDie);
+  ASSERT_EQ(a->links().size(), b->links().size());
+  for (std::size_t li = 0; li < a->links().size(); ++li) {
+    EXPECT_EQ(fa.link_length_mm(li), fb.link_length_mm(li));
+  }
+}
+
+TEST(Floorplan, RejectsNonPositiveDie) {
+  const auto topo = make_mesh(4);
+  EXPECT_THROW(Floorplan(*topo, 0.0), std::invalid_argument);
+  EXPECT_THROW(Floorplan(*topo, -1.0), std::invalid_argument);
+}
+
+// ------------------------------------------------------- LinkTimingModel ---
+
+TEST(LinkTiming, ZeroLengthCostsNothing) {
+  const LinkTimingModel m(tech::node_90nm());
+  const LinkTiming t = m.evaluate(0.0);
+  EXPECT_EQ(t.extra_cycles, 0u);
+  EXPECT_EQ(t.delay_ps, 0.0);
+  EXPECT_GT(t.energy_pj_per_mm, 0.0);
+}
+
+TEST(LinkTiming, ExtraCyclesMonotonicInLength) {
+  const LinkTimingModel m(*tech::find_node("50nm"));
+  std::uint32_t prev = 0;
+  bool grew = false;
+  for (double mm = 1.0; mm <= 40.0; mm += 1.0) {
+    const std::uint32_t e = m.evaluate(mm).extra_cycles;
+    EXPECT_GE(e, prev);
+    grew = grew || e > prev;
+    prev = e;
+  }
+  EXPECT_TRUE(grew);  // a 40 mm wire at 50 nm is well past one cycle
+}
+
+TEST(LinkTiming, GuardbandStretchesThePeriod) {
+  const auto node = *tech::find_node("65nm");
+  const LinkTimingModel guarded(node);
+  LinkTimingModel::Config raw;
+  raw.apply_guardband = false;
+  const LinkTimingModel nominal(node, raw);
+  EXPECT_GT(guarded.period_ps(), nominal.period_ps());
+  EXPECT_EQ(guarded.nominal_period_ps(), nominal.period_ps());
+}
+
+TEST(LinkTiming, RejectsBadConfig) {
+  LinkTimingModel::Config bad;
+  bad.fo4_per_cycle = 0.0;
+  EXPECT_THROW(LinkTimingModel(tech::node_90nm(), bad), std::invalid_argument);
+  bad = {};
+  bad.critical_paths = 0;
+  EXPECT_THROW(LinkTimingModel(tech::node_90nm(), bad), std::invalid_argument);
+  bad = {};
+  bad.yield_target = 1.0;
+  EXPECT_THROW(LinkTimingModel(tech::node_90nm(), bad), std::invalid_argument);
+}
+
+TEST(LinkTiming, ModelsAreContainerStorable) {
+  // The satellite fix behind the per-node sweep: tech models hold their
+  // node by (non-const) value, so they assign and live in vectors.
+  std::vector<LinkTimingModel> models;
+  for (const auto& node : shrinking_roadmap()) {
+    models.push_back(LinkTimingModel(node));
+  }
+  models[0] = models[1];  // assignable
+  EXPECT_EQ(models[0].node().name, models[1].node().name);
+}
+
+// ---------------------------------------------------- physical annotation ---
+
+std::uint32_t extra_sum(const Topology& topo) {
+  std::uint32_t s = 0;
+  for (const auto& l : topo.links()) s += l.extra_latency;
+  return s;
+}
+
+TEST(PhysicalAnnotation, FactoriesStayAbstractWithoutSpec) {
+  const auto topo = make_crossbar(16);
+  for (const auto& l : topo->links()) {
+    EXPECT_EQ(l.extra_latency, 0u);
+    EXPECT_EQ(l.length_mm, 0.0);
+    EXPECT_EQ(l.energy_pj_per_mm, 0.0);
+  }
+}
+
+TEST(PhysicalAnnotation, SpecFoldsLengthsAndEnergyIntoLinks) {
+  const PhysicalSpec phys{LinkTimingModel(*tech::find_node("65nm")), 225.0};
+  const auto topo = make_crossbar(16, &phys);
+  bool some_extra = false;
+  for (const auto& l : topo->links()) {
+    EXPECT_GT(l.length_mm, 0.0);
+    EXPECT_GT(l.energy_pj_per_mm, 0.0);
+    some_extra = some_extra || l.extra_latency > 0;
+  }
+  // Half-die star wires at 65 nm exceed one guardbanded clock.
+  EXPECT_TRUE(some_extra);
+}
+
+TEST(PhysicalAnnotation, AnnotationLeavesRoutingUntouched) {
+  const PhysicalSpec phys{LinkTimingModel(*tech::find_node("32nm")), 225.0};
+  const auto plain = make_mesh(12);
+  const auto placed = make_mesh(12, &phys);
+  for (int a = 0; a < 12; ++a) {
+    for (int b = 0; b < 12; ++b) {
+      EXPECT_EQ(plain->hops_between(static_cast<TerminalId>(a),
+                                    static_cast<TerminalId>(b)),
+                placed->hops_between(static_cast<TerminalId>(a),
+                                     static_cast<TerminalId>(b)));
+    }
+  }
+}
+
+TEST(PhysicalAnnotation, ExtraLatencyGrowsAsNodeShrinksAtFixedDie) {
+  // The nanometer wall, per topology: at a fixed 225 mm^2 die the same
+  // wires cost strictly more clock cycles at the end of the roadmap than
+  // at 130 nm, never fewer from one generation to the next.
+  for (const TopologyKind k : {TopologyKind::kBus, TopologyKind::kMesh2D,
+                               TopologyKind::kRing, TopologyKind::kCrossbar}) {
+    std::uint32_t prev = 0;
+    bool first = true;
+    std::uint32_t at_130 = 0, at_32 = 0;
+    for (const auto& node : shrinking_roadmap()) {
+      const PhysicalSpec phys{LinkTimingModel(node), 225.0};
+      const auto topo = make_topology(k, 16, &phys);
+      const std::uint32_t s = extra_sum(*topo);
+      if (first) {
+        at_130 = s;
+        first = false;
+      } else {
+        EXPECT_GE(s, prev) << to_string(k) << " at " << node.name;
+      }
+      at_32 = s;
+      prev = s;
+    }
+    EXPECT_GT(at_32, at_130) << to_string(k);
+  }
+}
+
+TEST(PhysicalAnnotation, BusMediumSpansTheDie) {
+  // The bus's entry/exit hubs both relax to the die center, but the shared
+  // medium is a multi-drop wire that must reach every tap: its floorplanned
+  // length is floored at one die edge, so the bus pays real deep-submicron
+  // wire cost instead of a 0 mm hub-to-hub stub.
+  const auto topo = make_bus(16);
+  const Floorplan fp(*topo, kDie);
+  bool found_medium = false;
+  for (std::size_t li = 0; li < topo->links().size(); ++li) {
+    if (!topo->links()[li].spans_die) continue;
+    found_medium = true;
+    EXPECT_GE(fp.link_length_mm(li), fp.die_edge_mm());
+  }
+  EXPECT_TRUE(found_medium);
+  // And the annotated medium carries extra cycles at deep-submicron nodes.
+  const PhysicalSpec phys{LinkTimingModel(*tech::find_node("65nm")), 225.0};
+  const auto placed = make_bus(16, 1.0, &phys);
+  for (const auto& l : placed->links()) {
+    if (l.spans_die) {
+      EXPECT_GT(l.extra_latency, 0u);
+    }
+  }
+}
+
+TEST(PhysicalAnnotation, MeshKeepsShorterWiresThanCrossbarAt65nm) {
+  const PhysicalSpec phys{LinkTimingModel(*tech::find_node("65nm")), 225.0};
+  const auto mesh = make_mesh(16, &phys);
+  const auto xbar = make_crossbar(16, &phys);
+  EXPECT_EQ(extra_sum(*mesh), 0u);   // one-pitch wires fit in a cycle
+  EXPECT_GT(extra_sum(*xbar), 0u);   // star wires do not
+}
+
+}  // namespace
+}  // namespace soc::noc

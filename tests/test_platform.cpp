@@ -370,6 +370,50 @@ TEST(Cost, MultithreadingCostsArea) {
             estimate_cost(st, node).pe_area_mm2 * 1.5);
 }
 
+TEST(Cost, PhysicalNocFiguresArePopulated) {
+  FppaConfig cfg;
+  cfg.num_pes = 16;
+  const auto node = soc::tech::node_90nm();
+  const auto c = estimate_cost(cfg, node);
+  EXPECT_GT(c.die_mm2, 0.0);
+  EXPECT_GE(c.die_mm2, c.pe_area_mm2 + c.mem_area_mm2);  // grossed-up logic
+  EXPECT_GT(c.noc_wire_mm, 0.0);
+  EXPECT_GT(c.noc_wire_mw, 0.0);
+  // Wire power is part of the dynamic total.
+  EXPECT_GT(c.peak_dynamic_mw, c.noc_wire_mw);
+}
+
+TEST(Cost, CrossbarWiresCostMoreThanMesh) {
+  FppaConfig mesh;
+  mesh.num_pes = 16;
+  mesh.topology = soc::noc::TopologyKind::kMesh2D;
+  FppaConfig xbar = mesh;
+  xbar.topology = soc::noc::TopologyKind::kCrossbar;
+  const auto node = soc::tech::node_90nm();
+  // Same die for both so the comparison is purely topological.
+  const PhysicalCostConfig same_die{100.0, {}};
+  const auto cm = estimate_cost(mesh, node, same_die);
+  const auto cx = estimate_cost(xbar, node, same_die);
+  EXPECT_GT(cx.noc_wire_mm, cm.noc_wire_mm);
+  EXPECT_GT(cx.noc_wire_mw, cm.noc_wire_mw);
+}
+
+TEST(Cost, FixedDiePipelineStagesAppearAtSmallNodes) {
+  // Same geometry, shrinking transistors: at 130 nm the floorplanned
+  // crossbar needs no wire pipelining, at 65 nm it does — and pays for it
+  // in dynamic power.
+  FppaConfig cfg;
+  cfg.num_pes = 16;
+  cfg.topology = soc::noc::TopologyKind::kCrossbar;
+  const PhysicalCostConfig big_die{225.0, {}};
+  const auto c130 = estimate_cost(cfg, *soc::tech::find_node("130nm"), big_die);
+  const auto c65 = estimate_cost(cfg, *soc::tech::find_node("65nm"), big_die);
+  EXPECT_EQ(c130.noc_max_extra_latency, 0u);
+  EXPECT_GE(c65.noc_max_extra_latency, 1u);
+  EXPECT_EQ(c130.noc_pipeline_mw, 0.0);
+  EXPECT_GT(c65.noc_pipeline_mw, 0.0);
+}
+
 TEST(Cost, PaperClaimThousandRiscAt100nm) {
   // Section 1: "over 100 million transistors - enough to theoretically
   // place the logic of over one thousand 32 bit RISC processors on a die".
