@@ -1,0 +1,29 @@
+#pragma once
+
+// Shared by the DSE benches: session-API equivalent of the retired run_dse
+// monolith — the default objective triple driven through the standard
+// DseSession pipeline. Same signature as the test suites' twin in
+// tests/dse_session_util.hpp (kept separate because the trees share no
+// include directory); change both together.
+
+#include <vector>
+
+#include "soc/core/dse_session.hpp"
+#include "soc/core/objective_space.hpp"
+
+namespace bench {
+
+inline std::vector<soc::core::DsePoint> run_session(
+    const soc::core::TaskGraph& graph, const soc::core::DseSpace& space,
+    const soc::tech::ProcessNode& node,
+    const soc::core::ObjectiveWeights& weights = {},
+    const soc::core::AnnealConfig& anneal = {},
+    const soc::core::DseConfig& config = {}) {
+  soc::core::DseSession session(
+      soc::core::DseProblem{graph, soc::core::ObjectiveSpace::default_space(),
+                            weights, node},
+      space, anneal, config);
+  return session.run();
+}
+
+}  // namespace bench

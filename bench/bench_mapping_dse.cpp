@@ -7,6 +7,8 @@
 #include "bench_util.hpp"
 #include "soc/apps/graphs.hpp"
 #include "soc/core/dse.hpp"
+#include "soc/core/dse_session.hpp"
+#include "soc/core/objective_space.hpp"
 #include "soc/core/validate.hpp"
 
 using namespace soc;
@@ -112,8 +114,12 @@ int main() {
   quick.iterations = 3'000;
   core::DseConfig dc;  // num_threads = 0: shard across every hardware core
   const auto t_dse = std::chrono::steady_clock::now();
-  auto points = core::run_dse(apps::mjpeg_task_graph(), space, tech::node_90nm(),
-                              {}, quick, dc);
+  core::DseSession session(
+      core::DseProblem{apps::mjpeg_task_graph(),
+                       core::ObjectiveSpace::default_space(), {},
+                       tech::node_90nm()},
+      space, quick, dc);
+  auto points = session.run();
   const double dse_ms = std::chrono::duration<double, std::milli>(
                             std::chrono::steady_clock::now() - t_dse)
                             .count();

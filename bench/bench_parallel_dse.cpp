@@ -6,9 +6,12 @@
 #include <chrono>
 #include <thread>
 
+#include "bench_dse_util.hpp"
 #include "bench_util.hpp"
 #include "soc/apps/graphs.hpp"
 #include "soc/core/dse.hpp"
+#include "soc/core/dse_session.hpp"
+#include "soc/core/objective_space.hpp"
 
 using namespace soc;
 
@@ -18,7 +21,7 @@ double run_timed(const core::TaskGraph& graph, const core::DseSpace& space,
                  const core::AnnealConfig& anneal, const core::DseConfig& config,
                  std::vector<core::DsePoint>& out) {
   const auto t0 = std::chrono::steady_clock::now();
-  out = core::run_dse(graph, space, tech::node_90nm(), {}, anneal, config);
+  out = bench::run_session(graph, space, tech::node_90nm(), {}, anneal, config);
   const auto t1 = std::chrono::steady_clock::now();
   return std::chrono::duration<double, std::milli>(t1 - t0).count();
 }

@@ -1,0 +1,142 @@
+// EvalContext topology reuse: meters (via noc::topology_build_stats) how
+// many router graphs a validated DSE sweep builds and floorplans under the
+// staged DseSession — exactly two per candidate, stage 2 adding zero — and
+// compares against the uncached replay path the retired run_dse monolith
+// took (rebuild workload + validator-internal rebuild: three extra builds
+// per validated Pareto point), with per-candidate evaluation and
+// per-point validation wall-clock for both. Emits BENCH_session_reuse.json.
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "soc/apps/graphs.hpp"
+#include "soc/core/dse_session.hpp"
+#include "soc/core/mapping_validator.hpp"
+#include "soc/core/objective_space.hpp"
+#include "soc/noc/topology.hpp"
+
+using namespace soc;
+
+namespace {
+
+double ms_since(const std::chrono::steady_clock::time_point& t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  bench::JsonReport json("session_reuse");
+
+  core::DseSpace space;
+  space.pe_counts = {4, 8, 16};
+  space.thread_counts = {2, 4};
+  space.topologies = {noc::TopologyKind::kBus, noc::TopologyKind::kMesh2D,
+                      noc::TopologyKind::kCrossbar};
+  space.fabrics = {tech::Fabric::kAsip};
+  space.nodes = {*tech::find_node("65nm")};  // real multi-cycle wires
+  core::AnnealConfig ac;
+  ac.iterations = 2'000;
+  core::DseConfig dc;
+  dc.die_mm2 = 225.0;
+  dc.validate_pareto = true;
+  const auto graph = apps::mjpeg_task_graph();
+
+  bench::title("R1", "Session sweep: topology builds metered end to end");
+  bench::note("EvalContext contract: one cost interconnect + one PE");
+  bench::note("interconnect per candidate, shared with the stage-2 replay");
+  bench::rule();
+
+  core::DseSession session(
+      core::DseProblem{graph, core::ObjectiveSpace::default_space(), {},
+                       tech::node_90nm()},
+      space, ac, dc);
+  noc::reset_topology_build_stats();
+  auto t0 = std::chrono::steady_clock::now();
+  session.evaluate();
+  const double eval_ms = ms_since(t0);
+  const auto stats_stage1 = noc::topology_build_stats();
+  session.front();
+  t0 = std::chrono::steady_clock::now();
+  session.validate();
+  const double validate_cached_ms = ms_since(t0);
+  const auto stats_total = noc::topology_build_stats();
+
+  const auto n = session.points().size();
+  const auto f = session.front_indices().size();
+  const auto builds = stats_total.builds;
+  const auto floorplans = stats_total.floorplans;
+  const auto stage2_builds = stats_total.builds - stats_stage1.builds;
+  std::printf("  %zu candidates, %zu validated front points\n", n, f);
+  std::printf("  stage 1: %llu builds, %llu floorplans (%.2f per candidate)\n",
+              static_cast<unsigned long long>(stats_stage1.builds),
+              static_cast<unsigned long long>(stats_stage1.floorplans),
+              static_cast<double>(stats_stage1.builds) /
+                  static_cast<double>(n));
+  std::printf("  stage 2: %llu additional builds (topology reuse)\n",
+              static_cast<unsigned long long>(stage2_builds));
+  std::printf("  per-candidate evaluation %.2f ms | cached validation "
+              "%.2f ms/point\n",
+              eval_ms / static_cast<double>(n),
+              f ? validate_cached_ms / static_cast<double>(f) : 0.0);
+  bench::rule();
+  const bool exactly_once = builds == 2 * n && floorplans == 2 * n &&
+                            stage2_builds == 0;
+  bench::verdict(exactly_once,
+                 "each candidate's interconnect is built/floorplanned "
+                 "exactly once across both stages");
+
+  bench::title("R2", "Before/after: the uncached replay path, re-measured");
+  bench::note("the retired monolith re-derived each Pareto point's workload");
+  bench::note("and let the validator rebuild its network: 3 builds per point");
+  bench::rule();
+
+  noc::reset_topology_build_stats();
+  t0 = std::chrono::steady_clock::now();
+  for (const std::size_t i : session.front_indices()) {
+    // What run_dse's stage 2 did per point: rebuild the whole candidate
+    // workload (cost + PE topologies), then hand the validator a platform
+    // it rebuilds its own network topology from.
+    const core::EvalContext fresh(graph, session.points()[i].candidate, dc);
+    core::MappingValidator validator(fresh.work(), fresh.platform(),
+                                     session.points()[i].mapping,
+                                     dc.validation);
+    (void)validator.run();
+  }
+  const double validate_uncached_ms = ms_since(t0);
+  const auto stats_uncached = noc::topology_build_stats();
+  std::printf("  uncached stage 2: %llu builds for %zu points | %.2f "
+              "ms/point (cached: %.2f)\n",
+              static_cast<unsigned long long>(stats_uncached.builds), f,
+              f ? validate_uncached_ms / static_cast<double>(f) : 0.0,
+              f ? validate_cached_ms / static_cast<double>(f) : 0.0);
+  bench::rule();
+  const bool uncached_rebuilds = stats_uncached.builds == 3 * f;
+  bench::verdict(uncached_rebuilds,
+                 "the uncached path really pays 3 extra builds per "
+                 "validated point (what EvalContext caching removes)");
+
+  json.add("candidates", static_cast<long long>(n));
+  json.add("front_points", static_cast<long long>(f));
+  json.add("session_builds", static_cast<long long>(builds));
+  json.add("session_floorplans", static_cast<long long>(floorplans));
+  json.add("session_stage2_builds", static_cast<long long>(stage2_builds));
+  json.add("builds_per_candidate",
+           static_cast<double>(builds) / static_cast<double>(n));
+  json.add("uncached_stage2_builds",
+           static_cast<long long>(stats_uncached.builds));
+  json.add("monolith_equivalent_builds",
+           static_cast<long long>(2 * n + 3 * f));
+  json.add("eval_ms_per_candidate", eval_ms / static_cast<double>(n));
+  json.add("validate_cached_ms_per_point",
+           f ? validate_cached_ms / static_cast<double>(f) : 0.0);
+  json.add("validate_uncached_ms_per_point",
+           f ? validate_uncached_ms / static_cast<double>(f) : 0.0);
+  json.add("builds_exactly_once", exactly_once);
+
+  json.write();
+  return exactly_once && uncached_rebuilds ? 0 : 1;
+}

@@ -9,9 +9,12 @@
 #include <cmath>
 #include <vector>
 
+#include "bench_dse_util.hpp"
 #include "bench_util.hpp"
 #include "soc/apps/graphs.hpp"
 #include "soc/core/dse.hpp"
+#include "soc/core/dse_session.hpp"
+#include "soc/core/objective_space.hpp"
 
 using namespace soc;
 
@@ -99,7 +102,7 @@ int main() {
   core::DseConfig dc;
   dc.validate_pareto = true;
   const auto t0 = std::chrono::steady_clock::now();
-  const auto points = core::run_dse(graph, space, node, {}, ac, dc);
+  const auto points = bench::run_session(graph, space, node, {}, ac, dc);
   const double total_ms = std::chrono::duration<double, std::milli>(
                               std::chrono::steady_clock::now() - t0)
                               .count();
@@ -150,7 +153,7 @@ int main() {
   bench::rule();
   core::DseConfig serial = dc;
   serial.num_threads = 1;
-  const auto points_serial = core::run_dse(graph, space, node, {}, ac, serial);
+  const auto points_serial = bench::run_session(graph, space, node, {}, ac, serial);
   const bool deterministic = same_sim_figures(points, points_serial);
   bench::verdict(deterministic,
                  "simulated figures bit-identical across thread counts");
@@ -162,7 +165,7 @@ int main() {
   bench::rule();
   core::DseConfig closed = dc;
   closed.validation.mode = noc::ReplayConfig::Mode::kClosedLoop;
-  const auto points_closed = core::run_dse(graph, space, node, {}, ac, closed);
+  const auto points_closed = bench::run_session(graph, space, node, {}, ac, closed);
   double open_best = 0.0, closed_best = 0.0;
   for (std::size_t i = 0; i < points.size(); ++i) {
     if (!points[i].validated) continue;

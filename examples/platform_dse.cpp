@@ -6,6 +6,7 @@
 //   ./build/examples/platform_dse [ipv4|mjpeg|wlan] [anneal_iters] [threads]
 //                                 [--mapper <name>] [--validate]
 //                                 [--nodes 130,90,65] [--die-mm2 <area>]
+//                                 [--objectives tput,area,power,energy]
 //
 // `threads` shards the sweep: 0 (default) uses every hardware core, 1 runs
 // serially. The points are bit-identical either way. `--mapper` picks any
@@ -20,6 +21,9 @@
 // `--die-mm2` fixes the floorplan die area (default: auto-sized per
 // candidate from its logic area) — fix it to compare nodes on the same
 // geometry, the paper's nanometer-wall experiment.
+// `--objectives` picks the Pareto-dominance axes by registered name
+// (default tput,area,power; add `energy` for the energy-per-item
+// frontier). The sweep itself runs through the staged DseSession API.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -29,7 +33,9 @@
 
 #include "soc/apps/graphs.hpp"
 #include "soc/core/dse.hpp"
+#include "soc/core/dse_session.hpp"
 #include "soc/core/mapper.hpp"
+#include "soc/core/objective_space.hpp"
 #include "soc/core/validate.hpp"
 
 using namespace soc;
@@ -74,6 +80,7 @@ std::vector<tech::ProcessNode> parse_nodes(const char* list) {
 
 int main(int argc, char** argv) {
   std::string mapper_name = "anneal";
+  std::string objective_names = "tput,area,power";
   bool validate = false;
   std::vector<tech::ProcessNode> nodes;
   double die_mm2 = 0.0;
@@ -91,6 +98,17 @@ int main(int argc, char** argv) {
         return 2;
       }
       mapper_name = argv[++i];
+    } else if (!std::strcmp(argv[i], "--objectives")) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--objectives needs a comma-separated list; "
+                             "registered:");
+        for (const auto& n : core::registered_objectives()) {
+          std::fprintf(stderr, " %s", n.c_str());
+        }
+        std::fprintf(stderr, "\n");
+        return 2;
+      }
+      objective_names = argv[++i];
     } else if (!std::strcmp(argv[i], "--nodes")) {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "--nodes needs a comma-separated list (e.g. "
@@ -118,6 +136,13 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, " %s", n.c_str());
     }
     std::fprintf(stderr, "\n");
+    return 2;
+  }
+  core::ObjectiveSpace objectives;
+  try {
+    objectives = core::ObjectiveSpace::from_names(objective_names);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "bad --objectives: %s\n", e.what());
     return 2;
   }
   const char* which = positional.size() > 0 ? positional[0] : "mjpeg";
@@ -152,18 +177,25 @@ int main(int argc, char** argv) {
   const auto& node = tech::node_90nm();
   auto points = [&] {
     try {
-      return core::run_dse(graph, space, node, {}, ac, dc);
+      // Staged session: enumerate -> evaluate -> front (-> validate). run()
+      // drives the standard pipeline; the objective space picks the
+      // dominance axes the front is marked over.
+      core::DseSession session(
+          core::DseProblem{graph, objectives, {}, node}, space, ac, dc);
+      return session.run();
     } catch (const std::invalid_argument& e) {
       std::fprintf(stderr, "bad DSE inputs: %s\n", e.what());
       std::exit(2);
     }
   }();
   if (nodes.empty()) {
-    std::printf("\n%zu candidates at %s (mapper: %s", points.size(),
-                node.name.c_str(), mapper_name.c_str());
+    std::printf("\n%zu candidates at %s (objectives: %s, mapper: %s",
+                points.size(), node.name.c_str(),
+                objectives.names().c_str(), mapper_name.c_str());
   } else {
-    std::printf("\n%zu candidates over %zu nodes (mapper: %s", points.size(),
-                nodes.size(), mapper_name.c_str());
+    std::printf("\n%zu candidates over %zu nodes (objectives: %s, mapper: %s",
+                points.size(), nodes.size(), objectives.names().c_str(),
+                mapper_name.c_str());
   }
   if (die_mm2 > 0.0) {
     std::printf(", die fixed at %.0f mm2):\n", die_mm2);

@@ -1,7 +1,11 @@
 #pragma once
 
 /// \file
-/// Two-stage design-space exploration: analytic sweep plus NoC validation.
+/// Design-space exploration value types (candidates, axes, points, config)
+/// and the deprecated monolithic entry points. The exploration engine
+/// itself lives in dse_session.hpp (DseProblem + DseSession: staged
+/// execution, pluggable dominance objectives, per-candidate topology
+/// reuse); run_dse / mark_pareto_front remain as thin shims over it.
 
 #include <string>
 #include <vector>
@@ -58,7 +62,9 @@ struct DsePoint {
   double throughput_per_kcycle = 0.0;
   /// mW burned per unit throughput (efficiency axis).
   double mw_per_throughput = 0.0;
-  /// Set by mark_pareto_front: not dominated on (throughput, area, power).
+  /// Set by the dominance pass (DseSession::front / ObjectiveSpace::
+  /// mark_front): not dominated over the session's objective axes — the
+  /// default space is the (tput, area, power) triple.
   bool pareto_optimal = false;
 
   // --- second-stage (simulation-validated) figures; populated only when
@@ -132,31 +138,40 @@ std::vector<DseCandidate> enumerate_candidates(
 PlatformDesc make_candidate_platform(const DseCandidate& cand,
                                      const DseConfig& config = {});
 
+/// \deprecated Construct a DseSession (dse_session.hpp) instead — it adds
+/// staged execution, pluggable dominance objectives (including the energy
+/// axis this fixed signature cannot express), a streaming point observer,
+/// and single-build topology reuse across both stages. This shim builds a
+/// session over the default (tput, area, power) objective triple and runs
+/// the standard pipeline; it is regression-tested bit-exact against that
+/// session at every thread count.
+///
 /// Sweeps the design space, mapping `graph` onto each candidate with the
 /// configured mapper, and evaluates silicon cost at each candidate's node
-/// (`node` serves as the single node when space.nodes is empty). This is
-/// the "rapid exploration and optimization" loop the paper says the DSOC
-/// properties enable (end of Section 7.2). With config.validate_pareto the
-/// sweep runs a second stage that replays each Pareto point's mapped traffic
-/// on the contention-aware NoC simulator (analytic sweep → Pareto front →
-/// simulation-validated refinement); with config.physical_links (the
-/// default) both stages price the floorplanned wire lengths of every
-/// candidate's interconnect at its node.
-///
-/// Inputs are validated up front: every DseSpace axis must be non-empty with
-/// strictly positive PE/thread counts (nodes may be empty = single-node
-/// sweep), and config.num_threads must be >= 0; violations throw
-/// std::invalid_argument naming the offending field.
+/// (`node` serves as the single node when space.nodes is empty). With
+/// config.validate_pareto the sweep replays each Pareto point's mapped
+/// traffic on the contention-aware NoC simulator; with
+/// config.physical_links (the default) both stages price the floorplanned
+/// wire lengths of every candidate's interconnect at its node. Inputs are
+/// validated up front; violations throw std::invalid_argument naming the
+/// offending field.
+[[deprecated("use DseSession (soc/core/dse_session.hpp)")]]
 std::vector<DsePoint> run_dse(const TaskGraph& graph, const DseSpace& space,
                               const tech::ProcessNode& node,
                               const ObjectiveWeights& weights = {},
                               const AnnealConfig& anneal = {},
                               const DseConfig& config = {});
 
+/// \deprecated Use ObjectiveSpace::mark_front (objective_space.hpp), which
+/// ranks over any registered axis set; this shim marks the front over the
+/// default (tput, area, power) triple, bit-exact with its historical
+/// behavior.
+///
 /// Marks (and returns indices of) the Pareto front over
 /// (throughput max, area min, power min). The all-pairs dominance pass is
 /// sharded per point under the same config; the flag and index vector it
 /// produces do not depend on thread count.
+[[deprecated("use ObjectiveSpace::mark_front (soc/core/objective_space.hpp)")]]
 std::vector<std::size_t> mark_pareto_front(std::vector<DsePoint>& points,
                                            const DseConfig& config = {});
 

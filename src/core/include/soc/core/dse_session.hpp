@@ -1,0 +1,213 @@
+#pragma once
+
+/// \file
+/// Session-oriented design-space exploration: DseProblem + DseSession with
+/// staged execution (enumerate → evaluate → front → validate), pluggable
+/// dominance objectives (ObjectiveSpace), a streaming point observer, and a
+/// per-candidate EvalContext that builds, floorplans, and BFS-routes each
+/// candidate's interconnect exactly once across both exploration stages.
+/// Supersedes the monolithic run_dse free function (kept as a deprecated
+/// shim in dse.hpp, asserted bit-exact against the session).
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "soc/core/dse.hpp"
+#include "soc/core/mapper.hpp"
+#include "soc/core/objective_space.hpp"
+
+namespace soc::core {
+
+/// What a DSE session explores: the application, the dominance objectives,
+/// and the scalarization weights the mappers optimize under. The design
+/// space itself (DseSpace) and the execution knobs (AnnealConfig/DseConfig)
+/// are passed to the session separately — the problem is what you solve,
+/// the space and config are how.
+struct DseProblem {
+  /// Application task graph (replicated per candidate onto larger pools).
+  TaskGraph graph;
+  /// Dominance axes the front is marked over; defaults to the historical
+  /// (tput, area, power) triple. Add "energy" for the energy frontier.
+  ObjectiveSpace objectives = ObjectiveSpace::default_space();
+  /// Scalarized mapping-objective weights every candidate is mapped under.
+  ObjectiveWeights weights{};
+  /// Process node candidates are evaluated at when DseSpace::nodes is empty.
+  tech::ProcessNode node = tech::node_90nm();
+};
+
+/// Everything one candidate's evaluation needs, built exactly once: the
+/// silicon estimate (estimate_cost fed the cost interconnect this context
+/// builds), the annotated PE topology (built + floorplanned once, shared
+/// between the PlatformDesc matrices the stage-1 mapper scores against and
+/// the stage-2 MappingValidator replay via take_topology()), the platform
+/// view, and the replicated work graph. Constructing one performs exactly
+/// two noc::Topology builds (cost + PE interconnect) and at most two
+/// floorplans — the monolithic pipeline performed up to five per validated
+/// Pareto point (see noc::topology_build_stats for the counters that prove
+/// it).
+class EvalContext {
+ public:
+  /// Builds the full context for `candidate` under `config`. Throws
+  /// std::invalid_argument on an empty task graph.
+  EvalContext(const TaskGraph& graph, const DseCandidate& candidate,
+              const DseConfig& config);
+
+  /// The candidate this context evaluates.
+  const DseCandidate& candidate() const noexcept { return cand_; }
+  /// Silicon estimate (also the source of the floorplan's die area).
+  const platform::PlatformCost& silicon() const noexcept { return silicon_; }
+  /// Platform view over the shared annotated topology.
+  const PlatformDesc& platform() const noexcept { return *platform_; }
+  /// The (possibly replicated) task graph this candidate is scored on.
+  const TaskGraph& work() const noexcept { return *work_; }
+  /// Stream replicas the work graph carries (num_pes / |graph|, >= 1).
+  int replicas() const noexcept { return replicas_; }
+
+  /// Hands the annotated PE topology to the stage-2 replay (noc::Network
+  /// takes ownership). Null after the first call — the instance exists
+  /// exactly once; late consumers fall back to
+  /// PlatformDesc::build_topology(), which reproduces it bit-identically.
+  std::unique_ptr<noc::Topology> take_topology() noexcept {
+    return std::move(topo_);
+  }
+  /// True until take_topology() surrenders the shared instance.
+  bool has_topology() const noexcept { return topo_ != nullptr; }
+
+ private:
+  DseCandidate cand_;
+  platform::PlatformCost silicon_;
+  std::unique_ptr<noc::Topology> topo_;
+  int replicas_ = 1;
+  std::optional<TaskGraph> work_;       // engaged by the constructor
+  std::optional<PlatformDesc> platform_;  // engaged by the constructor
+};
+
+/// A design-space exploration run with staged execution. The stages —
+/// enumerate() → evaluate() → front() → validate() — run at most once each,
+/// auto-run their prerequisites, and cache their results; run() drives the
+/// standard pipeline in one call. Between stages the caller owns the pace:
+/// inspect points(), re-rank externally, or skip validation entirely.
+///
+/// Candidates are independent, so evaluate() and validate() shard across a
+/// thread pool (DseConfig::num_threads); each candidate's mapper RNG is
+/// seeded by a stateless hash of (anneal.seed, candidate index), and the
+/// validator is RNG-free, so every figure the session produces is
+/// bit-identical at any thread count.
+///
+/// The session owns one EvalContext per candidate: the annotated topology a
+/// candidate was mapped against in stage 1 is the very instance its stage-2
+/// replay simulates — nothing is rebuilt or re-floorplanned between stages.
+/// The contexts stay inspectable (context()) for the session's lifetime, so
+/// memory is O(candidates x pe_count^2) rather than the monolith's
+/// O(worker threads) — a few KB per candidate at the repo's sweep sizes;
+/// destroy the session (the run_dse shim's is a temporary) to release it.
+class DseSession {
+ public:
+  /// Which stage produced the point an observer receives.
+  enum class Stage {
+    kEvaluated,  ///< stage 1: analytic figures just computed
+    kValidated,  ///< stage 2: sim_* figures just measured
+  };
+
+  /// Streaming point observer (see on_point).
+  using PointObserver = std::function<void(const DsePoint&, Stage)>;
+
+  /// Validates every input up front — config (including the ValidatorConfig
+  /// knobs when config.validate_pareto is set), space axes, non-empty graph
+  /// and objective set, registered mapper — throwing std::invalid_argument
+  /// naming the offending field before any work is done.
+  DseSession(DseProblem problem, DseSpace space, AnnealConfig anneal = {},
+             DseConfig config = {});
+
+  DseSession(const DseSession&) = delete;             ///< non-copyable
+  DseSession& operator=(const DseSession&) = delete;  ///< non-copyable
+
+  /// Installs a streaming observer invoked once per point as its stage
+  /// completes — the publication hook distributed sweeps use to stream
+  /// points through the dsoc broker/skeleton layer instead of waiting for
+  /// one flat vector. Calls are serialized (never concurrent), from worker
+  /// threads, in completion order: nondeterministic under num_threads != 1,
+  /// sweep order when serial. Install before evaluate().
+  void on_point(PointObserver observer);
+
+  /// Stage 0: enumerates the cartesian candidate space in sweep order
+  /// (nodes outermost, fabrics innermost; problem.node when space.nodes is
+  /// empty).
+  const std::vector<DseCandidate>& enumerate();
+
+  /// Stage 1: maps and scores every candidate with the configured mapper
+  /// (analytic hop-matrix figures + silicon estimate), building each
+  /// candidate's EvalContext exactly once. Returns the points, sweep order.
+  const std::vector<DsePoint>& evaluate();
+
+  /// Marks the Pareto front over problem.objectives and returns the front's
+  /// ascending point indices.
+  const std::vector<std::size_t>& front();
+
+  /// Stage 2: replays each front point's mapping on the event-driven NoC
+  /// (MappingValidator) — on the same topology instance stage 1 mapped
+  /// against — and records the sim_* figures. Runs when called, whether or
+  /// not config.validate_pareto is set (the flag only steers run()); since
+  /// an explicit call arms the replay knobs the constructor may not have
+  /// policed, they are re-checked here, throwing std::invalid_argument
+  /// naming the field.
+  const std::vector<DsePoint>& validate();
+
+  /// The standard pipeline: evaluate(), front(), then validate() when
+  /// config.validate_pareto is set. Returns a copy of the points (the
+  /// session keeps its own, so staged inspection still works afterwards).
+  std::vector<DsePoint> run();
+
+  /// The problem under exploration.
+  const DseProblem& problem() const noexcept { return problem_; }
+  /// The swept design space.
+  const DseSpace& space() const noexcept { return space_; }
+  /// Mapper knobs (iteration budget, temperatures, seed).
+  const AnnealConfig& anneal() const noexcept { return anneal_; }
+  /// Execution knobs.
+  const DseConfig& config() const noexcept { return config_; }
+  /// Points so far (empty before evaluate()).
+  const std::vector<DsePoint>& points() const noexcept { return points_; }
+  /// Front indices (empty before front()).
+  const std::vector<std::size_t>& front_indices() const noexcept {
+    return front_;
+  }
+  /// Cached evaluation context of candidate `i` (bounds-checked); valid
+  /// after evaluate().
+  const EvalContext& context(std::size_t i) const { return *contexts_.at(i); }
+
+  /// True once enumerate() has run.
+  bool enumerated() const noexcept { return enumerated_; }
+  /// True once evaluate() has run.
+  bool evaluated() const noexcept { return evaluated_; }
+  /// True once front() has run.
+  bool front_marked() const noexcept { return front_marked_; }
+  /// True once validate() has run.
+  bool validated() const noexcept { return validated_; }
+
+ private:
+  /// Serialized observer dispatch (no-op without an observer).
+  void notify(const DsePoint& point, Stage stage);
+
+  DseProblem problem_;
+  DseSpace space_;
+  AnnealConfig anneal_;
+  DseConfig config_;
+  std::unique_ptr<Mapper> mapper_;  ///< resolved once; stateless, shared
+  PointObserver observer_;
+  std::mutex observer_mu_;
+  std::vector<DseCandidate> candidates_;
+  std::vector<std::unique_ptr<EvalContext>> contexts_;
+  std::vector<DsePoint> points_;
+  std::vector<std::size_t> front_;
+  bool enumerated_ = false;
+  bool evaluated_ = false;
+  bool front_marked_ = false;
+  bool validated_ = false;
+};
+
+}  // namespace soc::core

@@ -43,6 +43,18 @@ class PlatformDesc {
                const tech::ProcessNode& node,
                std::optional<noc::PhysicalSpec> phys = std::nullopt);
 
+  /// Same platform view computed from a caller-built topology instead of
+  /// instantiating a fresh one: `prebuilt` must be the `topology` family
+  /// over exactly pes.size() terminals, already physically annotated when
+  /// `phys` is present — i.e. what build_topology() would produce. The DSE
+  /// EvalContext builds that instance once and shares it between these
+  /// matrices and the stage-2 NoC replay. Throws std::invalid_argument when
+  /// `pes` is empty or the terminal count does not match.
+  PlatformDesc(std::vector<PeDesc> pes, noc::TopologyKind topology,
+               const tech::ProcessNode& node,
+               std::optional<noc::PhysicalSpec> phys,
+               const noc::Topology& prebuilt);
+
   /// Number of PEs (== NoC terminals).
   int pe_count() const noexcept { return static_cast<int>(pes_.size()); }
   /// Descriptor of PE `i` (bounds-checked).
@@ -81,6 +93,10 @@ class PlatformDesc {
   std::unique_ptr<noc::Topology> build_topology() const;
 
  private:
+  /// Walks every routed path of `topo` once, filling the hop/extra/wire
+  /// matrices and the pair averages (shared by both constructors).
+  void build_matrices(const noc::Topology& topo);
+
   std::vector<PeDesc> pes_;
   noc::TopologyKind topology_;
   tech::ProcessNode node_;

@@ -4,6 +4,7 @@
 /// Simulation-in-the-loop mapping validation on the event-driven NoC.
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "soc/core/mapping.hpp"
@@ -114,6 +115,18 @@ class MappingValidator {
   MappingValidator(const TaskGraph& graph, const PlatformDesc& platform,
                    Mapping mapping, ValidatorConfig cfg = {});
 
+  /// Same validator fed a caller-built topology for the replay network
+  /// instead of rebuilding one from the platform: `prebuilt` must match the
+  /// platform (what PlatformDesc::build_topology() would produce — same
+  /// family, terminal count and physical annotation; the terminal count is
+  /// checked, throwing std::invalid_argument on mismatch). The first run()
+  /// consumes the instance; later runs fall back to build_topology(), which
+  /// is deterministic, so reports stay identical. The DSE session uses this
+  /// to replay stage 2 on the very topology stage 1 mapped against.
+  MappingValidator(const TaskGraph& graph, const PlatformDesc& platform,
+                   Mapping mapping, ValidatorConfig cfg,
+                   std::unique_ptr<noc::Topology> prebuilt);
+
   /// Runs warmup + measurement and returns the report. Deterministic:
   /// repeated calls return identical reports.
   ValidationReport run();
@@ -128,6 +141,9 @@ class MappingValidator {
   const PlatformDesc* platform_;
   Mapping mapping_;
   ValidatorConfig cfg_;
+  /// Caller-built replay topology; consumed by the first run() that
+  /// simulates (null afterwards, and always null without the prebuilt ctor).
+  std::unique_ptr<noc::Topology> prebuilt_;
   sim::EventQueue queue_;  ///< reset + reused across run() calls
 };
 

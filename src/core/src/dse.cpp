@@ -1,12 +1,12 @@
 #include "soc/core/dse.hpp"
 
-#include <algorithm>
-#include <cstdint>
 #include <sstream>
 #include <string>
+#include <utility>
 
-#include "soc/core/mapper.hpp"
-#include "soc/sim/parallel.hpp"
+#include "dse_internal.hpp"
+#include "soc/core/dse_session.hpp"
+#include "soc/core/objective_space.hpp"
 
 namespace soc::core {
 
@@ -25,122 +25,11 @@ platform::PlatformCost candidate_cost(const DseCandidate& cand,
       platform::PhysicalCostConfig{config.die_mm2, config.link_timing});
 }
 
-/// The concrete workload one candidate is scored on: platform view plus the
-/// (possibly replicated) task graph and the silicon estimate its die came
-/// from. Shared by the analytic stage and the simulation-validation stage
-/// so both see the same work on the same annotated interconnect.
-struct CandidateWorkload {
-  PlatformDesc platform;
-  TaskGraph work;
-  int replicas;
-  platform::PlatformCost silicon;
-};
-
-PlatformDesc build_platform(const DseCandidate& cand, const DseConfig& config,
-                            const platform::PlatformCost& silicon) {
-  std::vector<PeDesc> pe_descs(static_cast<std::size_t>(cand.num_pes),
-                               PeDesc{cand.pe_fabric, cand.threads_per_pe});
-  std::optional<noc::PhysicalSpec> phys;
-  if (config.physical_links) {
-    phys.emplace(noc::PhysicalSpec{
-        noc::LinkTimingModel(cand.node, config.link_timing),
-        silicon.die_mm2});
-  }
-  return PlatformDesc(std::move(pe_descs), cand.topology, cand.node,
-                      std::move(phys));
-}
-
-CandidateWorkload build_workload(const TaskGraph& graph,
-                                 const DseCandidate& cand,
-                                 const DseConfig& config) {
-  platform::PlatformCost silicon = candidate_cost(cand, config);
-  // Larger platforms host data-parallel stream replicas: one graph
-  // instance per |graph| PEs, at least one.
-  const int replicas = std::max(1, cand.num_pes / graph.node_count());
-  return CandidateWorkload{
-      build_platform(cand, config, silicon),
-      replicas > 1 ? graph.replicated(replicas) : TaskGraph(graph), replicas,
-      std::move(silicon)};
-}
-
-void validate_space(const DseSpace& space) {
-  if (space.pe_counts.empty()) {
-    throw std::invalid_argument("DseSpace: pe_counts axis is empty");
-  }
-  if (space.thread_counts.empty()) {
-    throw std::invalid_argument("DseSpace: thread_counts axis is empty");
-  }
-  if (space.topologies.empty()) {
-    throw std::invalid_argument("DseSpace: topologies axis is empty");
-  }
-  if (space.fabrics.empty()) {
-    throw std::invalid_argument("DseSpace: fabrics axis is empty");
-  }
-  for (const int p : space.pe_counts) {
-    if (p <= 0) {
-      throw std::invalid_argument(
-          "DseSpace: pe_counts entries must be positive, got " +
-          std::to_string(p));
-    }
-  }
-  for (const int t : space.thread_counts) {
-    if (t <= 0) {
-      throw std::invalid_argument(
-          "DseSpace: thread_counts entries must be positive, got " +
-          std::to_string(t));
-    }
-  }
-}
-
-void validate_config(const DseConfig& config) {
-  if (config.num_threads < 0) {
-    throw std::invalid_argument(
-        "DseConfig: num_threads must be >= 0 (0 = all cores), got " +
-        std::to_string(config.num_threads));
-  }
-  if (config.die_mm2 < 0.0) {
-    throw std::invalid_argument(
-        "DseConfig: die_mm2 must be >= 0 (0 = auto-size), got " +
-        std::to_string(config.die_mm2));
-  }
-}
-
-/// Maps and costs one candidate. Pure function of its arguments (the rng
-/// carries this candidate's derived stream), so candidates can be evaluated
-/// on any thread in any order.
-DsePoint evaluate_candidate(const TaskGraph& graph, const DseCandidate& cand,
-                            const DseConfig& config,
-                            const ObjectiveWeights& weights,
-                            const Mapper& mapper, sim::Rng& rng) {
-  CandidateWorkload wl = build_workload(graph, cand, config);
-  const PlatformDesc& platform = wl.platform;
-  const TaskGraph& work = wl.work;
-  const int replicas = wl.replicas;
-  const Mapping m = mapper.map(work, platform, weights, rng);
-  const MappingCost mc = evaluate_mapping(work, platform, m, weights);
-
-  DsePoint pt;
-  pt.candidate = cand;
-  pt.mapping_cost = mc;
-  pt.silicon = wl.silicon;
-  pt.mapping = m;
-  pt.mapper = std::string(mapper.name());
-  // One "item" of the replicated graph carries `replicas` stream
-  // items, one per copy.
-  pt.throughput_per_kcycle = mc.bottleneck_cycles > 0.0
-                                 ? 1000.0 * replicas / mc.bottleneck_cycles
-                                 : 0.0;
-  const double power = wl.silicon.peak_dynamic_mw + wl.silicon.leakage_mw;
-  pt.mw_per_throughput =
-      pt.throughput_per_kcycle > 0.0 ? power / pt.throughput_per_kcycle : 0.0;
-  return pt;
-}
-
 }  // namespace
 
 std::vector<DseCandidate> enumerate_candidates(
     const DseSpace& space, const tech::ProcessNode& fallback_node) {
-  validate_space(space);
+  internal::validate_space(space);
   const std::vector<tech::ProcessNode> nodes =
       space.nodes.empty() ? std::vector<tech::ProcessNode>{fallback_node}
                           : space.nodes;
@@ -164,7 +53,10 @@ std::vector<DseCandidate> enumerate_candidates(
 
 PlatformDesc make_candidate_platform(const DseCandidate& cand,
                                      const DseConfig& config) {
-  return build_platform(cand, config, candidate_cost(cand, config));
+  const platform::PlatformCost silicon = candidate_cost(cand, config);
+  return PlatformDesc(
+      internal::candidate_pes(cand), cand.topology, cand.node,
+      internal::candidate_physical_spec(cand, config, silicon.die_mm2));
 }
 
 std::vector<DsePoint> run_dse(const TaskGraph& graph, const DseSpace& space,
@@ -172,100 +64,18 @@ std::vector<DsePoint> run_dse(const TaskGraph& graph, const DseSpace& space,
                               const ObjectiveWeights& weights,
                               const AnnealConfig& anneal,
                               const DseConfig& config) {
-  validate_config(config);
-  if (graph.node_count() == 0) {
-    throw std::invalid_argument("run_dse: task graph has no nodes");
-  }
-  const std::vector<DseCandidate> candidates =
-      enumerate_candidates(space, node);
-  // Resolve the strategy once, outside the sharded loop: Mapper instances are
-  // stateless, so one instance serves every worker thread.
-  const std::unique_ptr<Mapper> mapper = make_mapper(config.mapper, anneal);
-  std::vector<DsePoint> points(candidates.size());
-  sim::parallel_for(
-      candidates.size(), sim::ParallelConfig{config.num_threads},
-      [&](std::size_t i) {
-        sim::Rng rng(sim::derive_seed(anneal.seed, i));
-        points[i] = evaluate_candidate(graph, candidates[i], config, weights,
-                                       *mapper, rng);
-      });
-  const std::vector<std::size_t> front = mark_pareto_front(points, config);
-
-  if (config.validate_pareto) {
-    // Stage two: replay each survivor's stage-1 mapping (stored in the
-    // point) on the event-driven NoC. Each validation is a pure function of
-    // its point — the validator is RNG-free — so sharding the front across
-    // threads cannot change any figure.
-    sim::parallel_for(
-        front.size(), sim::ParallelConfig{config.num_threads},
-        [&](std::size_t k) {
-          const std::size_t i = front[k];
-          DsePoint& pt = points[i];
-          const CandidateWorkload wl =
-              build_workload(graph, pt.candidate, config);
-          MappingValidator validator(wl.work, wl.platform, pt.mapping,
-                                     config.validation);
-          const ValidationReport rep = validator.run();
-          pt.validated = true;
-          // One replay round is one item of the (replicated) work graph,
-          // i.e. `replicas` stream items — the same scaling the analytic
-          // throughput uses.
-          pt.sim_throughput_per_kcycle =
-              rep.simulated_items_per_kcycle * wl.replicas;
-          pt.sim_to_analytic_ratio = rep.sim_to_analytic_ratio;
-          pt.sim_peak_link_utilization = rep.peak_link_utilization;
-          pt.sim_avg_packet_latency = rep.avg_packet_latency;
-          pt.sim_network_saturated = rep.network_saturated;
-        });
-  }
-  return points;
+  // Thin shim: the session with the default objective triple reproduces the
+  // monolith bit for bit (test_dse_session.cpp holds it to that).
+  DseSession session(
+      DseProblem{TaskGraph(graph), ObjectiveSpace::default_space(), weights,
+                 node},
+      space, anneal, config);
+  return session.run();
 }
 
 std::vector<std::size_t> mark_pareto_front(std::vector<DsePoint>& points,
                                            const DseConfig& config) {
-  validate_config(config);
-  // Each point's dominance check reads every other point's cost fields but
-  // writes only its own pareto_optimal flag, so the all-pairs pass shards
-  // cleanly per point. The O(n^2) pass only outweighs pool dispatch on big
-  // sweeps; small fronts run inline.
-  const int threads = points.size() < 256 ? 1 : config.num_threads;
-  sim::parallel_for(
-      points.size(), sim::ParallelConfig{threads},
-      [&](std::size_t i) {
-        if (!points[i].mapping_cost.feasible) {
-          points[i].pareto_optimal = false;
-          return;
-        }
-        bool dominated = false;
-        for (std::size_t j = 0; j < points.size() && !dominated; ++j) {
-          if (i == j || !points[j].mapping_cost.feasible) continue;
-          const bool better_tp = points[j].throughput_per_kcycle >=
-                                 points[i].throughput_per_kcycle;
-          const bool better_area = points[j].silicon.total_area_mm2 <=
-                                   points[i].silicon.total_area_mm2;
-          const bool better_power =
-              (points[j].silicon.peak_dynamic_mw +
-               points[j].silicon.leakage_mw) <=
-              (points[i].silicon.peak_dynamic_mw + points[i].silicon.leakage_mw);
-          const bool strictly =
-              points[j].throughput_per_kcycle >
-                  points[i].throughput_per_kcycle ||
-              points[j].silicon.total_area_mm2 <
-                  points[i].silicon.total_area_mm2 ||
-              (points[j].silicon.peak_dynamic_mw +
-               points[j].silicon.leakage_mw) <
-                  (points[i].silicon.peak_dynamic_mw +
-                   points[i].silicon.leakage_mw);
-          dominated = better_tp && better_area && better_power && strictly;
-        }
-        points[i].pareto_optimal = !dominated;
-      });
-
-  std::vector<std::size_t> front;
-  for (std::size_t i = 0; i < points.size(); ++i) {
-    if (points[i].pareto_optimal) front.push_back(i);
-  }
-  return front;
+  return ObjectiveSpace::default_space().mark_front(points, config);
 }
 
 std::string to_string(const DsePoint& p) {

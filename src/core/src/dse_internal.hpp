@@ -1,0 +1,45 @@
+#pragma once
+
+// Module-private validation helpers shared by the DSE translation units
+// (dse.cpp shims, objective_space.cpp, dse_session.cpp). Implemented in
+// dse_session.cpp. All throw std::invalid_argument naming the offending
+// field.
+
+#include <optional>
+#include <vector>
+
+#include "soc/core/dse.hpp"
+
+namespace soc::core::internal {
+
+/// Every axis non-empty (nodes may be empty = single-node sweep), PE/thread
+/// counts strictly positive.
+void validate_space(const DseSpace& space);
+
+/// num_threads >= 0, die_mm2 >= 0 — the knobs every DSE entry point
+/// (including the pure dominance pass) actually uses.
+void validate_exec_config(const DseConfig& config);
+
+/// The stage-2 replay knobs that would otherwise flow silently into the
+/// simulation (load_factor, words_per_flit, warmup/measure windows,
+/// max_outstanding_rounds, top_hotspots), field-named as
+/// "DseConfig: validation.<field>". Checked wherever a replay is armed:
+/// the session constructor when config.validate_pareto is set, and
+/// DseSession::validate() always.
+void validate_validator_config(const ValidatorConfig& v);
+
+/// Full up-front check: exec knobs always, replay knobs when
+/// config.validate_pareto arms stage 2.
+void validate_config(const DseConfig& config);
+
+/// The candidate's PE pool: num_pes descriptors of its fabric/threads.
+std::vector<PeDesc> candidate_pes(const DseCandidate& cand);
+
+/// The physical annotation a candidate's interconnect gets on `die_mm2`
+/// (nullopt when config.physical_links is off). Shared by EvalContext and
+/// make_candidate_platform so the sweep and the re-derivation helper can
+/// never disagree on what "the candidate's platform" means.
+std::optional<noc::PhysicalSpec> candidate_physical_spec(
+    const DseCandidate& cand, const DseConfig& config, double die_mm2);
+
+}  // namespace soc::core::internal

@@ -1,0 +1,293 @@
+#include "soc/core/dse_session.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "dse_internal.hpp"
+#include "soc/core/mapping_validator.hpp"
+#include "soc/platform/cost.hpp"
+#include "soc/sim/parallel.hpp"
+
+namespace soc::core {
+
+namespace internal {
+
+void validate_space(const DseSpace& space) {
+  if (space.pe_counts.empty()) {
+    throw std::invalid_argument("DseSpace: pe_counts axis is empty");
+  }
+  if (space.thread_counts.empty()) {
+    throw std::invalid_argument("DseSpace: thread_counts axis is empty");
+  }
+  if (space.topologies.empty()) {
+    throw std::invalid_argument("DseSpace: topologies axis is empty");
+  }
+  if (space.fabrics.empty()) {
+    throw std::invalid_argument("DseSpace: fabrics axis is empty");
+  }
+  for (const int p : space.pe_counts) {
+    if (p <= 0) {
+      throw std::invalid_argument(
+          "DseSpace: pe_counts entries must be positive, got " +
+          std::to_string(p));
+    }
+  }
+  for (const int t : space.thread_counts) {
+    if (t <= 0) {
+      throw std::invalid_argument(
+          "DseSpace: thread_counts entries must be positive, got " +
+          std::to_string(t));
+    }
+  }
+}
+
+void validate_exec_config(const DseConfig& config) {
+  if (config.num_threads < 0) {
+    throw std::invalid_argument(
+        "DseConfig: num_threads must be >= 0 (0 = all cores), got " +
+        std::to_string(config.num_threads));
+  }
+  if (config.die_mm2 < 0.0) {
+    throw std::invalid_argument(
+        "DseConfig: die_mm2 must be >= 0 (0 = auto-size), got " +
+        std::to_string(config.die_mm2));
+  }
+}
+
+void validate_validator_config(const ValidatorConfig& v) {
+  if (v.load_factor <= 0.0 || v.load_factor > 1.0) {
+    throw std::invalid_argument(
+        "DseConfig: validation.load_factor must be in (0, 1], got " +
+        std::to_string(v.load_factor));
+  }
+  if (v.words_per_flit <= 0.0) {
+    throw std::invalid_argument(
+        "DseConfig: validation.words_per_flit must be > 0, got " +
+        std::to_string(v.words_per_flit));
+  }
+  if (v.warmup_cycles == 0) {
+    throw std::invalid_argument(
+        "DseConfig: validation.warmup_cycles must be > 0 (queues need to "
+        "fill before measurement)");
+  }
+  if (v.measure_cycles == 0) {
+    throw std::invalid_argument(
+        "DseConfig: validation.measure_cycles must be > 0");
+  }
+  if (v.max_outstanding_rounds <= 0) {
+    throw std::invalid_argument(
+        "DseConfig: validation.max_outstanding_rounds must be > 0, got " +
+        std::to_string(v.max_outstanding_rounds));
+  }
+  if (v.top_hotspots <= 0) {
+    throw std::invalid_argument(
+        "DseConfig: validation.top_hotspots must be > 0, got " +
+        std::to_string(v.top_hotspots));
+  }
+}
+
+void validate_config(const DseConfig& config) {
+  validate_exec_config(config);
+  // Stage 2 armed up front: reject the replay knobs that would otherwise
+  // flow silently into the simulation (or surface mid-sweep from deep
+  // inside MappingValidator) before any candidate is evaluated.
+  if (config.validate_pareto) validate_validator_config(config.validation);
+}
+
+std::vector<PeDesc> candidate_pes(const DseCandidate& cand) {
+  return std::vector<PeDesc>(static_cast<std::size_t>(cand.num_pes),
+                             PeDesc{cand.pe_fabric, cand.threads_per_pe});
+}
+
+std::optional<noc::PhysicalSpec> candidate_physical_spec(
+    const DseCandidate& cand, const DseConfig& config, double die_mm2) {
+  if (!config.physical_links) return std::nullopt;
+  return noc::PhysicalSpec{noc::LinkTimingModel(cand.node, config.link_timing),
+                           die_mm2};
+}
+
+}  // namespace internal
+
+// ------------------------------------------------------------ EvalContext ---
+
+EvalContext::EvalContext(const TaskGraph& graph, const DseCandidate& candidate,
+                         const DseConfig& config)
+    : cand_(candidate) {
+  if (graph.node_count() == 0) {
+    throw std::invalid_argument("EvalContext: task graph has no nodes");
+  }
+  platform::FppaConfig fc;
+  fc.num_pes = cand_.num_pes;
+  fc.threads_per_pe = cand_.threads_per_pe;
+  fc.topology = cand_.topology;
+  // Build 1: the cost interconnect (PE + memory + sink terminals).
+  // estimate_cost annotates it in place (die sizing + floorplan) and prices
+  // it; the silicon estimate is its only product, so it dies here.
+  const auto cost_topo =
+      noc::make_topology(cand_.topology, fc.terminal_count());
+  silicon_ = platform::estimate_cost(
+      fc, cand_.node,
+      platform::PhysicalCostConfig{config.die_mm2, config.link_timing},
+      *cost_topo);
+
+  // Build 2: the PE interconnect, annotated on the die the silicon estimate
+  // sized (or the fixed one). This single instance backs the PlatformDesc
+  // matrices now and the stage-2 NoC replay later.
+  std::optional<noc::PhysicalSpec> phys =
+      internal::candidate_physical_spec(cand_, config, silicon_.die_mm2);
+  topo_ = noc::make_topology(cand_.topology, cand_.num_pes,
+                             phys ? &*phys : nullptr);
+
+  // Larger platforms host data-parallel stream replicas: one graph instance
+  // per |graph| PEs, at least one.
+  replicas_ = std::max(1, cand_.num_pes / graph.node_count());
+  work_.emplace(replicas_ > 1 ? graph.replicated(replicas_)
+                              : TaskGraph(graph));
+
+  platform_.emplace(internal::candidate_pes(cand_), cand_.topology, cand_.node,
+                    std::move(phys), *topo_);
+}
+
+// ------------------------------------------------------------- DseSession ---
+
+namespace {
+
+/// Maps and scores one candidate on its cached context. Pure function of
+/// its arguments (the rng carries this candidate's derived stream), so
+/// candidates can be evaluated on any thread in any order.
+DsePoint evaluate_point(const EvalContext& ctx, const ObjectiveWeights& weights,
+                        const Mapper& mapper, sim::Rng& rng) {
+  const Mapping m = mapper.map(ctx.work(), ctx.platform(), weights, rng);
+  const MappingCost mc = evaluate_mapping(ctx.work(), ctx.platform(), m,
+                                          weights);
+  DsePoint pt;
+  pt.candidate = ctx.candidate();
+  pt.mapping_cost = mc;
+  pt.silicon = ctx.silicon();
+  pt.mapping = m;
+  pt.mapper = std::string(mapper.name());
+  // One "item" of the replicated graph carries `replicas` stream items,
+  // one per copy.
+  pt.throughput_per_kcycle =
+      mc.bottleneck_cycles > 0.0
+          ? 1000.0 * ctx.replicas() / mc.bottleneck_cycles
+          : 0.0;
+  const double power = ctx.silicon().peak_dynamic_mw + ctx.silicon().leakage_mw;
+  pt.mw_per_throughput =
+      pt.throughput_per_kcycle > 0.0 ? power / pt.throughput_per_kcycle : 0.0;
+  return pt;
+}
+
+}  // namespace
+
+DseSession::DseSession(DseProblem problem, DseSpace space, AnnealConfig anneal,
+                       DseConfig config)
+    : problem_(std::move(problem)),
+      space_(std::move(space)),
+      anneal_(anneal),
+      config_(std::move(config)) {
+  internal::validate_config(config_);
+  if (problem_.graph.node_count() == 0) {
+    throw std::invalid_argument("DseSession: task graph has no nodes");
+  }
+  if (problem_.objectives.size() == 0) {
+    throw std::invalid_argument(
+        "DseSession: problem.objectives must contain at least one axis");
+  }
+  internal::validate_space(space_);
+  // Resolve the strategy once, up front: unknown names fail here (listing
+  // the registry), and Mapper instances are stateless, so this one serves
+  // every worker thread.
+  mapper_ = make_mapper(config_.mapper, anneal_);
+}
+
+void DseSession::on_point(PointObserver observer) {
+  observer_ = std::move(observer);
+}
+
+void DseSession::notify(const DsePoint& point, Stage stage) {
+  if (!observer_) return;
+  const std::lock_guard<std::mutex> lock(observer_mu_);
+  observer_(point, stage);
+}
+
+const std::vector<DseCandidate>& DseSession::enumerate() {
+  if (enumerated_) return candidates_;
+  candidates_ = enumerate_candidates(space_, problem_.node);
+  enumerated_ = true;
+  return candidates_;
+}
+
+const std::vector<DsePoint>& DseSession::evaluate() {
+  if (evaluated_) return points_;
+  enumerate();
+  contexts_.resize(candidates_.size());
+  points_.assign(candidates_.size(), DsePoint{});
+  sim::parallel_for(
+      candidates_.size(), sim::ParallelConfig{config_.num_threads},
+      [&](std::size_t i) {
+        sim::Rng rng(sim::derive_seed(anneal_.seed, i));
+        contexts_[i] = std::make_unique<EvalContext>(problem_.graph,
+                                                     candidates_[i], config_);
+        points_[i] =
+            evaluate_point(*contexts_[i], problem_.weights, *mapper_, rng);
+        notify(points_[i], Stage::kEvaluated);
+      });
+  evaluated_ = true;
+  return points_;
+}
+
+const std::vector<std::size_t>& DseSession::front() {
+  if (front_marked_) return front_;
+  evaluate();
+  front_ = problem_.objectives.mark_front(points_, config_);
+  front_marked_ = true;
+  return front_;
+}
+
+const std::vector<DsePoint>& DseSession::validate() {
+  if (validated_) return points_;
+  // An explicit validate() arms the replay even when config.validate_pareto
+  // never did — police the same knobs the constructor checks in that case
+  // (MappingValidator's own checks miss warmup_cycles).
+  internal::validate_validator_config(config_.validation);
+  front();
+  // Stage two: replay each survivor's stage-1 mapping (stored in the point)
+  // on the event-driven NoC — on the very topology instance the context
+  // built for stage 1 (take_topology), so nothing is rebuilt. Each
+  // validation is a pure function of its point — the validator is RNG-free
+  // — so sharding the front across threads cannot change any figure.
+  sim::parallel_for(
+      front_.size(), sim::ParallelConfig{config_.num_threads},
+      [&](std::size_t k) {
+        const std::size_t i = front_[k];
+        DsePoint& pt = points_[i];
+        EvalContext& ctx = *contexts_[i];
+        MappingValidator validator(ctx.work(), ctx.platform(), pt.mapping,
+                                   config_.validation, ctx.take_topology());
+        const ValidationReport rep = validator.run();
+        pt.validated = true;
+        // One replay round is one item of the (replicated) work graph,
+        // i.e. `replicas` stream items — the same scaling the analytic
+        // throughput uses.
+        pt.sim_throughput_per_kcycle =
+            rep.simulated_items_per_kcycle * ctx.replicas();
+        pt.sim_to_analytic_ratio = rep.sim_to_analytic_ratio;
+        pt.sim_peak_link_utilization = rep.peak_link_utilization;
+        pt.sim_avg_packet_latency = rep.avg_packet_latency;
+        pt.sim_network_saturated = rep.network_saturated;
+        notify(pt, Stage::kValidated);
+      });
+  validated_ = true;
+  return points_;
+}
+
+std::vector<DsePoint> DseSession::run() {
+  front();
+  if (config_.validate_pareto) validate();
+  return points_;
+}
+
+}  // namespace soc::core

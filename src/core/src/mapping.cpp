@@ -5,6 +5,7 @@
 #include <limits>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 
 #include "mapping_internal.hpp"
 #include "soc/core/exact_sum.hpp"
@@ -24,8 +25,29 @@ PlatformDesc::PlatformDesc(std::vector<PeDesc> pes, noc::TopologyKind topology,
       node_(node),
       phys_(std::move(phys)) {
   if (pes_.empty()) throw std::invalid_argument("PlatformDesc: no PEs");
+  build_matrices(*build_topology());
+}
+
+PlatformDesc::PlatformDesc(std::vector<PeDesc> pes, noc::TopologyKind topology,
+                           const tech::ProcessNode& node,
+                           std::optional<noc::PhysicalSpec> phys,
+                           const noc::Topology& prebuilt)
+    : pes_(std::move(pes)),
+      topology_(topology),
+      node_(node),
+      phys_(std::move(phys)) {
+  if (pes_.empty()) throw std::invalid_argument("PlatformDesc: no PEs");
+  if (prebuilt.terminal_count() != pe_count()) {
+    throw std::invalid_argument(
+        "PlatformDesc: prebuilt topology has " +
+        std::to_string(prebuilt.terminal_count()) + " terminals for " +
+        std::to_string(pe_count()) + " PEs");
+  }
+  build_matrices(prebuilt);
+}
+
+void PlatformDesc::build_matrices(const noc::Topology& topo) {
   const int n = pe_count();
-  const auto topo = build_topology();
   const std::size_t cells =
       static_cast<std::size_t>(n) * static_cast<std::size_t>(n);
   hop_matrix_.assign(cells, 0);
@@ -48,10 +70,10 @@ PlatformDesc::PlatformDesc(std::vector<PeDesc> pes, noc::TopologyKind topology,
       int h = 0;
       int extra = 0;
       double pj = 0.0;
-      int router = topo->attach_router(static_cast<noc::TerminalId>(a));
-      for (int li = topo->route(router, static_cast<noc::TerminalId>(b));
-           li >= 0; li = topo->route(router, static_cast<noc::TerminalId>(b))) {
-        const noc::LinkSpec& l = topo->links()[static_cast<std::size_t>(li)];
+      int router = topo.attach_router(static_cast<noc::TerminalId>(a));
+      for (int li = topo.route(router, static_cast<noc::TerminalId>(b));
+           li >= 0; li = topo.route(router, static_cast<noc::TerminalId>(b))) {
+        const noc::LinkSpec& l = topo.links()[static_cast<std::size_t>(li)];
         ++h;
         extra += static_cast<int>(l.extra_latency);
         pj += 32.0 * l.energy_pj_per_mm * l.length_mm;

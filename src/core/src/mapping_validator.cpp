@@ -2,9 +2,26 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <stdexcept>
+#include <string>
+#include <utility>
 
 namespace soc::core {
+
+MappingValidator::MappingValidator(const TaskGraph& graph,
+                                   const PlatformDesc& platform,
+                                   Mapping mapping, ValidatorConfig cfg,
+                                   std::unique_ptr<noc::Topology> prebuilt)
+    : MappingValidator(graph, platform, std::move(mapping), cfg) {
+  if (prebuilt && prebuilt->terminal_count() != platform.pe_count()) {
+    throw std::invalid_argument(
+        "MappingValidator: prebuilt topology has " +
+        std::to_string(prebuilt->terminal_count()) + " terminals for " +
+        std::to_string(platform.pe_count()) + " PEs");
+  }
+  prebuilt_ = std::move(prebuilt);
+}
 
 MappingValidator::MappingValidator(const TaskGraph& graph,
                                    const PlatformDesc& platform,
@@ -90,10 +107,14 @@ ValidationReport MappingValidator::run() {
   }
   r.network_active = true;
 
-  // The platform rebuilds its own topology so physically annotated sweeps
-  // replay on the same per-link wire latencies the analytic matrices saw.
+  // Replay on the caller-built topology when one was handed in (the DSE
+  // session's single-build contract); otherwise the platform rebuilds its
+  // own, so physically annotated sweeps replay on the same per-link wire
+  // latencies the analytic matrices saw either way.
   queue_.reset();
-  noc::Network net(platform_->build_topology(), cfg_.net, queue_);
+  noc::Network net(prebuilt_ ? std::move(prebuilt_)
+                             : platform_->build_topology(),
+                   cfg_.net, queue_);
   noc::ReplayConfig rc;
   rc.mode = cfg_.mode;
   rc.period = period;

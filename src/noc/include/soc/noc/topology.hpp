@@ -126,4 +126,24 @@ class Topology {
   double avg_hops_ = 0.0;
 };
 
+/// Snapshot of the process-wide topology-construction counters: how many
+/// router graphs were routed (Topology::finalize) and how many were
+/// physically floorplanned (Topology::apply_physical) since the last reset.
+/// The counters are monotonic and thread-safe (relaxed atomics); the DSE
+/// reuse tests and `bench_session_reuse` use them to prove each sweep
+/// candidate's interconnect is built and floorplanned exactly once across
+/// both exploration stages.
+struct TopologyBuildStats {
+  std::uint64_t builds = 0;      ///< finalize() calls (BFS route-table builds)
+  std::uint64_t floorplans = 0;  ///< apply_physical() calls (die floorplans)
+};
+
+/// Reads the process-wide topology-construction counters.
+TopologyBuildStats topology_build_stats() noexcept;
+
+/// Zeroes the process-wide topology-construction counters. Intended for
+/// tests/benches that meter one sweep; concurrent topology construction in
+/// other threads will be metered from zero as well.
+void reset_topology_build_stats() noexcept;
+
 }  // namespace soc::noc

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "noc_internal.hpp"
+
 namespace soc::noc {
 
 namespace {
@@ -106,6 +108,7 @@ double Floorplan::link_length_mm(std::size_t li) const {
 }
 
 void Topology::apply_physical(const LinkTimingModel& timing, double die_mm2) {
+  internal::g_topology_floorplans.fetch_add(1, std::memory_order_relaxed);
   const Floorplan fp(*this, die_mm2);
   for (std::size_t li = 0; li < links_.size(); ++li) {
     const LinkTiming t = timing.evaluate(fp.link_length_mm(li));

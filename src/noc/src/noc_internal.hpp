@@ -1,0 +1,16 @@
+#pragma once
+
+// Module-private plumbing shared by the noc translation units: the atomic
+// backing store of the public topology_build_stats() counters. Defined in
+// topology.cpp, bumped from topology.cpp (finalize) and floorplan.cpp
+// (apply_physical).
+
+#include <atomic>
+#include <cstdint>
+
+namespace soc::noc::internal {
+
+extern std::atomic<std::uint64_t> g_topology_builds;
+extern std::atomic<std::uint64_t> g_topology_floorplans;
+
+}  // namespace soc::noc::internal

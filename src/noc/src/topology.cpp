@@ -5,7 +5,25 @@
 #include <queue>
 #include <stdexcept>
 
+#include "noc_internal.hpp"
+
 namespace soc::noc {
+
+namespace internal {
+std::atomic<std::uint64_t> g_topology_builds{0};
+std::atomic<std::uint64_t> g_topology_floorplans{0};
+}  // namespace internal
+
+TopologyBuildStats topology_build_stats() noexcept {
+  return TopologyBuildStats{
+      internal::g_topology_builds.load(std::memory_order_relaxed),
+      internal::g_topology_floorplans.load(std::memory_order_relaxed)};
+}
+
+void reset_topology_build_stats() noexcept {
+  internal::g_topology_builds.store(0, std::memory_order_relaxed);
+  internal::g_topology_floorplans.store(0, std::memory_order_relaxed);
+}
 
 Topology::Topology(std::string name, int routers, int terminals)
     : name_(std::move(name)), routers_(routers), terminals_(terminals) {
@@ -55,6 +73,7 @@ double Topology::total_link_bandwidth() const noexcept {
 }
 
 void Topology::finalize() {
+  internal::g_topology_builds.fetch_add(1, std::memory_order_relaxed);
   for (int t = 0; t < terminals_; ++t) {
     if (attach_[static_cast<std::size_t>(t)] < 0) {
       throw std::logic_error("Topology::finalize: unattached terminal");

@@ -3,6 +3,7 @@
 #include <cstdint>
 
 #include "soc/noc/link_timing.hpp"
+#include "soc/noc/topology.hpp"
 #include "soc/platform/fppa.hpp"
 #include "soc/tech/process_node.hpp"
 
@@ -61,6 +62,19 @@ inline constexpr double kRouterMtx = 0.2;
 PlatformCost estimate_cost(const FppaConfig& cfg,
                            const soc::tech::ProcessNode& node,
                            const PhysicalCostConfig& phys = {});
+
+/// Same estimate on a caller-built interconnect: `topo` must be the
+/// cfg.topology router graph over cfg.terminal_count() terminals (throws
+/// std::invalid_argument otherwise) and is physically annotated in place —
+/// the die is sized (phys.die_mm2, or logic area grossed up), the graph is
+/// floorplanned on it via Topology::apply_physical, and the resulting wire
+/// lengths are priced. The topology-free overload above builds a fresh
+/// graph and delegates here; callers that already own one (the DSE
+/// EvalContext) avoid the rebuild.
+PlatformCost estimate_cost(const FppaConfig& cfg,
+                           const soc::tech::ProcessNode& node,
+                           const PhysicalCostConfig& phys,
+                           noc::Topology& topo);
 
 /// How many PEs of this class fit in a given die area at a node — the
 /// paper's "enough to theoretically place the logic of over one thousand

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "soc/mem/mem_tech.hpp"
@@ -75,6 +77,20 @@ double weighted_crosspoints(const noc::Topology& topo) {
 PlatformCost estimate_cost(const FppaConfig& cfg,
                            const soc::tech::ProcessNode& node,
                            const PhysicalCostConfig& phys) {
+  const auto topo = noc::make_topology(cfg.topology, cfg.terminal_count());
+  return estimate_cost(cfg, node, phys, *topo);
+}
+
+PlatformCost estimate_cost(const FppaConfig& cfg,
+                           const soc::tech::ProcessNode& node,
+                           const PhysicalCostConfig& phys,
+                           noc::Topology& topo) {
+  if (topo.terminal_count() != cfg.terminal_count()) {
+    throw std::invalid_argument(
+        "estimate_cost: topology has " + std::to_string(topo.terminal_count()) +
+        " terminals but the FppaConfig needs " +
+        std::to_string(cfg.terminal_count()));
+  }
   PlatformCost c;
 
   // PEs: base core area from transistor budget, multiplied by the
@@ -90,8 +106,7 @@ PlatformCost estimate_cost(const FppaConfig& cfg,
   c.mem_area_mm2 = macro.area_mm2 * static_cast<double>(cfg.num_memories);
 
   // NoC silicon, stage 1: bandwidth-weighted crosspoints of the topology.
-  const auto topo = noc::make_topology(cfg.topology, cfg.terminal_count());
-  const double xpoints = weighted_crosspoints(*topo);
+  const double xpoints = weighted_crosspoints(topo);
   const double xpoint_mm2 = xpoints * kCrosspointMtx / node.density_mtx_mm2;
 
   // Stage 2: size the die (logic area grossed up for whitespace, unless the
@@ -101,7 +116,7 @@ PlatformCost estimate_cost(const FppaConfig& cfg,
   c.die_mm2 =
       phys.die_mm2 > 0.0 ? phys.die_mm2 : logic_mm2 / kDieUtilization;
   const noc::LinkTimingModel timing(node, phys.link_timing);
-  topo->apply_physical(timing, c.die_mm2);
+  topo.apply_physical(timing, c.die_mm2);
 
   // Stage 3: price the annotated links. A bandwidth-B link routes B 32-bit
   // bundles, so area, switching power and pipeline registers all scale with
@@ -110,7 +125,7 @@ PlatformCost estimate_cost(const FppaConfig& cfg,
   double wire_mm = 0.0;
   double wire_pj_per_cycle = 0.0;  // at 50% link load, kWireActivity toggles
   double pipe_stages = 0.0;        // 32-bit register banks, bandwidth-weighted
-  for (const noc::LinkSpec& l : topo->links()) {
+  for (const noc::LinkSpec& l : topo.links()) {
     wire_mm += l.bandwidth * l.length_mm;
     wire_pj_per_cycle += 0.5 * kWireActivity * kLinkBits * l.bandwidth *
                          l.energy_pj_per_mm * l.length_mm;
@@ -141,7 +156,7 @@ PlatformCost estimate_cost(const FppaConfig& cfg,
   c.peak_dynamic_mw =
       pe_op_pj * ghz * static_cast<double>(cfg.num_pes)
       + 0.5 * em.hardwired_op_pj() * ghz *
-            static_cast<double>(topo->router_count())
+            static_cast<double>(topo.router_count())
       + c.noc_wire_mw + c.noc_pipeline_mw;
   c.leakage_mw = em.leakage_mw_per_mm2() * c.total_area_mm2 +
                  macro.static_power_mw * static_cast<double>(cfg.num_memories);

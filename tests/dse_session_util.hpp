@@ -1,0 +1,26 @@
+#pragma once
+
+// Shared by the DSE test suites: session-API equivalent of the retired
+// run_dse monolith — the default objective triple driven through the
+// standard DseSession pipeline.
+
+#include <vector>
+
+#include "soc/core/dse_session.hpp"
+#include "soc/core/objective_space.hpp"
+
+namespace soc::core {
+
+inline std::vector<DsePoint> run_session(const TaskGraph& graph,
+                                         const DseSpace& space,
+                                         const tech::ProcessNode& node,
+                                         const ObjectiveWeights& weights = {},
+                                         const AnnealConfig& anneal = {},
+                                         const DseConfig& config = {}) {
+  DseSession session(
+      DseProblem{graph, ObjectiveSpace::default_space(), weights, node}, space,
+      anneal, config);
+  return session.run();
+}
+
+}  // namespace soc::core

@@ -6,9 +6,12 @@
 #include <set>
 #include <string>
 
+#include "dse_session_util.hpp"
 #include "soc/apps/graphs.hpp"
 #include "soc/core/dse.hpp"
+#include "soc/core/dse_session.hpp"
 #include "soc/core/mapping.hpp"
+#include "soc/core/objective_space.hpp"
 #include "soc/core/task_graph.hpp"
 #include "soc/core/validate.hpp"
 
@@ -284,7 +287,7 @@ TEST(Dse, SweepProducesAllCandidatesAndMarksPareto) {
   space.fabrics = {Fabric::kAsip};
   AnnealConfig quick;
   quick.iterations = 500;
-  const auto points = run_dse(soc::apps::ipv4_task_graph(), space,
+  const auto points = run_session(soc::apps::ipv4_task_graph(), space,
                               tech::node_90nm(), {}, quick);
   EXPECT_EQ(points.size(), 4u);
   int pareto = 0;
@@ -309,7 +312,7 @@ TEST(Dse, ParetoDominanceLogic) {
   pts[1].silicon.total_area_mm2 = 6;
   pts[1].silicon.peak_dynamic_mw = 120;
   pts[1].mapping_cost.feasible = true;
-  const auto front = mark_pareto_front(pts);
+  const auto front = ObjectiveSpace::default_space().mark_front(pts);
   EXPECT_EQ(front, std::vector<std::size_t>{0});
   EXPECT_TRUE(pts[0].pareto_optimal);
   EXPECT_FALSE(pts[1].pareto_optimal);
@@ -346,10 +349,10 @@ TEST(Dse, ParallelSweepBitIdenticalToSerial) {
 
   const auto graph = soc::apps::ipv4_task_graph();
   const auto& node = tech::node_90nm();
-  const auto serial = run_dse(graph, space, node, {}, quick, DseConfig{1});
+  const auto serial = run_session(graph, space, node, {}, quick, DseConfig{1});
   for (const int threads : {2, 5, 0}) {  // 0 = hardware_concurrency
     const auto parallel =
-        run_dse(graph, space, node, {}, quick, DseConfig{threads});
+        run_session(graph, space, node, {}, quick, DseConfig{threads});
     ASSERT_EQ(parallel.size(), serial.size()) << "threads=" << threads;
     for (std::size_t i = 0; i < serial.size(); ++i) {
       SCOPED_TRACE("threads=" + std::to_string(threads) + " point " +
@@ -400,10 +403,10 @@ TEST(Dse, RejectsEmptyAxesWithClearErrors) {
   s.fabrics.clear();
   expect_throw_mentioning(s, "fabrics");
 
-  // run_dse performs the same validation before doing any work.
+  // The session constructor performs the same validation before any work.
   s = DseSpace{};
   s.pe_counts.clear();
-  EXPECT_THROW(run_dse(soc::apps::ipv4_task_graph(), s, tech::node_90nm()),
+  EXPECT_THROW(run_session(soc::apps::ipv4_task_graph(), s, tech::node_90nm()),
                std::invalid_argument);
 }
 
@@ -417,7 +420,7 @@ TEST(Dse, RejectsNonPositiveAxisEntries) {
 }
 
 TEST(Dse, RejectsEmptyTaskGraph) {
-  EXPECT_THROW(run_dse(TaskGraph("empty"), DseSpace{}, tech::node_90nm()),
+  EXPECT_THROW(run_session(TaskGraph("empty"), DseSpace{}, tech::node_90nm()),
                std::invalid_argument);
 }
 
@@ -431,7 +434,7 @@ TEST(Dse, RecordsTheMappingBehindEachPoint) {
   for (int i = 0; i < 4; ++i) g.add_node(TaskNode{"t", 100, 1, {}});
   AnnealConfig quick;
   quick.iterations = 200;
-  const auto points = run_dse(g, space, tech::node_90nm(), {}, quick);
+  const auto points = run_session(g, space, tech::node_90nm(), {}, quick);
   ASSERT_EQ(points.size(), 1u);
   ASSERT_EQ(points[0].mapping.size(), 8u);  // replicated work graph
   for (const int pe : points[0].mapping) {
@@ -488,7 +491,7 @@ TEST(Dse, SweepRecordsEachCandidatesNode) {
   AnnealConfig quick;
   quick.iterations = 200;
   const auto points =
-      run_dse(soc::apps::ipv4_task_graph(), space, tech::node_90nm(), {}, quick);
+      run_session(soc::apps::ipv4_task_graph(), space, tech::node_90nm(), {}, quick);
   ASSERT_EQ(points.size(), 2u);
   EXPECT_EQ(points[0].candidate.node.name, "130nm");
   EXPECT_EQ(points[1].candidate.node.name, "65nm");
@@ -517,7 +520,7 @@ TEST(Dse, PhysicalFrontShiftsBetween130nmAnd65nm) {
   const auto front_of = [&](const char* node_name) {
     DseSpace s = space;
     s.nodes = {*tech::find_node(node_name)};
-    const auto points = run_dse(graph, s, tech::node_90nm(), {}, ac, dc);
+    const auto points = run_session(graph, s, tech::node_90nm(), {}, ac, dc);
     std::set<std::string> front;
     for (const auto& pt : points) {
       if (!pt.pareto_optimal) continue;
@@ -569,7 +572,7 @@ TEST(Dse, MakeCandidatePlatformReproducesSweepCosts) {
   DseConfig dc;
   dc.die_mm2 = 225.0;
   const auto graph = soc::apps::mjpeg_task_graph();
-  const auto points = run_dse(graph, space, tech::node_90nm(), {}, quick, dc);
+  const auto points = run_session(graph, space, tech::node_90nm(), {}, quick, dc);
   ASSERT_EQ(points.size(), 1u);
   const PlatformDesc platform = make_candidate_platform(points[0].candidate, dc);
   ASSERT_TRUE(platform.physical().has_value());
@@ -604,7 +607,7 @@ TEST(Dse, PhysicalLinksOffRecoversAbstractSweep) {
 TEST(Dse, RejectsNegativeDieArea) {
   DseConfig bad;
   bad.die_mm2 = -1.0;
-  EXPECT_THROW(run_dse(soc::apps::ipv4_task_graph(), DseSpace{},
+  EXPECT_THROW(run_session(soc::apps::ipv4_task_graph(), DseSpace{},
                        tech::node_90nm(), {}, {}, bad),
                std::invalid_argument);
 }
@@ -612,11 +615,12 @@ TEST(Dse, RejectsNegativeDieArea) {
 TEST(Dse, RejectsNegativeThreadCount) {
   DseConfig bad;
   bad.num_threads = -2;
-  EXPECT_THROW(run_dse(soc::apps::ipv4_task_graph(), DseSpace{},
+  EXPECT_THROW(run_session(soc::apps::ipv4_task_graph(), DseSpace{},
                        tech::node_90nm(), {}, {}, bad),
                std::invalid_argument);
   std::vector<DsePoint> pts(1);
-  EXPECT_THROW(mark_pareto_front(pts, bad), std::invalid_argument);
+  EXPECT_THROW(ObjectiveSpace::default_space().mark_front(pts, bad),
+               std::invalid_argument);
 }
 
 TEST(Dse, ToStringContainsKeyFields) {

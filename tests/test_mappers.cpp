@@ -5,12 +5,15 @@
 #include <algorithm>
 #include <cmath>
 
+#include "dse_session_util.hpp"
 #include "soc/apps/graphs.hpp"
 #include "soc/core/dse.hpp"
+#include "soc/core/dse_session.hpp"
 #include "soc/core/exact_sum.hpp"
 #include "soc/core/incremental_objective.hpp"
 #include "soc/core/mapper.hpp"
 #include "soc/core/mapping.hpp"
+#include "soc/core/objective_space.hpp"
 
 namespace soc::core {
 namespace {
@@ -294,14 +297,14 @@ TEST(DseMappers, BitIdenticalAcrossThreadsForEveryRegisteredMapper) {
     DseConfig serial_cfg;
     serial_cfg.num_threads = 1;
     serial_cfg.mapper = name;
-    const auto serial = run_dse(graph, space, node, {}, quick, serial_cfg);
+    const auto serial = run_session(graph, space, node, {}, quick, serial_cfg);
     ASSERT_EQ(serial.size(), 4u);
     for (const auto& pt : serial) EXPECT_EQ(pt.mapper, name);
 
     DseConfig parallel_cfg;
     parallel_cfg.num_threads = 3;
     parallel_cfg.mapper = name;
-    const auto parallel = run_dse(graph, space, node, {}, quick, parallel_cfg);
+    const auto parallel = run_session(graph, space, node, {}, quick, parallel_cfg);
     ASSERT_EQ(parallel.size(), serial.size());
     for (std::size_t i = 0; i < serial.size(); ++i) {
       EXPECT_EQ(parallel[i].mapping_cost.objective,
@@ -323,7 +326,7 @@ TEST(DseMappers, UnknownMapperThrows) {
   space.fabrics = {Fabric::kAsip};
   DseConfig cfg;
   cfg.mapper = "no-such-strategy";
-  EXPECT_THROW(run_dse(soc::apps::ipv4_task_graph(), space, tech::node_90nm(),
+  EXPECT_THROW(run_session(soc::apps::ipv4_task_graph(), space, tech::node_90nm(),
                        {}, {}, cfg),
                std::invalid_argument);
 }

@@ -6,9 +6,12 @@
 #include <string>
 #include <vector>
 
+#include "dse_session_util.hpp"
 #include "soc/apps/graphs.hpp"
 #include "soc/core/dse.hpp"
+#include "soc/core/dse_session.hpp"
 #include "soc/core/mapping_validator.hpp"
+#include "soc/core/objective_space.hpp"
 
 namespace soc::core {
 namespace {
@@ -214,7 +217,7 @@ TEST(Dse, ValidateParetoPopulatesFrontOnly) {
   quick.iterations = 500;
   DseConfig dc;
   dc.validate_pareto = true;
-  const auto points = run_dse(apps::mjpeg_task_graph(), space,
+  const auto points = run_session(apps::mjpeg_task_graph(), space,
                               tech::node_90nm(), {}, quick, dc);
   int validated = 0;
   for (const auto& pt : points) {
@@ -299,8 +302,8 @@ TEST(Dse, ValidatedSweepBitIdenticalAcrossThreadCounts) {
   DseConfig sharded = serial;
   sharded.num_threads = 4;
   const auto g = apps::mjpeg_task_graph();
-  const auto a = run_dse(g, space, tech::node_90nm(), {}, quick, serial);
-  const auto b = run_dse(g, space, tech::node_90nm(), {}, quick, sharded);
+  const auto a = run_session(g, space, tech::node_90nm(), {}, quick, serial);
+  const auto b = run_session(g, space, tech::node_90nm(), {}, quick, sharded);
   ASSERT_EQ(a.size(), b.size());
   for (std::size_t i = 0; i < a.size(); ++i) {
     EXPECT_EQ(a[i].mapping, b[i].mapping);
