@@ -110,7 +110,7 @@ int main() {
       {"ipv4 x8-mixed", apps::ipv4_task_graph(), mixed_platform(8)},
       {"pipe8x8 x16-asip", replicated64(),
        core::PlatformDesc(
-           std::vector<core::PeDesc>(16, core::PeDesc{tech::Fabric::kAsip, 4}),
+           std::vector<core::PeDesc>(16, core::PeDesc{tech::Fabric::kAsip, 4, {}, 0.0}),
            noc::TopologyKind::kMesh2D, tech::node_90nm())},
   };
   for (const auto& sc : scenarios) {
@@ -146,7 +146,7 @@ int main() {
   {
     const auto g = replicated64();
     core::PlatformDesc p(
-        std::vector<core::PeDesc>(16, core::PeDesc{tech::Fabric::kAsip, 4}),
+        std::vector<core::PeDesc>(16, core::PeDesc{tech::Fabric::kAsip, 4, {}, 0.0}),
         noc::TopologyKind::kMesh2D, tech::node_90nm());
     const core::ObjectiveWeights w;
     const core::AnnealConfig cfg;  // default: 20k iterations

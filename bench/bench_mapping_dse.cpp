@@ -160,7 +160,7 @@ int main() {
     }
     for (int i = 0; i + 1 < 4; ++i) g.add_edge({ids[static_cast<std::size_t>(i)], ids[static_cast<std::size_t>(i + 1)], 8});
     core::PlatformDesc p(
-        std::vector<core::PeDesc>(4, core::PeDesc{tech::Fabric::kGeneralPurposeCpu, 4}),
+        std::vector<core::PeDesc>(4, core::PeDesc{tech::Fabric::kGeneralPurposeCpu, 4, {}, 0.0}),
         noc::TopologyKind::kMesh2D, tech::node_90nm());
     const auto r = core::validate_mapping(g, p, core::Mapping{0, 1, 2, 3});
     coarse_ok = r.ratio > 1.0 && r.ratio < 1.3;
@@ -174,7 +174,7 @@ int main() {
     // bottleneck ignores become visible — quantifying the model's limits.
     const auto g = apps::ipv4_task_graph();
     core::PlatformDesc p(
-        std::vector<core::PeDesc>(8, core::PeDesc{tech::Fabric::kAsip, 4}),
+        std::vector<core::PeDesc>(8, core::PeDesc{tech::Fabric::kAsip, 4, {}, 0.0}),
         noc::TopologyKind::kMesh2D, tech::node_90nm());
     core::AnnealConfig ac;
     ac.iterations = 4000;

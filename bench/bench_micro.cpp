@@ -94,7 +94,7 @@ BENCHMARK(BM_TrieLookup);
 void BM_MappingEvaluate(benchmark::State& state) {
   const auto graph = apps::mjpeg_task_graph();
   core::PlatformDesc platform(
-      std::vector<core::PeDesc>(8, core::PeDesc{tech::Fabric::kAsip, 4}),
+      std::vector<core::PeDesc>(8, core::PeDesc{tech::Fabric::kAsip, 4, {}, 0.0}),
       noc::TopologyKind::kMesh2D, tech::node_90nm());
   const core::Mapping m{0, 1, 2, 3, 4, 5};
   for (auto _ : state) {

@@ -5,8 +5,10 @@
 // took (rebuild workload + validator-internal rebuild: three extra builds
 // per validated Pareto point), with per-candidate evaluation and
 // per-point validation wall-clock for both. Emits BENCH_session_reuse.json.
+// `--quick` shrinks the sweep for CI smoke runs.
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <vector>
 
 #include "bench_util.hpp"
@@ -28,18 +30,19 @@ double ms_since(const std::chrono::steady_clock::time_point& t0) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
   bench::JsonReport json("session_reuse");
 
   core::DseSpace space;
-  space.pe_counts = {4, 8, 16};
-  space.thread_counts = {2, 4};
+  space.pe_counts = quick ? std::vector<int>{4, 8} : std::vector<int>{4, 8, 16};
+  space.thread_counts = quick ? std::vector<int>{2} : std::vector<int>{2, 4};
   space.topologies = {noc::TopologyKind::kBus, noc::TopologyKind::kMesh2D,
                       noc::TopologyKind::kCrossbar};
   space.fabrics = {tech::Fabric::kAsip};
   space.nodes = {*tech::find_node("65nm")};  // real multi-cycle wires
   core::AnnealConfig ac;
-  ac.iterations = 2'000;
+  ac.iterations = quick ? 400 : 2'000;
   core::DseConfig dc;
   dc.die_mm2 = 225.0;
   dc.validate_pareto = true;

@@ -82,11 +82,11 @@ void demo_dsoc_platform() {
 void demo_mapping() {
   std::printf("\n--- MultiFlex mapping of the wlan baseband graph ---\n");
   std::vector<core::PeDesc> pes{
-      {tech::Fabric::kDsp, 4},   {tech::Fabric::kDsp, 4},
-      {tech::Fabric::kAsip, 4},  {tech::Fabric::kAsip, 4},
-      {tech::Fabric::kEfpga, 1}, {tech::Fabric::kHardwired, 1},
-      {tech::Fabric::kGeneralPurposeCpu, 4},
-      {tech::Fabric::kGeneralPurposeCpu, 4}};
+      {tech::Fabric::kDsp, 4, {}, 0.0},   {tech::Fabric::kDsp, 4, {}, 0.0},
+      {tech::Fabric::kAsip, 4, {}, 0.0},  {tech::Fabric::kAsip, 4, {}, 0.0},
+      {tech::Fabric::kEfpga, 1, {}, 0.0}, {tech::Fabric::kHardwired, 1, {}, 0.0},
+      {tech::Fabric::kGeneralPurposeCpu, 4, {}, 0.0},
+      {tech::Fabric::kGeneralPurposeCpu, 4, {}, 0.0}};
   core::PlatformDesc platform(pes, noc::TopologyKind::kMesh2D,
                               tech::node_90nm());
   const auto graph = apps::wlan_task_graph();

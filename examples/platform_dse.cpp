@@ -7,10 +7,20 @@
 //                                 [--mapper <name>] [--validate]
 //                                 [--nodes 130,90,65] [--die-mm2 <area>]
 //                                 [--objectives tput,area,power,energy]
+//                                 [--scenarios <count>]
+//                                 [--constraints <groups>[:<capacity>]]
+//                                 [--help]
 //
 // `threads` shards the sweep: 0 (default) uses every hardware core, 1 runs
 // serially. The points are bit-identical either way. `--mapper` picks any
 // registered mapping strategy (random | greedy | heft | anneal).
+// `--scenarios` swaps the bundled graph for <count> generated scenario
+// graphs (core::ScenarioGenerator seeded from the anneal seed) and reports
+// per-scenario Pareto fronts plus the aggregate.
+// `--constraints` stripes every candidate's PE pool across <groups> task
+// kinds (PE i accepts kind i % groups) and optionally caps per-PE demand at
+// <capacity>; typed constraint violations, if any survive repair, are
+// printed per point.
 // `--validate` enables the second DSE stage: every Pareto-front point's
 // mapping is replayed on the event-driven NoC simulator and the analytic
 // vs simulated throughput is printed side by side (also bit-identical at
@@ -27,6 +37,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -36,6 +47,7 @@
 #include "soc/core/dse_session.hpp"
 #include "soc/core/mapper.hpp"
 #include "soc/core/objective_space.hpp"
+#include "soc/core/scenario.hpp"
 #include "soc/core/validate.hpp"
 
 using namespace soc;
@@ -76,6 +88,33 @@ std::vector<tech::ProcessNode> parse_nodes(const char* list) {
   return nodes;
 }
 
+/// Full usage text, enumerating the registered mapper and objective names
+/// so `--objectives`/`--mapper` choices are discoverable from the tool.
+void print_usage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: platform_dse [ipv4|mjpeg|wlan] [anneal_iters] "
+               "[threads]\n"
+               "                    [--mapper <name>] [--validate]\n"
+               "                    [--nodes 130,90,65] [--die-mm2 <area>]\n"
+               "                    [--objectives <csv>]\n"
+               "                    [--scenarios <count>]\n"
+               "                    [--constraints <groups>[:<capacity>]]\n"
+               "                    [--help]\n");
+  std::fprintf(out, "registered objectives (for --objectives):");
+  for (const auto& n : core::registered_objectives()) {
+    std::fprintf(out, " %s", n.c_str());
+  }
+  std::fprintf(out, "\nregistered mappers (for --mapper):");
+  for (const auto& n : core::registered_mappers()) {
+    std::fprintf(out, " %s", n.c_str());
+  }
+  std::fprintf(out,
+               "\n--scenarios replaces the bundled graph with <count> "
+               "generated scenario graphs;\n--constraints stripes PE kinds "
+               "across <groups> groups and caps per-PE demand at "
+               "<capacity>.\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -84,10 +123,40 @@ int main(int argc, char** argv) {
   bool validate = false;
   std::vector<tech::ProcessNode> nodes;
   double die_mm2 = 0.0;
+  int scenario_count = 0;
+  int kind_groups = 0;
+  double pe_capacity = 0.0;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
-    if (!std::strcmp(argv[i], "--validate")) {
+    if (!std::strcmp(argv[i], "--help")) {
+      print_usage(stdout);
+      return 0;
+    } else if (!std::strcmp(argv[i], "--validate")) {
       validate = true;
+    } else if (!std::strcmp(argv[i], "--scenarios")) {
+      if (i + 1 >= argc || (scenario_count = std::atoi(argv[i + 1])) <= 0) {
+        std::fprintf(stderr, "--scenarios needs a positive count\n");
+        return 2;
+      }
+      ++i;
+    } else if (!std::strcmp(argv[i], "--constraints")) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr,
+                     "--constraints needs <groups>[:<capacity>] (e.g. 2 or "
+                     "2:6)\n");
+        return 2;
+      }
+      const char* spec = argv[++i];
+      kind_groups = std::atoi(spec);
+      if (const char* colon = std::strchr(spec, ':')) {
+        pe_capacity = std::atof(colon + 1);
+      }
+      if (kind_groups <= 0 || pe_capacity < 0.0) {
+        std::fprintf(stderr,
+                     "--constraints needs positive <groups> and non-negative "
+                     "<capacity>\n");
+        return 2;
+      }
     } else if (!std::strcmp(argv[i], "--mapper")) {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "--mapper needs a strategy name; registered:");
@@ -173,21 +242,32 @@ int main(int argc, char** argv) {
   dc.mapper = mapper_name;
   dc.validate_pareto = validate;
   dc.die_mm2 = die_mm2;
+  dc.pe_kind_groups = kind_groups;
+  dc.pe_capacity = pe_capacity;
 
   const auto& node = tech::node_90nm();
-  auto points = [&] {
-    try {
-      // Staged session: enumerate -> evaluate -> front (-> validate). run()
-      // drives the standard pipeline; the objective space picks the
-      // dominance axes the front is marked over.
-      core::DseSession session(
-          core::DseProblem{graph, objectives, {}, node}, space, ac, dc);
-      return session.run();
-    } catch (const std::invalid_argument& e) {
-      std::fprintf(stderr, "bad DSE inputs: %s\n", e.what());
-      std::exit(2);
+  // Staged session: enumerate -> evaluate -> front (-> validate). run()
+  // drives the standard pipeline; the objective space picks the dominance
+  // axes the front is marked over. With --scenarios the session evaluates
+  // every candidate against each generated scenario graph instead of the
+  // bundled application.
+  std::optional<core::DseSession> session;
+  try {
+    if (scenario_count > 0) {
+      const core::ScenarioGenerator gen(ac.seed);
+      session.emplace(core::DseProblem{graph, objectives, {}, node},
+                      gen.matrix(scenario_count, std::max(1, kind_groups)),
+                      space, ac, dc);
+    } else {
+      session.emplace(core::DseProblem{graph, objectives, {}, node}, space,
+                      ac, dc);
     }
-  }();
+    session->run();
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "bad DSE inputs: %s\n", e.what());
+    return 2;
+  }
+  const std::vector<core::DsePoint>& points = session->points();
   if (nodes.empty()) {
     std::printf("\n%zu candidates at %s (objectives: %s, mapper: %s",
                 points.size(), node.name.c_str(),
@@ -197,13 +277,49 @@ int main(int argc, char** argv) {
                 points.size(), nodes.size(), objectives.names().c_str(),
                 mapper_name.c_str());
   }
+  if (kind_groups > 0) {
+    std::printf(", %d kind groups", kind_groups);
+    if (pe_capacity > 0.0) std::printf(", PE capacity %.1f", pe_capacity);
+  }
   if (die_mm2 > 0.0) {
     std::printf(", die fixed at %.0f mm2):\n", die_mm2);
   } else {
     std::printf(", die auto-sized):\n");
   }
-  for (const auto& pt : points) {
-    std::printf("  %s\n", core::to_string(pt).c_str());
+  if (scenario_count > 0) {
+    // Per-scenario summary instead of the full (scenarios x candidates)
+    // table: front size and feasibility per slice, then the aggregate.
+    for (int s = 0; s < session->scenario_count(); ++s) {
+      const auto& front = session->scenario_fronts().at(
+          static_cast<std::size_t>(s));
+      std::size_t feasible = 0;
+      const std::size_t ncand = points.size() /
+                                static_cast<std::size_t>(
+                                    session->scenario_count());
+      for (std::size_t c = 0; c < ncand; ++c) {
+        if (points[static_cast<std::size_t>(s) * ncand + c]
+                .mapping_cost.feasible) {
+          ++feasible;
+        }
+      }
+      std::printf("  scenario %2d %-20s %2d tasks: front %zu, feasible "
+                  "%zu/%zu\n",
+                  s, session->scenario(s).name().c_str(),
+                  session->scenario(s).node_count(), front.size(), feasible,
+                  ncand);
+    }
+    std::printf("  aggregate front: %zu points\n",
+                session->front_indices().size());
+  } else {
+    for (const auto& pt : points) {
+      std::printf("  %s\n", core::to_string(pt).c_str());
+    }
+  }
+  // Typed constraint findings that survived mapper repair, if any.
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    for (const auto& v : points[i].mapping_cost.violations) {
+      std::printf("  point %zu violation %s\n", i, core::to_string(v).c_str());
+    }
   }
 
   if (validate) {
@@ -239,6 +355,12 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("\nselected: %s\n", core::to_string(*best).c_str());
+  if (scenario_count > 0) {
+    // Generated scenarios were swept instead of the bundled graph; the
+    // single-graph cycle-level replay below would validate the wrong
+    // workload, so stop at the selection.
+    return 0;
+  }
 
   // The cycle-level chain validator replays the unreplicated application
   // graph, so it maps that graph afresh with the sweep's strategy on the

@@ -1,0 +1,117 @@
+#pragma once
+
+/// \file
+/// Per-task / per-PE mapping constraints, their typed violation taxonomy,
+/// and the deterministic feasibility-repair pass shared by every mapper.
+///
+/// The constraint *data* lives on the entities themselves — TaskNode::kind /
+/// TaskNode::demand on the application side, PeDesc::compatible_kinds /
+/// PeDesc::capacity on the platform side. MappingConstraints is the
+/// *enforcement policy* threaded through evaluate_mapping, the
+/// IncrementalObjective, and every registered mapper. A default-constructed
+/// policy enforces both constraint families, which is vacuous on untagged
+/// graphs and unlimited platforms — so unconstrained flows stay bit-identical
+/// with the pre-constraint code paths.
+
+#include <string>
+#include <vector>
+
+#include "soc/core/task_graph.hpp"
+
+namespace soc::core {
+
+class PlatformDesc;
+struct PeDesc;
+struct ObjectiveWeights;
+
+/// Why a placement breaks the constraint model (the taxonomy that replaces
+/// silent acceptance of violating mappings).
+enum class ConstraintViolationKind {
+  kIncompatibleKind,  ///< task kind outside the PE's compatibility set
+  kOverCapacity,      ///< summed task demand on a PE exceeds its capacity
+  kUnmappedTask,      ///< task assigned no valid PE index
+};
+
+/// Short stable name of a violation kind ("incompatible-kind",
+/// "over-capacity", "unmapped-task").
+const char* to_string(ConstraintViolationKind kind) noexcept;
+
+/// One typed constraint violation, locating the offending task and/or PE.
+struct ConstraintViolation {
+  /// Violation class.
+  ConstraintViolationKind kind = ConstraintViolationKind::kUnmappedTask;
+  /// Offending task index (-1 for per-PE violations like over-capacity).
+  int task = -1;
+  /// Offending PE index (-1 when the task is unmapped).
+  int pe = -1;
+  /// Human-readable context, e.g. "task 3 (kind 2) on PE 1".
+  std::string detail;
+};
+
+/// One-line rendering of a violation: "<kind>: <detail>".
+std::string to_string(const ConstraintViolation& v);
+
+/// Enforcement policy for the kind-compatibility and capacity constraint
+/// families. Thread one through evaluate_mapping / IncrementalObjective /
+/// Mapper::map; use none() to opt a call site out entirely.
+struct MappingConstraints {
+  /// Enforce TaskNode::kind against PeDesc::compatible_kinds.
+  bool enforce_kinds = true;
+  /// Enforce summed TaskNode::demand against PeDesc::capacity.
+  bool enforce_capacity = true;
+
+  /// A policy that enforces nothing (pre-constraint behavior even on tagged
+  /// graphs and capacity-limited platforms).
+  static MappingConstraints none() noexcept { return {false, false}; }
+
+  /// True when any family is enforced.
+  bool any() const noexcept { return enforce_kinds || enforce_capacity; }
+
+  /// True when `task` may sit on `pe` under the kind policy (always true
+  /// when enforce_kinds is off, the PE's compatibility set is empty, or the
+  /// set contains the task's kind).
+  bool compatible(const TaskNode& task, const PeDesc& pe) const noexcept;
+
+  /// True when a PE loaded to `used_demand` (task included) respects `pe`'s
+  /// capacity (always true when enforce_capacity is off or the PE's
+  /// capacity is non-positive, i.e. unlimited).
+  bool fits(double used_demand, const PeDesc& pe) const noexcept;
+
+  /// Full typed audit of `mapping`: unmapped tasks (index outside the PE
+  /// range), kind-incompatible placements, and over-capacity PEs, in that
+  /// order (tasks ascending, then PEs ascending). Empty means feasible.
+  /// Unlike evaluate_mapping this never throws on bad indices — a bad index
+  /// *is* the kUnmappedTask finding.
+  std::vector<ConstraintViolation> violations(
+      const TaskGraph& graph, const PlatformDesc& platform,
+      const std::vector<int>& mapping) const;
+
+  /// True when violations() would be empty, without building the report.
+  bool satisfied(const TaskGraph& graph, const PlatformDesc& platform,
+                 const std::vector<int>& mapping) const;
+};
+
+/// Outcome of one feasibility-repair pass.
+struct RepairResult {
+  /// Tasks whose placement the pass changed (the repair-overhead figure
+  /// bench_scenario_matrix reports per mapper).
+  int moved_tasks = 0;
+  /// True when the repaired mapping satisfies the constraints; false means
+  /// the instance is (or remained) infeasible and `remaining` says why.
+  bool feasible = true;
+  /// Violations the pass could not clear (empty when feasible).
+  std::vector<ConstraintViolation> remaining;
+};
+
+/// Deterministic feasibility repair: rehomes unmapped and kind-incompatible
+/// tasks onto compatible PEs (preferring the most spare capacity, ties to
+/// the lowest PE index), then drains over-capacity PEs by moving their
+/// smallest-demand tasks to compatible PEs with room. A no-op (zero moves)
+/// on already-feasible mappings, so unconstrained flows are untouched.
+/// Same inputs, same moves — no RNG involved.
+RepairResult repair_mapping(const TaskGraph& graph,
+                            const PlatformDesc& platform,
+                            std::vector<int>& mapping,
+                            const MappingConstraints& constraints = {});
+
+}  // namespace soc::core

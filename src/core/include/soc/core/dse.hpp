@@ -51,6 +51,13 @@ struct DsePoint {
   DseCandidate candidate;          ///< the platform configuration scored
   MappingCost mapping_cost;        ///< analytic cost of the best mapping
   platform::PlatformCost silicon;  ///< silicon area/power estimate
+  /// Index of the scenario (work graph) this point scored — 0 in
+  /// single-scenario sessions, the slice index under a scenario set (see
+  /// DseSession's scenario constructor).
+  int scenario = 0;
+  /// Name of the scenario's task graph ("" on points built outside a
+  /// session, e.g. hand-assembled test fixtures).
+  std::string scenario_name;
   /// The placement behind mapping_cost: one PE index per node of the
   /// candidate's work graph (the input graph replicated num_pes/|graph|
   /// times, at least once — see run_dse). The validation stage replays
@@ -120,6 +127,20 @@ struct DseConfig {
   /// Wire-to-cycles conversion knobs (NoC clock FO4 budget, variation
   /// guardband) shared by the cost model and the link annotation.
   noc::LinkTimingModel::Config link_timing{};
+  /// Kind/capacity policy every candidate is mapped, scored, and
+  /// feasibility-checked under. The default enforces both families but is
+  /// vacuous on untagged graphs and unlimited PEs, so pre-constraint sweeps
+  /// are bit-identical; MappingConstraints::none() disables enforcement
+  /// outright.
+  MappingConstraints constraints{};
+  /// When > 0, stripe every candidate's PE pool across this many kind
+  /// groups: PE i accepts only task kind (i % pe_kind_groups) — the
+  /// heterogeneous-pool axis the constraint sweep explores. 0 leaves every
+  /// PE kind-unrestricted (the historical pool).
+  int pe_kind_groups = 0;
+  /// Capacity (max summed TaskNode::demand) stamped on every candidate PE;
+  /// 0 = unlimited (the historical pool). Negative values are rejected.
+  double pe_capacity = 0.0;
 };
 
 /// Enumerates the cartesian candidate space in sweep order (nodes

@@ -22,6 +22,12 @@
 
 namespace soc::core {
 
+/// An ordered set of application task graphs a session evaluates every
+/// candidate against — typically ScenarioGenerator output (scenario.hpp),
+/// but any graphs work. Order is part of the session's identity: points
+/// and fronts are reported per scenario index.
+using ScenarioSet = std::vector<TaskGraph>;
+
 /// What a DSE session explores: the application, the dominance objectives,
 /// and the scalarization weights the mappers optimize under. The design
 /// space itself (DseSpace) and the execution knobs (AnnealConfig/DseConfig)
@@ -119,9 +125,21 @@ class DseSession {
   /// Validates every input up front — config (including the ValidatorConfig
   /// knobs when config.validate_pareto is set), space axes, non-empty graph
   /// and objective set, registered mapper — throwing std::invalid_argument
-  /// naming the offending field before any work is done.
+  /// naming the offending field before any work is done. Explores the
+  /// single scenario problem.graph (scenario_count() == 1).
   DseSession(DseProblem problem, DseSpace space, AnnealConfig anneal = {},
              DseConfig config = {});
+
+  /// Multi-scenario session: every candidate is evaluated against every
+  /// graph of `scenarios` (which replaces problem.graph as the work source;
+  /// problem.graph may be empty here). Points are laid out scenario-major —
+  /// point s*C + c scores candidate c under scenario s — and each
+  /// candidate's mapper RNG stream is derived from that flat index, so a
+  /// one-scenario set reproduces the single-scenario session bit for bit.
+  /// Throws std::invalid_argument on an empty set or an empty scenario
+  /// graph.
+  DseSession(DseProblem problem, ScenarioSet scenarios, DseSpace space,
+             AnnealConfig anneal = {}, DseConfig config = {});
 
   DseSession(const DseSession&) = delete;             ///< non-copyable
   DseSession& operator=(const DseSession&) = delete;  ///< non-copyable
@@ -139,13 +157,17 @@ class DseSession {
   /// empty).
   const std::vector<DseCandidate>& enumerate();
 
-  /// Stage 1: maps and scores every candidate with the configured mapper
-  /// (analytic hop-matrix figures + silicon estimate), building each
-  /// candidate's EvalContext exactly once. Returns the points, sweep order.
+  /// Stage 1: maps and scores every (scenario, candidate) pair with the
+  /// configured mapper (analytic hop-matrix figures + silicon estimate),
+  /// building each pair's EvalContext exactly once. Returns the points,
+  /// scenario-major sweep order (scenario_count() x candidate count).
   const std::vector<DsePoint>& evaluate();
 
-  /// Marks the Pareto front over problem.objectives and returns the front's
-  /// ascending point indices.
+  /// Marks each scenario's Pareto front over problem.objectives —
+  /// dominance never crosses scenario slices — and returns the aggregate
+  /// front: the ascending union of the per-scenario fronts' flat point
+  /// indices (identical to the historical single-front indices when
+  /// scenario_count() == 1).
   const std::vector<std::size_t>& front();
 
   /// Stage 2: replays each front point's mapping on the event-driven NoC
@@ -170,14 +192,29 @@ class DseSession {
   const AnnealConfig& anneal() const noexcept { return anneal_; }
   /// Execution knobs.
   const DseConfig& config() const noexcept { return config_; }
-  /// Points so far (empty before evaluate()).
+  /// Points so far (empty before evaluate()), scenario-major.
   const std::vector<DsePoint>& points() const noexcept { return points_; }
-  /// Front indices (empty before front()).
+  /// Aggregate front indices (empty before front()).
   const std::vector<std::size_t>& front_indices() const noexcept {
     return front_;
   }
-  /// Cached evaluation context of candidate `i` (bounds-checked); valid
-  /// after evaluate().
+  /// Number of scenarios the session evaluates (1 for the single-graph
+  /// constructor).
+  int scenario_count() const noexcept {
+    return static_cast<int>(scenarios_.size());
+  }
+  /// Scenario graph `s` (bounds-checked).
+  const TaskGraph& scenario(int s) const {
+    return scenarios_.at(static_cast<std::size_t>(s));
+  }
+  /// Per-scenario Pareto fronts: scenario_fronts()[s] holds that slice's
+  /// front as ascending *flat* point indices (empty before front()).
+  const std::vector<std::vector<std::size_t>>& scenario_fronts()
+      const noexcept {
+    return scenario_fronts_;
+  }
+  /// Cached evaluation context of flat point `i` (scenario-major,
+  /// bounds-checked); valid after evaluate().
   const EvalContext& context(std::size_t i) const { return *contexts_.at(i); }
 
   /// True once enumerate() has run.
@@ -190,10 +227,13 @@ class DseSession {
   bool validated() const noexcept { return validated_; }
 
  private:
+  /// Input validation + mapper resolution shared by both constructors.
+  void init_common();
   /// Serialized observer dispatch (no-op without an observer).
   void notify(const DsePoint& point, Stage stage);
 
   DseProblem problem_;
+  ScenarioSet scenarios_;
   DseSpace space_;
   AnnealConfig anneal_;
   DseConfig config_;
@@ -204,6 +244,7 @@ class DseSession {
   std::vector<std::unique_ptr<EvalContext>> contexts_;
   std::vector<DsePoint> points_;
   std::vector<std::size_t> front_;
+  std::vector<std::vector<std::size_t>> scenario_fronts_;
   bool enumerated_ = false;
   bool evaluated_ = false;
   bool front_marked_ = false;

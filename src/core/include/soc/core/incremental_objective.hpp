@@ -23,20 +23,23 @@ namespace soc::core {
 ///
 /// Exactness contract: objective(), bottleneck_cycles(), comm_word_hops(),
 /// energy_pj_per_item(), and feasible() are *bit-identical* to what
-/// `evaluate_mapping` returns for mapping() after any sequence of
-/// try_move/revert calls (regression-tested by a randomized property test).
+/// `evaluate_mapping` returns for mapping() — under the same
+/// MappingConstraints policy — after any sequence of try_move/revert calls
+/// (regression-tested by a randomized property test).
 /// This holds because the scalarized objective excludes pipeline latency (a
 /// path maximum that has no cheap exact delta); edge/node sums are reduced
 /// through the same fixed-shape PairwiseSum trees the full evaluator uses, and
-/// per-PE loads are re-summed over the affected PEs' members in ascending node
-/// order — the full evaluator's exact association order.
+/// per-PE loads and capacity demands are re-summed over the affected PEs'
+/// members in ascending node order — the full evaluator's exact association
+/// order.
 class IncrementalObjective {
  public:
-  /// Snapshots graph/platform/weights (all must outlive this object) and runs
-  /// one full evaluation of `initial`. Throws like evaluate_mapping on size
-  /// mismatch or out-of-range PE indices.
+  /// Snapshots graph/platform/weights/constraints (graph and platform must
+  /// outlive this object) and runs one full evaluation of `initial`. Throws
+  /// like evaluate_mapping on size mismatch or out-of-range PE indices.
   IncrementalObjective(const TaskGraph& graph, const PlatformDesc& platform,
-                       const ObjectiveWeights& weights, Mapping initial);
+                       const ObjectiveWeights& weights, Mapping initial,
+                       MappingConstraints constraints = {});
 
   /// The current (possibly moved) mapping.
   const Mapping& mapping() const noexcept { return mapping_; }
@@ -51,8 +54,21 @@ class IncrementalObjective {
   double energy_pj_per_item() const noexcept {
     return node_energy_.total() + wire_energy_.total();
   }
-  /// True when every task sits on an allowed fabric.
-  bool feasible() const noexcept { return infeasible_count_ == 0; }
+  /// True when every task sits on an allowed fabric, every placement is
+  /// kind-compatible, and no PE exceeds its capacity (the latter two under
+  /// the constraint policy given at construction).
+  bool feasible() const noexcept {
+    return infeasible_count_ == 0 && kind_violations_ == 0 &&
+           over_capacity_pes_ == 0;
+  }
+
+  /// True when moving `task` to `new_pe` would respect the constraint
+  /// policy: the target PE accepts the task's kind and has capacity room.
+  /// The annealer consults this *before* try_move so violating proposals
+  /// are rejected without scoring (and without burning acceptance RNG).
+  /// Always true under a vacuous policy. Throws std::out_of_range on bad
+  /// indices.
+  bool move_feasible(int task, int new_pe) const;
 
   /// Applies "move `task` to `new_pe`" to the cached state and returns the
   /// new objective. The move stays applied; call revert() to undo it (the
@@ -67,21 +83,27 @@ class IncrementalObjective {
  private:
   void apply(int task, int new_pe);
   void recompute_pe_load(int pe);
+  void refresh_capacity_flag(int pe);
   void refresh_incident_edges(int task);
 
   const TaskGraph* graph_;
   const PlatformDesc* platform_;
   ObjectiveWeights weights_;
   tech::EnergyModel em_;
+  MappingConstraints constraints_;
 
   Mapping mapping_;
   std::vector<double> node_cycles_;        // cycles on the currently mapped PE
   std::vector<std::vector<int>> pe_members_;  // per PE, ascending node indices
   std::vector<double> pe_load_;
+  std::vector<double> pe_used_;     // per PE, summed task demand
+  std::vector<char> pe_over_;       // per PE, over-capacity flag
   PairwiseSum node_energy_;  // leaf per node: compute energy on its PE
   PairwiseSum comm_;         // leaf per edge: words x hops
   PairwiseSum wire_energy_;  // leaf per edge: words x routed-path pJ/word
   int infeasible_count_ = 0;
+  int kind_violations_ = 0;
+  int over_capacity_pes_ = 0;
   double bottleneck_ = 0.0;
   double objective_ = 0.0;
 

@@ -25,11 +25,23 @@ class Mapper {
   /// Registry key, e.g. "anneal".
   virtual std::string_view name() const noexcept = 0;
 
-  /// Places every task; may return infeasible placements (scored with the
-  /// usual penalty) rather than throwing. Strategies that are deterministic
-  /// (greedy, heft) simply ignore `rng`.
+  /// Places every task under `constraints`. Implementations must not return
+  /// a kind/capacity-violating mapping when a feasible one exists: the
+  /// built-in strategies run their constraint-aware heuristic and then
+  /// repair_mapping() as a final step, and custom strategies are expected to
+  /// do the same (fabric misfits remain scored with the usual penalty, as
+  /// before). Strategies that are deterministic (greedy, heft) simply
+  /// ignore `rng`.
   virtual Mapping map(const TaskGraph& graph, const PlatformDesc& platform,
-                      const ObjectiveWeights& weights, sim::Rng& rng) const = 0;
+                      const ObjectiveWeights& weights, sim::Rng& rng,
+                      const MappingConstraints& constraints) const = 0;
+
+  /// Unconstrained convenience overload: map() with a default (vacuous on
+  /// untagged inputs) constraint policy.
+  Mapping map(const TaskGraph& graph, const PlatformDesc& platform,
+              const ObjectiveWeights& weights, sim::Rng& rng) const {
+    return map(graph, platform, weights, rng, MappingConstraints{});
+  }
 };
 
 /// Factory signature: builds a strategy instance. The AnnealConfig carries

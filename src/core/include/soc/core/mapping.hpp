@@ -7,6 +7,7 @@
 #include <optional>
 #include <vector>
 
+#include "soc/core/constraints.hpp"
 #include "soc/core/task_graph.hpp"
 #include "soc/noc/floorplan.hpp"
 #include "soc/noc/topologies.hpp"
@@ -25,6 +26,13 @@ inline constexpr double kNocCyclesPerHop = 5.0;
 struct PeDesc {
   tech::Fabric fabric = tech::Fabric::kGeneralPurposeCpu;  ///< PE fabric class
   int threads = 4;  ///< hardware threads the PE interleaves
+  /// Task kinds (TaskNode::kind) this PE accepts; empty = every kind.
+  std::vector<int> compatible_kinds;
+  /// Max summed TaskNode::demand this PE hosts; <= 0 = unlimited.
+  double capacity = 0.0;
+
+  /// True when the PE accepts task kind `kind` (empty set accepts all).
+  bool accepts_kind(int kind) const noexcept;
 };
 
 /// Abstract platform view used by the mapper: resources plus the hop
@@ -125,32 +133,45 @@ struct MappingCost {
   double comm_word_hops = 0.0;     ///< sum over edges of words x hops
   double energy_pj_per_item = 0.0; ///< compute + wire energy
   double pipeline_latency = 0.0;   ///< critical-path cycles through the DAG
-  bool feasible = true;            ///< fabric constraints respected
+  bool feasible = true;            ///< fabric + kind/capacity constraints met
   double objective = 0.0;          ///< scalarized (lower is better)
+  /// Typed kind/capacity findings under the evaluation's constraint policy
+  /// (empty when feasible; fabric misfits keep their historical penalty but
+  /// are not in this taxonomy).
+  std::vector<ConstraintViolation> violations;
 };
 
-/// Evaluates a mapping. Infeasible placements (task on a disallowed
-/// fabric) get a large objective penalty rather than a throw, so search
-/// algorithms can traverse them.
+/// Evaluates a mapping. Infeasible placements (task on a disallowed fabric,
+/// or a kind/capacity violation under `constraints`) get a large objective
+/// penalty rather than a throw, so search algorithms can traverse them;
+/// constraint findings are reported typed in MappingCost::violations.
 MappingCost evaluate_mapping(const TaskGraph& graph, const PlatformDesc& platform,
                              const Mapping& mapping,
-                             const ObjectiveWeights& weights = {});
+                             const ObjectiveWeights& weights = {},
+                             const MappingConstraints& constraints = {});
 
-/// Uniform-random feasible-biased mapping (baseline for A2).
+/// Uniform-random feasible-biased mapping: prefers PEs satisfying fabric,
+/// kind, and remaining-capacity constraints, relaxing capacity then kind
+/// when nothing qualifies (baseline for A2).
 Mapping random_mapping(const TaskGraph& graph, const PlatformDesc& platform,
-                       sim::Rng& rng);
+                       sim::Rng& rng,
+                       const MappingConstraints& constraints = {});
 
 /// Greedy list mapping: nodes in decreasing work order, each placed on the
-/// PE that minimizes the incremental objective.
+/// constraint-compatible PE that minimizes the incremental objective
+/// (capacity then kind filters relax when nothing qualifies).
 Mapping greedy_mapping(const TaskGraph& graph, const PlatformDesc& platform,
-                       const ObjectiveWeights& weights = {});
+                       const ObjectiveWeights& weights = {},
+                       const MappingConstraints& constraints = {});
 
 /// HEFT/PEFT-style list scheduler: tasks ranked by upward rank (mean execution
 /// cycles plus the critical downstream path, hop latency included), then each
-/// task greedily placed on the PE minimizing its predicted finish time over
-/// the platform's hop matrix. Deterministic; no RNG involved.
+/// task greedily placed on the constraint-compatible PE minimizing its
+/// predicted finish time over the platform's hop matrix. Deterministic; no
+/// RNG involved.
 Mapping heft_mapping(const TaskGraph& graph, const PlatformDesc& platform,
-                     const ObjectiveWeights& weights = {});
+                     const ObjectiveWeights& weights = {},
+                     const MappingConstraints& constraints = {});
 
 /// Simulated-annealing refinement starting from the greedy solution.
 struct AnnealConfig {
@@ -165,9 +186,14 @@ Mapping anneal_mapping(const TaskGraph& graph, const PlatformDesc& platform,
 
 /// Same annealer driven by an external RNG (cfg.seed ignored) — the form the
 /// Mapper registry and the DSE sweep use so per-candidate streams can be
-/// derived statelessly from (seed, index).
+/// derived statelessly from (seed, index). Under `constraints` the proposal
+/// loop rejects kind/capacity-violating moves *before* scoring them (no
+/// penalty scoring, no acceptance draw), so the search never walks out of
+/// the feasible region it starts in — and the unconstrained trajectory is
+/// bit-identical to the pre-constraint annealer.
 Mapping anneal_mapping(const TaskGraph& graph, const PlatformDesc& platform,
                        const ObjectiveWeights& weights, const AnnealConfig& cfg,
-                       sim::Rng& rng);
+                       sim::Rng& rng,
+                       const MappingConstraints& constraints = {});
 
 }  // namespace soc::core

@@ -1,0 +1,93 @@
+#pragma once
+
+/// \file
+/// Seeded synthetic-scenario generation: parameterized task-graph families
+/// the DSE evaluates platform candidates against (DseSession's ScenarioSet),
+/// replacing the two hand-written reference applications as the only
+/// workloads. Generation is deterministic: a graph is a pure function of
+/// (generator seed, scenario index, spec), independent of generation order
+/// and thread count.
+
+#include <cstdint>
+#include <string>
+
+#include "soc/core/task_graph.hpp"
+
+namespace soc::core {
+
+/// Macro-structure family of a generated scenario graph. Every family is
+/// built as a layered DAG (edges only between adjacent layers), so
+/// generated graphs are acyclic by construction and respect the spec's
+/// depth/width bounds exactly.
+enum class ScenarioShape {
+  /// Uniformly sized layers with random adjacent-layer wiring — the
+  /// generic streaming pipeline.
+  kLayered,
+  /// Alternating single-node series stages and parallel blocks — the
+  /// fork/join shape of split–compute–merge media pipelines.
+  kSeriesParallel,
+  /// Layer sizes taper toward the sink, so late tasks aggregate many
+  /// producers — the reduction/aggregation shape that stresses fan-in
+  /// links.
+  kFanInHeavy,
+};
+
+/// Stable lowercase name of a shape ("layered", "series-parallel",
+/// "fan-in-heavy").
+const char* to_string(ScenarioShape shape) noexcept;
+
+/// Parameters of one scenario family. Defaults describe a small generic
+/// pipeline; ScenarioGenerator::generate validates every field and throws
+/// std::invalid_argument naming the offender.
+struct ScenarioSpec {
+  ScenarioShape shape = ScenarioShape::kLayered;  ///< macro structure
+  int depth = 4;  ///< exact number of layers (> 0)
+  int width = 3;  ///< max tasks per layer (> 0)
+  /// Density of optional adjacent-layer edges in [0, 1] beyond the
+  /// connectivity minimum (every non-source task keeps at least one
+  /// producer, every non-sink task at least one consumer).
+  double comm_ratio = 0.4;
+  double work_min = 50.0;    ///< per-task work_ops lower bound (> 0)
+  double work_max = 400.0;   ///< per-task work_ops upper bound (>= work_min)
+  /// Number of distinct task kinds tags are drawn from; <= 1 leaves every
+  /// task at the generic kind 0 (vacuous under default constraints).
+  int kinds = 1;
+  double demand_min = 1.0;  ///< per-task demand lower bound (>= 0)
+  double demand_max = 1.0;  ///< per-task demand upper bound (>= demand_min)
+  /// Graph-name prefix; the scenario index is appended.
+  std::string name = "scenario";
+};
+
+/// Deterministic scenario factory. generate(spec, index) derives its RNG
+/// stream statelessly from (seed, index) — the same scheme the DSE sweep
+/// uses per candidate — so any subset of scenarios can be generated in any
+/// order, on any thread, in any session, and come out bit-identical.
+class ScenarioGenerator {
+ public:
+  /// A generator producing streams derived from `seed`.
+  explicit ScenarioGenerator(std::uint64_t seed = 0x5ce7a110ULL) noexcept
+      : seed_(seed) {}
+
+  /// The seed every stream is derived from.
+  std::uint64_t seed() const noexcept { return seed_; }
+
+  /// Builds scenario `index` of family `spec`: a layered DAG with exactly
+  /// spec.depth layers of 1..spec.width tasks, adjacent-layer edges only,
+  /// every task reachable from a source and co-reachable to a sink through
+  /// the mandatory connectivity edges. Pure const function — see the class
+  /// comment. Throws std::invalid_argument on an out-of-range spec field
+  /// (naming it) and std::out_of_range on a negative index.
+  TaskGraph generate(const ScenarioSpec& spec, int index) const;
+
+  /// A deterministic matrix of `count` scenarios cycling through the three
+  /// shapes and a ladder of depth/width/comm presets, all tagged with
+  /// `kinds` task kinds — the standard input of the scenario-matrix bench
+  /// and multi-scenario sessions. Scenario i is generate(preset_i, i).
+  /// Throws std::invalid_argument when count <= 0.
+  std::vector<TaskGraph> matrix(int count, int kinds = 1) const;
+
+ private:
+  std::uint64_t seed_;
+};
+
+}  // namespace soc::core

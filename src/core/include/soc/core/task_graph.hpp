@@ -21,6 +21,12 @@ struct TaskNode {
   double state_kbytes = 1.0;     ///< resident state (affects locality)
   /// Fabrics this task may legally run on (empty = any programmable).
   std::vector<tech::Fabric> allowed_fabrics;
+  /// Task class tag matched against PeDesc::compatible_kinds (0 = the
+  /// generic kind untagged graphs carry). See soc/core/constraints.hpp.
+  int kind = 0;
+  /// Capacity units the task occupies on its PE (summed per PE against
+  /// PeDesc::capacity by the constraint checker).
+  double demand = 1.0;
 
   /// True when the task may run on fabric `f` under allowed_fabrics.
   bool allows(tech::Fabric f) const noexcept;

@@ -1,0 +1,225 @@
+#include "soc/core/constraints.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <string>
+
+#include "soc/core/mapping.hpp"
+
+namespace soc::core {
+
+const char* to_string(ConstraintViolationKind kind) noexcept {
+  switch (kind) {
+    case ConstraintViolationKind::kIncompatibleKind:
+      return "incompatible-kind";
+    case ConstraintViolationKind::kOverCapacity:
+      return "over-capacity";
+    case ConstraintViolationKind::kUnmappedTask:
+      return "unmapped-task";
+  }
+  return "unknown";
+}
+
+std::string to_string(const ConstraintViolation& v) {
+  return std::string(to_string(v.kind)) + ": " + v.detail;
+}
+
+bool PeDesc::accepts_kind(int kind) const noexcept {
+  if (compatible_kinds.empty()) return true;
+  return std::find(compatible_kinds.begin(), compatible_kinds.end(), kind) !=
+         compatible_kinds.end();
+}
+
+bool MappingConstraints::compatible(const TaskNode& task,
+                                    const PeDesc& pe) const noexcept {
+  if (!enforce_kinds) return true;
+  return pe.accepts_kind(task.kind);
+}
+
+bool MappingConstraints::fits(double used_demand,
+                              const PeDesc& pe) const noexcept {
+  if (!enforce_capacity || pe.capacity <= 0.0) return true;
+  return used_demand <= pe.capacity;
+}
+
+std::vector<ConstraintViolation> MappingConstraints::violations(
+    const TaskGraph& graph, const PlatformDesc& platform,
+    const std::vector<int>& mapping) const {
+  std::vector<ConstraintViolation> out;
+  const int n = graph.node_count();
+  const int npe = platform.pe_count();
+  std::vector<double> used(static_cast<std::size_t>(npe), 0.0);
+  for (int i = 0; i < n; ++i) {
+    const int pe = i < static_cast<int>(mapping.size())
+                       ? mapping[static_cast<std::size_t>(i)]
+                       : -1;
+    const TaskNode& task = graph.node(i);
+    if (pe < 0 || pe >= npe) {
+      out.push_back({ConstraintViolationKind::kUnmappedTask, i, -1,
+                     "task " + std::to_string(i) + " ('" + task.name +
+                         "') has no valid PE (index " + std::to_string(pe) +
+                         ")"});
+      continue;
+    }
+    used[static_cast<std::size_t>(pe)] += task.demand;
+    if (!compatible(task, platform.pe(pe))) {
+      out.push_back({ConstraintViolationKind::kIncompatibleKind, i, pe,
+                     "task " + std::to_string(i) + " (kind " +
+                         std::to_string(task.kind) + ") on PE " +
+                         std::to_string(pe)});
+    }
+  }
+  for (int p = 0; p < npe; ++p) {
+    const PeDesc& pe = platform.pe(p);
+    if (!fits(used[static_cast<std::size_t>(p)], pe)) {
+      out.push_back({ConstraintViolationKind::kOverCapacity, -1, p,
+                     "PE " + std::to_string(p) + " holds demand " +
+                         std::to_string(used[static_cast<std::size_t>(p)]) +
+                         " > capacity " + std::to_string(pe.capacity)});
+    }
+  }
+  return out;
+}
+
+bool MappingConstraints::satisfied(const TaskGraph& graph,
+                                   const PlatformDesc& platform,
+                                   const std::vector<int>& mapping) const {
+  const int n = graph.node_count();
+  const int npe = platform.pe_count();
+  std::vector<double> used(static_cast<std::size_t>(npe), 0.0);
+  for (int i = 0; i < n; ++i) {
+    const int pe = i < static_cast<int>(mapping.size())
+                       ? mapping[static_cast<std::size_t>(i)]
+                       : -1;
+    if (pe < 0 || pe >= npe) return false;
+    if (!compatible(graph.node(i), platform.pe(pe))) return false;
+    used[static_cast<std::size_t>(pe)] += graph.node(i).demand;
+  }
+  for (int p = 0; p < npe; ++p) {
+    if (!fits(used[static_cast<std::size_t>(p)], platform.pe(p))) return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// Spare capacity of PE `p` at load `used` (+inf when unlimited).
+double spare(const PeDesc& pe, double used) {
+  if (pe.capacity <= 0.0) return std::numeric_limits<double>::infinity();
+  return pe.capacity - used;
+}
+
+}  // namespace
+
+RepairResult repair_mapping(const TaskGraph& graph,
+                            const PlatformDesc& platform,
+                            std::vector<int>& mapping,
+                            const MappingConstraints& constraints) {
+  RepairResult result;
+  const int n = graph.node_count();
+  const int npe = platform.pe_count();
+  mapping.resize(static_cast<std::size_t>(n), -1);
+
+  std::vector<double> used(static_cast<std::size_t>(npe), 0.0);
+  for (int i = 0; i < n; ++i) {
+    const int pe = mapping[static_cast<std::size_t>(i)];
+    if (pe >= 0 && pe < npe) {
+      used[static_cast<std::size_t>(pe)] += graph.node(i).demand;
+    }
+  }
+
+  // Phase 1 — rehome unmapped and kind-incompatible tasks, ascending task
+  // order. Target: a kind-compatible PE, most spare capacity first (ties to
+  // the lowest index); among compatible PEs prefer ones the move would not
+  // overflow, but overflow beats leaving the task incompatible (phase 2 may
+  // still drain it).
+  for (int i = 0; i < n; ++i) {
+    const TaskNode& task = graph.node(i);
+    const int cur = mapping[static_cast<std::size_t>(i)];
+    const bool unmapped = cur < 0 || cur >= npe;
+    if (!unmapped && constraints.compatible(task, platform.pe(cur))) continue;
+    int best = -1, best_fit = -1;
+    double best_spare = -std::numeric_limits<double>::infinity();
+    for (int p = 0; p < npe; ++p) {
+      if (!constraints.compatible(task, platform.pe(p))) continue;
+      const double s = spare(platform.pe(p), used[static_cast<std::size_t>(p)]);
+      if (best < 0 || s > best_spare) {
+        best = p;
+        best_spare = s;
+      }
+      if (constraints.fits(used[static_cast<std::size_t>(p)] + task.demand,
+                           platform.pe(p)) &&
+          (best_fit < 0 ||
+           s > spare(platform.pe(best_fit),
+                     used[static_cast<std::size_t>(best_fit)]))) {
+        best_fit = p;
+      }
+    }
+    const int target = best_fit >= 0 ? best_fit : best;
+    if (target < 0) continue;  // no compatible PE exists: typed below
+    if (!unmapped) used[static_cast<std::size_t>(cur)] -= task.demand;
+    mapping[static_cast<std::size_t>(i)] = target;
+    used[static_cast<std::size_t>(target)] += task.demand;
+    ++result.moved_tasks;
+  }
+
+  // Phase 2 — drain over-capacity PEs: repeatedly move the lowest-demand
+  // task (ties to the lowest index) off the fullest over-capacity PE onto a
+  // compatible PE it fits on (most spare, ties low index). Each successful
+  // move strictly reduces total overflow, so n moves bound the loop; when no
+  // move helps, stop and report what remains.
+  for (int guard = 0; guard < n; ++guard) {
+    int worst = -1;
+    double worst_over = 0.0;
+    for (int p = 0; p < npe; ++p) {
+      const PeDesc& pe = platform.pe(p);
+      if (constraints.fits(used[static_cast<std::size_t>(p)], pe)) continue;
+      const double over = used[static_cast<std::size_t>(p)] - pe.capacity;
+      if (worst < 0 || over > worst_over) {
+        worst = p;
+        worst_over = over;
+      }
+    }
+    if (worst < 0) break;  // every PE fits
+    int task = -1, target = -1;
+    double task_demand = std::numeric_limits<double>::infinity();
+    for (int i = 0; i < n; ++i) {
+      if (mapping[static_cast<std::size_t>(i)] != worst) continue;
+      const TaskNode& t = graph.node(i);
+      if (t.demand >= task_demand) continue;
+      int cand = -1;
+      double cand_spare = -std::numeric_limits<double>::infinity();
+      for (int p = 0; p < npe; ++p) {
+        if (p == worst) continue;
+        if (!constraints.compatible(t, platform.pe(p))) continue;
+        if (!constraints.fits(used[static_cast<std::size_t>(p)] + t.demand,
+                              platform.pe(p))) {
+          continue;
+        }
+        const double s =
+            spare(platform.pe(p), used[static_cast<std::size_t>(p)]);
+        if (cand < 0 || s > cand_spare) {
+          cand = p;
+          cand_spare = s;
+        }
+      }
+      if (cand >= 0) {
+        task = i;
+        target = cand;
+        task_demand = t.demand;
+      }
+    }
+    if (task < 0) break;  // nothing movable: instance infeasible as placed
+    used[static_cast<std::size_t>(worst)] -=
+        graph.node(task).demand;
+    mapping[static_cast<std::size_t>(task)] = target;
+    used[static_cast<std::size_t>(target)] += graph.node(task).demand;
+    ++result.moved_tasks;
+  }
+
+  result.remaining = constraints.violations(graph, platform, mapping);
+  result.feasible = result.remaining.empty();
+  return result;
+}
+
+}  // namespace soc::core

@@ -55,7 +55,7 @@ PlatformDesc make_candidate_platform(const DseCandidate& cand,
                                      const DseConfig& config) {
   const platform::PlatformCost silicon = candidate_cost(cand, config);
   return PlatformDesc(
-      internal::candidate_pes(cand), cand.topology, cand.node,
+      internal::candidate_pes(cand, config), cand.topology, cand.node,
       internal::candidate_physical_spec(cand, config, silicon.die_mm2));
 }
 
@@ -80,6 +80,7 @@ std::vector<std::size_t> mark_pareto_front(std::vector<DsePoint>& points,
 
 std::string to_string(const DsePoint& p) {
   std::ostringstream os;
+  if (!p.scenario_name.empty()) os << "[" << p.scenario_name << "] ";
   os << p.candidate.node.name << " " << p.candidate.num_pes << " PEs x"
      << p.candidate.threads_per_pe << "T "
      << noc::to_string(p.candidate.topology) << " "

@@ -32,8 +32,11 @@ void validate_validator_config(const ValidatorConfig& v);
 /// config.validate_pareto arms stage 2.
 void validate_config(const DseConfig& config);
 
-/// The candidate's PE pool: num_pes descriptors of its fabric/threads.
-std::vector<PeDesc> candidate_pes(const DseCandidate& cand);
+/// The candidate's PE pool: num_pes descriptors of its fabric/threads,
+/// kind-striped across config.pe_kind_groups groups and capped at
+/// config.pe_capacity when those knobs are set.
+std::vector<PeDesc> candidate_pes(const DseCandidate& cand,
+                                  const DseConfig& config);
 
 /// The physical annotation a candidate's interconnect gets on `die_mm2`
 /// (nullopt when config.physical_links is off). Shared by EvalContext and

@@ -54,6 +54,16 @@ void validate_exec_config(const DseConfig& config) {
         "DseConfig: die_mm2 must be >= 0 (0 = auto-size), got " +
         std::to_string(config.die_mm2));
   }
+  if (config.pe_kind_groups < 0) {
+    throw std::invalid_argument(
+        "DseConfig: pe_kind_groups must be >= 0 (0 = unrestricted), got " +
+        std::to_string(config.pe_kind_groups));
+  }
+  if (config.pe_capacity < 0.0) {
+    throw std::invalid_argument(
+        "DseConfig: pe_capacity must be >= 0 (0 = unlimited), got " +
+        std::to_string(config.pe_capacity));
+  }
 }
 
 void validate_validator_config(const ValidatorConfig& v) {
@@ -96,9 +106,21 @@ void validate_config(const DseConfig& config) {
   if (config.validate_pareto) validate_validator_config(config.validation);
 }
 
-std::vector<PeDesc> candidate_pes(const DseCandidate& cand) {
-  return std::vector<PeDesc>(static_cast<std::size_t>(cand.num_pes),
-                             PeDesc{cand.pe_fabric, cand.threads_per_pe});
+std::vector<PeDesc> candidate_pes(const DseCandidate& cand,
+                                  const DseConfig& config) {
+  std::vector<PeDesc> pes(
+      static_cast<std::size_t>(cand.num_pes),
+      PeDesc{cand.pe_fabric, cand.threads_per_pe, {}, config.pe_capacity});
+  if (config.pe_kind_groups > 0) {
+    // Stripe the pool across kind groups: PE i accepts only task kind
+    // (i % groups), so every group stays reachable from every graph the
+    // generator tags with kinds < groups.
+    for (int i = 0; i < cand.num_pes; ++i) {
+      pes[static_cast<std::size_t>(i)].compatible_kinds = {
+          i % config.pe_kind_groups};
+    }
+  }
+  return pes;
 }
 
 std::optional<noc::PhysicalSpec> candidate_physical_spec(
@@ -146,8 +168,8 @@ EvalContext::EvalContext(const TaskGraph& graph, const DseCandidate& candidate,
   work_.emplace(replicas_ > 1 ? graph.replicated(replicas_)
                               : TaskGraph(graph));
 
-  platform_.emplace(internal::candidate_pes(cand_), cand_.topology, cand_.node,
-                    std::move(phys), *topo_);
+  platform_.emplace(internal::candidate_pes(cand_, config), cand_.topology,
+                    cand_.node, std::move(phys), *topo_);
 }
 
 // ------------------------------------------------------------- DseSession ---
@@ -158,10 +180,12 @@ namespace {
 /// its arguments (the rng carries this candidate's derived stream), so
 /// candidates can be evaluated on any thread in any order.
 DsePoint evaluate_point(const EvalContext& ctx, const ObjectiveWeights& weights,
-                        const Mapper& mapper, sim::Rng& rng) {
-  const Mapping m = mapper.map(ctx.work(), ctx.platform(), weights, rng);
+                        const Mapper& mapper, sim::Rng& rng,
+                        const MappingConstraints& constraints) {
+  const Mapping m =
+      mapper.map(ctx.work(), ctx.platform(), weights, rng, constraints);
   const MappingCost mc = evaluate_mapping(ctx.work(), ctx.platform(), m,
-                                          weights);
+                                          weights, constraints);
   DsePoint pt;
   pt.candidate = ctx.candidate();
   pt.mapping_cost = mc;
@@ -188,10 +212,35 @@ DseSession::DseSession(DseProblem problem, DseSpace space, AnnealConfig anneal,
       space_(std::move(space)),
       anneal_(anneal),
       config_(std::move(config)) {
-  internal::validate_config(config_);
   if (problem_.graph.node_count() == 0) {
     throw std::invalid_argument("DseSession: task graph has no nodes");
   }
+  scenarios_ = ScenarioSet{problem_.graph};
+  init_common();
+}
+
+DseSession::DseSession(DseProblem problem, ScenarioSet scenarios,
+                       DseSpace space, AnnealConfig anneal, DseConfig config)
+    : problem_(std::move(problem)),
+      scenarios_(std::move(scenarios)),
+      space_(std::move(space)),
+      anneal_(anneal),
+      config_(std::move(config)) {
+  if (scenarios_.empty()) {
+    throw std::invalid_argument("DseSession: scenario set is empty");
+  }
+  for (std::size_t s = 0; s < scenarios_.size(); ++s) {
+    if (scenarios_[s].node_count() == 0) {
+      throw std::invalid_argument("DseSession: scenario " + std::to_string(s) +
+                                  " ('" + scenarios_[s].name() +
+                                  "') has no nodes");
+    }
+  }
+  init_common();
+}
+
+void DseSession::init_common() {
+  internal::validate_config(config_);
   if (problem_.objectives.size() == 0) {
     throw std::invalid_argument(
         "DseSession: problem.objectives must contain at least one axis");
@@ -223,17 +272,25 @@ const std::vector<DseCandidate>& DseSession::enumerate() {
 const std::vector<DsePoint>& DseSession::evaluate() {
   if (evaluated_) return points_;
   enumerate();
-  contexts_.resize(candidates_.size());
-  points_.assign(candidates_.size(), DsePoint{});
+  // Flat scenario-major layout: point s*C + c scores candidate c under
+  // scenario s, and its RNG stream is derived from that flat index — with
+  // one scenario this is exactly the historical per-candidate stream.
+  const std::size_t ncand = candidates_.size();
+  const std::size_t total = scenarios_.size() * ncand;
+  contexts_.resize(total);
+  points_.assign(total, DsePoint{});
   sim::parallel_for(
-      candidates_.size(), sim::ParallelConfig{config_.num_threads},
-      [&](std::size_t i) {
-        sim::Rng rng(sim::derive_seed(anneal_.seed, i));
-        contexts_[i] = std::make_unique<EvalContext>(problem_.graph,
-                                                     candidates_[i], config_);
-        points_[i] =
-            evaluate_point(*contexts_[i], problem_.weights, *mapper_, rng);
-        notify(points_[i], Stage::kEvaluated);
+      total, sim::ParallelConfig{config_.num_threads}, [&](std::size_t f) {
+        const std::size_t s = f / ncand;
+        const std::size_t c = f % ncand;
+        sim::Rng rng(sim::derive_seed(anneal_.seed, f));
+        contexts_[f] = std::make_unique<EvalContext>(scenarios_[s],
+                                                     candidates_[c], config_);
+        points_[f] = evaluate_point(*contexts_[f], problem_.weights, *mapper_,
+                                    rng, config_.constraints);
+        points_[f].scenario = static_cast<int>(s);
+        points_[f].scenario_name = scenarios_[s].name();
+        notify(points_[f], Stage::kEvaluated);
       });
   evaluated_ = true;
   return points_;
@@ -242,7 +299,30 @@ const std::vector<DsePoint>& DseSession::evaluate() {
 const std::vector<std::size_t>& DseSession::front() {
   if (front_marked_) return front_;
   evaluate();
-  front_ = problem_.objectives.mark_front(points_, config_);
+  const std::size_t ncand = candidates_.size();
+  scenario_fronts_.assign(scenarios_.size(), {});
+  front_.clear();
+  if (scenarios_.size() == 1) {
+    scenario_fronts_[0] = problem_.objectives.mark_front(points_, config_);
+    front_ = scenario_fronts_[0];
+  } else {
+    // Dominance never crosses scenarios: each slice is marked on its own
+    // copy, flags are copied back, and the aggregate front is the ascending
+    // concatenation of the offset per-slice fronts.
+    for (std::size_t s = 0; s < scenarios_.size(); ++s) {
+      std::vector<DsePoint> slice(
+          points_.begin() + static_cast<std::ptrdiff_t>(s * ncand),
+          points_.begin() + static_cast<std::ptrdiff_t>((s + 1) * ncand));
+      std::vector<std::size_t> idx =
+          problem_.objectives.mark_front(slice, config_);
+      for (std::size_t c = 0; c < ncand; ++c) {
+        points_[s * ncand + c].pareto_optimal = slice[c].pareto_optimal;
+      }
+      for (std::size_t& k : idx) k += s * ncand;
+      front_.insert(front_.end(), idx.begin(), idx.end());
+      scenario_fronts_[s] = std::move(idx);
+    }
+  }
   front_marked_ = true;
   return front_;
 }

@@ -15,11 +15,13 @@ using internal::scalarized_objective;
 IncrementalObjective::IncrementalObjective(const TaskGraph& graph,
                                            const PlatformDesc& platform,
                                            const ObjectiveWeights& weights,
-                                           Mapping initial)
+                                           Mapping initial,
+                                           MappingConstraints constraints)
     : graph_(&graph),
       platform_(&platform),
       weights_(weights),
       em_(platform.node()),
+      constraints_(constraints),
       mapping_(std::move(initial)) {
   const int n = graph.node_count();
   const int npe = platform.pe_count();
@@ -30,6 +32,8 @@ IncrementalObjective::IncrementalObjective(const TaskGraph& graph,
   node_cycles_.assign(static_cast<std::size_t>(n), 0.0);
   pe_members_.assign(static_cast<std::size_t>(npe), {});
   pe_load_.assign(static_cast<std::size_t>(npe), 0.0);
+  pe_used_.assign(static_cast<std::size_t>(npe), 0.0);
+  pe_over_.assign(static_cast<std::size_t>(npe), 0);
 
   std::vector<double> node_energy(static_cast<std::size_t>(n), 0.0);
   for (int i = 0; i < n; ++i) {
@@ -40,12 +44,15 @@ IncrementalObjective::IncrementalObjective(const TaskGraph& graph,
     const TaskNode& node = graph.node(i);
     const tech::Fabric fabric = platform.pe(pe).fabric;
     if (!node.allows(fabric)) ++infeasible_count_;
+    if (!constraints_.compatible(node, platform.pe(pe))) ++kind_violations_;
     node_cycles_[static_cast<std::size_t>(i)] = cycles_on(node, fabric);
     node_energy[static_cast<std::size_t>(i)] = energy_on(node, fabric, em_);
     pe_members_[static_cast<std::size_t>(pe)].push_back(i);  // ascending: i grows
     pe_load_[static_cast<std::size_t>(pe)] +=
         node_cycles_[static_cast<std::size_t>(i)];
+    pe_used_[static_cast<std::size_t>(pe)] += node.demand;
   }
+  for (int p = 0; p < npe; ++p) refresh_capacity_flag(p);
   node_energy_.assign(node_energy);
   bottleneck_ = *std::max_element(pe_load_.begin(), pe_load_.end());
 
@@ -70,12 +77,43 @@ IncrementalObjective::IncrementalObjective(const TaskGraph& graph,
 
 void IncrementalObjective::recompute_pe_load(int pe) {
   // Re-summing the members in ascending node order reproduces, bit for bit,
-  // the accumulation order of the full evaluator's single pass over nodes.
+  // the accumulation order of the full evaluator's single pass over nodes —
+  // for the cycle load and the capacity demand alike.
   double load = 0.0;
+  double used = 0.0;
   for (const int i : pe_members_[static_cast<std::size_t>(pe)]) {
     load += node_cycles_[static_cast<std::size_t>(i)];
+    used += graph_->node(i).demand;
   }
   pe_load_[static_cast<std::size_t>(pe)] = load;
+  pe_used_[static_cast<std::size_t>(pe)] = used;
+}
+
+void IncrementalObjective::refresh_capacity_flag(int pe) {
+  const char over =
+      constraints_.fits(pe_used_[static_cast<std::size_t>(pe)],
+                        platform_->pe(pe))
+          ? 0
+          : 1;
+  char& flag = pe_over_[static_cast<std::size_t>(pe)];
+  over_capacity_pes_ += over - flag;
+  flag = over;
+}
+
+bool IncrementalObjective::move_feasible(int task, int new_pe) const {
+  if (task < 0 || task >= graph_->node_count()) {
+    throw std::out_of_range("IncrementalObjective::move_feasible: bad task");
+  }
+  if (new_pe < 0 || new_pe >= platform_->pe_count()) {
+    throw std::out_of_range("IncrementalObjective::move_feasible: bad PE");
+  }
+  const TaskNode& node = graph_->node(task);
+  const PeDesc& pe = platform_->pe(new_pe);
+  if (!constraints_.compatible(node, pe)) return false;
+  if (mapping_[static_cast<std::size_t>(task)] == new_pe) return true;
+  return constraints_.fits(pe_used_[static_cast<std::size_t>(new_pe)] +
+                               node.demand,
+                           pe);
 }
 
 void IncrementalObjective::refresh_incident_edges(int task) {
@@ -103,6 +141,10 @@ void IncrementalObjective::apply(int task, int new_pe) {
 
   if (!node.allows(old_fabric)) --infeasible_count_;
   if (!node.allows(new_fabric)) ++infeasible_count_;
+  if (!constraints_.compatible(node, platform_->pe(old_pe)))
+    --kind_violations_;
+  if (!constraints_.compatible(node, platform_->pe(new_pe)))
+    ++kind_violations_;
 
   node_cycles_[static_cast<std::size_t>(task)] = cycles_on(node, new_fabric);
   node_energy_.set(static_cast<std::size_t>(task),
@@ -118,6 +160,8 @@ void IncrementalObjective::apply(int task, int new_pe) {
   }
   recompute_pe_load(old_pe);
   recompute_pe_load(new_pe);
+  refresh_capacity_flag(old_pe);
+  refresh_capacity_flag(new_pe);
   bottleneck_ = *std::max_element(pe_load_.begin(), pe_load_.end());
 
   refresh_incident_edges(task);

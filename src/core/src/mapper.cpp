@@ -9,12 +9,26 @@ namespace soc::core {
 
 namespace {
 
+/// Final feasibility pass shared by every built-in strategy: the
+/// heuristics are constraint-aware but may strand a task when their
+/// greedy/stochastic order paints them into a corner; repair_mapping
+/// rehomes violators deterministically. A no-op (and skipped outright)
+/// under a vacuous policy, so unconstrained results are untouched.
+Mapping repaired(const TaskGraph& graph, const PlatformDesc& platform,
+                 Mapping m, const MappingConstraints& constraints) {
+  if (constraints.any()) repair_mapping(graph, platform, m, constraints);
+  return m;
+}
+
 class RandomMapper final : public Mapper {
  public:
   std::string_view name() const noexcept override { return "random"; }
   Mapping map(const TaskGraph& graph, const PlatformDesc& platform,
-              const ObjectiveWeights&, sim::Rng& rng) const override {
-    return random_mapping(graph, platform, rng);
+              const ObjectiveWeights&, sim::Rng& rng,
+              const MappingConstraints& constraints) const override {
+    return repaired(graph, platform,
+                    random_mapping(graph, platform, rng, constraints),
+                    constraints);
   }
 };
 
@@ -22,8 +36,11 @@ class GreedyMapper final : public Mapper {
  public:
   std::string_view name() const noexcept override { return "greedy"; }
   Mapping map(const TaskGraph& graph, const PlatformDesc& platform,
-              const ObjectiveWeights& weights, sim::Rng&) const override {
-    return greedy_mapping(graph, platform, weights);
+              const ObjectiveWeights& weights, sim::Rng&,
+              const MappingConstraints& constraints) const override {
+    return repaired(graph, platform,
+                    greedy_mapping(graph, platform, weights, constraints),
+                    constraints);
   }
 };
 
@@ -31,8 +48,11 @@ class HeftMapper final : public Mapper {
  public:
   std::string_view name() const noexcept override { return "heft"; }
   Mapping map(const TaskGraph& graph, const PlatformDesc& platform,
-              const ObjectiveWeights& weights, sim::Rng&) const override {
-    return heft_mapping(graph, platform, weights);
+              const ObjectiveWeights& weights, sim::Rng&,
+              const MappingConstraints& constraints) const override {
+    return repaired(graph, platform,
+                    heft_mapping(graph, platform, weights, constraints),
+                    constraints);
   }
 };
 
@@ -41,8 +61,12 @@ class AnnealMapper final : public Mapper {
   explicit AnnealMapper(const AnnealConfig& cfg) : cfg_(cfg) {}
   std::string_view name() const noexcept override { return "anneal"; }
   Mapping map(const TaskGraph& graph, const PlatformDesc& platform,
-              const ObjectiveWeights& weights, sim::Rng& rng) const override {
-    return anneal_mapping(graph, platform, weights, cfg_, rng);
+              const ObjectiveWeights& weights, sim::Rng& rng,
+              const MappingConstraints& constraints) const override {
+    return repaired(
+        graph, platform,
+        anneal_mapping(graph, platform, weights, cfg_, rng, constraints),
+        constraints);
   }
 
  private:

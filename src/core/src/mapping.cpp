@@ -130,7 +130,8 @@ double PlatformDesc::wire_pj_per_word(int pe_a, int pe_b) const {
 MappingCost evaluate_mapping(const TaskGraph& graph,
                              const PlatformDesc& platform,
                              const Mapping& mapping,
-                             const ObjectiveWeights& weights) {
+                             const ObjectiveWeights& weights,
+                             const MappingConstraints& constraints) {
   if (static_cast<int>(mapping.size()) != graph.node_count()) {
     throw std::invalid_argument("evaluate_mapping: mapping size mismatch");
   }
@@ -142,6 +143,7 @@ MappingCost evaluate_mapping(const TaskGraph& graph,
   std::vector<double> pe_cycles(static_cast<std::size_t>(npe), 0.0);
   std::vector<double> node_cycles(static_cast<std::size_t>(n), 0.0);
   std::vector<double> node_energy(static_cast<std::size_t>(n), 0.0);
+  std::vector<double> pe_demand(static_cast<std::size_t>(npe), 0.0);
   for (int i = 0; i < n; ++i) {
     const int pe = mapping[static_cast<std::size_t>(i)];
     if (pe < 0 || pe >= npe) {
@@ -150,11 +152,29 @@ MappingCost evaluate_mapping(const TaskGraph& graph,
     const TaskNode& node = graph.node(i);
     const tech::Fabric fabric = platform.pe(pe).fabric;
     if (!node.allows(fabric)) cost.feasible = false;
+    if (!constraints.compatible(node, platform.pe(pe))) {
+      cost.violations.push_back(
+          {ConstraintViolationKind::kIncompatibleKind, i, pe,
+           "task " + std::to_string(i) + " (kind " +
+               std::to_string(node.kind) + ") on PE " + std::to_string(pe)});
+    }
+    pe_demand[static_cast<std::size_t>(pe)] += node.demand;
     node_cycles[static_cast<std::size_t>(i)] = cycles_on(node, fabric);
     pe_cycles[static_cast<std::size_t>(pe)] +=
         node_cycles[static_cast<std::size_t>(i)];
     node_energy[static_cast<std::size_t>(i)] = energy_on(node, fabric, em);
   }
+  for (int p = 0; p < npe; ++p) {
+    if (!constraints.fits(pe_demand[static_cast<std::size_t>(p)],
+                          platform.pe(p))) {
+      cost.violations.push_back(
+          {ConstraintViolationKind::kOverCapacity, -1, p,
+           "PE " + std::to_string(p) + " holds demand " +
+               std::to_string(pe_demand[static_cast<std::size_t>(p)]) +
+               " > capacity " + std::to_string(platform.pe(p).capacity)});
+    }
+  }
+  if (!cost.violations.empty()) cost.feasible = false;
   cost.bottleneck_cycles =
       n ? *std::max_element(pe_cycles.begin(), pe_cycles.end()) : 0.0;
 
@@ -206,26 +226,54 @@ MappingCost evaluate_mapping(const TaskGraph& graph,
 }
 
 Mapping random_mapping(const TaskGraph& graph, const PlatformDesc& platform,
-                       sim::Rng& rng) {
+                       sim::Rng& rng, const MappingConstraints& constraints) {
   Mapping m(static_cast<std::size_t>(graph.node_count()), 0);
+  std::vector<double> used(static_cast<std::size_t>(platform.pe_count()), 0.0);
+  std::vector<int> feasible;
   for (int i = 0; i < graph.node_count(); ++i) {
-    // Prefer feasible PEs; fall back to uniform if none allow the task.
-    std::vector<int> feasible;
+    const TaskNode& node = graph.node(i);
+    // Prefer PEs satisfying fabric + kind + remaining capacity; relax
+    // capacity, then kind, then fabric when the stricter set is empty (the
+    // historical fabric-only filter is the unconstrained fixed point, so the
+    // RNG stream is untouched on untagged graphs).
+    feasible.clear();
     for (int p = 0; p < platform.pe_count(); ++p) {
-      if (graph.node(i).allows(platform.pe(p).fabric)) feasible.push_back(p);
+      const PeDesc& pe = platform.pe(p);
+      if (node.allows(pe.fabric) && constraints.compatible(node, pe) &&
+          constraints.fits(used[static_cast<std::size_t>(p)] + node.demand,
+                           pe)) {
+        feasible.push_back(p);
+      }
     }
     if (feasible.empty()) {
-      m[static_cast<std::size_t>(i)] = static_cast<int>(
+      for (int p = 0; p < platform.pe_count(); ++p) {
+        const PeDesc& pe = platform.pe(p);
+        if (node.allows(pe.fabric) && constraints.compatible(node, pe)) {
+          feasible.push_back(p);
+        }
+      }
+    }
+    if (feasible.empty()) {
+      for (int p = 0; p < platform.pe_count(); ++p) {
+        if (node.allows(platform.pe(p).fabric)) feasible.push_back(p);
+      }
+    }
+    int pick;
+    if (feasible.empty()) {
+      pick = static_cast<int>(
           rng.next_below(static_cast<std::uint64_t>(platform.pe_count())));
     } else {
-      m[static_cast<std::size_t>(i)] = feasible[rng.next_below(feasible.size())];
+      pick = feasible[rng.next_below(feasible.size())];
     }
+    m[static_cast<std::size_t>(i)] = pick;
+    used[static_cast<std::size_t>(pick)] += node.demand;
   }
   return m;
 }
 
 Mapping greedy_mapping(const TaskGraph& graph, const PlatformDesc& platform,
-                       const ObjectiveWeights& weights) {
+                       const ObjectiveWeights& weights,
+                       const MappingConstraints& constraints) {
   const int n = graph.node_count();
   std::vector<int> order(static_cast<std::size_t>(n));
   std::iota(order.begin(), order.end(), 0);
@@ -235,49 +283,65 @@ Mapping greedy_mapping(const TaskGraph& graph, const PlatformDesc& platform,
 
   const tech::EnergyModel em(platform.node());
 
-  // Incremental state: per-PE accumulated cycles; partial mapping.
+  // Incremental state: per-PE accumulated cycles and demand; partial mapping.
   Mapping m(static_cast<std::size_t>(n), -1);
   std::vector<double> pe_cycles(static_cast<std::size_t>(platform.pe_count()), 0.0);
+  std::vector<double> pe_used(static_cast<std::size_t>(platform.pe_count()), 0.0);
 
   for (const int node_idx : order) {
     const TaskNode& node = graph.node(node_idx);
     double best = std::numeric_limits<double>::infinity();
     int best_pe = 0;
-    for (int p = 0; p < platform.pe_count(); ++p) {
-      const tech::Fabric fabric = platform.pe(p).fabric;
-      if (!node.allows(fabric)) continue;
-      const double new_load =
-          pe_cycles[static_cast<std::size_t>(p)] + cycles_on(node, fabric);
-      // Communication with already-placed neighbors: only the node's own
-      // incident edges, not the whole edge vector.
-      double comm = 0.0;
-      const auto add_comm = [&](const TaskEdge& e, int other) {
-        if (m[static_cast<std::size_t>(other)] < 0) return;
-        comm += e.words_per_item *
-                platform.hops(p, m[static_cast<std::size_t>(other)]);
-      };
-      for (const int ei : graph.in_edges(node_idx)) {
-        add_comm(graph.edge(ei), graph.edge(ei).src);
+    // Strictness 2: fabric + kind + capacity; 1: fabric + kind; 0: fabric
+    // only (the historical filter). Relaxing only on an empty stricter set
+    // keeps unconstrained runs on the exact pre-constraint placement path.
+    for (int strictness = 2; strictness >= 0; --strictness) {
+      for (int p = 0; p < platform.pe_count(); ++p) {
+        const PeDesc& pe = platform.pe(p);
+        const tech::Fabric fabric = pe.fabric;
+        if (!node.allows(fabric)) continue;
+        if (strictness >= 1 && !constraints.compatible(node, pe)) continue;
+        if (strictness == 2 &&
+            !constraints.fits(
+                pe_used[static_cast<std::size_t>(p)] + node.demand, pe)) {
+          continue;
+        }
+        const double new_load =
+            pe_cycles[static_cast<std::size_t>(p)] + cycles_on(node, fabric);
+        // Communication with already-placed neighbors: only the node's own
+        // incident edges, not the whole edge vector.
+        double comm = 0.0;
+        const auto add_comm = [&](const TaskEdge& e, int other) {
+          if (m[static_cast<std::size_t>(other)] < 0) return;
+          comm += e.words_per_item *
+                  platform.hops(p, m[static_cast<std::size_t>(other)]);
+        };
+        for (const int ei : graph.in_edges(node_idx)) {
+          add_comm(graph.edge(ei), graph.edge(ei).src);
+        }
+        for (const int ei : graph.out_edges(node_idx)) {
+          add_comm(graph.edge(ei), graph.edge(ei).dst);
+        }
+        const double score = weights.load * new_load + weights.comm * comm +
+                             weights.energy * energy_on(node, fabric, em);
+        if (score < best) {
+          best = score;
+          best_pe = p;
+        }
       }
-      for (const int ei : graph.out_edges(node_idx)) {
-        add_comm(graph.edge(ei), graph.edge(ei).dst);
-      }
-      const double score = weights.load * new_load + weights.comm * comm +
-                           weights.energy * energy_on(node, fabric, em);
-      if (score < best) {
-        best = score;
-        best_pe = p;
-      }
+      if (best < std::numeric_limits<double>::infinity()) break;
     }
     m[static_cast<std::size_t>(node_idx)] = best_pe;
     pe_cycles[static_cast<std::size_t>(best_pe)] +=
         cycles_on(node, platform.pe(best_pe).fabric);
+    pe_used[static_cast<std::size_t>(best_pe)] += node.demand;
   }
   return m;
 }
 
 Mapping heft_mapping(const TaskGraph& graph, const PlatformDesc& platform,
-                     const ObjectiveWeights& weights) {
+                     const ObjectiveWeights& weights,
+                     const MappingConstraints& constraints) {
   (void)weights;  // HEFT optimizes predicted finish time, not the scalarized
                   // objective; the parameter keeps the strategy signature
                   // uniform across mappers.
@@ -340,49 +404,64 @@ Mapping heft_mapping(const TaskGraph& graph, const PlatformDesc& platform,
     return topo_pos[static_cast<std::size_t>(a)] < topo_pos[static_cast<std::size_t>(b)];
   });
 
-  // Earliest-finish-time placement over the hop matrix.
+  // Earliest-finish-time placement over the hop matrix, restricted to
+  // constraint-compatible PEs with remaining capacity (relaxing capacity,
+  // then kind, when the stricter set is empty — same ladder as greedy, so
+  // unconstrained runs place identically to the pre-constraint scheduler).
   std::vector<double> pe_free(static_cast<std::size_t>(npe), 0.0);
+  std::vector<double> pe_used(static_cast<std::size_t>(npe), 0.0);
   std::vector<double> finish(static_cast<std::size_t>(n), 0.0);
   for (const int u : order) {
     const TaskNode& node = graph.node(u);
     double best_eft = std::numeric_limits<double>::infinity();
     int best_pe = 0;
-    for (int p = 0; p < npe; ++p) {
-      if (any_allowed[static_cast<std::size_t>(u)] &&
-          !node.allows(platform.pe(p).fabric)) {
-        continue;
+    for (int strictness = 2; strictness >= 0; --strictness) {
+      for (int p = 0; p < npe; ++p) {
+        const PeDesc& pe = platform.pe(p);
+        if (any_allowed[static_cast<std::size_t>(u)] &&
+            !node.allows(pe.fabric)) {
+          continue;
+        }
+        if (strictness >= 1 && !constraints.compatible(node, pe)) continue;
+        if (strictness == 2 &&
+            !constraints.fits(
+                pe_used[static_cast<std::size_t>(p)] + node.demand, pe)) {
+          continue;
+        }
+        double ready = pe_free[static_cast<std::size_t>(p)];
+        for (const int ei : graph.in_edges(u)) {
+          const int pred = graph.edge(ei).src;
+          ready = std::max(ready,
+                           finish[static_cast<std::size_t>(pred)] +
+                               platform.path_latency_cycles(
+                                   m[static_cast<std::size_t>(pred)], p));
+        }
+        const double eft = ready + cycles_on(node, pe.fabric);
+        if (eft < best_eft) {
+          best_eft = eft;
+          best_pe = p;
+        }
       }
-      double ready = pe_free[static_cast<std::size_t>(p)];
-      for (const int ei : graph.in_edges(u)) {
-        const int pred = graph.edge(ei).src;
-        ready = std::max(ready,
-                         finish[static_cast<std::size_t>(pred)] +
-                             platform.path_latency_cycles(
-                                 m[static_cast<std::size_t>(pred)], p));
-      }
-      const double eft = ready + cycles_on(node, platform.pe(p).fabric);
-      if (eft < best_eft) {
-        best_eft = eft;
-        best_pe = p;
-      }
+      if (best_eft < std::numeric_limits<double>::infinity()) break;
     }
     m[static_cast<std::size_t>(u)] = best_pe;
     finish[static_cast<std::size_t>(u)] = best_eft;
     pe_free[static_cast<std::size_t>(best_pe)] = best_eft;
+    pe_used[static_cast<std::size_t>(best_pe)] += node.demand;
   }
   return m;
 }
 
 Mapping anneal_mapping(const TaskGraph& graph, const PlatformDesc& platform,
                        const ObjectiveWeights& weights, const AnnealConfig& cfg,
-                       sim::Rng& rng) {
-  Mapping best = greedy_mapping(graph, platform, weights);
+                       sim::Rng& rng, const MappingConstraints& constraints) {
+  Mapping best = greedy_mapping(graph, platform, weights, constraints);
   if (graph.node_count() == 0 || platform.pe_count() < 2) return best;
 
   // All scoring goes through the O(degree) incremental evaluator; the full
   // evaluator runs zero times inside the loop (latency, which the objective
   // excludes, is whatever the caller recomputes once on the result).
-  IncrementalObjective obj(graph, platform, weights, best);
+  IncrementalObjective obj(graph, platform, weights, best, constraints);
   double cur_obj = obj.objective();
   double best_obj = cur_obj;
 
@@ -399,6 +478,11 @@ Mapping anneal_mapping(const TaskGraph& graph, const PlatformDesc& platform,
     // iteration proposes a real move (no budget burned on collisions).
     int new_pe = static_cast<int>(rng.next_below(npe - 1));
     if (new_pe >= old_pe) ++new_pe;
+
+    // Constraint-violating moves are rejected before scoring — no penalty
+    // walk, no acceptance draw — so a feasible trajectory stays feasible
+    // and the unconstrained trajectory is untouched (every move passes).
+    if (!obj.move_feasible(task, new_pe)) continue;
 
     const double new_obj = obj.try_move(task, new_pe);
     const double delta = new_obj - cur_obj;

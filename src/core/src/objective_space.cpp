@@ -46,11 +46,20 @@ Registry& registry() {
   return r;
 }
 
+/// Comma-separated registry contents, appended to every objective-name
+/// error so callers see what they could have asked for.
+std::string registered_csv() {
+  std::string out;
+  for (const auto& n : registered_objectives()) {
+    if (!out.empty()) out += ", ";
+    out += n;
+  }
+  return out;
+}
+
 [[noreturn]] void throw_unknown(std::string_view name) {
-  std::string msg = "unknown objective '" + std::string(name) +
-                    "'; registered:";
-  for (const auto& n : registered_objectives()) msg += " " + n;
-  throw std::invalid_argument(msg);
+  throw std::invalid_argument("unknown objective '" + std::string(name) +
+                              "'; registered: " + registered_csv());
 }
 
 }  // namespace
@@ -112,7 +121,7 @@ ObjectiveSpace ObjectiveSpace::from_names(std::string_view csv) {
     if (item.empty()) {
       throw std::invalid_argument(
           "ObjectiveSpace: empty axis name in objective list '" +
-          std::string(csv) + "'");
+          std::string(csv) + "'; registered: " + registered_csv());
     }
     space.add(item);
     if (comma == std::string_view::npos) break;
@@ -136,7 +145,8 @@ ObjectiveSpace& ObjectiveSpace::add(ObjectiveAxis axis) {
   for (const auto& a : axes_) {
     if (a.name == axis.name) {
       throw std::invalid_argument("ObjectiveSpace: duplicate axis '" +
-                                  axis.name + "'");
+                                  axis.name +
+                                  "'; registered: " + registered_csv());
     }
   }
   axes_.push_back(std::move(axis));

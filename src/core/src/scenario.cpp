@@ -1,0 +1,188 @@
+#include "soc/core/scenario.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "soc/sim/parallel.hpp"
+#include "soc/sim/rng.hpp"
+
+namespace soc::core {
+
+const char* to_string(ScenarioShape shape) noexcept {
+  switch (shape) {
+    case ScenarioShape::kLayered:
+      return "layered";
+    case ScenarioShape::kSeriesParallel:
+      return "series-parallel";
+    case ScenarioShape::kFanInHeavy:
+      return "fan-in-heavy";
+  }
+  return "unknown";
+}
+
+namespace {
+
+void validate_spec(const ScenarioSpec& spec) {
+  if (spec.depth <= 0) {
+    throw std::invalid_argument("ScenarioSpec: depth must be > 0, got " +
+                                std::to_string(spec.depth));
+  }
+  if (spec.width <= 0) {
+    throw std::invalid_argument("ScenarioSpec: width must be > 0, got " +
+                                std::to_string(spec.width));
+  }
+  if (spec.comm_ratio < 0.0 || spec.comm_ratio > 1.0) {
+    throw std::invalid_argument(
+        "ScenarioSpec: comm_ratio must be in [0, 1], got " +
+        std::to_string(spec.comm_ratio));
+  }
+  if (spec.work_min <= 0.0 || spec.work_max < spec.work_min) {
+    throw std::invalid_argument(
+        "ScenarioSpec: need 0 < work_min <= work_max, got [" +
+        std::to_string(spec.work_min) + ", " + std::to_string(spec.work_max) +
+        "]");
+  }
+  if (spec.kinds < 0) {
+    throw std::invalid_argument("ScenarioSpec: kinds must be >= 0, got " +
+                                std::to_string(spec.kinds));
+  }
+  if (spec.demand_min < 0.0 || spec.demand_max < spec.demand_min) {
+    throw std::invalid_argument(
+        "ScenarioSpec: need 0 <= demand_min <= demand_max, got [" +
+        std::to_string(spec.demand_min) + ", " +
+        std::to_string(spec.demand_max) + "]");
+  }
+}
+
+/// Layer sizes for the spec's shape, each in [1, spec.width], exactly
+/// spec.depth entries — the structural guarantee behind the generator's
+/// DAG/bounds contract.
+std::vector<int> layer_sizes(const ScenarioSpec& spec, sim::Rng& rng) {
+  std::vector<int> sizes(static_cast<std::size_t>(spec.depth), 1);
+  const auto w = static_cast<std::uint64_t>(spec.width);
+  for (int l = 0; l < spec.depth; ++l) {
+    switch (spec.shape) {
+      case ScenarioShape::kLayered:
+        sizes[static_cast<std::size_t>(l)] =
+            1 + static_cast<int>(rng.next_below(w));
+        break;
+      case ScenarioShape::kSeriesParallel:
+        // Even layers are single series stages; odd layers are the
+        // parallel blocks between them (as wide as the width allows).
+        sizes[static_cast<std::size_t>(l)] =
+            (l % 2 == 0 || spec.width == 1)
+                ? 1
+                : 2 + static_cast<int>(rng.next_below(w - 1));
+        break;
+      case ScenarioShape::kFanInHeavy: {
+        // Cap tapers linearly from width at the sources to 1 at the sink,
+        // so every downstream task aggregates an ever-larger upstream.
+        const int span = spec.depth > 1 ? spec.depth - 1 : 1;
+        const int cap =
+            spec.width - ((spec.width - 1) * l + span / 2) / span;
+        sizes[static_cast<std::size_t>(l)] =
+            1 + static_cast<int>(
+                    rng.next_below(static_cast<std::uint64_t>(cap > 0 ? cap
+                                                                      : 1)));
+        break;
+      }
+    }
+  }
+  return sizes;
+}
+
+}  // namespace
+
+TaskGraph ScenarioGenerator::generate(const ScenarioSpec& spec,
+                                      int index) const {
+  validate_spec(spec);
+  if (index < 0) {
+    throw std::out_of_range("ScenarioGenerator::generate: index must be >= 0");
+  }
+  // The stream is a pure function of (seed, index): the same stateless
+  // (base, index) hash the DSE uses per candidate, so generation order and
+  // thread placement cannot leak into the graph.
+  sim::Rng rng(sim::derive_seed(seed_, static_cast<std::uint64_t>(index)));
+  TaskGraph g(spec.name + "_" + std::to_string(index));
+
+  const std::vector<int> sizes = layer_sizes(spec, rng);
+  std::vector<std::vector<int>> layers(sizes.size());
+  for (std::size_t l = 0; l < sizes.size(); ++l) {
+    for (int j = 0; j < sizes[l]; ++j) {
+      TaskNode n;
+      n.name = "l" + std::to_string(l) + "n" + std::to_string(j);
+      n.work_ops =
+          spec.work_min + rng.next_double() * (spec.work_max - spec.work_min);
+      n.state_kbytes = 1.0 + rng.next_double() * 7.0;
+      n.kind = spec.kinds > 1
+                   ? static_cast<int>(rng.next_below(
+                         static_cast<std::uint64_t>(spec.kinds)))
+                   : 0;
+      n.demand = spec.demand_min +
+                 rng.next_double() * (spec.demand_max - spec.demand_min);
+      layers[l].push_back(g.add_node(n));
+    }
+  }
+
+  const auto draw_words = [&rng]() { return 1.0 + rng.next_double() * 15.0; };
+  for (std::size_t l = 1; l < layers.size(); ++l) {
+    const std::vector<int>& prev = layers[l - 1];
+    const std::vector<int>& cur = layers[l];
+    // Connectivity floor: every task of this layer consumes from one
+    // producer, then every producer left without a consumer feeds one task
+    // here — no orphan sources/sinks inside the pipeline.
+    std::vector<char> wired(prev.size() * cur.size(), 0);
+    std::vector<char> has_out(prev.size(), 0);
+    for (std::size_t c = 0; c < cur.size(); ++c) {
+      const std::size_t p = rng.next_below(prev.size());
+      g.add_edge({prev[p], cur[c], draw_words()});
+      wired[p * cur.size() + c] = 1;
+      has_out[p] = 1;
+    }
+    for (std::size_t p = 0; p < prev.size(); ++p) {
+      if (has_out[p]) continue;
+      const std::size_t c = rng.next_below(cur.size());
+      g.add_edge({prev[p], cur[c], draw_words()});
+      wired[p * cur.size() + c] = 1;
+    }
+    // Optional density on top, one Bernoulli draw per still-unwired
+    // adjacent pair in fixed (producer, consumer) order.
+    for (std::size_t p = 0; p < prev.size(); ++p) {
+      for (std::size_t c = 0; c < cur.size(); ++c) {
+        if (wired[p * cur.size() + c]) continue;
+        if (!rng.next_bool(spec.comm_ratio)) continue;
+        g.add_edge({prev[p], cur[c], draw_words()});
+      }
+    }
+  }
+  return g;
+}
+
+std::vector<TaskGraph> ScenarioGenerator::matrix(int count, int kinds) const {
+  if (count <= 0) {
+    throw std::invalid_argument("ScenarioGenerator::matrix: count must be > 0");
+  }
+  static constexpr int kDepths[] = {3, 4, 6, 8};
+  static constexpr int kWidths[] = {2, 3, 4, 6};
+  static constexpr double kComms[] = {0.2, 0.5, 0.8};
+  std::vector<TaskGraph> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    ScenarioSpec spec;
+    spec.shape = static_cast<ScenarioShape>(i % 3);
+    spec.depth = kDepths[(i / 3) % 4];
+    spec.width = kWidths[(i / 12) % 4];
+    spec.comm_ratio = kComms[(i / 48) % 3];
+    spec.kinds = kinds;
+    if (kinds > 1) {
+      // Constrained matrices vary demand so capacity limits actually bite.
+      spec.demand_min = 0.5;
+      spec.demand_max = 2.0;
+    }
+    spec.name = to_string(spec.shape);
+    out.push_back(generate(spec, i));
+  }
+  return out;
+}
+
+}  // namespace soc::core

@@ -41,7 +41,7 @@ TaskGraph chain_graph(int n, double ops = 100.0) {
 PlatformDesc uniform_platform(int pes, Fabric f = Fabric::kGeneralPurposeCpu,
                               noc::TopologyKind topo = noc::TopologyKind::kMesh2D) {
   return PlatformDesc(std::vector<PeDesc>(static_cast<std::size_t>(pes),
-                                          PeDesc{f, 4}),
+                                          PeDesc{f, 4, {}, 0.0}),
                       topo, tech::node_90nm());
 }
 
@@ -246,10 +246,10 @@ TEST(Mappers, OrderingRandomGreedyAnneal) {
 TEST(Mappers, RandomRespectsFeasibilityWhenPossible) {
   const auto g = soc::apps::ipv4_task_graph();
   // Mixed platform: 2 GP + 2 hardwired "PEs".
-  std::vector<PeDesc> pes{{Fabric::kGeneralPurposeCpu, 4},
-                          {Fabric::kGeneralPurposeCpu, 4},
-                          {Fabric::kHardwired, 1},
-                          {Fabric::kHardwired, 1}};
+  std::vector<PeDesc> pes{{Fabric::kGeneralPurposeCpu, 4, {}, 0.0},
+                          {Fabric::kGeneralPurposeCpu, 4, {}, 0.0},
+                          {Fabric::kHardwired, 1, {}, 0.0},
+                          {Fabric::kHardwired, 1, {}, 0.0}};
   PlatformDesc p(pes, noc::TopologyKind::kMesh2D, tech::node_90nm());
   sim::Rng rng(5);
   for (int trial = 0; trial < 10; ++trial) {
@@ -261,11 +261,11 @@ TEST(Mappers, RandomRespectsFeasibilityWhenPossible) {
 TEST(Mappers, AnnealIsDeterministicForSeed) {
   const auto g = soc::apps::wlan_task_graph();
   // Platform that can host every wlan task: ASIPs + 1 eFPGA-ish + DSP mix.
-  std::vector<PeDesc> pes{{Fabric::kDsp, 4},   {Fabric::kDsp, 4},
-                          {Fabric::kAsip, 4},  {Fabric::kAsip, 4},
-                          {Fabric::kEfpga, 1}, {Fabric::kEfpga, 1},
-                          {Fabric::kGeneralPurposeCpu, 4},
-                          {Fabric::kGeneralPurposeCpu, 4}};
+  std::vector<PeDesc> pes{{Fabric::kDsp, 4, {}, 0.0},   {Fabric::kDsp, 4, {}, 0.0},
+                          {Fabric::kAsip, 4, {}, 0.0},  {Fabric::kAsip, 4, {}, 0.0},
+                          {Fabric::kEfpga, 1, {}, 0.0}, {Fabric::kEfpga, 1, {}, 0.0},
+                          {Fabric::kGeneralPurposeCpu, 4, {}, 0.0},
+                          {Fabric::kGeneralPurposeCpu, 4, {}, 0.0}};
   PlatformDesc p(pes, noc::TopologyKind::kFatTree, tech::node_90nm());
   AnnealConfig ac;
   ac.iterations = 3000;
@@ -442,7 +442,7 @@ TEST(Dse, RecordsTheMappingBehindEachPoint) {
     EXPECT_LT(pe, 8);
   }
   // The stored mapping is the one the recorded cost was computed from.
-  std::vector<PeDesc> pes(8, PeDesc{Fabric::kAsip, 2});
+  std::vector<PeDesc> pes(8, PeDesc{Fabric::kAsip, 2, {}, 0.0});
   PlatformDesc platform(std::move(pes), noc::TopologyKind::kMesh2D,
                         tech::node_90nm());
   const auto cost =
@@ -711,7 +711,7 @@ TEST(Validate, RejectsNonChainGraphs) {
 TEST(Validate, IPv4GraphEndToEnd) {
   // The bundled IPv4 pipeline is a chain; validate the annealed mapping.
   const auto g = soc::apps::ipv4_task_graph();
-  std::vector<PeDesc> pes(8, PeDesc{tech::Fabric::kAsip, 4});
+  std::vector<PeDesc> pes(8, PeDesc{tech::Fabric::kAsip, 4, {}, 0.0});
   PlatformDesc p(pes, noc::TopologyKind::kMesh2D, tech::node_90nm());
   AnnealConfig ac;
   ac.iterations = 4000;

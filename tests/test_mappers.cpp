@@ -24,7 +24,7 @@ using tech::Fabric;
 PlatformDesc cpu_asip_platform(int pes) {
   std::vector<PeDesc> descs;
   for (int i = 0; i < pes; ++i) {
-    descs.push_back(PeDesc{i % 2 ? Fabric::kGeneralPurposeCpu : Fabric::kAsip, 4});
+    descs.push_back(PeDesc{i % 2 ? Fabric::kGeneralPurposeCpu : Fabric::kAsip, 4, {}, 0.0});
   }
   return PlatformDesc(std::move(descs), noc::TopologyKind::kMesh2D,
                       tech::node_90nm());
@@ -173,7 +173,8 @@ TEST(MapperRegistry, CustomStrategyRegisters) {
    public:
     std::string_view name() const noexcept override { return "pin-to-zero"; }
     Mapping map(const TaskGraph& graph, const PlatformDesc&,
-                const ObjectiveWeights&, sim::Rng&) const override {
+                const ObjectiveWeights&, sim::Rng&,
+                const MappingConstraints&) const override {
       return Mapping(static_cast<std::size_t>(graph.node_count()), 0);
     }
   };
@@ -226,7 +227,7 @@ TEST(Heft, BalancesIndependentTasks) {
     t.work_ops = 100;
     g.add_node(std::move(t));
   }
-  PlatformDesc p(std::vector<PeDesc>(4, PeDesc{Fabric::kGeneralPurposeCpu, 4}),
+  PlatformDesc p(std::vector<PeDesc>(4, PeDesc{Fabric::kGeneralPurposeCpu, 4, {}, 0.0}),
                  noc::TopologyKind::kMesh2D, tech::node_90nm());
   const auto m = heft_mapping(g, p);
   EXPECT_DOUBLE_EQ(evaluate_mapping(g, p, m).bottleneck_cycles, 200.0);
@@ -234,9 +235,9 @@ TEST(Heft, BalancesIndependentTasks) {
 
 TEST(Heft, RespectsFabricConstraintsWhenPossible) {
   const auto g = soc::apps::wlan_task_graph();  // needs DSP/ASIP/eFPGA mix
-  std::vector<PeDesc> pes{{Fabric::kDsp, 4},   {Fabric::kAsip, 4},
-                          {Fabric::kEfpga, 1}, {Fabric::kGeneralPurposeCpu, 4},
-                          {Fabric::kAsip, 4},  {Fabric::kDsp, 4}};
+  std::vector<PeDesc> pes{{Fabric::kDsp, 4, {}, 0.0},   {Fabric::kAsip, 4, {}, 0.0},
+                          {Fabric::kEfpga, 1, {}, 0.0}, {Fabric::kGeneralPurposeCpu, 4, {}, 0.0},
+                          {Fabric::kAsip, 4, {}, 0.0},  {Fabric::kDsp, 4, {}, 0.0}};
   PlatformDesc p(pes, noc::TopologyKind::kFatTree, tech::node_90nm());
   const auto m = heft_mapping(g, p);
   EXPECT_TRUE(evaluate_mapping(g, p, m).feasible);

@@ -35,7 +35,7 @@ TaskGraph chain(int stages, double work_ops, double words) {
 PlatformDesc gp_platform(int pes, noc::TopologyKind topo) {
   return PlatformDesc(
       std::vector<PeDesc>(static_cast<std::size_t>(pes),
-                          PeDesc{tech::Fabric::kGeneralPurposeCpu, 4}),
+                          PeDesc{tech::Fabric::kGeneralPurposeCpu, 4, {}, 0.0}),
       topo, tech::node_90nm());
 }
 
@@ -240,7 +240,7 @@ PlatformDesc physical_platform(int pes, noc::TopologyKind topo,
                                const tech::ProcessNode& node, double die_mm2) {
   return PlatformDesc(
       std::vector<PeDesc>(static_cast<std::size_t>(pes),
-                          PeDesc{tech::Fabric::kGeneralPurposeCpu, 4}),
+                          PeDesc{tech::Fabric::kGeneralPurposeCpu, 4, {}, 0.0}),
       topo, node,
       noc::PhysicalSpec{noc::LinkTimingModel(node), die_mm2});
 }

@@ -1,0 +1,269 @@
+// ScenarioGenerator: structural guarantees (DAG, exact depth, width bound,
+// connectivity) and the determinism contract — bit-identical graphs for a
+// fixed seed across repeated runs, generation order, and thread counts.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "soc/core/scenario.hpp"
+#include "soc/sim/parallel.hpp"
+
+namespace soc::core {
+namespace {
+
+constexpr ScenarioShape kShapes[] = {ScenarioShape::kLayered,
+                                     ScenarioShape::kSeriesParallel,
+                                     ScenarioShape::kFanInHeavy};
+
+/// Field-by-field graph equality — the bit-identity the determinism tests
+/// assert (EXPECT_EQ on doubles is exact).
+void expect_graphs_identical(const TaskGraph& a, const TaskGraph& b) {
+  ASSERT_EQ(a.node_count(), b.node_count());
+  ASSERT_EQ(a.edge_count(), b.edge_count());
+  EXPECT_EQ(a.name(), b.name());
+  for (int i = 0; i < a.node_count(); ++i) {
+    const TaskNode& na = a.node(i);
+    const TaskNode& nb = b.node(i);
+    EXPECT_EQ(na.name, nb.name);
+    EXPECT_EQ(na.work_ops, nb.work_ops);
+    EXPECT_EQ(na.state_kbytes, nb.state_kbytes);
+    EXPECT_EQ(na.kind, nb.kind);
+    EXPECT_EQ(na.demand, nb.demand);
+  }
+  for (int e = 0; e < a.edge_count(); ++e) {
+    EXPECT_EQ(a.edge(e).src, b.edge(e).src);
+    EXPECT_EQ(a.edge(e).dst, b.edge(e).dst);
+    EXPECT_EQ(a.edge(e).words_per_item, b.edge(e).words_per_item);
+  }
+}
+
+/// Longest-path level of every node (0 for sources). Generated graphs are
+/// layered, so levels recover the layer structure exactly.
+std::vector<int> levels_of(const TaskGraph& g) {
+  std::vector<int> level(static_cast<std::size_t>(g.node_count()), 0);
+  for (const int n : g.topological_order()) {
+    for (const int ei : g.in_edges(n)) {
+      level[static_cast<std::size_t>(n)] =
+          std::max(level[static_cast<std::size_t>(n)],
+                   level[static_cast<std::size_t>(g.edge(ei).src)] + 1);
+    }
+  }
+  return level;
+}
+
+TEST(ScenarioGenerator, GraphsAreLayeredDagsWithinBounds) {
+  const ScenarioGenerator gen(2026);
+  for (const ScenarioShape shape : kShapes) {
+    for (const int depth : {1, 2, 4, 7}) {
+      for (const int width : {1, 3, 5}) {
+        ScenarioSpec spec;
+        spec.shape = shape;
+        spec.depth = depth;
+        spec.width = width;
+        spec.comm_ratio = 0.6;
+        spec.kinds = 3;
+        for (int index = 0; index < 4; ++index) {
+          SCOPED_TRACE(std::string(to_string(shape)) + " d" +
+                       std::to_string(depth) + " w" + std::to_string(width) +
+                       " #" + std::to_string(index));
+          const TaskGraph g = gen.generate(spec, index);
+          // DAG: topological_order throws on a cycle.
+          std::vector<int> order;
+          ASSERT_NO_THROW(order = g.topological_order());
+          ASSERT_EQ(static_cast<int>(order.size()), g.node_count());
+          // Exactly `depth` layers, each within the width bound.
+          const std::vector<int> level = levels_of(g);
+          std::vector<int> per_level(static_cast<std::size_t>(depth), 0);
+          for (const int l : level) {
+            ASSERT_LT(l, depth);
+            ++per_level[static_cast<std::size_t>(l)];
+          }
+          for (int l = 0; l < depth; ++l) {
+            EXPECT_GE(per_level[static_cast<std::size_t>(l)], 1);
+            EXPECT_LE(per_level[static_cast<std::size_t>(l)], width);
+          }
+          // Edges stay between adjacent layers (layered construction).
+          for (int e = 0; e < g.edge_count(); ++e) {
+            EXPECT_EQ(level[static_cast<std::size_t>(g.edge(e).dst)],
+                      level[static_cast<std::size_t>(g.edge(e).src)] + 1);
+          }
+          // Connectivity: beyond layer 0 no orphan sources; before the last
+          // layer no early sinks.
+          for (int n = 0; n < g.node_count(); ++n) {
+            if (level[static_cast<std::size_t>(n)] > 0) {
+              EXPECT_GT(g.in_degree(n), 0);
+            }
+            if (level[static_cast<std::size_t>(n)] < depth - 1) {
+              EXPECT_GT(g.out_degree(n), 0);
+            }
+          }
+          // Kind tags stay inside [0, kinds).
+          for (const TaskNode& n : g.nodes()) {
+            EXPECT_GE(n.kind, 0);
+            EXPECT_LT(n.kind, spec.kinds);
+            EXPECT_GE(n.work_ops, spec.work_min);
+            EXPECT_LE(n.work_ops, spec.work_max);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(ScenarioGenerator, SeriesParallelAlternatesSeriesStages) {
+  const ScenarioGenerator gen(7);
+  ScenarioSpec spec;
+  spec.shape = ScenarioShape::kSeriesParallel;
+  spec.depth = 6;
+  spec.width = 4;
+  const TaskGraph g = gen.generate(spec, 0);
+  const std::vector<int> level = levels_of(g);
+  std::vector<int> per_level(6, 0);
+  for (const int l : level) ++per_level[static_cast<std::size_t>(l)];
+  for (int l = 0; l < 6; l += 2) {
+    EXPECT_EQ(per_level[static_cast<std::size_t>(l)], 1);
+  }
+  for (int l = 1; l < 6; l += 2) {
+    EXPECT_GE(per_level[static_cast<std::size_t>(l)], 2);
+  }
+}
+
+TEST(ScenarioGenerator, FanInHeavyEndsInSingleSink) {
+  const ScenarioGenerator gen(7);
+  ScenarioSpec spec;
+  spec.shape = ScenarioShape::kFanInHeavy;
+  spec.depth = 5;
+  spec.width = 6;
+  for (int index = 0; index < 6; ++index) {
+    const TaskGraph g = gen.generate(spec, index);
+    const std::vector<int> level = levels_of(g);
+    int last_layer = 0;
+    for (std::size_t n = 0; n < level.size(); ++n) {
+      if (level[n] == spec.depth - 1) ++last_layer;
+    }
+    EXPECT_EQ(last_layer, 1);  // the taper bottoms out at one aggregator
+  }
+}
+
+TEST(ScenarioGenerator, DeterministicAcrossRunsOrderAndThreads) {
+  const ScenarioGenerator gen(0xfeedULL);
+  ScenarioSpec spec;
+  spec.shape = ScenarioShape::kLayered;
+  spec.depth = 5;
+  spec.width = 4;
+  spec.kinds = 4;
+  spec.demand_min = 0.5;
+  spec.demand_max = 2.5;
+  constexpr int kCount = 24;
+
+  // Reference: ascending serial generation.
+  std::vector<TaskGraph> serial;
+  for (int i = 0; i < kCount; ++i) serial.push_back(gen.generate(spec, i));
+
+  // Reversed generation order.
+  for (int i = kCount - 1; i >= 0; --i) {
+    expect_graphs_identical(serial[static_cast<std::size_t>(i)],
+                            gen.generate(spec, i));
+  }
+
+  // A fresh, identically seeded generator.
+  const ScenarioGenerator again(0xfeedULL);
+  for (int i = 0; i < kCount; ++i) {
+    expect_graphs_identical(serial[static_cast<std::size_t>(i)],
+                            again.generate(spec, i));
+  }
+
+  // Sharded across thread pools of every shape the DSE uses.
+  for (const int threads : {1, 3, 0}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    std::vector<TaskGraph> parallel(kCount, TaskGraph("placeholder"));
+    sim::parallel_for(kCount, sim::ParallelConfig{threads}, [&](std::size_t i) {
+      parallel[i] = gen.generate(spec, static_cast<int>(i));
+    });
+    for (int i = 0; i < kCount; ++i) {
+      expect_graphs_identical(serial[static_cast<std::size_t>(i)],
+                              parallel[static_cast<std::size_t>(i)]);
+    }
+  }
+
+  // A different seed actually changes the stream.
+  const ScenarioGenerator other(0xfeed + 1ULL);
+  const TaskGraph changed = other.generate(spec, 0);
+  bool any_diff = changed.node_count() != serial[0].node_count();
+  for (int i = 0; !any_diff && i < changed.node_count() &&
+                  i < serial[0].node_count();
+       ++i) {
+    any_diff = changed.node(i).work_ops != serial[0].node(i).work_ops;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(ScenarioGenerator, MatrixCyclesShapesAndIsDeterministic) {
+  const ScenarioGenerator gen(11);
+  const std::vector<TaskGraph> m = gen.matrix(30, 3);
+  ASSERT_EQ(m.size(), 30u);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    const char* shape = to_string(static_cast<ScenarioShape>(i % 3));
+    EXPECT_EQ(m[i].name().rfind(shape, 0), 0u)
+        << m[i].name() << " vs " << shape;
+    EXPECT_NO_THROW(m[i].topological_order());
+    for (const TaskNode& n : m[i].nodes()) {
+      EXPECT_GE(n.kind, 0);
+      EXPECT_LT(n.kind, 3);
+    }
+  }
+  const std::vector<TaskGraph> again = gen.matrix(30, 3);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    expect_graphs_identical(m[i], again[i]);
+  }
+  // Untagged matrix keeps every task at the generic kind 0.
+  for (const TaskGraph& g : gen.matrix(6, 1)) {
+    for (const TaskNode& n : g.nodes()) {
+      EXPECT_EQ(n.kind, 0);
+      EXPECT_EQ(n.demand, 1.0);
+    }
+  }
+}
+
+TEST(ScenarioGenerator, RejectsBadSpecsAndInputsByName) {
+  const ScenarioGenerator gen(1);
+  const auto expect_throws_naming = [&](ScenarioSpec spec,
+                                        const std::string& field) {
+    try {
+      gen.generate(spec, 0);
+      FAIL() << "expected invalid_argument naming " << field;
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(field), std::string::npos)
+          << e.what();
+    }
+  };
+  ScenarioSpec bad;
+  bad.depth = 0;
+  expect_throws_naming(bad, "depth");
+  bad = {};
+  bad.width = -1;
+  expect_throws_naming(bad, "width");
+  bad = {};
+  bad.comm_ratio = 1.5;
+  expect_throws_naming(bad, "comm_ratio");
+  bad = {};
+  bad.work_min = 0.0;
+  expect_throws_naming(bad, "work_min");
+  bad = {};
+  bad.work_max = bad.work_min - 1.0;
+  expect_throws_naming(bad, "work_min");
+  bad = {};
+  bad.kinds = -2;
+  expect_throws_naming(bad, "kinds");
+  bad = {};
+  bad.demand_min = -0.5;
+  expect_throws_naming(bad, "demand_min");
+  EXPECT_THROW(gen.generate({}, -1), std::out_of_range);
+  EXPECT_THROW(gen.matrix(0), std::invalid_argument);
+  EXPECT_THROW(gen.matrix(-3), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace soc::core
