@@ -9,7 +9,7 @@
 //                                 [--objectives tput,area,power,energy]
 //                                 [--scenarios <count>]
 //                                 [--constraints <groups>[:<capacity>]]
-//                                 [--help]
+//                                 [--no-eval-cache] [--help]
 //
 // `threads` shards the sweep: 0 (default) uses every hardware core, 1 runs
 // serially. The points are bit-identical either way. `--mapper` picks any
@@ -34,6 +34,9 @@
 // `--objectives` picks the Pareto-dominance axes by registered name
 // (default tput,area,power; add `energy` for the energy-per-item
 // frontier). The sweep itself runs through the staged DseSession API.
+// `--no-eval-cache` disables the cross-sweep EvalCache memo (identical
+// results, only slower — for A/B timing); with the cache on, the stage-1
+// hit/miss counters are printed after the sweep.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -99,7 +102,7 @@ void print_usage(std::FILE* out) {
                "                    [--objectives <csv>]\n"
                "                    [--scenarios <count>]\n"
                "                    [--constraints <groups>[:<capacity>]]\n"
-               "                    [--help]\n");
+               "                    [--no-eval-cache] [--help]\n");
   std::fprintf(out, "registered objectives (for --objectives):");
   for (const auto& n : core::registered_objectives()) {
     std::fprintf(out, " %s", n.c_str());
@@ -112,7 +115,10 @@ void print_usage(std::FILE* out) {
                "\n--scenarios replaces the bundled graph with <count> "
                "generated scenario graphs;\n--constraints stripes PE kinds "
                "across <groups> groups and caps per-PE demand at "
-               "<capacity>.\n");
+               "<capacity>;\n--no-eval-cache disables the cross-sweep "
+               "stage-1 memo (soc::core::EvalCache) --\nresults are "
+               "bit-identical either way, only slower; with the cache on "
+               "the sweep\nprints its hit/miss counters.\n");
 }
 
 }  // namespace
@@ -121,6 +127,7 @@ int main(int argc, char** argv) {
   std::string mapper_name = "anneal";
   std::string objective_names = "tput,area,power";
   bool validate = false;
+  bool use_eval_cache = true;
   std::vector<tech::ProcessNode> nodes;
   double die_mm2 = 0.0;
   int scenario_count = 0;
@@ -133,6 +140,8 @@ int main(int argc, char** argv) {
       return 0;
     } else if (!std::strcmp(argv[i], "--validate")) {
       validate = true;
+    } else if (!std::strcmp(argv[i], "--no-eval-cache")) {
+      use_eval_cache = false;
     } else if (!std::strcmp(argv[i], "--scenarios")) {
       if (i + 1 >= argc || (scenario_count = std::atoi(argv[i + 1])) <= 0) {
         std::fprintf(stderr, "--scenarios needs a positive count\n");
@@ -244,6 +253,7 @@ int main(int argc, char** argv) {
   dc.die_mm2 = die_mm2;
   dc.pe_kind_groups = kind_groups;
   dc.pe_capacity = pe_capacity;
+  dc.use_eval_cache = use_eval_cache;
 
   const auto& node = tech::node_90nm();
   // Staged session: enumerate -> evaluate -> front (-> validate). run()
@@ -314,6 +324,20 @@ int main(int argc, char** argv) {
     for (const auto& pt : points) {
       std::printf("  %s\n", core::to_string(pt).c_str());
     }
+  }
+  if (use_eval_cache) {
+    // Stage-1 memo traffic of this sweep (delta over the process-wide
+    // EvalCache counters; see DseSession::cache_stats).
+    const core::EvalCacheStats& cs = session->cache_stats();
+    std::printf("  eval cache: %llu/%llu platform hits, %llu/%llu mapping "
+                "hits (hit rate %.2f)\n",
+                static_cast<unsigned long long>(cs.platform_hits),
+                static_cast<unsigned long long>(cs.platform_hits +
+                                                cs.platform_misses),
+                static_cast<unsigned long long>(cs.mapping_hits),
+                static_cast<unsigned long long>(cs.mapping_hits +
+                                                cs.mapping_misses),
+                cs.hit_rate());
   }
   // Typed constraint findings that survived mapper repair, if any.
   for (std::size_t i = 0; i < points.size(); ++i) {

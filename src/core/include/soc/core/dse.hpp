@@ -141,6 +141,14 @@ struct DseConfig {
   /// Capacity (max summed TaskNode::demand) stamped on every candidate PE;
   /// 0 = unlimited (the historical pool). Negative values are rejected.
   double pe_capacity = 0.0;
+  /// Serve stage-1 evaluation through the process-wide EvalCache
+  /// (eval_cache.hpp): candidates whose canonical key was already built —
+  /// in this sweep or an earlier one — reuse the memoized silicon estimate,
+  /// floorplanned platform, and mapping result instead of recomputing them.
+  /// Cached and cold sweeps are bit-identical by contract (property-tested),
+  /// so disabling this only trades speed for nothing; it exists for A/B
+  /// measurement (`platform_dse --no-eval-cache`, bench_session_reuse).
+  bool use_eval_cache = true;
 };
 
 /// Enumerates the cartesian candidate space in sweep order (nodes

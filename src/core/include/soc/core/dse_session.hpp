@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "soc/core/dse.hpp"
+#include "soc/core/eval_cache.hpp"
 #include "soc/core/mapper.hpp"
 #include "soc/core/objective_space.hpp"
 
@@ -58,9 +59,15 @@ struct DseProblem {
 class EvalContext {
  public:
   /// Builds the full context for `candidate` under `config`. Throws
-  /// std::invalid_argument on an empty task graph.
+  /// std::invalid_argument on an empty task graph. With `cache` the
+  /// platform-level products (silicon estimate + floorplanned PlatformDesc)
+  /// are served from the memo when the candidate's canonical key hits —
+  /// skipping both topology builds — and stored on a miss; a hit context
+  /// owns no topology instance (has_topology() is false from birth), so
+  /// stage-2 consumers fall back to PlatformDesc::build_topology(), which
+  /// reproduces it bit-identically.
   EvalContext(const TaskGraph& graph, const DseCandidate& candidate,
-              const DseConfig& config);
+              const DseConfig& config, EvalCache* cache = nullptr);
 
   /// The candidate this context evaluates.
   const DseCandidate& candidate() const noexcept { return cand_; }
@@ -84,12 +91,18 @@ class EvalContext {
   bool has_topology() const noexcept { return topo_ != nullptr; }
 
  private:
+  /// The uncached path: both topology builds, the silicon estimate, and a
+  /// fresh PlatformDesc (the products a cache miss stores).
+  void build_cold(const DseConfig& config);
+
   DseCandidate cand_;
   platform::PlatformCost silicon_;
   std::unique_ptr<noc::Topology> topo_;
   int replicas_ = 1;
-  std::optional<TaskGraph> work_;       // engaged by the constructor
-  std::optional<PlatformDesc> platform_;  // engaged by the constructor
+  std::optional<TaskGraph> work_;  // engaged by the constructor
+  /// Immutable platform view — shared with the EvalCache on hits (and
+  /// handed to it on misses), exclusively owned when built uncached.
+  std::shared_ptr<const PlatformDesc> platform_;
 };
 
 /// A design-space exploration run with staged execution. The stages —
@@ -216,6 +229,12 @@ class DseSession {
   /// Cached evaluation context of flat point `i` (scenario-major,
   /// bounds-checked); valid after evaluate().
   const EvalContext& context(std::size_t i) const { return *contexts_.at(i); }
+  /// EvalCache traffic of this session's evaluate() stage: the delta of the
+  /// process-wide counters across stage 1 (all zeros before evaluate() or
+  /// when config.use_eval_cache is off). Concurrent sessions sharing
+  /// EvalCache::global() bleed into each other's delta — meter one sweep at
+  /// a time for exact figures (what bench_session_reuse does).
+  const EvalCacheStats& cache_stats() const noexcept { return cache_stats_; }
 
   /// True once enumerate() has run.
   bool enumerated() const noexcept { return enumerated_; }
@@ -242,6 +261,7 @@ class DseSession {
   std::mutex observer_mu_;
   std::vector<DseCandidate> candidates_;
   std::vector<std::unique_ptr<EvalContext>> contexts_;
+  EvalCacheStats cache_stats_{};  ///< evaluate()-stage delta (see accessor)
   std::vector<DsePoint> points_;
   std::vector<std::size_t> front_;
   std::vector<std::vector<std::size_t>> scenario_fronts_;

@@ -25,6 +25,13 @@ class Mapper {
   /// Registry key, e.g. "anneal".
   virtual std::string_view name() const noexcept = 0;
 
+  /// True when map() ignores `rng` entirely — same mapping for every seed
+  /// (the built-in "greedy" and "heft"). The DSE eval memo (EvalCache) keys
+  /// deterministic strategies without their RNG stream, so their results
+  /// are shared across candidate indices, sweeps, and anneal budgets.
+  /// Strategies that consume the rng must return false (the default).
+  virtual bool deterministic() const noexcept { return false; }
+
   /// Places every task under `constraints`. Implementations must not return
   /// a kind/capacity-violating mapping when a feasible one exists: the
   /// built-in strategies run their constraint-aware heuristic and then

@@ -73,10 +73,10 @@ class PlatformDesc {
   /// between two PEs (0 on unplaced platforms); throws std::out_of_range.
   int path_extra_cycles(int pe_a, int pe_b) const;
   /// Unloaded-network latency of the routed path between two PEs:
-  /// kNocCyclesPerHop per hop plus the path's wire extra cycles.
-  double path_latency_cycles(int pe_a, int pe_b) const {
-    return kNocCyclesPerHop * hops(pe_a, pe_b) + path_extra_cycles(pe_a, pe_b);
-  }
+  /// kNocCyclesPerHop per hop plus the path's wire extra cycles. Served from
+  /// a fused matrix precomputed once at construction, so every probe is one
+  /// contiguous load instead of recombining the hop and wire-stage matrices.
+  double path_latency_cycles(int pe_a, int pe_b) const;
   /// Wire energy of moving one 32-bit word between two PEs, pJ: summed over
   /// the routed path's links from their floorplanned length and tech-derived
   /// pJ/mm (falls back to 1 mm/hop at the node's wire energy when unplaced).
@@ -94,6 +94,24 @@ class PlatformDesc {
   const std::optional<noc::PhysicalSpec>& physical() const noexcept {
     return phys_;
   }
+
+  // --- structure-of-arrays lanes for batched kernels -----------------------
+  // Each row accessor bounds-checks the source PE (throwing
+  // std::out_of_range) and returns that PE's contiguous pe_count()-wide lane
+  // of the corresponding per-pair matrix; indexing the returned pointer with
+  // a destination PE is the caller's contract (hot loops validate their
+  // mapping once, then stream the lane unchecked). The HEFT ready-time pass,
+  // the evaluators' edge loops, and the annealer's incremental probes all
+  // read these lanes instead of the checked scalar accessors.
+
+  /// Fused unloaded-latency lane of `pe_src`: latency_row(a)[b] ==
+  /// path_latency_cycles(a, b), bit for bit.
+  const double* latency_row(int pe_src) const;
+  /// Routed hop-count lane of `pe_src`: hop_row(a)[b] == hops(a, b).
+  const int* hop_row(int pe_src) const;
+  /// Wire-energy lane of `pe_src`: wire_pj_row(a)[b] ==
+  /// wire_pj_per_word(a, b).
+  const double* wire_pj_row(int pe_src) const;
   /// Rebuilds the exact topology (same physical annotation) the matrices
   /// were derived from — for simulators that need to own a live instance
   /// (noc::Network takes ownership). Deterministic: every rebuild is
@@ -111,6 +129,7 @@ class PlatformDesc {
   std::optional<noc::PhysicalSpec> phys_;
   std::vector<int> hop_matrix_;      // pe_count x pe_count
   std::vector<int> extra_matrix_;    // per-pair wire extra cycles
+  std::vector<double> latency_matrix_;  // fused: kNocCyclesPerHop*hops + extra
   std::vector<double> wire_pj_matrix_;  // per-pair pJ per 32-bit word
   double avg_hops_ = 0.0;
   double avg_latency_ = 0.0;

@@ -135,11 +135,37 @@ std::optional<noc::PhysicalSpec> candidate_physical_spec(
 // ------------------------------------------------------------ EvalContext ---
 
 EvalContext::EvalContext(const TaskGraph& graph, const DseCandidate& candidate,
-                         const DseConfig& config)
+                         const DseConfig& config, EvalCache* cache)
     : cand_(candidate) {
   if (graph.node_count() == 0) {
     throw std::invalid_argument("EvalContext: task graph has no nodes");
   }
+  // Larger platforms host data-parallel stream replicas: one graph instance
+  // per |graph| PEs, at least one.
+  replicas_ = std::max(1, cand_.num_pes / graph.node_count());
+  work_.emplace(replicas_ > 1 ? graph.replicated(replicas_)
+                              : TaskGraph(graph));
+
+  if (!cache) {
+    build_cold(config);
+    return;
+  }
+  const std::string key = EvalCache::platform_key(cand_, config);
+  if (auto hit = cache->find_platform(key)) {
+    // Both topology builds skipped: the memoized PlatformDesc carries the
+    // floorplanned matrices, and stage 2 rebuilds the (deterministic)
+    // instance on demand via PlatformDesc::build_topology().
+    silicon_ = hit->silicon;
+    platform_ = std::move(hit->platform);
+    return;
+  }
+  build_cold(config);
+  // A concurrent miss on the same key stores an identical entry (platforms
+  // are pure functions of the key); first insert wins.
+  cache->store_platform(key, EvalCache::PlatformEntry{silicon_, platform_});
+}
+
+void EvalContext::build_cold(const DseConfig& config) {
   platform::FppaConfig fc;
   fc.num_pes = cand_.num_pes;
   fc.threads_per_pe = cand_.threads_per_pe;
@@ -162,36 +188,28 @@ EvalContext::EvalContext(const TaskGraph& graph, const DseCandidate& candidate,
   topo_ = noc::make_topology(cand_.topology, cand_.num_pes,
                              phys ? &*phys : nullptr);
 
-  // Larger platforms host data-parallel stream replicas: one graph instance
-  // per |graph| PEs, at least one.
-  replicas_ = std::max(1, cand_.num_pes / graph.node_count());
-  work_.emplace(replicas_ > 1 ? graph.replicated(replicas_)
-                              : TaskGraph(graph));
-
-  platform_.emplace(internal::candidate_pes(cand_, config), cand_.topology,
-                    cand_.node, std::move(phys), *topo_);
+  platform_ = std::make_shared<const PlatformDesc>(
+      internal::candidate_pes(cand_, config), cand_.topology, cand_.node,
+      std::move(phys), *topo_);
 }
 
 // ------------------------------------------------------------- DseSession ---
 
 namespace {
 
-/// Maps and scores one candidate on its cached context. Pure function of
-/// its arguments (the rng carries this candidate's derived stream), so
-/// candidates can be evaluated on any thread in any order.
-DsePoint evaluate_point(const EvalContext& ctx, const ObjectiveWeights& weights,
-                        const Mapper& mapper, sim::Rng& rng,
-                        const MappingConstraints& constraints) {
-  const Mapping m =
-      mapper.map(ctx.work(), ctx.platform(), weights, rng, constraints);
-  const MappingCost mc = evaluate_mapping(ctx.work(), ctx.platform(), m,
-                                          weights, constraints);
+/// Assembles one DsePoint from a mapping and its cost — the shared tail of
+/// the cold path (mapper just ran) and the memo path (EvalCache hit). The
+/// derived figures are pure deterministic arithmetic over (cost, silicon,
+/// replicas), so a memoized (mapping, cost) pair reproduces the cold
+/// point's every field bit for bit.
+DsePoint make_point(const EvalContext& ctx, Mapping m, const MappingCost& mc,
+                    std::string_view mapper_name) {
   DsePoint pt;
   pt.candidate = ctx.candidate();
   pt.mapping_cost = mc;
   pt.silicon = ctx.silicon();
-  pt.mapping = m;
-  pt.mapper = std::string(mapper.name());
+  pt.mapping = std::move(m);
+  pt.mapper = std::string(mapper_name);
   // One "item" of the replicated graph carries `replicas` stream items,
   // one per copy.
   pt.throughput_per_kcycle =
@@ -202,6 +220,18 @@ DsePoint evaluate_point(const EvalContext& ctx, const ObjectiveWeights& weights,
   pt.mw_per_throughput =
       pt.throughput_per_kcycle > 0.0 ? power / pt.throughput_per_kcycle : 0.0;
   return pt;
+}
+
+/// Maps and scores one candidate on its cached context. Pure function of
+/// its arguments (the rng carries this candidate's derived stream), so
+/// candidates can be evaluated on any thread in any order.
+DsePoint evaluate_point(const EvalContext& ctx, const ObjectiveWeights& weights,
+                        const Mapper& mapper, sim::Rng& rng,
+                        const MappingConstraints& constraints) {
+  Mapping m = mapper.map(ctx.work(), ctx.platform(), weights, rng, constraints);
+  const MappingCost mc = evaluate_mapping(ctx.work(), ctx.platform(), m,
+                                          weights, constraints);
+  return make_point(ctx, std::move(m), mc, mapper.name());
 }
 
 }  // namespace
@@ -279,19 +309,60 @@ const std::vector<DsePoint>& DseSession::evaluate() {
   const std::size_t total = scenarios_.size() * ncand;
   contexts_.resize(total);
   points_.assign(total, DsePoint{});
+  // Cross-sweep memo: canonical keys are serialized once per candidate and
+  // per scenario (not once per flat point) before the shards fan out.
+  EvalCache* cache = config_.use_eval_cache ? &EvalCache::global() : nullptr;
+  const EvalCacheStats before = cache ? cache->stats() : EvalCacheStats{};
+  std::vector<std::string> platform_keys;
+  std::vector<std::string> graph_keys;
+  if (cache) {
+    platform_keys.reserve(ncand);
+    for (const DseCandidate& c : candidates_) {
+      platform_keys.push_back(EvalCache::platform_key(c, config_));
+    }
+    graph_keys.reserve(scenarios_.size());
+    for (const TaskGraph& g : scenarios_) {
+      graph_keys.push_back(EvalCache::graph_key(g));
+    }
+  }
   sim::parallel_for(
       total, sim::ParallelConfig{config_.num_threads}, [&](std::size_t f) {
         const std::size_t s = f / ncand;
         const std::size_t c = f % ncand;
-        sim::Rng rng(sim::derive_seed(anneal_.seed, f));
-        contexts_[f] = std::make_unique<EvalContext>(scenarios_[s],
-                                                     candidates_[c], config_);
-        points_[f] = evaluate_point(*contexts_[f], problem_.weights, *mapper_,
-                                    rng, config_.constraints);
+        const std::uint64_t seed = sim::derive_seed(anneal_.seed, f);
+        contexts_[f] = std::make_unique<EvalContext>(
+            scenarios_[s], candidates_[c], config_, cache);
+        const EvalContext& ctx = *contexts_[f];
+        if (cache) {
+          const std::string mkey = EvalCache::mapping_key(
+              platform_keys[c], graph_keys[s], mapper_->name(),
+              problem_.weights, config_.constraints, anneal_,
+              mapper_->deterministic(), seed);
+          if (auto memo = cache->find_mapping(mkey)) {
+            // Replay the memoized run: the derived point fields are
+            // recomputed from the cached (mapping, cost) by the same
+            // deterministic arithmetic, so the stream stays bit-identical.
+            points_[f] = make_point(ctx, std::move(memo->mapping), memo->cost,
+                                    mapper_->name());
+          } else {
+            sim::Rng rng(seed);
+            points_[f] = evaluate_point(ctx, problem_.weights, *mapper_, rng,
+                                        config_.constraints);
+            cache->store_mapping(mkey,
+                                 EvalCache::MappingEntry{
+                                     points_[f].mapping,
+                                     points_[f].mapping_cost});
+          }
+        } else {
+          sim::Rng rng(seed);
+          points_[f] = evaluate_point(ctx, problem_.weights, *mapper_, rng,
+                                      config_.constraints);
+        }
         points_[f].scenario = static_cast<int>(s);
         points_[f].scenario_name = scenarios_[s].name();
         notify(points_[f], Stage::kEvaluated);
       });
+  if (cache) cache_stats_ = cache->stats().delta_since(before);
   evaluated_ = true;
   return points_;
 }

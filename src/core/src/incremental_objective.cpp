@@ -59,14 +59,16 @@ IncrementalObjective::IncrementalObjective(const TaskGraph& graph,
   const int ne = graph.edge_count();
   std::vector<double> comm(static_cast<std::size_t>(ne), 0.0);
   std::vector<double> wire(static_cast<std::size_t>(ne), 0.0);
+  // Every mapping entry was range-checked in the node loop above, so the
+  // edge pass streams the platform's contiguous SoA lanes unchecked.
   for (int e = 0; e < ne; ++e) {
     const TaskEdge& edge = graph.edge(e);
     const int src_pe = mapping_[static_cast<std::size_t>(edge.src)];
     const int dst_pe = mapping_[static_cast<std::size_t>(edge.dst)];
     comm[static_cast<std::size_t>(e)] =
-        edge_comm_contribution(edge, platform.hops(src_pe, dst_pe));
-    wire[static_cast<std::size_t>(e)] =
-        internal::edge_wire_contribution(edge, platform, src_pe, dst_pe);
+        edge_comm_contribution(edge, platform.hop_row(src_pe)[dst_pe]);
+    wire[static_cast<std::size_t>(e)] = internal::edge_wire_contribution(
+        edge, platform.wire_pj_row(src_pe)[dst_pe]);
   }
   comm_.assign(comm);
   wire_energy_.assign(wire);
@@ -117,15 +119,18 @@ bool IncrementalObjective::move_feasible(int task, int new_pe) const {
 }
 
 void IncrementalObjective::refresh_incident_edges(int task) {
+  // Mapping entries are maintained in-range by apply()/ctor validation, so
+  // the probes read the SoA lanes unchecked — this is the annealer's hottest
+  // path (two calls per proposed move via try_move/revert).
   const auto touch = [&](int ei) {
     const TaskEdge& edge = graph_->edge(ei);
     const int src_pe = mapping_[static_cast<std::size_t>(edge.src)];
     const int dst_pe = mapping_[static_cast<std::size_t>(edge.dst)];
     comm_.set(static_cast<std::size_t>(ei),
-              edge_comm_contribution(edge, platform_->hops(src_pe, dst_pe)));
-    wire_energy_.set(
-        static_cast<std::size_t>(ei),
-        internal::edge_wire_contribution(edge, *platform_, src_pe, dst_pe));
+              edge_comm_contribution(edge, platform_->hop_row(src_pe)[dst_pe]));
+    wire_energy_.set(static_cast<std::size_t>(ei),
+                     internal::edge_wire_contribution(
+                         edge, platform_->wire_pj_row(src_pe)[dst_pe]));
   };
   for (const int ei : graph_->in_edges(task)) touch(ei);
   for (const int ei : graph_->out_edges(task)) touch(ei);

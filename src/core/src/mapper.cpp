@@ -35,6 +35,7 @@ class RandomMapper final : public Mapper {
 class GreedyMapper final : public Mapper {
  public:
   std::string_view name() const noexcept override { return "greedy"; }
+  bool deterministic() const noexcept override { return true; }
   Mapping map(const TaskGraph& graph, const PlatformDesc& platform,
               const ObjectiveWeights& weights, sim::Rng&,
               const MappingConstraints& constraints) const override {
@@ -47,6 +48,7 @@ class GreedyMapper final : public Mapper {
 class HeftMapper final : public Mapper {
  public:
   std::string_view name() const noexcept override { return "heft"; }
+  bool deterministic() const noexcept override { return true; }
   Mapping map(const TaskGraph& graph, const PlatformDesc& platform,
               const ObjectiveWeights& weights, sim::Rng&,
               const MappingConstraints& constraints) const override {

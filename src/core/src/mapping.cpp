@@ -52,6 +52,7 @@ void PlatformDesc::build_matrices(const noc::Topology& topo) {
       static_cast<std::size_t>(n) * static_cast<std::size_t>(n);
   hop_matrix_.assign(cells, 0);
   extra_matrix_.assign(cells, 0);
+  latency_matrix_.assign(cells, 0.0);
   wire_pj_matrix_.assign(cells, 0.0);
   // Legacy energy scale for unplaced platforms: one mm of global wire per
   // hop, 32 bits per word.
@@ -81,10 +82,11 @@ void PlatformDesc::build_matrices(const noc::Topology& topo) {
       }
       hop_matrix_[cell] = h;
       extra_matrix_[cell] = extra;
+      latency_matrix_[cell] = kNocCyclesPerHop * h + extra;
       wire_pj_matrix_[cell] = phys_ ? pj : h * legacy_pj_per_word_hop;
       if (a != b) {
         sum += h;
-        lat_sum += kNocCyclesPerHop * h + extra;
+        lat_sum += latency_matrix_[cell];
         ++pairs;
       }
     }
@@ -125,6 +127,40 @@ double PlatformDesc::wire_pj_per_word(int pe_a, int pe_b) const {
   return wire_pj_matrix_[static_cast<std::size_t>(pe_a) *
                              static_cast<std::size_t>(n) +
                          static_cast<std::size_t>(pe_b)];
+}
+
+double PlatformDesc::path_latency_cycles(int pe_a, int pe_b) const {
+  const int n = pe_count();
+  if (pe_a < 0 || pe_a >= n || pe_b < 0 || pe_b >= n) {
+    throw std::out_of_range("PlatformDesc::path_latency_cycles");
+  }
+  return latency_matrix_[static_cast<std::size_t>(pe_a) *
+                             static_cast<std::size_t>(n) +
+                         static_cast<std::size_t>(pe_b)];
+}
+
+const double* PlatformDesc::latency_row(int pe_src) const {
+  if (pe_src < 0 || pe_src >= pe_count()) {
+    throw std::out_of_range("PlatformDesc::latency_row");
+  }
+  return latency_matrix_.data() +
+         static_cast<std::size_t>(pe_src) * static_cast<std::size_t>(pe_count());
+}
+
+const int* PlatformDesc::hop_row(int pe_src) const {
+  if (pe_src < 0 || pe_src >= pe_count()) {
+    throw std::out_of_range("PlatformDesc::hop_row");
+  }
+  return hop_matrix_.data() +
+         static_cast<std::size_t>(pe_src) * static_cast<std::size_t>(pe_count());
+}
+
+const double* PlatformDesc::wire_pj_row(int pe_src) const {
+  if (pe_src < 0 || pe_src >= pe_count()) {
+    throw std::out_of_range("PlatformDesc::wire_pj_row");
+  }
+  return wire_pj_matrix_.data() +
+         static_cast<std::size_t>(pe_src) * static_cast<std::size_t>(pe_count());
 }
 
 MappingCost evaluate_mapping(const TaskGraph& graph,
@@ -182,6 +218,8 @@ MappingCost evaluate_mapping(const TaskGraph& graph,
   // incremental evaluator can reproduce the totals exactly after point
   // updates (see exact_sum.hpp). Wire energy prices the routed path's real
   // floorplanned length on physical platforms (1 mm/hop otherwise).
+  // Every mapping entry was range-checked in the node loop above, so the
+  // edge and latency passes stream the platform's SoA lanes unchecked.
   const int ne = graph.edge_count();
   std::vector<double> comm(static_cast<std::size_t>(ne), 0.0);
   std::vector<double> wire(static_cast<std::size_t>(ne), 0.0);
@@ -190,9 +228,9 @@ MappingCost evaluate_mapping(const TaskGraph& graph,
     const int src_pe = mapping[static_cast<std::size_t>(edge.src)];
     const int dst_pe = mapping[static_cast<std::size_t>(edge.dst)];
     comm[static_cast<std::size_t>(e)] =
-        edge_comm_contribution(edge, platform.hops(src_pe, dst_pe));
-    wire[static_cast<std::size_t>(e)] =
-        internal::edge_wire_contribution(edge, platform, src_pe, dst_pe);
+        edge_comm_contribution(edge, platform.hop_row(src_pe)[dst_pe]);
+    wire[static_cast<std::size_t>(e)] = internal::edge_wire_contribution(
+        edge, platform.wire_pj_row(src_pe)[dst_pe]);
   }
   cost.comm_word_hops = PairwiseSum::reduce(comm);
   cost.energy_pj_per_item =
@@ -208,9 +246,9 @@ MappingCost evaluate_mapping(const TaskGraph& graph,
     double start = 0.0;
     for (const int ei : graph.in_edges(u)) {
       const TaskEdge& e = graph.edge(ei);
-      const double lat = platform.path_latency_cycles(
-          mapping[static_cast<std::size_t>(e.src)],
-          mapping[static_cast<std::size_t>(e.dst)]);
+      const double lat =
+          platform.latency_row(mapping[static_cast<std::size_t>(e.src)])
+              [mapping[static_cast<std::size_t>(e.dst)]];
       start = std::max(start, finish[static_cast<std::size_t>(e.src)] + lat);
     }
     finish[static_cast<std::size_t>(u)] =
@@ -309,12 +347,14 @@ Mapping greedy_mapping(const TaskGraph& graph, const PlatformDesc& platform,
         const double new_load =
             pe_cycles[static_cast<std::size_t>(p)] + cycles_on(node, fabric);
         // Communication with already-placed neighbors: only the node's own
-        // incident edges, not the whole edge vector.
+        // incident edges, not the whole edge vector, streamed off the
+        // candidate PE's contiguous hop lane.
+        const int* hop_lane = platform.hop_row(p);
         double comm = 0.0;
         const auto add_comm = [&](const TaskEdge& e, int other) {
           if (m[static_cast<std::size_t>(other)] < 0) return;
           comm += e.words_per_item *
-                  platform.hops(p, m[static_cast<std::size_t>(other)]);
+                  hop_lane[m[static_cast<std::size_t>(other)]];
         };
         for (const int ei : graph.in_edges(node_idx)) {
           add_comm(graph.edge(ei), graph.edge(ei).src);
@@ -408,11 +448,29 @@ Mapping heft_mapping(const TaskGraph& graph, const PlatformDesc& platform,
   // constraint-compatible PEs with remaining capacity (relaxing capacity,
   // then kind, when the stricter set is empty — same ladder as greedy, so
   // unconstrained runs place identically to the pre-constraint scheduler).
+  // The ready-time pass is batched: one sweep per predecessor streams that
+  // predecessor's fused latency lane across every candidate PE at once
+  // (max is value-associative, so the lane order is bit-exact with the
+  // historical per-PE recombination), and the constraint ladder then only
+  // selects over the precomputed lane.
   std::vector<double> pe_free(static_cast<std::size_t>(npe), 0.0);
   std::vector<double> pe_used(static_cast<std::size_t>(npe), 0.0);
   std::vector<double> finish(static_cast<std::size_t>(n), 0.0);
+  std::vector<double> ready_lane(static_cast<std::size_t>(npe), 0.0);
   for (const int u : order) {
     const TaskNode& node = graph.node(u);
+    ready_lane.assign(pe_free.begin(), pe_free.end());
+    for (const int ei : graph.in_edges(u)) {
+      const int pred = graph.edge(ei).src;
+      const double pred_finish = finish[static_cast<std::size_t>(pred)];
+      const double* lat_lane =
+          platform.latency_row(m[static_cast<std::size_t>(pred)]);
+      for (int p = 0; p < npe; ++p) {
+        ready_lane[static_cast<std::size_t>(p)] =
+            std::max(ready_lane[static_cast<std::size_t>(p)],
+                     pred_finish + lat_lane[p]);
+      }
+    }
     double best_eft = std::numeric_limits<double>::infinity();
     int best_pe = 0;
     for (int strictness = 2; strictness >= 0; --strictness) {
@@ -428,15 +486,8 @@ Mapping heft_mapping(const TaskGraph& graph, const PlatformDesc& platform,
                 pe_used[static_cast<std::size_t>(p)] + node.demand, pe)) {
           continue;
         }
-        double ready = pe_free[static_cast<std::size_t>(p)];
-        for (const int ei : graph.in_edges(u)) {
-          const int pred = graph.edge(ei).src;
-          ready = std::max(ready,
-                           finish[static_cast<std::size_t>(pred)] +
-                               platform.path_latency_cycles(
-                                   m[static_cast<std::size_t>(pred)], p));
-        }
-        const double eft = ready + cycles_on(node, pe.fabric);
+        const double eft =
+            ready_lane[static_cast<std::size_t>(p)] + cycles_on(node, pe.fabric);
         if (eft < best_eft) {
           best_eft = eft;
           best_pe = p;

@@ -42,6 +42,13 @@ inline double edge_wire_contribution(const TaskEdge& e,
   return e.words_per_item * platform.wire_pj_per_word(src_pe, dst_pe);
 }
 
+/// Same contribution fed a lane-read energy figure (wire_pj_row) — the form
+/// the batched edge loops use once the mapping's PE indices are validated.
+/// Must stay the exact expression of the overload above.
+inline double edge_wire_contribution(const TaskEdge& e, double wire_pj_per_word) {
+  return e.words_per_item * wire_pj_per_word;
+}
+
 /// The scalarized objective both evaluators report (pipeline latency is a
 /// reported metric, not part of the objective — which is what makes exact
 /// delta evaluation possible).

@@ -146,4 +146,29 @@ TopologyBuildStats topology_build_stats() noexcept;
 /// other threads will be metered from zero as well.
 void reset_topology_build_stats() noexcept;
 
+/// Scoped meter over the process-wide topology-construction counters: records
+/// the counter values at construction and reports deltas since then, so
+/// consecutive bench/test sections stop racing each other with global resets.
+/// Sections that each own a scope observe only their own builds even when an
+/// earlier section forgot (or chose not) to reset the globals. The underlying
+/// counters stay monotonic; the scope never writes them.
+class TopologyBuildStatsScope {
+ public:
+  /// Snapshots the current counters as the zero point.
+  TopologyBuildStatsScope() noexcept : start_(topology_build_stats()) {}
+
+  /// Counter deltas since construction (or the last rebase()).
+  TopologyBuildStats delta() const noexcept {
+    const TopologyBuildStats now = topology_build_stats();
+    return {now.builds - start_.builds, now.floorplans - start_.floorplans};
+  }
+
+  /// Re-zeroes the scope at the current counter values — the section
+  /// boundary marker for benches that meter several phases with one scope.
+  void rebase() noexcept { start_ = topology_build_stats(); }
+
+ private:
+  TopologyBuildStats start_;
+};
+
 }  // namespace soc::noc

@@ -424,10 +424,11 @@ TEST(DseSession, ValidatedSweepBuildsEachCandidateTopologyExactlyOnce) {
   // monolith rebuilt (and re-floorplanned) up to five per validated point.
   DseConfig dc;
   dc.validate_pareto = true;
+  EvalCache::global().clear();  // cold sweep: the build count is the point
   DseSession s(mjpeg_problem(), small_space(), quick_anneal(), dc);
-  noc::reset_topology_build_stats();
+  const noc::TopologyBuildStatsScope scope;  // no global reset: delta-metered
   s.run();
-  const auto stats = noc::topology_build_stats();
+  const auto stats = scope.delta();
   const auto n = s.points().size();
   EXPECT_GE(s.front_indices().size(), 1u);
   EXPECT_EQ(stats.builds, 2 * n);
@@ -437,6 +438,7 @@ TEST(DseSession, ValidatedSweepBuildsEachCandidateTopologyExactlyOnce) {
 TEST(DseSession, ValidateConsumesOnlyFrontTopologies) {
   DseConfig dc;
   dc.validate_pareto = true;
+  EvalCache::global().clear();  // cache-hit contexts own no topology
   DseSession s(mjpeg_problem(), small_space(), quick_anneal(), dc);
   s.evaluate();
   for (std::size_t i = 0; i < s.points().size(); ++i) {
