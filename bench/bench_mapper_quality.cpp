@@ -1,0 +1,400 @@
+// Ground-truth mapper quality. R1: per-heuristic optimality gap against the
+// ExactMapper branch-and-bound baseline on a seeded small-graph corpus
+// (scenario-generator shape classes x kind/capacity constraints on/off),
+// with ns/mapping throughput per strategy. R2: NSGA-II mapping-front
+// hypervolume against the single-solution strategies under a shared
+// reference point. R3: NSGA-II fronts driven through DseSession's
+// mapping_fronts stage must be bit-identical across thread counts 1/3/0
+// with the EvalCache on and off. Emits BENCH_mapper_quality.json (schema
+// documented in README.md); the exit code gates every verdict, and CTest
+// runs `--quick` as test bench.mapper_quality_quick.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "soc/core/dse_session.hpp"
+#include "soc/core/exact_mapper.hpp"
+#include "soc/core/mapper.hpp"
+#include "soc/core/mapping.hpp"
+#include "soc/core/nsgaii_mapper.hpp"
+#include "soc/core/objective_space.hpp"
+#include "soc/core/scenario.hpp"
+#include "soc/sim/rng.hpp"
+
+using namespace soc;
+
+namespace {
+
+double ms_since(const std::chrono::steady_clock::time_point& t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Heterogeneous CPU+ASIP pool for the unconstrained corpus half.
+core::PlatformDesc cpu_asip_platform(int pes) {
+  std::vector<core::PeDesc> descs;
+  for (int i = 0; i < pes; ++i) {
+    descs.push_back(core::PeDesc{
+        i % 2 ? tech::Fabric::kGeneralPurposeCpu : tech::Fabric::kAsip, 4, {},
+        0.0});
+  }
+  return core::PlatformDesc(std::move(descs), noc::TopologyKind::kMesh2D,
+                            tech::node_90nm());
+}
+
+/// Kind-striped, capacity-limited pool for the constrained corpus half.
+core::PlatformDesc striped_platform(int pes, int groups, double capacity) {
+  std::vector<core::PeDesc> descs;
+  for (int i = 0; i < pes; ++i) {
+    core::PeDesc d{tech::Fabric::kAsip, 4, {}, 0.0};
+    if (groups > 0) d.compatible_kinds = {i % groups};
+    d.capacity = capacity;
+    descs.push_back(std::move(d));
+  }
+  return core::PlatformDesc(std::move(descs), noc::TopologyKind::kMesh2D,
+                            tech::node_90nm());
+}
+
+/// One corpus instance: a seeded small scenario graph plus the platform and
+/// constraint policy it is mapped under.
+struct Instance {
+  core::TaskGraph graph;
+  core::PlatformDesc platform;
+  core::MappingConstraints constraints;
+  bool constrained;
+};
+
+/// Seeded corpus: shape classes x constraints on/off x per_class instances,
+/// every graph within the exact mapper's node budget (depth 3 x width 3).
+std::vector<Instance> build_corpus(int per_class) {
+  const core::ScenarioGenerator gen(0xdac03ULL);
+  std::vector<Instance> corpus;
+  for (const bool constrained : {false, true}) {
+    for (const core::ScenarioShape shape :
+         {core::ScenarioShape::kLayered, core::ScenarioShape::kSeriesParallel,
+          core::ScenarioShape::kFanInHeavy}) {
+      for (int i = 0; i < per_class; ++i) {
+        core::ScenarioSpec spec;
+        spec.shape = shape;
+        spec.depth = 3;
+        spec.width = 3;
+        spec.kinds = constrained ? 2 : 1;
+        spec.demand_min = 0.5;
+        spec.demand_max = 2.0;
+        spec.name = "mq";
+        corpus.push_back(Instance{
+            gen.generate(spec, i),
+            constrained ? striped_platform(5, 2, 8.0) : cpu_asip_platform(5),
+            constrained ? core::MappingConstraints{}
+                        : core::MappingConstraints::none(),
+            constrained});
+      }
+    }
+  }
+  return corpus;
+}
+
+/// 2D hypervolume (minimization) of the (x, y) staircase against ref
+/// (rx, ry); points outside the reference box contribute nothing.
+double hypervolume_2d(std::vector<std::pair<double, double>> pts, double rx,
+                      double ry) {
+  std::sort(pts.begin(), pts.end());
+  double area = 0.0;
+  double best_y = ry;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    const double x = std::min(pts[i].first, rx);
+    const double y = std::min(pts[i].second, best_y);
+    double next_x = rx;
+    for (std::size_t j = i + 1; j < pts.size(); ++j) {
+      if (pts[j].second < y) {
+        next_x = std::min(pts[j].first, rx);
+        break;
+      }
+    }
+    if (next_x > x) area += (next_x - x) * (ry - y);
+    best_y = y;
+  }
+  return area;
+}
+
+/// 3D hypervolume (minimization) by z-slicing: sort by the energy axis and
+/// integrate the 2D (bottleneck, comm) staircase area over each z slab.
+double hypervolume_3d(const std::vector<core::MappingCost>& costs, double rx,
+                      double ry, double rz) {
+  std::vector<std::size_t> order(costs.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return costs[a].energy_pj_per_item < costs[b].energy_pj_per_item;
+  });
+  double volume = 0.0;
+  std::vector<std::pair<double, double>> slab;
+  for (std::size_t k = 0; k < order.size(); ++k) {
+    const double z0 = costs[order[k]].energy_pj_per_item;
+    if (z0 >= rz) break;
+    slab.push_back({costs[order[k]].bottleneck_cycles,
+                    costs[order[k]].comm_word_hops});
+    const double z1 =
+        k + 1 < order.size()
+            ? std::min(costs[order[k + 1]].energy_pj_per_item, rz)
+            : rz;
+    if (z1 > z0) volume += hypervolume_2d(slab, rx, ry) * (z1 - z0);
+  }
+  return volume;
+}
+
+bool point_streams_identical(const std::vector<core::DsePoint>& a,
+                             const std::vector<core::DsePoint>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].mapping != b[i].mapping ||
+        a[i].mapping_cost.objective != b[i].mapping_cost.objective ||
+        a[i].mapping_cost.bottleneck_cycles !=
+            b[i].mapping_cost.bottleneck_cycles ||
+        a[i].mapping_cost.energy_pj_per_item !=
+            b[i].mapping_cost.energy_pj_per_item ||
+        a[i].pareto_optimal != b[i].pareto_optimal) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  bench::JsonReport json("mapper_quality");
+
+  const int per_class = quick ? 9 : 16;
+  const std::vector<Instance> corpus = build_corpus(per_class);
+  const std::vector<std::string> heuristics = {"anneal", "greedy", "heft",
+                                               "random"};
+  core::AnnealConfig ac;
+  ac.iterations = quick ? 400 : 2'000;
+
+  bench::title("R1", "Optimality gap vs the branch-and-bound ground truth");
+  bench::note("gap = (heuristic - optimal) / optimal objective; corpus =");
+  bench::note("3 scenario shapes x constraints on/off, <= 9 tasks, 5 PEs");
+  bench::rule();
+
+  const core::ExactMapper exact;
+  const core::ObjectiveWeights weights;
+  std::vector<core::MappingFrontPoint> optima;
+  optima.reserve(corpus.size());
+  auto t0 = std::chrono::steady_clock::now();
+  for (const Instance& inst : corpus) {
+    optima.push_back(
+        exact.solve(inst.graph, inst.platform, weights, inst.constraints));
+  }
+  const double exact_ms = ms_since(t0);
+
+  struct GapStats {
+    double sum = 0.0;
+    double max = 0.0;
+    double min = 0.0;
+    int optimal_hits = 0;
+    double ms = 0.0;
+  };
+  std::map<std::string, GapStats> stats;
+  for (const std::string& name : heuristics) {
+    GapStats& gs = stats[name];
+    const auto mapper = core::make_mapper(name, ac);
+    for (std::size_t i = 0; i < corpus.size(); ++i) {
+      const Instance& inst = corpus[i];
+      ac.seed = 0x9d5ULL + i;
+      sim::Rng rng(ac.seed);
+      t0 = std::chrono::steady_clock::now();
+      const core::Mapping m = mapper->map(inst.graph, inst.platform, weights,
+                                          rng, inst.constraints);
+      gs.ms += ms_since(t0);
+      const core::MappingCost mc = core::evaluate_mapping(
+          inst.graph, inst.platform, m, weights, inst.constraints);
+      const double opt = optima[i].cost.objective;
+      const double gap = (mc.objective - opt) / opt;
+      gs.sum += gap;
+      gs.max = std::max(gs.max, gap);
+      gs.min = std::min(gs.min, gap);
+      if (gap <= 1e-9) ++gs.optimal_hits;
+    }
+  }
+
+  const double n = static_cast<double>(corpus.size());
+  std::printf("  %zu instances | exact: %.2f ms/solve\n", corpus.size(),
+              exact_ms / n);
+  for (const std::string& name : heuristics) {
+    const GapStats& gs = stats[name];
+    std::printf("  %-7s mean gap %6.2f%% | max %6.2f%% | optimal %3d/%zu | "
+                "%8.0f ns/mapping\n",
+                name.c_str(), 1e2 * gs.sum / n, 1e2 * gs.max, gs.optimal_hits,
+                corpus.size(), 1e6 * gs.ms / n);
+  }
+  bench::rule();
+  bool gaps_nonnegative = true;
+  for (const auto& [name, gs] : stats) gaps_nonnegative &= gs.min >= -1e-9;
+  bench::verdict(gaps_nonnegative,
+                 "no heuristic ever beats the exact optimum (gap >= 0 on "
+                 "every instance)");
+  const bool anneal_beats_greedy =
+      stats["anneal"].sum <= stats["greedy"].sum + 1e-12;
+  bench::verdict(anneal_beats_greedy,
+                 "anneal's aggregate gap is no worse than greedy's");
+
+  bench::title("R2", "NSGA-II mapping-front hypervolume vs single solutions");
+  bench::note("3D volume dominated under a shared 1.1x-nadir reference");
+  bench::note("point; NSGA-II seeds its population with greedy and HEFT");
+  bench::rule();
+
+  const core::NsgaiiMapper nsga(ac);
+  double hv_nsga_sum = 0.0;
+  double hv_greedy_sum = 0.0;
+  double hv_heft_sum = 0.0;
+  double hv_anneal_sum = 0.0;
+  double front_size_sum = 0.0;
+  double nsga_ms = 0.0;
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    const Instance& inst = corpus[i];
+    ac.seed = 0x51aULL + i;
+    sim::Rng rng(ac.seed);
+    t0 = std::chrono::steady_clock::now();
+    const auto front = nsga.map_front(inst.graph, inst.platform, weights, rng,
+                                      inst.constraints);
+    nsga_ms += ms_since(t0);
+    front_size_sum += static_cast<double>(front.size());
+    std::map<std::string, core::MappingCost> singles;
+    for (const char* name : {"greedy", "heft", "anneal"}) {
+      sim::Rng r2(0x3c3ULL + i);
+      const core::Mapping m = core::make_mapper(name, ac)->map(
+          inst.graph, inst.platform, weights, r2, inst.constraints);
+      singles[name] = core::evaluate_mapping(inst.graph, inst.platform, m,
+                                             weights, inst.constraints);
+    }
+    // Shared reference point: 1.1x the nadir over every feasible solution
+    // in play (front members and the three single solutions).
+    std::vector<core::MappingCost> all;
+    for (const auto& fp : front) {
+      if (fp.cost.feasible) all.push_back(fp.cost);
+    }
+    for (const auto& [name, mc] : singles) {
+      if (mc.feasible) all.push_back(mc);
+    }
+    if (all.empty()) continue;  // nothing feasible: no volume to compare
+    double rx = 0.0;
+    double ry = 0.0;
+    double rz = 0.0;
+    for (const core::MappingCost& mc : all) {
+      rx = std::max(rx, mc.bottleneck_cycles);
+      ry = std::max(ry, mc.comm_word_hops);
+      rz = std::max(rz, mc.energy_pj_per_item);
+    }
+    rx = 1.1 * rx + 1e-9;
+    ry = 1.1 * ry + 1e-9;
+    rz = 1.1 * rz + 1e-9;
+    std::vector<core::MappingCost> front_costs;
+    for (const auto& fp : front) {
+      if (fp.cost.feasible) front_costs.push_back(fp.cost);
+    }
+    hv_nsga_sum += hypervolume_3d(front_costs, rx, ry, rz);
+    const auto single_hv = [&](const char* name) {
+      const core::MappingCost& mc = singles[name];
+      return mc.feasible ? hypervolume_3d({mc}, rx, ry, rz) : 0.0;
+    };
+    hv_greedy_sum += single_hv("greedy");
+    hv_heft_sum += single_hv("heft");
+    hv_anneal_sum += single_hv("anneal");
+  }
+  std::printf("  mean front size %.1f | %8.0f ns/front\n", front_size_sum / n,
+              1e6 * nsga_ms / n);
+  std::printf("  mean hypervolume: nsga2 %.3g | greedy %.3g | heft %.3g | "
+              "anneal %.3g\n",
+              hv_nsga_sum / n, hv_greedy_sum / n, hv_heft_sum / n,
+              hv_anneal_sum / n);
+  bench::rule();
+  const bool hv_covers_seeds = hv_nsga_sum >= hv_greedy_sum - 1e-9 &&
+                               hv_nsga_sum >= hv_heft_sum - 1e-9;
+  bench::verdict(hv_covers_seeds,
+                 "the NSGA-II front dominates at least the volume of its "
+                 "greedy and HEFT seeds");
+
+  bench::title("R3", "Session mapping fronts: thread/cache determinism");
+  bench::note("DseSession.mapping_fronts with nsga2 across num_threads");
+  bench::note("1/3/0 and EvalCache on/off: one bit-identical point stream");
+  bench::rule();
+
+  core::ScenarioSpec spec;
+  spec.depth = 3;
+  spec.width = 3;
+  spec.name = "mq-session";
+  const core::TaskGraph session_graph =
+      core::ScenarioGenerator(0xdac03ULL).generate(spec, 1);
+  core::DseSpace space;
+  space.pe_counts = {4, 8};
+  space.thread_counts = {2};
+  space.topologies = {noc::TopologyKind::kBus, noc::TopologyKind::kMesh2D};
+  space.fabrics = {tech::Fabric::kAsip};
+  core::AnnealConfig sess_ac;
+  sess_ac.iterations = quick ? 480 : 2'400;
+  sess_ac.seed = 0x77aaULL;
+  const core::DseProblem problem{session_graph,
+                                 core::ObjectiveSpace::default_space(),
+                                 {},
+                                 tech::node_90nm()};
+  std::vector<core::DsePoint> base;
+  bool fronts_identical = true;
+  std::size_t front_points = 0;
+  for (const int threads : {1, 3, 0}) {
+    for (const bool cache : {false, true}) {
+      core::DseConfig dc;
+      dc.mapper = "nsga2";
+      dc.mapping_fronts = true;
+      dc.num_threads = threads;
+      dc.use_eval_cache = cache;
+      core::DseSession session(problem, space, sess_ac, dc);
+      std::vector<core::DsePoint> pts = session.run();
+      if (base.empty()) {
+        base = std::move(pts);
+        front_points = base.size() - session.grid_point_count();
+      } else {
+        fronts_identical &= point_streams_identical(base, pts);
+      }
+    }
+  }
+  std::printf("  %zu grid points + %zu mapping-front extras x 6 runs\n",
+              base.size() - front_points, front_points);
+  bench::rule();
+  bench::verdict(fronts_identical,
+                 "all six runs produce one bit-identical point stream");
+
+  json.add("corpus_instances", static_cast<long long>(corpus.size()));
+  json.add("exact_ms_per_solve", exact_ms / n);
+  for (const std::string& name : heuristics) {
+    const GapStats& gs = stats[name];
+    json.add("gap_mean_" + name, gs.sum / n);
+    json.add("gap_max_" + name, gs.max);
+    json.add("optimal_rate_" + name, static_cast<double>(gs.optimal_hits) / n);
+    json.add("ns_per_mapping_" + name, 1e6 * gs.ms / n);
+  }
+  json.add("nsga2_ns_per_front", 1e6 * nsga_ms / n);
+  json.add("nsga2_mean_front_size", front_size_sum / n);
+  json.add("hv_mean_nsga2", hv_nsga_sum / n);
+  json.add("hv_mean_greedy", hv_greedy_sum / n);
+  json.add("hv_mean_heft", hv_heft_sum / n);
+  json.add("hv_mean_anneal", hv_anneal_sum / n);
+  json.add("session_front_extras", static_cast<long long>(front_points));
+  json.add("gaps_nonnegative", gaps_nonnegative);
+  json.add("anneal_gap_le_greedy", anneal_beats_greedy);
+  json.add("hv_covers_seeds", hv_covers_seeds);
+  json.add("fronts_bit_identical", fronts_identical);
+
+  json.write();
+  return gaps_nonnegative && anneal_beats_greedy && hv_covers_seeds &&
+                 fronts_identical
+             ? 0
+             : 1;
+}

@@ -9,6 +9,7 @@
 
 #include "bench_util.hpp"
 #include "soc/apps/graphs.hpp"
+#include "soc/core/exact_mapper.hpp"
 #include "soc/core/incremental_objective.hpp"
 #include "soc/core/mapper.hpp"
 #include "soc/core/mapping.hpp"
@@ -123,7 +124,16 @@ int main() {
       const auto mapper = core::make_mapper(name);
       sim::Rng rng(2003);
       const auto t0 = Clock::now();
-      const auto m = mapper->map(sc.graph, sc.platform, {}, rng);
+      core::Mapping m;
+      try {
+        m = mapper->map(sc.graph, sc.platform, {}, rng);
+      } catch (const core::ExactBudgetExceeded&) {
+        // The exhaustive ground-truth mapper caps its graph size; it is
+        // scored on small graphs by bench_mapper_quality instead.
+        std::printf("  %-10s %14s %12s %10s\n", name.c_str(), "-", "-",
+                    "over-budget");
+        continue;
+      }
       const double ms = ms_since(t0);
       const auto cost = core::evaluate_mapping(sc.graph, sc.platform, m);
       all_feasible &= cost.feasible;

@@ -4,7 +4,8 @@
 // the cycle-level platform simulator.
 //
 //   ./build/examples/platform_dse [ipv4|mjpeg|wlan] [anneal_iters] [threads]
-//                                 [--mapper <name>] [--validate]
+//                                 [--mapper <name>] [--map-fronts]
+//                                 [--validate]
 //                                 [--nodes 130,90,65] [--die-mm2 <area>]
 //                                 [--objectives tput,area,power,energy]
 //                                 [--scenarios <count>]
@@ -13,7 +14,14 @@
 //
 // `threads` shards the sweep: 0 (default) uses every hardware core, 1 runs
 // serially. The points are bit-identical either way. `--mapper` picks any
-// registered mapping strategy (random | greedy | heft | anneal).
+// registered mapping strategy (random | greedy | heft | anneal | nsga2 |
+// exact). `nsga2` evolves a mapping-level Pareto set per candidate;
+// `exact` is the branch-and-bound ground truth and fails loudly past its
+// 12-task node budget, so it only suits small (unreplicated) graphs.
+// `--map-fronts` asks the strategy for its whole mapping front per
+// candidate (Mapper::map_front) and appends the extra trade-off points
+// after the candidate grid, so mapping-level trade-offs can surface on
+// the Pareto front.
 // `--scenarios` swaps the bundled graph for <count> generated scenario
 // graphs (core::ScenarioGenerator seeded from the anneal seed) and reports
 // per-scenario Pareto fronts plus the aggregate.
@@ -97,7 +105,8 @@ void print_usage(std::FILE* out) {
   std::fprintf(out,
                "usage: platform_dse [ipv4|mjpeg|wlan] [anneal_iters] "
                "[threads]\n"
-               "                    [--mapper <name>] [--validate]\n"
+               "                    [--mapper <name>] [--map-fronts] "
+               "[--validate]\n"
                "                    [--nodes 130,90,65] [--die-mm2 <area>]\n"
                "                    [--objectives <csv>]\n"
                "                    [--scenarios <count>]\n"
@@ -112,7 +121,11 @@ void print_usage(std::FILE* out) {
     std::fprintf(out, " %s", n.c_str());
   }
   std::fprintf(out,
-               "\n--scenarios replaces the bundled graph with <count> "
+               "\n--map-fronts appends each candidate's extra mapping-front "
+               "points (Mapper::map_front)\nafter the candidate grid -- "
+               "mapping-level trade-offs compete on the Pareto front;\n");
+  std::fprintf(out,
+               "--scenarios replaces the bundled graph with <count> "
                "generated scenario graphs;\n--constraints stripes PE kinds "
                "across <groups> groups and caps per-PE demand at "
                "<capacity>;\n--no-eval-cache disables the cross-sweep "
@@ -127,6 +140,7 @@ int main(int argc, char** argv) {
   std::string mapper_name = "anneal";
   std::string objective_names = "tput,area,power";
   bool validate = false;
+  bool map_fronts = false;
   bool use_eval_cache = true;
   std::vector<tech::ProcessNode> nodes;
   double die_mm2 = 0.0;
@@ -140,6 +154,8 @@ int main(int argc, char** argv) {
       return 0;
     } else if (!std::strcmp(argv[i], "--validate")) {
       validate = true;
+    } else if (!std::strcmp(argv[i], "--map-fronts")) {
+      map_fronts = true;
     } else if (!std::strcmp(argv[i], "--no-eval-cache")) {
       use_eval_cache = false;
     } else if (!std::strcmp(argv[i], "--scenarios")) {
@@ -208,12 +224,12 @@ int main(int argc, char** argv) {
       positional.push_back(argv[i]);
     }
   }
-  if (!core::is_registered_mapper(mapper_name)) {
-    std::fprintf(stderr, "unknown mapper '%s'; registered:", mapper_name.c_str());
-    for (const auto& n : core::registered_mappers()) {
-      std::fprintf(stderr, " %s", n.c_str());
-    }
-    std::fprintf(stderr, "\n");
+  // Same style as the --objectives error below: the registry's own typed
+  // error already enumerates every registered strategy name.
+  try {
+    (void)core::make_mapper(mapper_name);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "bad --mapper: %s\n", e.what());
     return 2;
   }
   core::ObjectiveSpace objectives;
@@ -250,6 +266,7 @@ int main(int argc, char** argv) {
   dc.num_threads = threads;
   dc.mapper = mapper_name;
   dc.validate_pareto = validate;
+  dc.mapping_fronts = map_fronts;
   dc.die_mm2 = die_mm2;
   dc.pe_kind_groups = kind_groups;
   dc.pe_capacity = pe_capacity;
@@ -278,14 +295,20 @@ int main(int argc, char** argv) {
     return 2;
   }
   const std::vector<core::DsePoint>& points = session->points();
+  // With --map-fronts the point vector is the candidate grid plus the
+  // appended mapping-front extras; report the two regions separately.
+  const std::size_t ngrid = session->grid_point_count();
   if (nodes.empty()) {
     std::printf("\n%zu candidates at %s (objectives: %s, mapper: %s",
-                points.size(), node.name.c_str(),
-                objectives.names().c_str(), mapper_name.c_str());
+                ngrid, node.name.c_str(), objectives.names().c_str(),
+                mapper_name.c_str());
   } else {
     std::printf("\n%zu candidates over %zu nodes (objectives: %s, mapper: %s",
-                points.size(), nodes.size(), objectives.names().c_str(),
+                ngrid, nodes.size(), objectives.names().c_str(),
                 mapper_name.c_str());
+  }
+  if (map_fronts) {
+    std::printf(", +%zu mapping-front extras", points.size() - ngrid);
   }
   if (kind_groups > 0) {
     std::printf(", %d kind groups", kind_groups);
@@ -303,9 +326,8 @@ int main(int argc, char** argv) {
       const auto& front = session->scenario_fronts().at(
           static_cast<std::size_t>(s));
       std::size_t feasible = 0;
-      const std::size_t ncand = points.size() /
-                                static_cast<std::size_t>(
-                                    session->scenario_count());
+      const std::size_t ncand = ngrid / static_cast<std::size_t>(
+                                            session->scenario_count());
       for (std::size_t c = 0; c < ncand; ++c) {
         if (points[static_cast<std::size_t>(s) * ncand + c]
                 .mapping_cost.feasible) {

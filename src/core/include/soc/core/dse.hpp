@@ -141,6 +141,18 @@ struct DseConfig {
   /// Capacity (max summed TaskNode::demand) stamped on every candidate PE;
   /// 0 = unlimited (the historical pool). Negative values are rejected.
   double pe_capacity = 0.0;
+  /// Opt-in mapping-level front merging: stage 1 asks the strategy for its
+  /// whole mapping Pareto set per (scenario, candidate) via
+  /// Mapper::map_front. The scenario-major grid keeps one canonical point
+  /// per pair (the set's first member — bit-identical to the mapping the
+  /// flag-off sweep produces), and the remaining members are appended after
+  /// the grid as extra points of the same candidate, so the dominance pass
+  /// can surface mapping trade-offs on the candidate front. Single-solution
+  /// strategies produce one-point sets, making the flag a no-op for them
+  /// beyond the appended-region bookkeeping. The EvalCache mapping memo is
+  /// bypassed in this mode (its entries hold one mapping per key); platform
+  /// memoization still applies.
+  bool mapping_fronts = false;
   /// Serve stage-1 evaluation through the process-wide EvalCache
   /// (eval_cache.hpp): candidates whose canonical key was already built —
   /// in this sweep or an earlier one — reuse the memoized silicon estimate,

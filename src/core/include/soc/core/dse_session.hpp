@@ -205,8 +205,24 @@ class DseSession {
   const AnnealConfig& anneal() const noexcept { return anneal_; }
   /// Execution knobs.
   const DseConfig& config() const noexcept { return config_; }
-  /// Points so far (empty before evaluate()), scenario-major.
+  /// Points so far (empty before evaluate()), scenario-major. With
+  /// DseConfig::mapping_fronts the first grid_point_count() entries are the
+  /// canonical scenario-major grid and the rest are mapping-front extras in
+  /// flat-parent order (extra_parent() locates each one's grid pair).
   const std::vector<DsePoint>& points() const noexcept { return points_; }
+  /// Size of the canonical scenario-major grid: scenario_count() x candidate
+  /// count (== points().size() unless DseConfig::mapping_fronts appended
+  /// extras); 0 before evaluate().
+  std::size_t grid_point_count() const noexcept { return grid_points_; }
+  /// Flat grid index of the (scenario, candidate) pair that produced extra
+  /// point `i` — `i` must be in [grid_point_count(), points().size());
+  /// throws std::out_of_range otherwise.
+  std::size_t extra_parent(std::size_t i) const {
+    if (i < grid_points_) {
+      throw std::out_of_range("DseSession::extra_parent: grid index");
+    }
+    return extra_parents_.at(i - grid_points_);
+  }
   /// Aggregate front indices (empty before front()).
   const std::vector<std::size_t>& front_indices() const noexcept {
     return front_;
@@ -261,6 +277,8 @@ class DseSession {
   std::mutex observer_mu_;
   std::vector<DseCandidate> candidates_;
   std::vector<std::unique_ptr<EvalContext>> contexts_;
+  std::size_t grid_points_ = 0;            ///< scenarios x candidates
+  std::vector<std::size_t> extra_parents_; ///< per extra: parent flat index
   EvalCacheStats cache_stats_{};  ///< evaluate()-stage delta (see accessor)
   std::vector<DsePoint> points_;
   std::vector<std::size_t> front_;

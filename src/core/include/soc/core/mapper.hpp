@@ -13,6 +13,16 @@
 
 namespace soc::core {
 
+/// One member of a mapping-level Pareto set: a placement together with its
+/// full evaluate_mapping() cost breakdown. Mapper::map_front returns these
+/// so the DSE can surface per-candidate mapping trade-offs (DseConfig::
+/// mapping_fronts) instead of one scalarized point per candidate.
+struct MappingFrontPoint {
+  Mapping mapping;   ///< one PE index per task-graph node
+  MappingCost cost;  ///< evaluate_mapping() of `mapping` under the call's
+                     ///< weights and constraint policy
+};
+
 /// Polymorphic mapping strategy: one algorithm that places a task graph onto
 /// a platform. Implementations must be stateless across map() calls and
 /// deterministic given (graph, platform, weights, rng state) — the DSE sweep
@@ -49,6 +59,23 @@ class Mapper {
               const ObjectiveWeights& weights, sim::Rng& rng) const {
     return map(graph, platform, weights, rng, MappingConstraints{});
   }
+
+  /// Mapping-level Pareto set for one (graph, platform) pair. The base
+  /// implementation wraps map() as a one-point front — every single-solution
+  /// strategy keeps its historical behavior — while multi-objective
+  /// strategies (the built-in "nsga2") override it with a genuinely
+  /// non-dominated set over (bottleneck_cycles, comm_word_hops,
+  /// energy_pj_per_item). Contract for overrides: the returned set is
+  /// non-empty, mutually non-dominated, deterministically ordered, and its
+  /// *first* member is exactly what map() would return for the same inputs
+  /// (the scalarized-objective argmin, ties broken by ascending mapping) —
+  /// DseSession's front merging takes front()[0] as the candidate's
+  /// canonical point, so this is what keeps mapping_fronts on/off
+  /// bit-identical on the grid.
+  virtual std::vector<MappingFrontPoint> map_front(
+      const TaskGraph& graph, const PlatformDesc& platform,
+      const ObjectiveWeights& weights, sim::Rng& rng,
+      const MappingConstraints& constraints) const;
 };
 
 /// Factory signature: builds a strategy instance. The AnnealConfig carries
@@ -58,7 +85,8 @@ using MapperFactory =
     std::function<std::unique_ptr<Mapper>(const AnnealConfig&)>;
 
 /// Registers (or replaces) a strategy under `name`. The built-in strategies
-/// — "random", "greedy", "heft", "anneal" — are pre-registered.
+/// — "random", "greedy", "heft", "anneal", "nsga2", "exact" — are
+/// pre-registered.
 void register_mapper(std::string name, MapperFactory factory);
 
 /// Sorted names of every registered strategy.

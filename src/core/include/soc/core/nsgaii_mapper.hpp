@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file
+/// Population-based multi-objective mapper: NSGA-II over PE assignment
+/// vectors, returning a mapping-level Pareto set per candidate through
+/// Mapper::map_front (registry name "nsga2").
+
+#include "soc/core/mapper.hpp"
+
+namespace soc::core {
+
+/// NSGA-II mapping search (Deb et al.): binary tournament selection,
+/// one-point crossover over the PE assignment vector, per-task uniform
+/// mutation, and environmental selection by fast non-dominated sort plus
+/// crowding distance, minimizing the (bottleneck_cycles, comm_word_hops,
+/// energy_pj_per_item) triple under constrained domination (feasible
+/// dominates infeasible; ties compared objective-wise).
+///
+/// Every individual is scored through one shared IncrementalObjective — the
+/// evaluator is walked from its current mapping to the individual's by
+/// per-task try_move calls, so each figure is bit-identical to a full
+/// evaluate_mapping of that mapping (the PR 7 exactness contract), and each
+/// score costs O(diff · degree) instead of O(V·E). Under an enforcing
+/// constraint policy offspring are repaired (repair_mapping) before
+/// scoring, mirroring the registry-wide repair discipline.
+///
+/// The search budget comes from AnnealConfig::iterations, reinterpreted as
+/// a total evaluation budget: generations = clamp(iterations / population,
+/// 2, 400) with a fixed population of 24. The whole run is a pure function
+/// of (graph, platform, weights, rng stream, constraints) — bit-identical
+/// at any DSE thread count and with EvalCache on or off.
+class NsgaiiMapper final : public Mapper {
+ public:
+  /// Fixed (even) population size.
+  static constexpr int kPopulation = 24;
+
+  /// Derives the generation count from `cfg.iterations` (see class docs).
+  explicit NsgaiiMapper(const AnnealConfig& cfg);
+
+  std::string_view name() const noexcept override { return "nsga2"; }
+  /// Generations the search runs.
+  int generations() const noexcept { return generations_; }
+
+  /// The scalarized-best member of map_front()'s Pareto set.
+  Mapping map(const TaskGraph& graph, const PlatformDesc& platform,
+              const ObjectiveWeights& weights, sim::Rng& rng,
+              const MappingConstraints& constraints) const override;
+
+  /// The final population's first non-dominated front, deduplicated and
+  /// sorted by ascending (objective, mapping) — so front[0] is the map()
+  /// result. Every member carries its full evaluate_mapping cost.
+  std::vector<MappingFrontPoint> map_front(
+      const TaskGraph& graph, const PlatformDesc& platform,
+      const ObjectiveWeights& weights, sim::Rng& rng,
+      const MappingConstraints& constraints) const override;
+
+ private:
+  int generations_;
+};
+
+}  // namespace soc::core

@@ -309,8 +309,17 @@ const std::vector<DsePoint>& DseSession::evaluate() {
   const std::size_t total = scenarios_.size() * ncand;
   contexts_.resize(total);
   points_.assign(total, DsePoint{});
+  grid_points_ = total;
+  extra_parents_.clear();
+  // Mapping-front mode: non-canonical front members are collected per flat
+  // point and appended after the grid once the shards join, so the appended
+  // order is flat-index order regardless of thread interleaving.
+  std::vector<std::vector<DsePoint>> extras(
+      config_.mapping_fronts ? total : 0);
   // Cross-sweep memo: canonical keys are serialized once per candidate and
-  // per scenario (not once per flat point) before the shards fan out.
+  // per scenario (not once per flat point) before the shards fan out. The
+  // mapping shard is bypassed in mapping-front mode (one mapping per key);
+  // platform memoization still applies through the EvalContext.
   EvalCache* cache = config_.use_eval_cache ? &EvalCache::global() : nullptr;
   const EvalCacheStats before = cache ? cache->stats() : EvalCacheStats{};
   std::vector<std::string> platform_keys;
@@ -333,7 +342,28 @@ const std::vector<DsePoint>& DseSession::evaluate() {
         contexts_[f] = std::make_unique<EvalContext>(
             scenarios_[s], candidates_[c], config_, cache);
         const EvalContext& ctx = *contexts_[f];
-        if (cache) {
+        if (config_.mapping_fronts) {
+          sim::Rng rng(seed);
+          std::vector<MappingFrontPoint> members = mapper_->map_front(
+              ctx.work(), ctx.platform(), problem_.weights, rng,
+              config_.constraints);
+          if (members.empty()) {
+            throw std::runtime_error("DseSession: mapper '" +
+                                     std::string(mapper_->name()) +
+                                     "' returned an empty mapping front");
+          }
+          // The first member is the strategy's map() result by contract, so
+          // the canonical grid stays bit-identical to a flag-off sweep.
+          points_[f] = make_point(ctx, std::move(members.front().mapping),
+                                  members.front().cost, mapper_->name());
+          for (std::size_t k = 1; k < members.size(); ++k) {
+            DsePoint pt = make_point(ctx, std::move(members[k].mapping),
+                                     members[k].cost, mapper_->name());
+            pt.scenario = static_cast<int>(s);
+            pt.scenario_name = scenarios_[s].name();
+            extras[f].push_back(std::move(pt));
+          }
+        } else if (cache) {
           const std::string mkey = EvalCache::mapping_key(
               platform_keys[c], graph_keys[s], mapper_->name(),
               problem_.weights, config_.constraints, anneal_,
@@ -362,6 +392,13 @@ const std::vector<DsePoint>& DseSession::evaluate() {
         points_[f].scenario_name = scenarios_[s].name();
         notify(points_[f], Stage::kEvaluated);
       });
+  for (std::size_t f = 0; f < extras.size(); ++f) {
+    for (DsePoint& pt : extras[f]) {
+      extra_parents_.push_back(f);
+      points_.push_back(std::move(pt));
+      notify(points_.back(), Stage::kEvaluated);
+    }
+  }
   if (cache) cache_stats_ = cache->stats().delta_since(before);
   evaluated_ = true;
   return points_;
@@ -374,25 +411,55 @@ const std::vector<std::size_t>& DseSession::front() {
   scenario_fronts_.assign(scenarios_.size(), {});
   front_.clear();
   if (scenarios_.size() == 1) {
+    // A single scenario spans every point — including any mapping-front
+    // extras, which compete with the grid on equal footing.
     scenario_fronts_[0] = problem_.objectives.mark_front(points_, config_);
     front_ = scenario_fronts_[0];
   } else {
     // Dominance never crosses scenarios: each slice is marked on its own
     // copy, flags are copied back, and the aggregate front is the ascending
-    // concatenation of the offset per-slice fronts.
+    // union of the offset per-slice fronts. A slice is its grid run plus
+    // its mapping-front extras — extras were appended in flat-parent order,
+    // so each scenario's run of the appended region is contiguous.
+    std::vector<std::size_t> extra_begin(scenarios_.size() + 1, 0);
+    {
+      std::size_t e = 0;
+      for (std::size_t s = 0; s < scenarios_.size(); ++s) {
+        extra_begin[s] = e;
+        while (e < extra_parents_.size() &&
+               extra_parents_[e] < (s + 1) * ncand) {
+          ++e;
+        }
+      }
+      extra_begin[scenarios_.size()] = e;
+    }
     for (std::size_t s = 0; s < scenarios_.size(); ++s) {
       std::vector<DsePoint> slice(
           points_.begin() + static_cast<std::ptrdiff_t>(s * ncand),
           points_.begin() + static_cast<std::ptrdiff_t>((s + 1) * ncand));
+      const std::size_t eb = extra_begin[s];
+      const std::size_t ee = extra_begin[s + 1];
+      for (std::size_t e = eb; e < ee; ++e) {
+        slice.push_back(points_[grid_points_ + e]);
+      }
       std::vector<std::size_t> idx =
           problem_.objectives.mark_front(slice, config_);
       for (std::size_t c = 0; c < ncand; ++c) {
         points_[s * ncand + c].pareto_optimal = slice[c].pareto_optimal;
       }
-      for (std::size_t& k : idx) k += s * ncand;
+      for (std::size_t e = eb; e < ee; ++e) {
+        points_[grid_points_ + e].pareto_optimal =
+            slice[ncand + (e - eb)].pareto_optimal;
+      }
+      for (std::size_t& k : idx) {
+        k = k < ncand ? s * ncand + k : grid_points_ + eb + (k - ncand);
+      }
       front_.insert(front_.end(), idx.begin(), idx.end());
       scenario_fronts_[s] = std::move(idx);
     }
+    // Extras of early scenarios carry later flat indices than later
+    // scenarios' grid points; restore the documented ascending order.
+    if (!extra_parents_.empty()) std::sort(front_.begin(), front_.end());
   }
   front_marked_ = true;
   return front_;
@@ -415,9 +482,16 @@ const std::vector<DsePoint>& DseSession::validate() {
       [&](std::size_t k) {
         const std::size_t i = front_[k];
         DsePoint& pt = points_[i];
-        EvalContext& ctx = *contexts_[i];
-        MappingValidator validator(ctx.work(), ctx.platform(), pt.mapping,
-                                   config_.validation, ctx.take_topology());
+        // Mapping-front extras replay on their parent pair's context; only
+        // the canonical grid point may consume the shared topology instance
+        // (a concurrent extra would race the move), so extras fall back to
+        // the deterministic PlatformDesc::build_topology() rebuild.
+        EvalContext& ctx =
+            *contexts_[i < grid_points_ ? i
+                                        : extra_parents_[i - grid_points_]];
+        MappingValidator validator(
+            ctx.work(), ctx.platform(), pt.mapping, config_.validation,
+            i < grid_points_ ? ctx.take_topology() : nullptr);
         const ValidationReport rep = validator.run();
         pt.validated = true;
         // One replay round is one item of the (replicated) work graph,

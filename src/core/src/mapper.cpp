@@ -5,7 +5,22 @@
 #include <stdexcept>
 #include <utility>
 
+#include "soc/core/exact_mapper.hpp"
+#include "soc/core/nsgaii_mapper.hpp"
+
 namespace soc::core {
+
+std::vector<MappingFrontPoint> Mapper::map_front(
+    const TaskGraph& graph, const PlatformDesc& platform,
+    const ObjectiveWeights& weights, sim::Rng& rng,
+    const MappingConstraints& constraints) const {
+  // Single-solution default: the strategy's one mapping, fully costed.
+  Mapping m = map(graph, platform, weights, rng, constraints);
+  MappingCost cost = evaluate_mapping(graph, platform, m, weights, constraints);
+  std::vector<MappingFrontPoint> front;
+  front.push_back(MappingFrontPoint{std::move(m), std::move(cost)});
+  return front;
+}
 
 namespace {
 
@@ -94,6 +109,12 @@ Registry& registry() {
     };
     reg->factories["anneal"] = [](const AnnealConfig& cfg) {
       return std::unique_ptr<Mapper>(new AnnealMapper(cfg));
+    };
+    reg->factories["nsga2"] = [](const AnnealConfig& cfg) {
+      return std::unique_ptr<Mapper>(new NsgaiiMapper(cfg));
+    };
+    reg->factories["exact"] = [](const AnnealConfig&) {
+      return std::unique_ptr<Mapper>(new ExactMapper());
     };
     return reg;
   }();

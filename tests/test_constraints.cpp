@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "soc/core/constraints.hpp"
+#include "test_fixtures.hpp"
 #include "soc/core/incremental_objective.hpp"
 #include "soc/core/mapper.hpp"
 #include "soc/core/mapping.hpp"
@@ -21,33 +22,7 @@ namespace {
 
 using tech::Fabric;
 
-/// Platform whose PE pool is striped across `groups` task kinds (PE i
-/// accepts only kind i % groups; groups == 0 leaves PEs unrestricted) with
-/// a uniform per-PE capacity (0 = unlimited).
-PlatformDesc striped_platform(int pes, int groups, double capacity) {
-  std::vector<PeDesc> descs;
-  for (int i = 0; i < pes; ++i) {
-    PeDesc d{Fabric::kAsip, 4, {}, 0.0};
-    if (groups > 0) d.compatible_kinds = {i % groups};
-    d.capacity = capacity;
-    descs.push_back(std::move(d));
-  }
-  return PlatformDesc(std::move(descs), noc::TopologyKind::kMesh2D,
-                      tech::node_90nm());
-}
-
-/// Tagged scenario graph: kinds in [0, kinds), demand in [0.5, 2.0].
-TaskGraph tagged_graph(int index, int kinds, ScenarioShape shape) {
-  const ScenarioGenerator gen(0xc0415ULL);
-  ScenarioSpec spec;
-  spec.shape = shape;
-  spec.depth = 4;
-  spec.width = 4;
-  spec.kinds = kinds;
-  spec.demand_min = 0.5;
-  spec.demand_max = 2.0;
-  return gen.generate(spec, index);
-}
+// striped_platform / tagged_graph moved to the shared test_fixtures.hpp.
 
 // ----------------------------------------------------- violation taxonomy ---
 

@@ -1,0 +1,88 @@
+#pragma once
+
+// Shared graph/platform builders for the test suites. These used to be
+// duplicated per-suite (test_mappers.cpp, test_constraints.cpp); the mapper
+// quality suite made a third copy unattractive, so they live here. All are
+// deterministic in their inputs — no hidden global state.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "soc/core/mapping.hpp"
+#include "soc/core/scenario.hpp"
+#include "soc/core/task_graph.hpp"
+#include "soc/sim/rng.hpp"
+#include "soc/tech/energy_model.hpp"
+
+namespace soc::core {
+
+/// Heterogeneous CPU+ASIP platform the per-strategy tests run against.
+inline PlatformDesc cpu_asip_platform(int pes) {
+  std::vector<PeDesc> descs;
+  for (int i = 0; i < pes; ++i) {
+    descs.push_back(PeDesc{
+        i % 2 ? tech::Fabric::kGeneralPurposeCpu : tech::Fabric::kAsip, 4, {},
+        0.0});
+  }
+  return PlatformDesc(std::move(descs), noc::TopologyKind::kMesh2D,
+                      tech::node_90nm());
+}
+
+/// Random DAG (edges always point from lower to higher node index) with a
+/// fabric-constraint mix, for the randomized property tests.
+inline TaskGraph random_dag(sim::Rng& rng, int nodes, int extra_edges) {
+  TaskGraph g("random-dag");
+  for (int i = 0; i < nodes; ++i) {
+    TaskNode t;
+    t.name = "n" + std::to_string(i);
+    t.work_ops = 10.0 + static_cast<double>(rng.next_below(200));
+    if (rng.next_bool(0.25)) t.allowed_fabrics = {tech::Fabric::kAsip};
+    g.add_node(std::move(t));
+  }
+  // Spine keeps the graph connected; extra edges add fan-in/fan-out.
+  for (int i = 0; i + 1 < nodes; ++i) {
+    g.add_edge({i, i + 1, 1.0 + static_cast<double>(rng.next_below(16))});
+  }
+  for (int e = 0; e < extra_edges; ++e) {
+    const int src = static_cast<int>(
+        rng.next_below(static_cast<std::uint64_t>(nodes - 1)));
+    const int dst =
+        src + 1 +
+        static_cast<int>(
+            rng.next_below(static_cast<std::uint64_t>(nodes - src - 1)));
+    g.add_edge({src, dst, 1.0 + static_cast<double>(rng.next_below(16))});
+  }
+  return g;
+}
+
+/// Platform whose PE pool is striped across `groups` task kinds (PE i
+/// accepts only kind i % groups; groups == 0 leaves PEs unrestricted) with
+/// a uniform per-PE capacity (0 = unlimited).
+inline PlatformDesc striped_platform(int pes, int groups, double capacity) {
+  std::vector<PeDesc> descs;
+  for (int i = 0; i < pes; ++i) {
+    PeDesc d{tech::Fabric::kAsip, 4, {}, 0.0};
+    if (groups > 0) d.compatible_kinds = {i % groups};
+    d.capacity = capacity;
+    descs.push_back(std::move(d));
+  }
+  return PlatformDesc(std::move(descs), noc::TopologyKind::kMesh2D,
+                      tech::node_90nm());
+}
+
+/// Tagged scenario graph: kinds in [0, kinds), demand in [0.5, 2.0].
+inline TaskGraph tagged_graph(int index, int kinds, ScenarioShape shape) {
+  const ScenarioGenerator gen(0xc0415ULL);
+  ScenarioSpec spec;
+  spec.shape = shape;
+  spec.depth = 4;
+  spec.width = 4;
+  spec.kinds = kinds;
+  spec.demand_min = 0.5;
+  spec.demand_max = 2.0;
+  return gen.generate(spec, index);
+}
+
+}  // namespace soc::core

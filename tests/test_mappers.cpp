@@ -7,6 +7,7 @@
 
 #include "dse_session_util.hpp"
 #include "soc/apps/graphs.hpp"
+#include "test_fixtures.hpp"
 #include "soc/core/dse.hpp"
 #include "soc/core/dse_session.hpp"
 #include "soc/core/exact_sum.hpp"
@@ -20,40 +21,7 @@ namespace {
 
 using tech::Fabric;
 
-/// Heterogeneous CPU+ASIP platform the per-strategy tests run against.
-PlatformDesc cpu_asip_platform(int pes) {
-  std::vector<PeDesc> descs;
-  for (int i = 0; i < pes; ++i) {
-    descs.push_back(PeDesc{i % 2 ? Fabric::kGeneralPurposeCpu : Fabric::kAsip, 4, {}, 0.0});
-  }
-  return PlatformDesc(std::move(descs), noc::TopologyKind::kMesh2D,
-                      tech::node_90nm());
-}
-
-/// Random DAG (edges always point from lower to higher node index) with a
-/// fabric-constraint mix, for the randomized property tests.
-TaskGraph random_dag(sim::Rng& rng, int nodes, int extra_edges) {
-  TaskGraph g("random-dag");
-  for (int i = 0; i < nodes; ++i) {
-    TaskNode t;
-    t.name = "n" + std::to_string(i);
-    t.work_ops = 10.0 + static_cast<double>(rng.next_below(200));
-    if (rng.next_bool(0.25)) t.allowed_fabrics = {Fabric::kAsip};
-    g.add_node(std::move(t));
-  }
-  // Spine keeps the graph connected; extra edges add fan-in/fan-out.
-  for (int i = 0; i + 1 < nodes; ++i) {
-    g.add_edge({i, i + 1, 1.0 + static_cast<double>(rng.next_below(16))});
-  }
-  for (int e = 0; e < extra_edges; ++e) {
-    const int src = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(nodes - 1)));
-    const int dst =
-        src + 1 +
-        static_cast<int>(rng.next_below(static_cast<std::uint64_t>(nodes - src - 1)));
-    g.add_edge({src, dst, 1.0 + static_cast<double>(rng.next_below(16))});
-  }
-  return g;
-}
+// cpu_asip_platform / random_dag moved to the shared test_fixtures.hpp.
 
 // ------------------------------------------------------------ PairwiseSum ---
 
