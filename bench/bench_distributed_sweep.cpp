@@ -1,0 +1,191 @@
+// Distributed sharded sweep, metered end to end. R1: the merge contract —
+// the coordinator's merged DsePoint stream, fronts, and extras must be
+// byte-identical to the single-machine DseSession at 1, 2, and 4 workers
+// (field-exact through the canonical dse_wire encoding; one flipped
+// mantissa bit fails the bench). R2: shard scaling — cold stage-1 wall
+// time at 1/2/4 in-process workers; the >= 3x speedup at 4 workers gate
+// (>= 2x under --quick) is enforced only when the host exposes >= 4
+// hardware threads (the loopback workers are real threads). R3: transport
+// economics — wire words per streamed point, steal/cancel counts, and the
+// coordinator's merge overhead as a fraction of the run. Emits
+// BENCH_distributed_sweep.json (schema in README.md); the exit code gates
+// every active verdict, and CTest runs `--quick` as test
+// bench.distributed_sweep_quick.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "soc/apps/graphs.hpp"
+#include "soc/core/distributed_sweep.hpp"
+#include "soc/core/dse_session.hpp"
+#include "soc/core/dse_wire.hpp"
+#include "soc/core/eval_cache.hpp"
+#include "soc/core/objective_space.hpp"
+
+using namespace soc;
+
+namespace {
+
+double ms_since(const std::chrono::steady_clock::time_point& t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Byte-identity through the canonical wire codec: equal word streams
+/// prove every field of every point matches bit for bit.
+bool streams_identical(const std::vector<core::DsePoint>& a,
+                       const std::vector<core::DsePoint>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (core::marshal_point(a[i]) != core::marshal_point(b[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && !std::strcmp(argv[1], "--quick");
+
+  const core::TaskGraph graph = apps::mjpeg_task_graph();
+  core::DseSpace space;
+  space.pe_counts = quick ? std::vector<int>{4, 8}
+                          : std::vector<int>{4, 8, 16};
+  space.thread_counts = {2, 4};
+  space.topologies = {noc::TopologyKind::kBus, noc::TopologyKind::kMesh2D,
+                      noc::TopologyKind::kCrossbar};
+  space.fabrics = {tech::Fabric::kAsip};
+  core::AnnealConfig anneal;
+  anneal.iterations = quick ? 800 : 4000;
+  core::DseConfig config;
+  config.num_threads = 1;  // workers are the parallelism under test
+  const core::DseProblem problem{graph, core::ObjectiveSpace::default_space(),
+                                 core::ObjectiveWeights{}, tech::node_90nm()};
+  const core::ScenarioSet scenarios{graph};
+
+  bench::title("DIST", "distributed sharded sweep over the dsoc loopback");
+  bench::note("graph " + graph.name() + ", " +
+              std::to_string(space.pe_counts.size() *
+                             space.thread_counts.size() *
+                             space.topologies.size()) +
+              " candidates, anneal " + std::to_string(anneal.iterations) +
+              " iters" + (quick ? " (--quick)" : ""));
+
+  bench::JsonReport json("distributed_sweep");
+  json.add("quick", quick);
+  bool all_ok = true;
+
+  // ---- Reference: the single-machine serial session. -----------------------
+  core::EvalCache::global().clear();
+  const auto ts0 = std::chrono::steady_clock::now();
+  core::DseSession session(problem, scenarios, space, anneal, config);
+  session.run();
+  const double t_session = ms_since(ts0);
+  const std::vector<core::DsePoint>& ref = session.points();
+  bench::note("serial session: " + std::to_string(ref.size()) + " points in " +
+              std::to_string(t_session) + " ms");
+  json.add("points", static_cast<long long>(ref.size()));
+  json.add("t_session_ms", t_session);
+
+  // ---- R1 + R2: merge contract and cold shard scaling. ---------------------
+  bench::rule();
+  double t_by_workers[3] = {0.0, 0.0, 0.0};
+  core::SweepStats stats_w4{};
+  bool identical_all = true;
+  const int worker_counts[3] = {1, 2, 4};
+  for (int wi = 0; wi < 3; ++wi) {
+    const int workers = worker_counts[wi];
+    core::EvalCache::global().clear();  // cold: scaling, not memo reuse
+    const auto t0 = std::chrono::steady_clock::now();
+    const core::DistributedSweepResult res = core::run_distributed_sweep(
+        problem, scenarios, space, anneal, config, workers);
+    t_by_workers[wi] = ms_since(t0);
+    const bool identical = streams_identical(res.points, ref) &&
+                           res.front == session.front_indices() &&
+                           res.scenario_fronts == session.scenario_fronts();
+    identical_all &= identical;
+    if (workers == 4) stats_w4 = res.stats;
+    char line[200];
+    std::snprintf(line, sizeof line,
+                  "%d worker%s: %8.1f ms  (%llu ranges, %llu steals, %llu "
+                  "dup)  merge %s",
+                  workers, workers == 1 ? " " : "s", t_by_workers[wi],
+                  static_cast<unsigned long long>(res.stats.ranges_issued),
+                  static_cast<unsigned long long>(res.stats.steals),
+                  static_cast<unsigned long long>(res.stats.duplicate_points),
+                  identical ? "byte-identical" : "DIVERGED");
+    bench::note(line);
+    json.add("t_workers_" + std::to_string(workers) + "_ms", t_by_workers[wi]);
+    json.add("merge_identical_w" + std::to_string(workers), identical);
+  }
+  bench::verdict(identical_all,
+                 "merged stream byte-identical to the session at 1/2/4 "
+                 "workers");
+  all_ok &= identical_all;
+
+  const double speedup4 = t_by_workers[0] / t_by_workers[2];
+  const double speedup_floor = quick ? 2.0 : 3.0;
+  const unsigned hw = std::thread::hardware_concurrency();
+  const bool gate_speedup = hw >= 4;
+  json.add("speedup_4", speedup4);
+  json.add("speedup_floor", speedup_floor);
+  json.add("hardware_concurrency", static_cast<long long>(hw));
+  json.add("speedup_gate_active", gate_speedup);
+  if (gate_speedup) {
+    const bool ok = speedup4 >= speedup_floor;
+    char claim[140];
+    std::snprintf(claim, sizeof claim,
+                  "4 in-process workers >= %.1fx over 1 (measured %.2fx)",
+                  speedup_floor, speedup4);
+    bench::verdict(ok, claim);
+    all_ok &= ok;
+  } else {
+    char notice[140];
+    std::snprintf(notice, sizeof notice,
+                  "speedup gate skipped: %u hardware thread%s < 4 (measured "
+                  "%.2fx, recorded ungated)",
+                  hw, hw == 1 ? "" : "s", speedup4);
+    bench::note(notice);
+  }
+
+  // ---- R3: transport economics at 4 workers. -------------------------------
+  bench::rule();
+  const double bytes_per_point =
+      stats_w4.points_streamed
+          ? 4.0 * static_cast<double>(stats_w4.words_on_wire) /
+                static_cast<double>(stats_w4.points_streamed)
+          : 0.0;
+  const double merge_pct =
+      stats_w4.wall_ms > 0.0 ? 100.0 * stats_w4.merge_ms / stats_w4.wall_ms
+                             : 0.0;
+  char econ[200];
+  std::snprintf(econ, sizeof econ,
+                "wire: %llu words total, %.0f bytes/point; merge %.3f ms "
+                "(%.2f%% of run)",
+                static_cast<unsigned long long>(stats_w4.words_on_wire),
+                bytes_per_point, stats_w4.merge_ms, merge_pct);
+  bench::note(econ);
+  json.add("words_on_wire_w4", static_cast<long long>(stats_w4.words_on_wire));
+  json.add("bytes_per_point_w4", bytes_per_point);
+  json.add("steals_w4", static_cast<long long>(stats_w4.steals));
+  json.add("cancels_w4", static_cast<long long>(stats_w4.cancels_sent));
+  json.add("duplicate_points_w4",
+           static_cast<long long>(stats_w4.duplicate_points));
+  json.add("merge_ms_w4", stats_w4.merge_ms);
+  json.add("merge_overhead_pct_w4", merge_pct);
+  // The merge must stay bookkeeping, not a second sweep.
+  const bool merge_cheap = merge_pct < 20.0;
+  bench::verdict(merge_cheap, "coordinator merge under 20% of the run");
+  all_ok &= merge_cheap;
+
+  bench::rule();
+  json.add("all_ok", all_ok);
+  json.write();
+  bench::verdict(all_ok, "distributed sweep contracts hold");
+  return all_ok ? 0 : 1;
+}

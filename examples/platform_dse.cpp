@@ -10,6 +10,7 @@
 //                                 [--objectives tput,area,power,energy]
 //                                 [--scenarios <count>]
 //                                 [--constraints <groups>[:<capacity>]]
+//                                 [--workers <count>]
 //                                 [--no-eval-cache] [--help]
 //
 // `threads` shards the sweep: 0 (default) uses every hardware core, 1 runs
@@ -42,6 +43,12 @@
 // `--objectives` picks the Pareto-dominance axes by registered name
 // (default tput,area,power; add `energy` for the energy-per-item
 // frontier). The sweep itself runs through the staged DseSession API.
+// `--workers` runs the sweep as a distributed sharded service instead of a
+// local session: <count> SweepWorkers over an in-process dsoc loopback
+// transport, range partitioning with work-stealing, and a coordinator-side
+// merge that is byte-identical to the session at any worker count
+// (soc::core::run_distributed_sweep). Distribution stats (ranges, steals,
+// wire words) are printed after the sweep.
 // `--no-eval-cache` disables the cross-sweep EvalCache memo (identical
 // results, only slower — for A/B timing); with the cache on, the stage-1
 // hit/miss counters are printed after the sweep.
@@ -54,6 +61,7 @@
 #include <vector>
 
 #include "soc/apps/graphs.hpp"
+#include "soc/core/distributed_sweep.hpp"
 #include "soc/core/dse.hpp"
 #include "soc/core/dse_session.hpp"
 #include "soc/core/mapper.hpp"
@@ -111,6 +119,7 @@ void print_usage(std::FILE* out) {
                "                    [--objectives <csv>]\n"
                "                    [--scenarios <count>]\n"
                "                    [--constraints <groups>[:<capacity>]]\n"
+               "                    [--workers <count>]\n"
                "                    [--no-eval-cache] [--help]\n");
   std::fprintf(out, "registered objectives (for --objectives):");
   for (const auto& n : core::registered_objectives()) {
@@ -128,7 +137,12 @@ void print_usage(std::FILE* out) {
                "--scenarios replaces the bundled graph with <count> "
                "generated scenario graphs;\n--constraints stripes PE kinds "
                "across <groups> groups and caps per-PE demand at "
-               "<capacity>;\n--no-eval-cache disables the cross-sweep "
+               "<capacity>;\n--workers runs the sweep distributed: <count> "
+               "sharded workers over the in-process\ndsoc loopback "
+               "transport with work-stealing -- the merged result is "
+               "byte-identical\nto the local session at any worker count "
+               "(threads then applies per machine, not\nper worker);\n"
+               "--no-eval-cache disables the cross-sweep "
                "stage-1 memo (soc::core::EvalCache) --\nresults are "
                "bit-identical either way, only slower; with the cache on "
                "the sweep\nprints its hit/miss counters.\n");
@@ -147,6 +161,7 @@ int main(int argc, char** argv) {
   int scenario_count = 0;
   int kind_groups = 0;
   double pe_capacity = 0.0;
+  int workers = 0;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--help")) {
@@ -161,6 +176,12 @@ int main(int argc, char** argv) {
     } else if (!std::strcmp(argv[i], "--scenarios")) {
       if (i + 1 >= argc || (scenario_count = std::atoi(argv[i + 1])) <= 0) {
         std::fprintf(stderr, "--scenarios needs a positive count\n");
+        return 2;
+      }
+      ++i;
+    } else if (!std::strcmp(argv[i], "--workers")) {
+      if (i + 1 >= argc || (workers = std::atoi(argv[i + 1])) <= 0) {
+        std::fprintf(stderr, "--workers needs a positive count\n");
         return 2;
       }
       ++i;
@@ -273,31 +294,47 @@ int main(int argc, char** argv) {
   dc.use_eval_cache = use_eval_cache;
 
   const auto& node = tech::node_90nm();
+  // With --scenarios both execution paths sweep the same generated set.
+  std::optional<core::ScenarioSet> scenarios;
+  if (scenario_count > 0) {
+    const core::ScenarioGenerator gen(ac.seed);
+    scenarios = gen.matrix(scenario_count, std::max(1, kind_groups));
+  }
   // Staged session: enumerate -> evaluate -> front (-> validate). run()
   // drives the standard pipeline; the objective space picks the dominance
   // axes the front is marked over. With --scenarios the session evaluates
   // every candidate against each generated scenario graph instead of the
-  // bundled application.
+  // bundled application. With --workers the same sweep runs as a
+  // distributed sharded service instead; the merge contract keeps every
+  // artifact below byte-identical between the two paths.
   std::optional<core::DseSession> session;
+  core::DistributedSweepResult dres;
+  const bool distributed = workers > 0;
   try {
-    if (scenario_count > 0) {
-      const core::ScenarioGenerator gen(ac.seed);
+    if (distributed) {
+      dres = core::run_distributed_sweep(
+          core::DseProblem{graph, objectives, {}, node},
+          scenarios ? *scenarios : core::ScenarioSet{graph}, space, ac, dc,
+          workers);
+    } else if (scenarios) {
       session.emplace(core::DseProblem{graph, objectives, {}, node},
-                      gen.matrix(scenario_count, std::max(1, kind_groups)),
-                      space, ac, dc);
+                      *scenarios, space, ac, dc);
+      session->run();
     } else {
       session.emplace(core::DseProblem{graph, objectives, {}, node}, space,
                       ac, dc);
+      session->run();
     }
-    session->run();
   } catch (const std::invalid_argument& e) {
     std::fprintf(stderr, "bad DSE inputs: %s\n", e.what());
     return 2;
   }
-  const std::vector<core::DsePoint>& points = session->points();
+  const std::vector<core::DsePoint>& points =
+      distributed ? dres.points : session->points();
   // With --map-fronts the point vector is the candidate grid plus the
   // appended mapping-front extras; report the two regions separately.
-  const std::size_t ngrid = session->grid_point_count();
+  const std::size_t ngrid =
+      distributed ? dres.grid_points : session->grid_point_count();
   if (nodes.empty()) {
     std::printf("\n%zu candidates at %s (objectives: %s, mapper: %s",
                 ngrid, node.name.c_str(), objectives.names().c_str(),
@@ -322,26 +359,27 @@ int main(int argc, char** argv) {
   if (scenario_count > 0) {
     // Per-scenario summary instead of the full (scenarios x candidates)
     // table: front size and feasibility per slice, then the aggregate.
-    for (int s = 0; s < session->scenario_count(); ++s) {
-      const auto& front = session->scenario_fronts().at(
-          static_cast<std::size_t>(s));
+    const auto& sfronts =
+        distributed ? dres.scenario_fronts : session->scenario_fronts();
+    const auto& afront = distributed ? dres.front : session->front_indices();
+    for (int s = 0; s < scenario_count; ++s) {
+      const auto& front = sfronts.at(static_cast<std::size_t>(s));
       std::size_t feasible = 0;
-      const std::size_t ncand = ngrid / static_cast<std::size_t>(
-                                            session->scenario_count());
+      const std::size_t ncand =
+          ngrid / static_cast<std::size_t>(scenario_count);
       for (std::size_t c = 0; c < ncand; ++c) {
         if (points[static_cast<std::size_t>(s) * ncand + c]
                 .mapping_cost.feasible) {
           ++feasible;
         }
       }
+      const core::TaskGraph& sg = scenarios->at(static_cast<std::size_t>(s));
       std::printf("  scenario %2d %-20s %2d tasks: front %zu, feasible "
                   "%zu/%zu\n",
-                  s, session->scenario(s).name().c_str(),
-                  session->scenario(s).node_count(), front.size(), feasible,
-                  ncand);
+                  s, sg.name().c_str(), sg.node_count(), front.size(),
+                  feasible, ncand);
     }
-    std::printf("  aggregate front: %zu points\n",
-                session->front_indices().size());
+    std::printf("  aggregate front: %zu points\n", afront.size());
   } else {
     for (const auto& pt : points) {
       std::printf("  %s\n", core::to_string(pt).c_str());
@@ -350,7 +388,8 @@ int main(int argc, char** argv) {
   if (use_eval_cache) {
     // Stage-1 memo traffic of this sweep (delta over the process-wide
     // EvalCache counters; see DseSession::cache_stats).
-    const core::EvalCacheStats& cs = session->cache_stats();
+    const core::EvalCacheStats& cs =
+        distributed ? dres.cache_stats : session->cache_stats();
     std::printf("  eval cache: %llu/%llu platform hits, %llu/%llu mapping "
                 "hits (hit rate %.2f)\n",
                 static_cast<unsigned long long>(cs.platform_hits),
@@ -360,6 +399,19 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(cs.mapping_hits +
                                                 cs.mapping_misses),
                 cs.hit_rate());
+  }
+  if (distributed) {
+    const core::SweepStats& st = dres.stats;
+    std::printf("  distributed: %d workers, %llu ranges (%llu stolen, %llu "
+                "cancels), %llu points streamed (%llu dup), %llu wire "
+                "words, merge %.2f ms, wall %.1f ms\n",
+                st.workers, static_cast<unsigned long long>(st.ranges_issued),
+                static_cast<unsigned long long>(st.steals),
+                static_cast<unsigned long long>(st.cancels_sent),
+                static_cast<unsigned long long>(st.points_streamed),
+                static_cast<unsigned long long>(st.duplicate_points),
+                static_cast<unsigned long long>(st.words_on_wire),
+                st.merge_ms, st.wall_ms);
   }
   // Typed constraint findings that survived mapper repair, if any.
   for (std::size_t i = 0; i < points.size(); ++i) {

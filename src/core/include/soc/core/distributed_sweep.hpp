@@ -1,0 +1,297 @@
+#pragma once
+
+/// \file
+/// Distributed sharded DSE sweep over the dsoc transport.
+///
+/// A SweepCoordinator partitions the flat (scenario x candidate) grid into
+/// contiguous index ranges, hands them to SweepWorkers registered through
+/// the dsoc::Broker, and merges the streamed-back DsePoints into a result
+/// that is byte-identical to a single-machine DseSession sweep at any
+/// worker count. Slow shards are work-stolen: when a worker goes idle the
+/// coordinator cancels the tail of the slowest in-flight range (oneway
+/// kCancelFrom) and re-issues it to the idle worker; overlap is legal and
+/// deduplicated at the coordinator by flat index (first arrival wins; both
+/// arrivals are bit-identical by the ShardEvaluator determinism contract).
+///
+/// All traffic is oneway marshalled dsoc calls (dse_wire.hpp codecs), so
+/// the same bytes drive any tlm::MessageBus — run_distributed_sweep wires
+/// the whole service over an in-process tlm::LoopbackTransport, which is
+/// what `platform_dse --workers N` and bench_distributed_sweep use.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "soc/core/dse_session.hpp"
+#include "soc/core/dse_wire.hpp"
+#include "soc/core/eval_cache.hpp"
+#include "soc/dsoc/broker.hpp"
+#include "soc/tlm/transport.hpp"
+
+namespace soc::core {
+
+/// Method ids of the sweep wire protocol. Worker-side methods are invoked
+/// on a SweepWorker's object; coordinator-side methods are invoked on the
+/// coordinator's endpoint (object id 0 at the terminal each worker learns
+/// from kConfigure). Every call is oneway (reply terminal dsoc::kNoReply).
+namespace sweep_method {
+/// -> worker: [coordinator terminal u32][SweepRequest]. Builds the worker's
+/// ShardEvaluator; must precede any kEvalRange/kValidatePoint.
+inline constexpr dsoc::MethodId kConfigure = 1;
+/// -> worker: [range id u32][begin u64][end u64]. Evaluate flat indices
+/// [begin, end) ascending, streaming one kPointReady per index, then send
+/// kRangeDone.
+inline constexpr dsoc::MethodId kEvalRange = 2;
+/// -> worker: [range id u32][from u64]. Stop the named range at the first
+/// index >= from (the re-issued tail's new owner covers the rest).
+inline constexpr dsoc::MethodId kCancelFrom = 3;
+/// -> worker: [flat u64][parent flat u64][DsePoint]. Stage-2: replay the
+/// point's mapping on the parent pair's platform, reply kPointValidated.
+inline constexpr dsoc::MethodId kValidatePoint = 4;
+/// -> coordinator: [worker id u32][flat u64][DsePoint][n extras u64]
+/// [extras...]. One evaluated grid point and its mapping-front extras.
+inline constexpr dsoc::MethodId kPointReady = 1;
+/// -> coordinator: [worker id u32][range id u32][begin u64][next u64]
+/// [EvalCacheStats 5 x u64]. Range finished (next == end) or cancelled
+/// (next < end: indices [begin, next) were evaluated and streamed).
+inline constexpr dsoc::MethodId kRangeDone = 2;
+/// -> coordinator: [worker id u32][flat u64][DsePoint]. Stage-2 result.
+inline constexpr dsoc::MethodId kPointValidated = 3;
+}  // namespace sweep_method
+
+/// Interface name SweepWorkers register under with the broker.
+inline constexpr const char* kSweepWorkerInterface = "dse.sweep-worker";
+
+/// One shard of the distributed sweep: a dsoc endpoint owning a
+/// ShardEvaluator (built at kConfigure) and an internal evaluation thread.
+/// The transport dispatcher thread only parses and enqueues commands — so a
+/// kCancelFrom overtakes the evaluation loop mid-range instead of queueing
+/// behind it — while the evaluation thread streams results back to the
+/// coordinator. The process-wide EvalCache stays warm across requests, so
+/// re-configuring a worker with an overlapping sweep hits the memo.
+class SweepWorker final : public tlm::Endpoint {
+ public:
+  /// A worker speaking on `terminal` of `bus` (not owned; must outlive the
+  /// worker). `worker_id` tags every message the worker sends. The
+  /// evaluation thread starts immediately (idle until commands arrive).
+  SweepWorker(std::uint32_t worker_id, tlm::MessageBus& bus,
+              noc::TerminalId terminal);
+  /// Stops and joins the evaluation thread (mid-range if necessary).
+  ~SweepWorker() override;
+
+  SweepWorker(const SweepWorker&) = delete;             ///< non-copyable
+  SweepWorker& operator=(const SweepWorker&) = delete;  ///< non-copyable
+
+  /// Transport-side entry: parses the oneway call and either applies a
+  /// kCancelFrom watermark immediately or enqueues the command for the
+  /// evaluation thread. Never blocks on evaluation.
+  void handle(const tlm::Transaction& request, tlm::CompletionFn respond) override;
+
+  /// Stops the evaluation thread (checked between points); idempotent.
+  /// Called by the destructor; call earlier to quiesce before bus teardown.
+  void stop();
+
+  /// Grid points evaluated and streamed so far (across all ranges).
+  std::uint64_t points_evaluated() const noexcept;
+  /// Stage-2 points validated and streamed so far.
+  std::uint64_t points_validated() const noexcept;
+  /// Ranges finished (kRangeDone sent), cancelled ranges included.
+  std::uint64_t ranges_completed() const noexcept;
+  /// Ranges that stopped early because a kCancelFrom watermark hit.
+  std::uint64_t cancels_observed() const noexcept;
+  /// Last command failure ("" while healthy). A failed command is dropped
+  /// (the worker stays alive); the coordinator validates the sweep before
+  /// distributing it, so this only trips on protocol bugs.
+  std::string last_error() const;
+
+ private:
+  /// One queued command: the parsed method and its argument words.
+  struct Command {
+    dsoc::MethodId method = 0;
+    std::vector<std::uint32_t> args;
+  };
+
+  void eval_loop();
+  void run_command(const Command& cmd);
+  void do_configure(dsoc::WireReader& r);
+  void do_eval_range(dsoc::WireReader& r);
+  void do_validate_point(dsoc::WireReader& r);
+  /// Oneway marshalled call to the coordinator's endpoint.
+  void send_to_coordinator(dsoc::MethodId method,
+                           std::vector<std::uint32_t> args);
+
+  const std::uint32_t worker_id_;
+  tlm::MessageBus& bus_;
+  const noc::TerminalId terminal_;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Command> queue_;
+  bool stop_ = false;
+
+  std::mutex cancel_mu_;
+  bool cancel_active_ = false;
+  std::uint32_t cancel_range_ = 0;
+  std::uint64_t cancel_from_ = 0;
+
+  std::unique_ptr<ShardEvaluator> shard_;  ///< eval-thread only
+  noc::TerminalId coordinator_terminal_ = 0;  ///< eval-thread only
+  std::uint32_t next_call_ = 1;               ///< eval-thread only
+
+  mutable std::mutex error_mu_;
+  std::string last_error_;
+
+  std::atomic<std::uint64_t> points_evaluated_{0};
+  std::atomic<std::uint64_t> points_validated_{0};
+  std::atomic<std::uint64_t> ranges_completed_{0};
+  std::atomic<std::uint64_t> cancels_observed_{0};
+
+  std::thread eval_thread_;  ///< started last, joined by stop()
+};
+
+/// Work-distribution counters of one coordinator run.
+struct SweepStats {
+  int workers = 0;                      ///< workers the run distributed over
+  std::uint64_t ranges_issued = 0;      ///< kEvalRange messages sent
+  std::uint64_t steals = 0;             ///< tails re-issued to idle workers
+  std::uint64_t cancels_sent = 0;       ///< kCancelFrom messages sent
+  std::uint64_t points_streamed = 0;    ///< kPointReady arrivals (dups incl.)
+  std::uint64_t duplicate_points = 0;   ///< arrivals dropped by the dedup
+  std::uint64_t points_validated = 0;   ///< kPointValidated arrivals
+  std::uint64_t words_on_wire = 0;      ///< bus payload words (loopback runs)
+  double merge_ms = 0.0;  ///< assembling + front-marking the merged stream
+  double wall_ms = 0.0;   ///< full run() wall time
+};
+
+/// Everything a distributed run produces — the same artifacts a DseSession
+/// exposes after run(), plus distribution metadata. `points`, `front`,
+/// `scenario_fronts` and the pareto/validated flags are byte-identical to
+/// the single-machine session at any worker count.
+struct DistributedSweepResult {
+  /// Merged points: the scenario-major grid, then mapping-front extras in
+  /// flat-parent order (same layout as DseSession::points()).
+  std::vector<DsePoint> points;
+  /// Size of the canonical grid (scenarios x candidates).
+  std::size_t grid_points = 0;
+  /// Per extra point: the flat grid index of its parent pair.
+  std::vector<std::size_t> extra_parents;
+  /// Aggregate front: ascending flat indices into `points`.
+  std::vector<std::size_t> front;
+  /// Per-scenario fronts (flat indices into `points`).
+  std::vector<std::vector<std::size_t>> scenario_fronts;
+  /// Process-wide EvalCache delta across the whole run — the true totals a
+  /// scenario-set report wants (loopback workers share the process cache).
+  EvalCacheStats cache_stats;
+  /// Sum of the per-range deltas the workers reported in kRangeDone.
+  /// Matches cache_stats on a quiet process; on multi-process deployments
+  /// this is the only aggregate available.
+  EvalCacheStats worker_cache_stats;
+  /// Work-distribution counters.
+  SweepStats stats;
+};
+
+/// The merge point of the distributed sweep: hands out ranges, steals slow
+/// tails, dedups and merges the streamed points, marks fronts with the same
+/// internal::mark_scenario_fronts the session uses, and (when
+/// config.validate_pareto) round-robins stage-2 validation over the
+/// workers. One run() at a time per coordinator.
+class SweepCoordinator final : public tlm::Endpoint {
+ public:
+  /// A coordinator listening on `terminal` of `bus` (attached immediately).
+  /// `broker` resolves worker names; both references must outlive the
+  /// coordinator.
+  SweepCoordinator(dsoc::Broker& broker, tlm::MessageBus& bus,
+                   noc::TerminalId terminal);
+
+  SweepCoordinator(const SweepCoordinator&) = delete;             ///< non-copyable
+  SweepCoordinator& operator=(const SweepCoordinator&) = delete;  ///< non-copyable
+
+  /// Resolves `name` through the broker (throwing dsoc::UnknownObjectError
+  /// with the registered listing on a typo) and adds the worker to the
+  /// pool. Workers must be added before run().
+  void add_worker(const std::string& name);
+
+  /// Number of workers in the pool.
+  std::size_t worker_count() const noexcept { return workers_.size(); }
+
+  /// Runs the distributed sweep to completion and returns the merged
+  /// result. Validates the request up front by building a local
+  /// ShardEvaluator — the same checks (and exception messages) a
+  /// DseSession constructor performs — before any message is sent. Throws
+  /// std::logic_error when the pool is empty.
+  DistributedSweepResult run(const SweepRequest& request);
+
+  /// Transport-side entry: merges kPointReady / kRangeDone /
+  /// kPointValidated traffic and drives the steal policy.
+  void handle(const tlm::Transaction& request, tlm::CompletionFn respond) override;
+
+ private:
+  /// One issued range and where it stands.
+  struct RangeState {
+    std::uint32_t id = 0;
+    std::size_t worker = 0;  ///< index into workers_
+    std::uint64_t begin = 0;
+    std::uint64_t end = 0;   ///< shrunk when the tail is stolen
+    bool done = false;
+  };
+
+  void send_to_worker(std::size_t worker, dsoc::MethodId method,
+                      std::vector<std::uint32_t> args);
+  /// Creates, records, and sends a new range (mu_ held).
+  void issue_range(std::size_t worker, std::uint64_t begin,
+                   std::uint64_t end);
+  void on_point_ready(dsoc::WireReader& r);
+  void on_range_done(dsoc::WireReader& r);
+  void on_point_validated(dsoc::WireReader& r);
+  /// Steals the largest unreceived tail for `thief` (mu_ held).
+  void try_steal(std::size_t thief);
+
+  dsoc::Broker& broker_;
+  tlm::MessageBus& bus_;
+  const noc::TerminalId terminal_;
+  std::vector<dsoc::ObjectRef> workers_;
+  std::uint32_t next_call_ = 1;
+
+  std::mutex mu_;  ///< guards everything below
+  std::condition_variable cv_;
+  std::size_t grid_total_ = 0;
+  std::vector<bool> received_;
+  std::vector<DsePoint> grid_;
+  std::vector<std::vector<DsePoint>> grid_extras_;
+  std::size_t merged_ = 0;
+  std::vector<RangeState> ranges_;
+  std::size_t ranges_open_ = 0;
+  std::uint32_t next_range_id_ = 1;
+  std::vector<bool> validated_received_;
+  std::vector<DsePoint> validated_points_;
+  std::size_t validated_merged_ = 0;
+  std::size_t validated_expected_ = 0;
+  bool validating_ = false;
+  EvalCacheStats worker_cache_stats_{};
+  SweepStats stats_{};
+  std::string last_error_;
+};
+
+/// Convenience one-call distributed sweep over an in-process
+/// tlm::LoopbackTransport: the coordinator on terminal 0, `num_workers`
+/// SweepWorkers on terminals 1..N registered as "sweep-worker-<i>", full
+/// run, quiesce, teardown. The returned result is byte-identical to
+/// `DseSession(problem, scenarios, space, anneal, config).run()` (plus
+/// front/validation artifacts) at any worker count. Throws
+/// std::invalid_argument when num_workers < 1; sweep-specification errors
+/// throw exactly as the session constructor would.
+DistributedSweepResult run_distributed_sweep(const DseProblem& problem,
+                                             const ScenarioSet& scenarios,
+                                             const DseSpace& space,
+                                             const AnnealConfig& anneal,
+                                             const DseConfig& config,
+                                             int num_workers);
+
+}  // namespace soc::core

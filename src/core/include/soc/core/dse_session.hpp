@@ -105,6 +105,93 @@ class EvalContext {
   std::shared_ptr<const PlatformDesc> platform_;
 };
 
+/// Stage-1 products of one flat grid point, as produced by
+/// ShardEvaluator::evaluate: the canonical point (scenario fields stamped),
+/// the mapping-front extras of the pair (empty unless
+/// DseConfig::mapping_fronts), and the pair's EvalContext — kept alive so
+/// stage 2 can replay on the very topology stage 1 mapped against.
+struct FlatPointEval {
+  /// The canonical scenario-major grid point.
+  DsePoint point;
+  /// Mapping-front extras of this pair, strategy order (see
+  /// DseConfig::mapping_fronts).
+  std::vector<DsePoint> extras;
+  /// The pair's evaluation context (never null).
+  std::unique_ptr<EvalContext> context;
+};
+
+/// The per-point evaluation kernel a DSE sweep is made of, factored out of
+/// DseSession so one machine's session loop and a distributed sweep's
+/// workers (soc/core/distributed_sweep.hpp) run the *same code* on the same
+/// flat indices — the byte-identical merge contract holds by construction,
+/// not by parallel maintenance of two evaluators.
+///
+/// The flat index space is the session's: point s*C + c scores candidate c
+/// under scenario s, and its mapper RNG stream is derived statelessly from
+/// (anneal.seed, flat index), so any subset of indices can be evaluated on
+/// any thread, process, or machine in any order. Construction validates
+/// every input up front (same checks and messages as DseSession) and
+/// enumerates the candidate space eagerly; evaluate() and validate() are
+/// const and thread-safe.
+class ShardEvaluator {
+ public:
+  /// Validates config, objectives, space and scenarios (throwing
+  /// std::invalid_argument naming the offending field), resolves the
+  /// mapper, enumerates the candidate space, and — when
+  /// config.use_eval_cache — precomputes the canonical EvalCache keys once
+  /// per candidate and scenario.
+  ShardEvaluator(DseProblem problem, ScenarioSet scenarios, DseSpace space,
+                 AnnealConfig anneal = {}, DseConfig config = {});
+
+  /// The problem under exploration.
+  const DseProblem& problem() const noexcept { return problem_; }
+  /// The scenario set (never empty).
+  const ScenarioSet& scenarios() const noexcept { return scenarios_; }
+  /// The swept design space.
+  const DseSpace& space() const noexcept { return space_; }
+  /// Mapper knobs (iteration budget, temperatures, seed).
+  const AnnealConfig& anneal() const noexcept { return anneal_; }
+  /// Execution knobs.
+  const DseConfig& config() const noexcept { return config_; }
+  /// The enumerated candidate space, sweep order.
+  const std::vector<DseCandidate>& candidates() const noexcept {
+    return candidates_;
+  }
+  /// Size of the canonical scenario-major grid: scenarios x candidates.
+  std::size_t grid_point_count() const noexcept {
+    return scenarios_.size() * candidates_.size();
+  }
+
+  /// Stage 1 for one flat grid point: builds the pair's EvalContext
+  /// (EvalCache-served when enabled), runs the mapper (or replays the
+  /// mapping memo), and assembles the point exactly as DseSession::evaluate
+  /// does. Throws std::out_of_range on an index outside the grid.
+  FlatPointEval evaluate(std::size_t flat) const;
+
+  /// Stage 2 for one evaluated point: replays `point`'s stored mapping on
+  /// the event-driven NoC of the (scenario, candidate) pair at
+  /// `parent_flat` — the point's own pair for grid points, the parent pair
+  /// for mapping-front extras — and returns the point with its sim_*
+  /// figures stamped. The context is rebuilt deterministically
+  /// (PlatformDesc::build_topology reproduces stage 1's instance bit for
+  /// bit), so the figures equal a single-machine session's. Throws
+  /// std::out_of_range on a bad index and std::invalid_argument on bad
+  /// replay knobs.
+  DsePoint validate(std::size_t parent_flat, DsePoint point) const;
+
+ private:
+  DseProblem problem_;
+  ScenarioSet scenarios_;
+  DseSpace space_;
+  AnnealConfig anneal_;
+  DseConfig config_;
+  std::unique_ptr<Mapper> mapper_;  ///< resolved once; stateless, shared
+  std::vector<DseCandidate> candidates_;
+  EvalCache* cache_ = nullptr;  ///< global() when config.use_eval_cache
+  std::vector<std::string> platform_keys_;  ///< per candidate (cache only)
+  std::vector<std::string> graph_keys_;     ///< per scenario (cache only)
+};
+
 /// A design-space exploration run with staged execution. The stages —
 /// enumerate() → evaluate() → front() → validate() — run at most once each,
 /// auto-run their prerequisites, and cache their results; run() drives the
@@ -272,7 +359,9 @@ class DseSession {
   DseSpace space_;
   AnnealConfig anneal_;
   DseConfig config_;
-  std::unique_ptr<Mapper> mapper_;  ///< resolved once; stateless, shared
+  /// The per-point kernel (validation, mapper resolution, candidate
+  /// enumeration live here); shared verbatim with distributed workers.
+  std::unique_ptr<ShardEvaluator> shard_;
   PointObserver observer_;
   std::mutex observer_mu_;
   std::vector<DseCandidate> candidates_;

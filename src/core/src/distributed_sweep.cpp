@@ -1,0 +1,604 @@
+#include "soc/core/distributed_sweep.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+#include "dse_internal.hpp"
+#include "soc/tlm/loopback.hpp"
+
+namespace soc::core {
+
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Reads the 5-field EvalCacheStats delta a kRangeDone carries. Braced-init
+/// order guarantees the u64s are consumed in field order.
+EvalCacheStats read_cache_delta(dsoc::WireReader& r) {
+  return EvalCacheStats{r.u64(), r.u64(), r.u64(), r.u64(), r.u64()};
+}
+
+void write_cache_delta(dsoc::WireWriter& w, const EvalCacheStats& s) {
+  w.u64(s.platform_hits);
+  w.u64(s.platform_misses);
+  w.u64(s.mapping_hits);
+  w.u64(s.mapping_misses);
+  w.u64(s.evictions);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SweepWorker
+// ---------------------------------------------------------------------------
+
+SweepWorker::SweepWorker(std::uint32_t worker_id, tlm::MessageBus& bus,
+                         noc::TerminalId terminal)
+    : worker_id_(worker_id), bus_(bus), terminal_(terminal) {
+  eval_thread_ = std::thread([this] { eval_loop(); });
+}
+
+SweepWorker::~SweepWorker() { stop(); }
+
+void SweepWorker::stop() {
+  {
+    const std::lock_guard<std::mutex> lock(queue_mu_);
+    stop_ = true;
+  }
+  queue_cv_.notify_all();
+  if (eval_thread_.joinable()) eval_thread_.join();
+}
+
+std::uint64_t SweepWorker::points_evaluated() const noexcept {
+  return points_evaluated_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t SweepWorker::points_validated() const noexcept {
+  return points_validated_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t SweepWorker::ranges_completed() const noexcept {
+  return ranges_completed_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t SweepWorker::cancels_observed() const noexcept {
+  return cancels_observed_.load(std::memory_order_relaxed);
+}
+
+std::string SweepWorker::last_error() const {
+  const std::lock_guard<std::mutex> lock(error_mu_);
+  return last_error_;
+}
+
+void SweepWorker::handle(const tlm::Transaction& request,
+                         tlm::CompletionFn /*respond*/) {
+  try {
+    std::vector<std::uint32_t> args;
+    const dsoc::CallHeader hdr = dsoc::unmarshal_call(request.payload, args);
+    if (hdr.method == sweep_method::kCancelFrom) {
+      // Applied on the dispatcher thread so it overtakes the evaluation
+      // loop mid-range instead of queueing behind the range it cancels.
+      dsoc::WireReader r(args);
+      const std::uint32_t range = r.u32();
+      const std::uint64_t from = r.u64();
+      r.expect_end();
+      const std::lock_guard<std::mutex> lock(cancel_mu_);
+      if (cancel_active_ && cancel_range_ == range) {
+        cancel_from_ = std::min(cancel_from_, from);
+      } else {
+        cancel_active_ = true;
+        cancel_range_ = range;
+        cancel_from_ = from;
+      }
+      return;
+    }
+    {
+      const std::lock_guard<std::mutex> lock(queue_mu_);
+      queue_.push_back(Command{hdr.method, std::move(args)});
+    }
+    queue_cv_.notify_one();
+  } catch (const std::exception& e) {
+    const std::lock_guard<std::mutex> lock(error_mu_);
+    last_error_ = e.what();
+  }
+}
+
+void SweepWorker::eval_loop() {
+  for (;;) {
+    Command cmd;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_) return;
+      cmd = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    try {
+      run_command(cmd);
+    } catch (const std::exception& e) {
+      const std::lock_guard<std::mutex> lock(error_mu_);
+      last_error_ = e.what();
+    }
+  }
+}
+
+void SweepWorker::run_command(const Command& cmd) {
+  dsoc::WireReader r(cmd.args);
+  switch (cmd.method) {
+    case sweep_method::kConfigure:
+      do_configure(r);
+      break;
+    case sweep_method::kEvalRange:
+      do_eval_range(r);
+      break;
+    case sweep_method::kValidatePoint:
+      do_validate_point(r);
+      break;
+    default:
+      throw std::invalid_argument("SweepWorker: unknown method " +
+                                  std::to_string(cmd.method));
+  }
+}
+
+void SweepWorker::do_configure(dsoc::WireReader& r) {
+  const std::uint32_t coord = r.u32();
+  SweepRequest req;
+  wire_get(r, req);
+  r.expect_end();
+  // Build the shard before adopting the new coordinator terminal so a
+  // malformed request leaves the previous configuration intact.
+  auto shard = std::make_unique<ShardEvaluator>(
+      std::move(req.problem), std::move(req.scenarios), std::move(req.space),
+      req.anneal, std::move(req.config));
+  shard_ = std::move(shard);
+  coordinator_terminal_ = static_cast<noc::TerminalId>(coord);
+  // A new sweep invalidates any cancel watermark of the previous one.
+  const std::lock_guard<std::mutex> lock(cancel_mu_);
+  cancel_active_ = false;
+}
+
+void SweepWorker::do_eval_range(dsoc::WireReader& r) {
+  const std::uint32_t range_id = r.u32();
+  const std::uint64_t begin = r.u64();
+  const std::uint64_t end = r.u64();
+  r.expect_end();
+  if (!shard_)
+    throw std::logic_error("SweepWorker: kEvalRange before kConfigure");
+  const EvalCacheStats before = EvalCache::global().stats();
+  std::uint64_t next = begin;
+  bool cancelled = false;
+  for (std::uint64_t flat = begin; flat < end; ++flat) {
+    {
+      const std::lock_guard<std::mutex> lock(queue_mu_);
+      if (stop_) return;  // teardown: no kRangeDone for a dying worker
+    }
+    {
+      const std::lock_guard<std::mutex> lock(cancel_mu_);
+      if (cancel_active_ && cancel_range_ == range_id &&
+          flat >= cancel_from_) {
+        cancelled = true;
+        break;
+      }
+    }
+    FlatPointEval fe = shard_->evaluate(static_cast<std::size_t>(flat));
+    dsoc::WireWriter w;
+    w.u32(worker_id_);
+    w.u64(flat);
+    wire_put(w, fe.point);
+    w.u64(fe.extras.size());
+    for (const DsePoint& e : fe.extras) wire_put(w, e);
+    send_to_coordinator(sweep_method::kPointReady, w.take());
+    points_evaluated_.fetch_add(1, std::memory_order_relaxed);
+    next = flat + 1;
+  }
+  if (cancelled) cancels_observed_.fetch_add(1, std::memory_order_relaxed);
+  dsoc::WireWriter w;
+  w.u32(worker_id_);
+  w.u32(range_id);
+  w.u64(begin);
+  w.u64(next);
+  write_cache_delta(w, EvalCache::global().stats().delta_since(before));
+  send_to_coordinator(sweep_method::kRangeDone, w.take());
+  ranges_completed_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void SweepWorker::do_validate_point(dsoc::WireReader& r) {
+  const std::uint64_t flat = r.u64();
+  const std::uint64_t parent = r.u64();
+  DsePoint pt;
+  wire_get(r, pt);
+  r.expect_end();
+  if (!shard_)
+    throw std::logic_error("SweepWorker: kValidatePoint before kConfigure");
+  DsePoint out =
+      shard_->validate(static_cast<std::size_t>(parent), std::move(pt));
+  dsoc::WireWriter w;
+  w.u32(worker_id_);
+  w.u64(flat);
+  wire_put(w, out);
+  send_to_coordinator(sweep_method::kPointValidated, w.take());
+  points_validated_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void SweepWorker::send_to_coordinator(dsoc::MethodId method,
+                                      std::vector<std::uint32_t> args) {
+  dsoc::CallHeader hdr;
+  hdr.object = 0;  // the coordinator endpoint, not a brokered object
+  hdr.method = method;
+  hdr.call = next_call_++;
+  hdr.reply_terminal = dsoc::kNoReply;
+  bus_.message(terminal_, coordinator_terminal_,
+               dsoc::marshal_call(hdr, args));
+}
+
+// ---------------------------------------------------------------------------
+// SweepCoordinator
+// ---------------------------------------------------------------------------
+
+SweepCoordinator::SweepCoordinator(dsoc::Broker& broker, tlm::MessageBus& bus,
+                                   noc::TerminalId terminal)
+    : broker_(broker), bus_(bus), terminal_(terminal) {
+  bus_.attach(terminal_, *this);
+}
+
+void SweepCoordinator::add_worker(const std::string& name) {
+  workers_.push_back(broker_.resolve(name));
+}
+
+void SweepCoordinator::send_to_worker(std::size_t worker,
+                                      dsoc::MethodId method,
+                                      std::vector<std::uint32_t> args) {
+  const dsoc::ObjectRef& ref = workers_[worker];
+  dsoc::CallHeader hdr;
+  hdr.object = ref.id;
+  hdr.method = method;
+  hdr.call = next_call_++;
+  hdr.reply_terminal = dsoc::kNoReply;
+  bus_.message(terminal_, ref.terminal, dsoc::marshal_call(hdr, args));
+}
+
+void SweepCoordinator::issue_range(std::size_t worker, std::uint64_t begin,
+                                   std::uint64_t end) {
+  RangeState rs;
+  rs.id = next_range_id_++;
+  rs.worker = worker;
+  rs.begin = begin;
+  rs.end = end;
+  ranges_.push_back(rs);
+  ++ranges_open_;
+  ++stats_.ranges_issued;
+  dsoc::WireWriter w;
+  w.u32(rs.id);
+  w.u64(begin);
+  w.u64(end);
+  send_to_worker(worker, sweep_method::kEvalRange, w.take());
+}
+
+void SweepCoordinator::try_steal(std::size_t thief) {
+  if (merged_ == grid_total_) return;
+  // Victim: the open range with the largest unreceived tail.
+  RangeState* victim = nullptr;
+  std::uint64_t best_first = 0;
+  std::uint64_t best_len = 0;
+  for (RangeState& rs : ranges_) {
+    if (rs.done) continue;
+    std::uint64_t first = rs.begin;
+    while (first < rs.end && received_[static_cast<std::size_t>(first)])
+      ++first;
+    const std::uint64_t len = rs.end - first;
+    if (len > best_len) {
+      best_len = len;
+      best_first = first;
+      victim = &rs;
+    }
+  }
+  if (victim == nullptr) return;
+  // Split the tail in half, upper-rounded toward the victim: the victim
+  // keeps [first, mid), the thief takes [mid, end). A 1-point tail is not
+  // worth a cancel round-trip.
+  const std::uint64_t mid = best_first + (victim->end - best_first + 1) / 2;
+  if (mid >= victim->end) return;
+  {
+    dsoc::WireWriter w;
+    w.u32(victim->id);
+    w.u64(mid);
+    send_to_worker(victim->worker, sweep_method::kCancelFrom, w.take());
+  }
+  ++stats_.cancels_sent;
+  const std::uint64_t old_end = victim->end;
+  victim->end = mid;
+  ++stats_.steals;
+  // issue_range may reallocate ranges_, so victim is dead after this call.
+  issue_range(thief, mid, old_end);
+}
+
+void SweepCoordinator::handle(const tlm::Transaction& request,
+                              tlm::CompletionFn /*respond*/) {
+  try {
+    std::vector<std::uint32_t> args;
+    const dsoc::CallHeader hdr = dsoc::unmarshal_call(request.payload, args);
+    dsoc::WireReader r(args);
+    switch (hdr.method) {
+      case sweep_method::kPointReady:
+        on_point_ready(r);
+        break;
+      case sweep_method::kRangeDone:
+        on_range_done(r);
+        break;
+      case sweep_method::kPointValidated:
+        on_point_validated(r);
+        break;
+      default:
+        throw std::invalid_argument("SweepCoordinator: unknown method " +
+                                    std::to_string(hdr.method));
+    }
+  } catch (const std::exception& e) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    last_error_ = e.what();
+    cv_.notify_all();
+  }
+}
+
+void SweepCoordinator::on_point_ready(dsoc::WireReader& r) {
+  r.u32();  // worker id: informational (stats are kept coordinator-side)
+  const std::uint64_t flat64 = r.u64();
+  DsePoint pt;
+  wire_get(r, pt);
+  const std::uint64_t n_extras = r.u64();
+  std::vector<DsePoint> extras;
+  extras.reserve(static_cast<std::size_t>(n_extras));
+  for (std::uint64_t i = 0; i < n_extras; ++i) {
+    DsePoint e;
+    wire_get(r, e);
+    extras.push_back(std::move(e));
+  }
+  r.expect_end();
+
+  const std::lock_guard<std::mutex> lock(mu_);
+  const std::size_t flat = static_cast<std::size_t>(flat64);
+  if (flat >= grid_total_)
+    throw std::invalid_argument(
+        "SweepCoordinator: kPointReady flat index " + std::to_string(flat64) +
+        " outside grid of " + std::to_string(grid_total_));
+  ++stats_.points_streamed;
+  if (received_[flat]) {
+    // Legal overlap from a steal that raced the cancel; both copies are
+    // bit-identical by the ShardEvaluator determinism contract.
+    ++stats_.duplicate_points;
+    return;
+  }
+  received_[flat] = true;
+  grid_[flat] = std::move(pt);
+  grid_extras_[flat] = std::move(extras);
+  ++merged_;
+  if (merged_ == grid_total_) cv_.notify_all();
+}
+
+void SweepCoordinator::on_range_done(dsoc::WireReader& r) {
+  r.u32();  // worker id: the range record already names its owner
+  const std::uint32_t range_id = r.u32();
+  r.u64();  // begin: informational
+  r.u64();  // next: informational (the flat-index dedup owns coverage)
+  const EvalCacheStats delta = read_cache_delta(r);
+  r.expect_end();
+
+  const std::lock_guard<std::mutex> lock(mu_);
+  worker_cache_stats_ += delta;
+  std::size_t thief = workers_.size();  // sentinel: no range matched
+  for (RangeState& rs : ranges_) {
+    if (rs.id == range_id && !rs.done) {
+      rs.done = true;
+      --ranges_open_;
+      thief = rs.worker;
+      break;
+    }
+  }
+  if (thief < workers_.size() && merged_ < grid_total_) try_steal(thief);
+  cv_.notify_all();
+}
+
+void SweepCoordinator::on_point_validated(dsoc::WireReader& r) {
+  r.u32();  // worker id: informational
+  const std::uint64_t flat64 = r.u64();
+  DsePoint pt;
+  wire_get(r, pt);
+  r.expect_end();
+
+  const std::lock_guard<std::mutex> lock(mu_);
+  const std::size_t flat = static_cast<std::size_t>(flat64);
+  if (!validating_ || flat >= validated_received_.size())
+    throw std::invalid_argument(
+        "SweepCoordinator: unexpected kPointValidated for index " +
+        std::to_string(flat64));
+  ++stats_.points_validated;
+  if (validated_received_[flat]) return;
+  validated_received_[flat] = true;
+  validated_points_[flat] = std::move(pt);
+  ++validated_merged_;
+  if (validated_merged_ == validated_expected_) cv_.notify_all();
+}
+
+DistributedSweepResult SweepCoordinator::run(const SweepRequest& request) {
+  if (workers_.empty())
+    throw std::logic_error(
+        "SweepCoordinator: run() with no workers; call add_worker first");
+  const auto t0 = std::chrono::steady_clock::now();
+
+  // The local kernel validates the whole request (same checks — and
+  // exception texts — as a DseSession constructor) before any message goes
+  // out, and supplies the grid geometry the merge needs.
+  const ShardEvaluator local(request.problem, request.scenarios,
+                             request.space, request.anneal, request.config);
+  const std::size_t total = local.grid_point_count();
+  const std::size_t ncand = local.candidates().size();
+  const std::size_t nscen = local.scenarios().size();
+  const EvalCacheStats cache_before = EvalCache::global().stats();
+
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    grid_total_ = total;
+    received_.assign(total, false);
+    grid_.assign(total, DsePoint{});
+    grid_extras_.assign(total, {});
+    merged_ = 0;
+    ranges_.clear();
+    ranges_open_ = 0;
+    validated_received_.clear();
+    validated_points_.clear();
+    validated_merged_ = 0;
+    validated_expected_ = 0;
+    validating_ = false;
+    worker_cache_stats_ = EvalCacheStats{};
+    stats_ = SweepStats{};
+    stats_.workers = static_cast<int>(workers_.size());
+    last_error_.clear();
+  }
+
+  // Configure every worker. Per-terminal FIFO delivery guarantees the
+  // configure lands before any range sent below.
+  {
+    const std::vector<std::uint32_t> req_words = marshal_sweep_request(request);
+    for (std::size_t wi = 0; wi < workers_.size(); ++wi) {
+      std::vector<std::uint32_t> args;
+      args.reserve(1 + req_words.size());
+      args.push_back(static_cast<std::uint32_t>(terminal_));
+      args.insert(args.end(), req_words.begin(), req_words.end());
+      send_to_worker(wi, sweep_method::kConfigure, std::move(args));
+    }
+  }
+
+  // Stage 1: contiguous initial partition, then wait for the merge. Workers
+  // whose initial chunk is empty (more workers than points) become steal
+  // candidates as soon as ranges start completing.
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (std::size_t wi = 0; wi < workers_.size(); ++wi) {
+      const std::uint64_t begin = total * wi / workers_.size();
+      const std::uint64_t end = total * (wi + 1) / workers_.size();
+      if (begin < end) issue_range(wi, begin, end);
+    }
+    cv_.wait(lock, [this] {
+      return (merged_ == grid_total_ && ranges_open_ == 0) ||
+             !last_error_.empty();
+    });
+    if (!last_error_.empty())
+      throw std::runtime_error("SweepCoordinator: " + last_error_);
+  }
+
+  // Merge: assemble the session-layout point stream (grid, then extras in
+  // flat-parent order) and mark fronts with the session's own code.
+  const auto tm0 = std::chrono::steady_clock::now();
+  DistributedSweepResult res;
+  res.grid_points = total;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    res.points = std::move(grid_);
+    for (std::size_t f = 0; f < total; ++f) {
+      for (DsePoint& pt : grid_extras_[f]) {
+        res.extra_parents.push_back(f);
+        res.points.push_back(std::move(pt));
+      }
+    }
+    grid_.clear();
+    grid_extras_.clear();
+  }
+  internal::FrontMarking fm = internal::mark_scenario_fronts(
+      res.points, total, res.extra_parents, ncand, nscen,
+      local.problem().objectives, local.config());
+  res.front = std::move(fm.aggregate);
+  res.scenario_fronts = std::move(fm.per_scenario);
+  const double merge_ms = ms_since(tm0);
+
+  // Stage 2: round-robin the front over the workers, exactly the set the
+  // session validates after run().
+  if (request.config.validate_pareto && !res.front.empty()) {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      validating_ = true;
+      validated_expected_ = res.front.size();
+      validated_merged_ = 0;
+      validated_received_.assign(res.points.size(), false);
+      validated_points_.assign(res.points.size(), DsePoint{});
+    }
+    std::size_t rr = 0;
+    for (const std::size_t i : res.front) {
+      const std::size_t parent = i < total ? i : res.extra_parents[i - total];
+      dsoc::WireWriter w;
+      w.u64(i);
+      w.u64(parent);
+      wire_put(w, res.points[i]);
+      send_to_worker(rr, sweep_method::kValidatePoint, w.take());
+      rr = (rr + 1) % workers_.size();
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] {
+      return validated_merged_ == validated_expected_ ||
+             !last_error_.empty();
+    });
+    if (!last_error_.empty())
+      throw std::runtime_error("SweepCoordinator: " + last_error_);
+    for (const std::size_t i : res.front)
+      res.points[i] = std::move(validated_points_[i]);
+    validating_ = false;
+    validated_received_.clear();
+    validated_points_.clear();
+  }
+
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    res.worker_cache_stats = worker_cache_stats_;
+    res.stats = stats_;
+  }
+  res.cache_stats = EvalCache::global().stats().delta_since(cache_before);
+  res.stats.merge_ms = merge_ms;
+  res.stats.wall_ms = ms_since(t0);
+  return res;
+}
+
+// ---------------------------------------------------------------------------
+// run_distributed_sweep
+// ---------------------------------------------------------------------------
+
+DistributedSweepResult run_distributed_sweep(const DseProblem& problem,
+                                             const ScenarioSet& scenarios,
+                                             const DseSpace& space,
+                                             const AnnealConfig& anneal,
+                                             const DseConfig& config,
+                                             int num_workers) {
+  if (num_workers < 1)
+    throw std::invalid_argument(
+        "run_distributed_sweep: num_workers must be >= 1, got " +
+        std::to_string(num_workers));
+  tlm::LoopbackTransport bus;
+  dsoc::Broker broker(bus);
+  SweepCoordinator coordinator(broker, bus, /*terminal=*/0);
+  std::vector<std::unique_ptr<SweepWorker>> workers;
+  workers.reserve(static_cast<std::size_t>(num_workers));
+  for (int i = 0; i < num_workers; ++i) {
+    const noc::TerminalId terminal = static_cast<noc::TerminalId>(i + 1);
+    workers.push_back(std::make_unique<SweepWorker>(
+        static_cast<std::uint32_t>(i), bus, terminal));
+    const std::string name = "sweep-worker-" + std::to_string(i);
+    broker.register_object(name, *workers.back(),
+                           static_cast<dsoc::ObjectId>(i + 1), terminal,
+                           kSweepWorkerInterface);
+    coordinator.add_worker(name);
+  }
+  DistributedSweepResult result =
+      coordinator.run(SweepRequest{problem, scenarios, space, anneal, config});
+  result.stats.words_on_wire = bus.words_on_wire();
+  // Quiesce in dependency order: stop the evaluation threads first (no new
+  // traffic), then drain-and-join the bus dispatchers, and only then let
+  // the endpoints go out of scope.
+  for (auto& w : workers) w->stop();
+  bus.shutdown();
+  return result;
+}
+
+}  // namespace soc::core

@@ -130,6 +130,85 @@ std::optional<noc::PhysicalSpec> candidate_physical_spec(
                            die_mm2};
 }
 
+FrontMarking mark_scenario_fronts(std::vector<DsePoint>& points,
+                                  std::size_t grid_points,
+                                  const std::vector<std::size_t>& extra_parents,
+                                  std::size_t ncand, std::size_t nscen,
+                                  const ObjectiveSpace& objectives,
+                                  const DseConfig& config) {
+  FrontMarking out;
+  out.per_scenario.assign(nscen, {});
+  if (nscen == 1) {
+    // A single scenario spans every point — including any mapping-front
+    // extras, which compete with the grid on equal footing.
+    out.per_scenario[0] = objectives.mark_front(points, config);
+    out.aggregate = out.per_scenario[0];
+    return out;
+  }
+  // Dominance never crosses scenarios: each slice is marked on its own
+  // copy, flags are copied back, and the aggregate front is the ascending
+  // union of the offset per-slice fronts. A slice is its grid run plus
+  // its mapping-front extras — extras were appended in flat-parent order,
+  // so each scenario's run of the appended region is contiguous.
+  std::vector<std::size_t> extra_begin(nscen + 1, 0);
+  {
+    std::size_t e = 0;
+    for (std::size_t s = 0; s < nscen; ++s) {
+      extra_begin[s] = e;
+      while (e < extra_parents.size() && extra_parents[e] < (s + 1) * ncand) {
+        ++e;
+      }
+    }
+    extra_begin[nscen] = e;
+  }
+  for (std::size_t s = 0; s < nscen; ++s) {
+    std::vector<DsePoint> slice(
+        points.begin() + static_cast<std::ptrdiff_t>(s * ncand),
+        points.begin() + static_cast<std::ptrdiff_t>((s + 1) * ncand));
+    const std::size_t eb = extra_begin[s];
+    const std::size_t ee = extra_begin[s + 1];
+    for (std::size_t e = eb; e < ee; ++e) {
+      slice.push_back(points[grid_points + e]);
+    }
+    std::vector<std::size_t> idx = objectives.mark_front(slice, config);
+    for (std::size_t c = 0; c < ncand; ++c) {
+      points[s * ncand + c].pareto_optimal = slice[c].pareto_optimal;
+    }
+    for (std::size_t e = eb; e < ee; ++e) {
+      points[grid_points + e].pareto_optimal =
+          slice[ncand + (e - eb)].pareto_optimal;
+    }
+    for (std::size_t& k : idx) {
+      k = k < ncand ? s * ncand + k : grid_points + eb + (k - ncand);
+    }
+    out.aggregate.insert(out.aggregate.end(), idx.begin(), idx.end());
+    out.per_scenario[s] = std::move(idx);
+  }
+  // Extras of early scenarios carry later flat indices than later
+  // scenarios' grid points; restore the documented ascending order.
+  if (!extra_parents.empty()) {
+    std::sort(out.aggregate.begin(), out.aggregate.end());
+  }
+  return out;
+}
+
+void apply_validation(const EvalContext& ctx, DsePoint& pt,
+                      const ValidatorConfig& vc,
+                      std::unique_ptr<noc::Topology> topo) {
+  MappingValidator validator(ctx.work(), ctx.platform(), pt.mapping, vc,
+                             std::move(topo));
+  const ValidationReport rep = validator.run();
+  pt.validated = true;
+  // One replay round is one item of the (replicated) work graph, i.e.
+  // `replicas` stream items — the same scaling the analytic throughput uses.
+  pt.sim_throughput_per_kcycle =
+      rep.simulated_items_per_kcycle * ctx.replicas();
+  pt.sim_to_analytic_ratio = rep.sim_to_analytic_ratio;
+  pt.sim_peak_link_utilization = rep.peak_link_utilization;
+  pt.sim_avg_packet_latency = rep.avg_packet_latency;
+  pt.sim_network_saturated = rep.network_saturated;
+}
+
 }  // namespace internal
 
 // ------------------------------------------------------------ EvalContext ---
@@ -193,7 +272,7 @@ void EvalContext::build_cold(const DseConfig& config) {
       std::move(phys), *topo_);
 }
 
-// ------------------------------------------------------------- DseSession ---
+// ------------------------------------------------------ point assembly -----
 
 namespace {
 
@@ -236,6 +315,144 @@ DsePoint evaluate_point(const EvalContext& ctx, const ObjectiveWeights& weights,
 
 }  // namespace
 
+// -------------------------------------------------------- ShardEvaluator ---
+
+ShardEvaluator::ShardEvaluator(DseProblem problem, ScenarioSet scenarios,
+                               DseSpace space, AnnealConfig anneal,
+                               DseConfig config)
+    : problem_(std::move(problem)),
+      scenarios_(std::move(scenarios)),
+      space_(std::move(space)),
+      anneal_(anneal),
+      config_(std::move(config)) {
+  // The historical DseSession message texts are kept verbatim: the session
+  // delegates its up-front validation here, and callers (and tests) match
+  // on them.
+  if (scenarios_.empty()) {
+    throw std::invalid_argument("DseSession: scenario set is empty");
+  }
+  for (std::size_t s = 0; s < scenarios_.size(); ++s) {
+    if (scenarios_[s].node_count() == 0) {
+      throw std::invalid_argument("DseSession: scenario " + std::to_string(s) +
+                                  " ('" + scenarios_[s].name() +
+                                  "') has no nodes");
+    }
+  }
+  internal::validate_config(config_);
+  if (problem_.objectives.size() == 0) {
+    throw std::invalid_argument(
+        "DseSession: problem.objectives must contain at least one axis");
+  }
+  internal::validate_space(space_);
+  // Resolve the strategy once, up front: unknown names fail here (listing
+  // the registry), and Mapper instances are stateless, so this one serves
+  // every worker thread.
+  mapper_ = make_mapper(config_.mapper, anneal_);
+  candidates_ = enumerate_candidates(space_, problem_.node);
+  if (config_.use_eval_cache) {
+    // Cross-sweep memo: canonical keys are serialized once per candidate
+    // and per scenario (not once per flat point) before any shard fans out.
+    cache_ = &EvalCache::global();
+    platform_keys_.reserve(candidates_.size());
+    for (const DseCandidate& c : candidates_) {
+      platform_keys_.push_back(EvalCache::platform_key(c, config_));
+    }
+    graph_keys_.reserve(scenarios_.size());
+    for (const TaskGraph& g : scenarios_) {
+      graph_keys_.push_back(EvalCache::graph_key(g));
+    }
+  }
+}
+
+FlatPointEval ShardEvaluator::evaluate(std::size_t flat) const {
+  if (flat >= grid_point_count()) {
+    throw std::out_of_range("ShardEvaluator::evaluate: flat index " +
+                            std::to_string(flat) + " outside grid of " +
+                            std::to_string(grid_point_count()));
+  }
+  const std::size_t ncand = candidates_.size();
+  const std::size_t s = flat / ncand;
+  const std::size_t c = flat % ncand;
+  const std::uint64_t seed = sim::derive_seed(anneal_.seed, flat);
+  FlatPointEval out;
+  out.context = std::make_unique<EvalContext>(scenarios_[s], candidates_[c],
+                                              config_, cache_);
+  const EvalContext& ctx = *out.context;
+  if (config_.mapping_fronts) {
+    // The mapping shard of the cache is bypassed in mapping-front mode (one
+    // mapping per key); platform memoization still applies through the
+    // EvalContext.
+    sim::Rng rng(seed);
+    std::vector<MappingFrontPoint> members =
+        mapper_->map_front(ctx.work(), ctx.platform(), problem_.weights, rng,
+                           config_.constraints);
+    if (members.empty()) {
+      throw std::runtime_error("DseSession: mapper '" +
+                               std::string(mapper_->name()) +
+                               "' returned an empty mapping front");
+    }
+    // The first member is the strategy's map() result by contract, so the
+    // canonical grid stays bit-identical to a flag-off sweep.
+    out.point = make_point(ctx, std::move(members.front().mapping),
+                           members.front().cost, mapper_->name());
+    for (std::size_t k = 1; k < members.size(); ++k) {
+      DsePoint pt = make_point(ctx, std::move(members[k].mapping),
+                               members[k].cost, mapper_->name());
+      pt.scenario = static_cast<int>(s);
+      pt.scenario_name = scenarios_[s].name();
+      out.extras.push_back(std::move(pt));
+    }
+  } else if (cache_) {
+    const std::string mkey = EvalCache::mapping_key(
+        platform_keys_[c], graph_keys_[s], mapper_->name(), problem_.weights,
+        config_.constraints, anneal_, mapper_->deterministic(), seed);
+    if (auto memo = cache_->find_mapping(mkey)) {
+      // Replay the memoized run: the derived point fields are recomputed
+      // from the cached (mapping, cost) by the same deterministic
+      // arithmetic, so the stream stays bit-identical.
+      out.point =
+          make_point(ctx, std::move(memo->mapping), memo->cost,
+                     mapper_->name());
+    } else {
+      sim::Rng rng(seed);
+      out.point = evaluate_point(ctx, problem_.weights, *mapper_, rng,
+                                 config_.constraints);
+      cache_->store_mapping(mkey, EvalCache::MappingEntry{
+                                      out.point.mapping,
+                                      out.point.mapping_cost});
+    }
+  } else {
+    sim::Rng rng(seed);
+    out.point = evaluate_point(ctx, problem_.weights, *mapper_, rng,
+                               config_.constraints);
+  }
+  out.point.scenario = static_cast<int>(s);
+  out.point.scenario_name = scenarios_[s].name();
+  return out;
+}
+
+DsePoint ShardEvaluator::validate(std::size_t parent_flat,
+                                  DsePoint point) const {
+  internal::validate_validator_config(config_.validation);
+  if (parent_flat >= grid_point_count()) {
+    throw std::out_of_range("ShardEvaluator::validate: flat index " +
+                            std::to_string(parent_flat) + " outside grid of " +
+                            std::to_string(grid_point_count()));
+  }
+  const std::size_t ncand = candidates_.size();
+  // A fresh context for the pair: platform-memo hits skip the builds, and
+  // whichever path runs, the replay topology (the fresh instance here, the
+  // PlatformDesc::build_topology() fallback on a hit) is bit-identical to
+  // the one stage 1 mapped against.
+  EvalContext ctx(scenarios_[parent_flat / ncand], candidates_[parent_flat % ncand],
+                  config_, cache_);
+  internal::apply_validation(ctx, point, config_.validation,
+                             ctx.take_topology());
+  return point;
+}
+
+// ------------------------------------------------------------- DseSession ---
+
 DseSession::DseSession(DseProblem problem, DseSpace space, AnnealConfig anneal,
                        DseConfig config)
     : problem_(std::move(problem)),
@@ -256,30 +473,15 @@ DseSession::DseSession(DseProblem problem, ScenarioSet scenarios,
       space_(std::move(space)),
       anneal_(anneal),
       config_(std::move(config)) {
-  if (scenarios_.empty()) {
-    throw std::invalid_argument("DseSession: scenario set is empty");
-  }
-  for (std::size_t s = 0; s < scenarios_.size(); ++s) {
-    if (scenarios_[s].node_count() == 0) {
-      throw std::invalid_argument("DseSession: scenario " + std::to_string(s) +
-                                  " ('" + scenarios_[s].name() +
-                                  "') has no nodes");
-    }
-  }
   init_common();
 }
 
 void DseSession::init_common() {
-  internal::validate_config(config_);
-  if (problem_.objectives.size() == 0) {
-    throw std::invalid_argument(
-        "DseSession: problem.objectives must contain at least one axis");
-  }
-  internal::validate_space(space_);
-  // Resolve the strategy once, up front: unknown names fail here (listing
-  // the registry), and Mapper instances are stateless, so this one serves
-  // every worker thread.
-  mapper_ = make_mapper(config_.mapper, anneal_);
+  // All up-front validation (config, objectives, space, scenarios, mapper
+  // resolution) lives in the shared kernel — one checker for the session
+  // and the distributed sweep.
+  shard_ = std::make_unique<ShardEvaluator>(problem_, scenarios_, space_,
+                                            anneal_, config_);
 }
 
 void DseSession::on_point(PointObserver observer) {
@@ -294,7 +496,7 @@ void DseSession::notify(const DsePoint& point, Stage stage) {
 
 const std::vector<DseCandidate>& DseSession::enumerate() {
   if (enumerated_) return candidates_;
-  candidates_ = enumerate_candidates(space_, problem_.node);
+  candidates_ = shard_->candidates();
   enumerated_ = true;
   return candidates_;
 }
@@ -316,80 +518,17 @@ const std::vector<DsePoint>& DseSession::evaluate() {
   // order is flat-index order regardless of thread interleaving.
   std::vector<std::vector<DsePoint>> extras(
       config_.mapping_fronts ? total : 0);
-  // Cross-sweep memo: canonical keys are serialized once per candidate and
-  // per scenario (not once per flat point) before the shards fan out. The
-  // mapping shard is bypassed in mapping-front mode (one mapping per key);
-  // platform memoization still applies through the EvalContext.
   EvalCache* cache = config_.use_eval_cache ? &EvalCache::global() : nullptr;
   const EvalCacheStats before = cache ? cache->stats() : EvalCacheStats{};
-  std::vector<std::string> platform_keys;
-  std::vector<std::string> graph_keys;
-  if (cache) {
-    platform_keys.reserve(ncand);
-    for (const DseCandidate& c : candidates_) {
-      platform_keys.push_back(EvalCache::platform_key(c, config_));
-    }
-    graph_keys.reserve(scenarios_.size());
-    for (const TaskGraph& g : scenarios_) {
-      graph_keys.push_back(EvalCache::graph_key(g));
-    }
-  }
+  // The per-point work is the shared kernel — the same code a distributed
+  // sweep's workers run on the same flat indices, so the two streams are
+  // byte-identical by construction.
   sim::parallel_for(
       total, sim::ParallelConfig{config_.num_threads}, [&](std::size_t f) {
-        const std::size_t s = f / ncand;
-        const std::size_t c = f % ncand;
-        const std::uint64_t seed = sim::derive_seed(anneal_.seed, f);
-        contexts_[f] = std::make_unique<EvalContext>(
-            scenarios_[s], candidates_[c], config_, cache);
-        const EvalContext& ctx = *contexts_[f];
-        if (config_.mapping_fronts) {
-          sim::Rng rng(seed);
-          std::vector<MappingFrontPoint> members = mapper_->map_front(
-              ctx.work(), ctx.platform(), problem_.weights, rng,
-              config_.constraints);
-          if (members.empty()) {
-            throw std::runtime_error("DseSession: mapper '" +
-                                     std::string(mapper_->name()) +
-                                     "' returned an empty mapping front");
-          }
-          // The first member is the strategy's map() result by contract, so
-          // the canonical grid stays bit-identical to a flag-off sweep.
-          points_[f] = make_point(ctx, std::move(members.front().mapping),
-                                  members.front().cost, mapper_->name());
-          for (std::size_t k = 1; k < members.size(); ++k) {
-            DsePoint pt = make_point(ctx, std::move(members[k].mapping),
-                                     members[k].cost, mapper_->name());
-            pt.scenario = static_cast<int>(s);
-            pt.scenario_name = scenarios_[s].name();
-            extras[f].push_back(std::move(pt));
-          }
-        } else if (cache) {
-          const std::string mkey = EvalCache::mapping_key(
-              platform_keys[c], graph_keys[s], mapper_->name(),
-              problem_.weights, config_.constraints, anneal_,
-              mapper_->deterministic(), seed);
-          if (auto memo = cache->find_mapping(mkey)) {
-            // Replay the memoized run: the derived point fields are
-            // recomputed from the cached (mapping, cost) by the same
-            // deterministic arithmetic, so the stream stays bit-identical.
-            points_[f] = make_point(ctx, std::move(memo->mapping), memo->cost,
-                                    mapper_->name());
-          } else {
-            sim::Rng rng(seed);
-            points_[f] = evaluate_point(ctx, problem_.weights, *mapper_, rng,
-                                        config_.constraints);
-            cache->store_mapping(mkey,
-                                 EvalCache::MappingEntry{
-                                     points_[f].mapping,
-                                     points_[f].mapping_cost});
-          }
-        } else {
-          sim::Rng rng(seed);
-          points_[f] = evaluate_point(ctx, problem_.weights, *mapper_, rng,
-                                      config_.constraints);
-        }
-        points_[f].scenario = static_cast<int>(s);
-        points_[f].scenario_name = scenarios_[s].name();
+        FlatPointEval r = shard_->evaluate(f);
+        contexts_[f] = std::move(r.context);
+        points_[f] = std::move(r.point);
+        if (config_.mapping_fronts) extras[f] = std::move(r.extras);
         notify(points_[f], Stage::kEvaluated);
       });
   for (std::size_t f = 0; f < extras.size(); ++f) {
@@ -407,60 +546,13 @@ const std::vector<DsePoint>& DseSession::evaluate() {
 const std::vector<std::size_t>& DseSession::front() {
   if (front_marked_) return front_;
   evaluate();
-  const std::size_t ncand = candidates_.size();
-  scenario_fronts_.assign(scenarios_.size(), {});
-  front_.clear();
-  if (scenarios_.size() == 1) {
-    // A single scenario spans every point — including any mapping-front
-    // extras, which compete with the grid on equal footing.
-    scenario_fronts_[0] = problem_.objectives.mark_front(points_, config_);
-    front_ = scenario_fronts_[0];
-  } else {
-    // Dominance never crosses scenarios: each slice is marked on its own
-    // copy, flags are copied back, and the aggregate front is the ascending
-    // union of the offset per-slice fronts. A slice is its grid run plus
-    // its mapping-front extras — extras were appended in flat-parent order,
-    // so each scenario's run of the appended region is contiguous.
-    std::vector<std::size_t> extra_begin(scenarios_.size() + 1, 0);
-    {
-      std::size_t e = 0;
-      for (std::size_t s = 0; s < scenarios_.size(); ++s) {
-        extra_begin[s] = e;
-        while (e < extra_parents_.size() &&
-               extra_parents_[e] < (s + 1) * ncand) {
-          ++e;
-        }
-      }
-      extra_begin[scenarios_.size()] = e;
-    }
-    for (std::size_t s = 0; s < scenarios_.size(); ++s) {
-      std::vector<DsePoint> slice(
-          points_.begin() + static_cast<std::ptrdiff_t>(s * ncand),
-          points_.begin() + static_cast<std::ptrdiff_t>((s + 1) * ncand));
-      const std::size_t eb = extra_begin[s];
-      const std::size_t ee = extra_begin[s + 1];
-      for (std::size_t e = eb; e < ee; ++e) {
-        slice.push_back(points_[grid_points_ + e]);
-      }
-      std::vector<std::size_t> idx =
-          problem_.objectives.mark_front(slice, config_);
-      for (std::size_t c = 0; c < ncand; ++c) {
-        points_[s * ncand + c].pareto_optimal = slice[c].pareto_optimal;
-      }
-      for (std::size_t e = eb; e < ee; ++e) {
-        points_[grid_points_ + e].pareto_optimal =
-            slice[ncand + (e - eb)].pareto_optimal;
-      }
-      for (std::size_t& k : idx) {
-        k = k < ncand ? s * ncand + k : grid_points_ + eb + (k - ncand);
-      }
-      front_.insert(front_.end(), idx.begin(), idx.end());
-      scenario_fronts_[s] = std::move(idx);
-    }
-    // Extras of early scenarios carry later flat indices than later
-    // scenarios' grid points; restore the documented ascending order.
-    if (!extra_parents_.empty()) std::sort(front_.begin(), front_.end());
-  }
+  // Shared marker: the distributed sweep's coordinator runs the same code
+  // over the same merged stream, so the two mark bit-identical fronts.
+  internal::FrontMarking fm = internal::mark_scenario_fronts(
+      points_, grid_points_, extra_parents_, candidates_.size(),
+      scenarios_.size(), problem_.objectives, config_);
+  front_ = std::move(fm.aggregate);
+  scenario_fronts_ = std::move(fm.per_scenario);
   front_marked_ = true;
   return front_;
 }
@@ -489,20 +581,9 @@ const std::vector<DsePoint>& DseSession::validate() {
         EvalContext& ctx =
             *contexts_[i < grid_points_ ? i
                                         : extra_parents_[i - grid_points_]];
-        MappingValidator validator(
-            ctx.work(), ctx.platform(), pt.mapping, config_.validation,
+        internal::apply_validation(
+            ctx, pt, config_.validation,
             i < grid_points_ ? ctx.take_topology() : nullptr);
-        const ValidationReport rep = validator.run();
-        pt.validated = true;
-        // One replay round is one item of the (replicated) work graph,
-        // i.e. `replicas` stream items — the same scaling the analytic
-        // throughput uses.
-        pt.sim_throughput_per_kcycle =
-            rep.simulated_items_per_kcycle * ctx.replicas();
-        pt.sim_to_analytic_ratio = rep.sim_to_analytic_ratio;
-        pt.sim_peak_link_utilization = rep.peak_link_utilization;
-        pt.sim_avg_packet_latency = rep.avg_packet_latency;
-        pt.sim_network_saturated = rep.network_saturated;
         notify(pt, Stage::kValidated);
       });
   validated_ = true;

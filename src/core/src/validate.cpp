@@ -123,8 +123,19 @@ ValidationResult validate_mapping(const TaskGraph& graph,
             // Forward the item as an invocation of the next stage.
             dsoc::CallHeader hdr{static_cast<dsoc::ObjectId>(0), 0, 0,
                                  dsoc::kNoReply};
-            auto body = dsoc::marshal_call(hdr, ctx->args);
-            body.resize(std::max<std::size_t>(body.size(), words));
+            // Size the argument list (argc covers it) so the body models
+            // exactly this stage's wire size yet stays a well-formed call —
+            // unmarshal_call rejects words dangling past argc, and the
+            // upstream stage's padding must not compound here (the replay
+            // payload only models traffic volume, not content).
+            auto args = ctx->args;
+            args.resize(
+                std::max<std::size_t>(
+                    1, words > dsoc::kCallHeaderWords
+                           ? words - dsoc::kCallHeaderWords
+                           : args.size()),
+                0);
+            auto body = dsoc::marshal_call(hdr, args);
             return platform::Step::send_payload(next_term, std::move(body));
           }
           default:

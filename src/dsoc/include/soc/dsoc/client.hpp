@@ -14,7 +14,7 @@ namespace soc::dsoc {
 /// bridge, test driver).
 class ClientPort final : public tlm::Endpoint {
  public:
-  ClientPort(noc::TerminalId terminal, tlm::Transport& transport);
+  ClientPort(noc::TerminalId terminal, tlm::MessageBus& transport);
 
   void handle(const tlm::Transaction& request,
               tlm::CompletionFn respond) override;
@@ -28,7 +28,7 @@ class ClientPort final : public tlm::Endpoint {
   CallId register_call(std::function<void(std::vector<std::uint32_t>)> cb);
 
   noc::TerminalId terminal_;
-  tlm::Transport& transport_;
+  tlm::MessageBus& transport_;
   std::unordered_map<CallId, std::function<void(std::vector<std::uint32_t>)>>
       pending_;
   CallId next_call_ = 1;
@@ -41,7 +41,7 @@ class ClientPort final : public tlm::Endpoint {
 class Proxy {
  public:
   /// Two-way-capable proxy (replies come back to `port`).
-  Proxy(ObjectRef ref, ClientPort& port, tlm::Transport& transport);
+  Proxy(ObjectRef ref, ClientPort& port, tlm::MessageBus& transport);
 
   /// Fire-and-forget invocation.
   void oneway(MethodId method, std::vector<std::uint32_t> args);
@@ -62,7 +62,7 @@ class Proxy {
  private:
   ObjectRef ref_;
   ClientPort& port_;
-  tlm::Transport& transport_;
+  tlm::MessageBus& transport_;
   std::uint64_t issued_ = 0;
 };
 

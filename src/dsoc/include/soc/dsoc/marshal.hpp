@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace soc::dsoc {
@@ -18,6 +19,11 @@ using CallId = std::uint32_t;
 
 /// Reply terminal value meaning "oneway call, no reply expected".
 inline constexpr std::uint32_t kNoReply = 0xFFFFFFFFu;
+
+/// Largest reply-terminal value unmarshal_call accepts besides kNoReply.
+/// Terminal ids are small dense indices; anything in (kMaxReplyTerminal,
+/// kNoReply) is a corrupt header, not a plausible terminal.
+inline constexpr std::uint32_t kMaxReplyTerminal = 0x7FFFFFFFu;
 
 /// Wire format of an invocation message (32-bit words):
 ///   [0] object id     [1] method id   [2] call id
@@ -36,14 +42,94 @@ inline constexpr std::size_t kCallHeaderWords = 5;
 std::vector<std::uint32_t> marshal_call(const CallHeader& hdr,
                                         std::span<const std::uint32_t> args);
 
-/// Parses an invocation; throws std::invalid_argument on malformed input.
+/// Parses an invocation. Strict: throws std::invalid_argument on a
+/// truncated header, an argc that overruns (or undershoots — trailing
+/// garbage) the body, or a bogus reply terminal (neither kNoReply nor
+/// <= kMaxReplyTerminal). Never reads outside `body`.
 CallHeader unmarshal_call(std::span<const std::uint32_t> body,
                           std::vector<std::uint32_t>& args_out);
 
 /// Wire format of a reply message: [0] call id, [1] retc, [2...] results.
 std::vector<std::uint32_t> marshal_reply(CallId call,
                                          std::span<const std::uint32_t> results);
+
+/// Parses a reply. Strict like unmarshal_call: a truncated header, a retc
+/// overrunning the body, or trailing words all throw std::invalid_argument.
 CallId unmarshal_reply(std::span<const std::uint32_t> body,
                        std::vector<std::uint32_t>& results_out);
+
+// --- typed word-stream codecs ----------------------------------------------
+//
+// WireWriter/WireReader extend the 32-bit-word wire format with the injective
+// serialization discipline of soc::core::EvalCache's canonical keys: every
+// scalar is fixed-width (u32 = 1 word; u64/i64/f64 = 2 words, little-endian
+// word order; doubles travel as their IEEE-754 bit pattern), strings are
+// u64-length-prefixed with 4 chars packed per word, and containers serialize
+// a u64 element count before their elements. Equal byte streams therefore
+// decode to equal values and vice versa — the property the distributed DSE
+// sweep's bit-identical merge contract rests on.
+
+/// Append-only typed writer over a word vector (the args/results payload of
+/// a marshalled call or reply).
+class WireWriter {
+ public:
+  /// One 32-bit word.
+  void u32(std::uint32_t v) { words_.push_back(v); }
+  /// Two words, low word first.
+  void u64(std::uint64_t v);
+  /// Sign-preserving i32 (widened through u64 like EvalCache::put_i32).
+  void i32(std::int32_t v);
+  /// IEEE-754 bit pattern via u64.
+  void f64(double v);
+  /// One word, 0 or 1.
+  void boolean(bool v) { words_.push_back(v ? 1u : 0u); }
+  /// u64 length prefix, then 4 chars per word (last word zero-padded).
+  void str(std::string_view s);
+
+  /// Words written so far.
+  std::size_t size() const noexcept { return words_.size(); }
+  /// Moves the accumulated words out (the writer is then empty).
+  std::vector<std::uint32_t> take() { return std::move(words_); }
+  /// The accumulated words, in place.
+  const std::vector<std::uint32_t>& words() const noexcept { return words_; }
+
+ private:
+  std::vector<std::uint32_t> words_;
+};
+
+/// Bounds-checked typed reader over a word span. Every accessor throws
+/// std::invalid_argument (never reads out of bounds) when the stream is
+/// shorter than the requested value — the same strictness contract as
+/// unmarshal_call.
+class WireReader {
+ public:
+  /// Reads from `words` (not owned; must outlive the reader).
+  explicit WireReader(std::span<const std::uint32_t> words) : words_(words) {}
+
+  /// One 32-bit word.
+  std::uint32_t u32();
+  /// Two words, low word first.
+  std::uint64_t u64();
+  /// Sign-preserving i32 (see WireWriter::i32).
+  std::int32_t i32();
+  /// IEEE-754 bit pattern via u64.
+  double f64();
+  /// One word; any nonzero decodes true.
+  bool boolean() { return u32() != 0; }
+  /// u64 length prefix, then packed chars.
+  std::string str();
+
+  /// Words not yet consumed.
+  std::size_t remaining() const noexcept { return words_.size() - pos_; }
+  /// True when the stream is fully consumed.
+  bool done() const noexcept { return pos_ == words_.size(); }
+  /// Throws std::invalid_argument unless the stream is fully consumed —
+  /// the trailing-garbage check decoders end with.
+  void expect_end() const;
+
+ private:
+  std::span<const std::uint32_t> words_;
+  std::size_t pos_ = 0;
+};
 
 }  // namespace soc::dsoc

@@ -46,12 +46,12 @@ using MethodImpl = std::function<platform::TaskGen(
 class Skeleton final : public tlm::Endpoint {
  public:
   Skeleton(InterfaceDef iface, ObjectId object, noc::TerminalId terminal,
-           platform::WorkQueue& pool, tlm::Transport& transport);
+           platform::WorkQueue& pool, tlm::MessageBus& transport);
 
   /// Policy-agnostic variant: invocations go through `sink` (e.g. an
   /// Fppa::work_sink(), which may fan out to partitioned per-PE queues).
   Skeleton(InterfaceDef iface, ObjectId object, noc::TerminalId terminal,
-           platform::WorkSink sink, tlm::Transport& transport);
+           platform::WorkSink sink, tlm::MessageBus& transport);
 
   /// Binds the implementation of one method. Must cover every method that
   /// will be invoked.
@@ -77,7 +77,7 @@ class Skeleton final : public tlm::Endpoint {
   ObjectId object_;
   noc::TerminalId terminal_;
   platform::WorkSink sink_;
-  tlm::Transport& transport_;
+  tlm::MessageBus& transport_;
   std::map<MethodId, MethodImpl> impls_;
   std::map<MethodId, std::uint64_t> counts_;
   std::uint64_t invocations_ = 0;

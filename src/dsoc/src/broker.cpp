@@ -1,16 +1,46 @@
 #include "soc/dsoc/broker.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 namespace soc::dsoc {
 
+namespace {
+
+std::string unknown_object_message(const std::string& name,
+                                   const std::vector<std::string>& registered) {
+  std::string msg = "Broker: unknown object '" + name + "'";
+  if (registered.empty()) {
+    msg += "; nothing registered";
+    return msg;
+  }
+  msg += "; registered:";
+  for (const std::string& n : registered) {
+    msg += " " + n;
+  }
+  return msg;
+}
+
+}  // namespace
+
+UnknownObjectError::UnknownObjectError(
+    const std::string& name, const std::vector<std::string>& registered)
+    : std::out_of_range(unknown_object_message(name, registered)) {}
+
 ObjectRef Broker::register_object(const std::string& name, Skeleton& skeleton) {
+  return register_object(name, skeleton, skeleton.object_id(),
+                         skeleton.terminal(), skeleton.interface_def().name);
+}
+
+ObjectRef Broker::register_object(const std::string& name,
+                                  tlm::Endpoint& endpoint, ObjectId id,
+                                  noc::TerminalId terminal,
+                                  std::string interface_name) {
   if (directory_.count(name) != 0) {
     throw std::logic_error("Broker: name '" + name + "' already registered");
   }
-  transport_.attach(skeleton.terminal(), skeleton);
-  ObjectRef ref{skeleton.object_id(), skeleton.terminal(),
-                skeleton.interface_def().name};
+  bus_.attach(terminal, endpoint);
+  ObjectRef ref{id, terminal, std::move(interface_name)};
   directory_.emplace(name, ref);
   return ref;
 }
@@ -18,7 +48,7 @@ ObjectRef Broker::register_object(const std::string& name, Skeleton& skeleton) {
 ObjectRef Broker::resolve(const std::string& name) const {
   const auto it = directory_.find(name);
   if (it == directory_.end()) {
-    throw std::out_of_range("Broker: unknown object '" + name + "'");
+    throw UnknownObjectError(name, registered_names());
   }
   return it->second;
 }
@@ -27,6 +57,16 @@ std::optional<ObjectRef> Broker::try_resolve(const std::string& name) const {
   const auto it = directory_.find(name);
   if (it == directory_.end()) return std::nullopt;
   return it->second;
+}
+
+std::vector<std::string> Broker::registered_names() const {
+  std::vector<std::string> names;
+  names.reserve(directory_.size());
+  for (const auto& [name, ref] : directory_) {
+    (void)ref;
+    names.push_back(name);
+  }
+  return names;
 }
 
 }  // namespace soc::dsoc

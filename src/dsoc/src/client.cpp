@@ -4,7 +4,7 @@
 
 namespace soc::dsoc {
 
-ClientPort::ClientPort(noc::TerminalId terminal, tlm::Transport& transport)
+ClientPort::ClientPort(noc::TerminalId terminal, tlm::MessageBus& transport)
     : terminal_(terminal), transport_(transport) {
   transport_.attach(terminal_, *this);
 }
@@ -34,7 +34,7 @@ CallId ClientPort::register_call(
   return id;
 }
 
-Proxy::Proxy(ObjectRef ref, ClientPort& port, tlm::Transport& transport)
+Proxy::Proxy(ObjectRef ref, ClientPort& port, tlm::MessageBus& transport)
     : ref_(ref), port_(port), transport_(transport) {}
 
 void Proxy::oneway(MethodId method, std::vector<std::uint32_t> args) {

@@ -12,7 +12,7 @@ bool InterfaceDef::has_method(MethodId id) const noexcept {
 
 Skeleton::Skeleton(InterfaceDef iface, ObjectId object,
                    noc::TerminalId terminal, platform::WorkQueue& pool,
-                   tlm::Transport& transport)
+                   tlm::MessageBus& transport)
     : Skeleton(std::move(iface), object, terminal,
                platform::WorkSink([&pool](platform::WorkItem item) {
                  pool.push(std::move(item));
@@ -21,7 +21,7 @@ Skeleton::Skeleton(InterfaceDef iface, ObjectId object,
 
 Skeleton::Skeleton(InterfaceDef iface, ObjectId object,
                    noc::TerminalId terminal, platform::WorkSink sink,
-                   tlm::Transport& transport)
+                   tlm::MessageBus& transport)
     : iface_(std::move(iface)),
       object_(object),
       terminal_(terminal),

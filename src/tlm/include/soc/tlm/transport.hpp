@@ -27,10 +27,33 @@ class Endpoint {
   virtual void handle(const Transaction& request, CompletionFn respond) = 0;
 };
 
+/// The minimal message-passing surface the DSOC layer (broker, skeletons,
+/// proxies, sweep workers) is written against: endpoint attachment plus
+/// one-way kMessage delivery. Two implementations exist — the simulated
+/// Transport below (messages ride NoC packets on the event queue) and
+/// tlm::LoopbackTransport (loopback.hpp: messages cross real host threads)
+/// — so the same marshalled bytes drive either a simulated platform or an
+/// in-process distributed service without the DSOC code changing.
+class MessageBus {
+ public:
+  virtual ~MessageBus() = default;
+
+  /// Attaches `ep` (not owned) to `terminal`. One endpoint per terminal.
+  virtual void attach(noc::TerminalId terminal, Endpoint& ep) = 0;
+
+  /// One-way message (no response packet). `delivered` (optional) fires
+  /// when the message reaches the target endpoint. Returns a bus-unique
+  /// message id.
+  virtual std::uint64_t message(noc::TerminalId initiator,
+                                noc::TerminalId target,
+                                std::vector<std::uint32_t> body,
+                                CompletionFn delivered = nullptr) = 0;
+};
+
 /// Message-passing transport over the NoC: packetizes split transactions,
 /// matches responses to outstanding requests and dispatches requests to
 /// registered endpoints. One instance per platform.
-class Transport {
+class Transport : public MessageBus {
  public:
   Transport(noc::Network& network, sim::EventQueue& queue);
 
@@ -38,7 +61,7 @@ class Transport {
   Transport& operator=(const Transport&) = delete;
 
   /// Attaches `ep` (not owned) to `terminal`. One endpoint per terminal.
-  void attach(noc::TerminalId terminal, Endpoint& ep);
+  void attach(noc::TerminalId terminal, Endpoint& ep) override;
 
   /// Issues a split read of `words` 32-bit words. `done` fires when the
   /// response packet arrives back at `initiator`.
@@ -55,7 +78,7 @@ class Transport {
   /// when the message reaches the target endpoint.
   std::uint64_t message(noc::TerminalId initiator, noc::TerminalId target,
                         std::vector<std::uint32_t> body,
-                        CompletionFn delivered = nullptr);
+                        CompletionFn delivered = nullptr) override;
 
   noc::Network& network() noexcept { return net_; }
   sim::EventQueue& queue() noexcept { return queue_; }

@@ -59,6 +59,62 @@ TEST(Marshal, TruncatedInputsThrow) {
   EXPECT_THROW(unmarshal_reply(bad_reply, out), std::invalid_argument);
 }
 
+TEST(Marshal, EveryTruncatedHeaderThrows) {
+  // Fuzz-ish: every strict prefix of a well-formed call must be rejected
+  // with std::invalid_argument — never parsed, never read out of bounds.
+  const std::vector<std::uint32_t> args{10, 20, 30};
+  const auto body = marshal_call(CallHeader{7, 3, 99, 2}, args);
+  std::vector<std::uint32_t> out;
+  for (std::size_t n = 0; n < body.size(); ++n) {
+    const std::vector<std::uint32_t> cut(body.begin(), body.begin() + n);
+    EXPECT_THROW(unmarshal_call(cut, out), std::invalid_argument) << n;
+  }
+  const std::vector<std::uint32_t> results{1, 2};
+  const auto reply = marshal_reply(99, results);
+  for (std::size_t n = 0; n < reply.size(); ++n) {
+    const std::vector<std::uint32_t> cut(reply.begin(), reply.begin() + n);
+    EXPECT_THROW(unmarshal_reply(cut, out), std::invalid_argument) << n;
+  }
+}
+
+TEST(Marshal, ArgcOverrunAndTrailingGarbageThrow) {
+  std::vector<std::uint32_t> out;
+  // argc claims one more word than the body carries.
+  const std::vector<std::uint32_t> one_arg{9};
+  std::vector<std::uint32_t> body = marshal_call(CallHeader{1, 2, 3, 4}, one_arg);
+  body[4] = 2;
+  EXPECT_THROW(unmarshal_call(body, out), std::invalid_argument);
+  // argc maxed out must not drive an allocation or an OOB scan.
+  body[4] = 0xFFFFFFFFu;
+  EXPECT_THROW(unmarshal_call(body, out), std::invalid_argument);
+  // Words dangling past argc are garbage, not silently ignored.
+  std::vector<std::uint32_t> extra =
+      marshal_call(CallHeader{1, 2, 3, 4}, one_arg);
+  extra.push_back(0);
+  EXPECT_THROW(unmarshal_call(extra, out), std::invalid_argument);
+  const std::vector<std::uint32_t> one_result{1};
+  std::vector<std::uint32_t> reply = marshal_reply(3, one_result);
+  reply.push_back(0);
+  EXPECT_THROW(unmarshal_reply(reply, out), std::invalid_argument);
+  reply.pop_back();
+  reply[1] = 0xFFFFFFFFu;  // retc overrun
+  EXPECT_THROW(unmarshal_reply(reply, out), std::invalid_argument);
+}
+
+TEST(Marshal, BogusReplyTerminalThrows) {
+  std::vector<std::uint32_t> out;
+  // Anything between kMaxReplyTerminal and kNoReply is a corrupt header.
+  std::vector<std::uint32_t> body = marshal_call(CallHeader{1, 2, 3, 4}, {});
+  body[3] = kMaxReplyTerminal + 1;
+  EXPECT_THROW(unmarshal_call(body, out), std::invalid_argument);
+  body[3] = kNoReply - 1;
+  EXPECT_THROW(unmarshal_call(body, out), std::invalid_argument);
+  body[3] = kMaxReplyTerminal;
+  EXPECT_NO_THROW(unmarshal_call(body, out));
+  body[3] = kNoReply;
+  EXPECT_NO_THROW(unmarshal_call(body, out));
+}
+
 // ------------------------------------------------------------- test rig ---
 
 /// Platform-in-miniature: 8-terminal mesh, a pool of 2 PEs on a shared
@@ -116,6 +172,31 @@ TEST(Broker, RegistrationAndResolution) {
   EXPECT_FALSE(broker.try_resolve("nope").has_value());
   EXPECT_THROW(broker.resolve("nope"), std::out_of_range);
   EXPECT_THROW(broker.register_object("calc", sk), std::logic_error);
+}
+
+TEST(Broker, UnknownObjectErrorListsRegisteredNames) {
+  Rig rig;
+  Skeleton sk(calc_iface(), 1, 6, rig.pool, rig.transport);
+  Broker broker(rig.transport);
+  try {
+    broker.resolve("calcc");
+    FAIL() << "resolve() of an empty directory should throw";
+  } catch (const UnknownObjectError& e) {
+    EXPECT_NE(std::string(e.what()).find("calcc"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("nothing registered"),
+              std::string::npos);
+  }
+  broker.register_object("calc", sk);
+  try {
+    broker.resolve("calcc");
+    FAIL() << "resolve() of an unknown name should throw";
+  } catch (const UnknownObjectError& e) {
+    // The message names the typo and lists what is registered.
+    EXPECT_NE(std::string(e.what()).find("calcc"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("calc"), std::string::npos);
+  }
+  // UnknownObjectError stays catchable as the historical out_of_range.
+  EXPECT_THROW(broker.resolve("calcc"), std::out_of_range);
 }
 
 TEST(Dsoc, TwoWayCallReturnsResult) {
