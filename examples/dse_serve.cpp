@@ -1,0 +1,144 @@
+// The always-on DSE daemon: a soc::svc::DseService behind a real TCP
+// socket. Clients (examples/dse_client.cpp, or any soc::svc::DseClient
+// over a tlm::SocketTransport) connect, submit sweeps, and stream their
+// fronts back concurrently; the daemon multiplexes every accepted sweep
+// onto one shared evaluation pool with per-client round-robin fairness
+// and bounded admission.
+//
+//   ./build/examples/dse_serve [--port <tcp port>] [--pool <threads>]
+//                              [--max-active <n>] [--max-queued <n>]
+//                              [--once <n>] [--help]
+//
+// `--port 0` (the default) binds an ephemeral port; the daemon prints
+// "dse_serve: listening on port N" either way, so scripts can scrape the
+// port before starting clients. `--once <n>` exits after <n> sweeps have
+// finished (completed, cancelled, or failed) — the scripted-smoke-test
+// alternative to signalling. SIGINT/SIGTERM shut the daemon down
+// gracefully (drain the bus, join the pool) with exit code 0.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <chrono>
+#include <optional>
+#include <thread>
+
+#include "soc/svc/dse_service.hpp"
+#include "soc/tlm/socket.hpp"
+
+using namespace soc;
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void on_signal(int) { g_stop = 1; }
+
+/// Strict base-10 integer parse: nullopt on empty input or trailing junk.
+std::optional<long> parse_long(const char* s) {
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  if (end == s || *end != '\0') return std::nullopt;
+  return v;
+}
+
+void print_usage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: dse_serve [--port <tcp port>] [--pool <threads>]\n"
+               "                 [--max-active <n>] [--max-queued <n>]\n"
+               "                 [--once <n>] [--help]\n"
+               "--port 0 (default) binds an ephemeral port; the bound port "
+               "is printed either way.\n"
+               "--pool 0 (default) sizes the evaluation pool to the "
+               "hardware concurrency.\n"
+               "--once <n> exits once <n> sweeps have finished; otherwise "
+               "serve until SIGINT/SIGTERM.\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  long port = 0;
+  long once = 0;
+  svc::DseServiceConfig cfg;
+  for (int i = 1; i < argc; ++i) {
+    const auto need_value = [&](const char* flag, long min_v,
+                                long max_v) -> std::optional<long> {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        return std::nullopt;
+      }
+      const auto v = parse_long(argv[++i]);
+      if (!v || *v < min_v || *v > max_v) {
+        std::fprintf(stderr, "%s: bad value '%s'\n", flag, argv[i]);
+        return std::nullopt;
+      }
+      return v;
+    };
+    if (!std::strcmp(argv[i], "--help")) {
+      print_usage(stdout);
+      return 0;
+    } else if (!std::strcmp(argv[i], "--port")) {
+      const auto v = need_value("--port", 0, 65535);
+      if (!v) return 2;
+      port = *v;
+    } else if (!std::strcmp(argv[i], "--pool")) {
+      const auto v = need_value("--pool", 0, 1024);
+      if (!v) return 2;
+      cfg.pool_threads = static_cast<int>(*v);
+    } else if (!std::strcmp(argv[i], "--max-active")) {
+      const auto v = need_value("--max-active", 1, 1024);
+      if (!v) return 2;
+      cfg.max_active = static_cast<int>(*v);
+    } else if (!std::strcmp(argv[i], "--max-queued")) {
+      const auto v = need_value("--max-queued", 0, 4096);
+      if (!v) return 2;
+      cfg.max_queued = static_cast<int>(*v);
+    } else if (!std::strcmp(argv[i], "--once")) {
+      const auto v = need_value("--once", 1, 1000000);
+      if (!v) return 2;
+      once = *v;
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
+      print_usage(stderr);
+      return 2;
+    }
+  }
+
+  try {
+    auto bus = tlm::SocketTransport::listen(static_cast<std::uint16_t>(port));
+    svc::DseService service(*bus, svc::kServiceTerminal, cfg);
+    std::printf("dse_serve: listening on port %u\n", bus->port());
+    std::fflush(stdout);
+    std::signal(SIGINT, on_signal);
+    std::signal(SIGTERM, on_signal);
+    for (;;) {
+      if (g_stop) break;
+      if (once > 0) {
+        const svc::ServiceStats st = service.stats();
+        const std::uint64_t finished = st.completed + st.cancelled + st.errors;
+        if (finished >= static_cast<std::uint64_t>(once) &&
+            service.active_sweeps() == 0 && service.queued_sweeps() == 0) {
+          break;
+        }
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    service.stop();
+    bus->shutdown();
+    const svc::ServiceStats st = service.stats();
+    std::printf("dse_serve: served %llu sweeps (%llu completed, %llu "
+                "cancelled, %llu busy-rejected, %llu errors), %llu points "
+                "streamed\n",
+                static_cast<unsigned long long>(st.accepted),
+                static_cast<unsigned long long>(st.completed),
+                static_cast<unsigned long long>(st.cancelled),
+                static_cast<unsigned long long>(st.rejected_busy),
+                static_cast<unsigned long long>(st.errors),
+                static_cast<unsigned long long>(st.points_streamed));
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "dse_serve: %s\n", e.what());
+    return 1;
+  }
+}

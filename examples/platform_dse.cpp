@@ -148,9 +148,20 @@ void print_usage(std::FILE* out) {
                "the sweep\nprints its hit/miss counters.\n");
 }
 
+/// Strict base-10 integer parse: nullopt on empty input or trailing junk
+/// (std::atoi would silently read "8x" as 8 and "x" as 0).
+std::optional<long> parse_long(const char* s) {
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  if (end == s || *end != '\0') return std::nullopt;
+  return v;
+}
+
 }  // namespace
 
-int main(int argc, char** argv) {
+/// The tool proper. Exit-code contract: 0 success, 1 evaluation failure
+/// (no feasible candidate, sweep error), 2 usage error.
+static int run_tool(int argc, char** argv) {
   std::string mapper_name = "anneal";
   std::string objective_names = "tput,area,power";
   bool validate = false;
@@ -241,9 +252,19 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--die-mm2 must be positive\n");
         return 2;
       }
+    } else if (!std::strncmp(argv[i], "--", 2)) {
+      std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
+      print_usage(stderr);
+      return 2;
     } else {
       positional.push_back(argv[i]);
     }
+  }
+  if (positional.size() > 3) {
+    std::fprintf(stderr, "too many positional arguments (at most "
+                         "[graph] [anneal_iters] [threads])\n");
+    print_usage(stderr);
+    return 2;
   }
   // Same style as the --objectives error below: the registry's own typed
   // error already enumerates every registered strategy name.
@@ -261,8 +282,32 @@ int main(int argc, char** argv) {
     return 2;
   }
   const char* which = positional.size() > 0 ? positional[0] : "mjpeg";
-  const int iters = positional.size() > 1 ? std::atoi(positional[1]) : 5000;
-  const int threads = positional.size() > 2 ? std::atoi(positional[2]) : 0;
+  if (std::strcmp(which, "ipv4") != 0 && std::strcmp(which, "mjpeg") != 0 &&
+      std::strcmp(which, "wlan") != 0) {
+    std::fprintf(stderr, "unknown graph '%s' (expected ipv4, mjpeg or "
+                         "wlan)\n", which);
+    return 2;
+  }
+  int iters = 5000;
+  if (positional.size() > 1) {
+    const auto v = parse_long(positional[1]);
+    if (!v || *v <= 0) {
+      std::fprintf(stderr, "anneal_iters must be a positive integer, got "
+                           "'%s'\n", positional[1]);
+      return 2;
+    }
+    iters = static_cast<int>(*v);
+  }
+  int threads = 0;
+  if (positional.size() > 2) {
+    const auto v = parse_long(positional[2]);
+    if (!v || *v < 0) {
+      std::fprintf(stderr, "threads must be a non-negative integer, got "
+                           "'%s'\n", positional[2]);
+      return 2;
+    }
+    threads = static_cast<int>(*v);
+  }
 
   core::TaskGraph graph = [&] {
     if (!std::strcmp(which, "ipv4")) return apps::ipv4_task_graph();
@@ -483,4 +528,15 @@ int main(int argc, char** argv) {
     std::printf("cycle-level validation skipped: %s\n", e.what());
   }
   return 0;
+}
+
+int main(int argc, char** argv) {
+  try {
+    return run_tool(argc, argv);
+  } catch (const std::exception& e) {
+    // Anything the sweep or simulator throws past run_tool's own handlers
+    // is an evaluation failure, distinct from a usage error (2).
+    std::fprintf(stderr, "platform_dse: %s\n", e.what());
+    return 1;
+  }
 }

@@ -120,6 +120,16 @@ struct FlatPointEval {
   std::unique_ptr<EvalContext> context;
 };
 
+/// The front index sets a completed sweep reports, as produced by
+/// ShardEvaluator::mark_fronts: ascending flat indices into the marked
+/// point vector (grid points first, extras after).
+struct SweepFronts {
+  /// The cross-scenario aggregate Pareto front, ascending flat indices.
+  std::vector<std::size_t> aggregate;
+  /// One front slice per scenario, scenario order.
+  std::vector<std::vector<std::size_t>> per_scenario;
+};
+
 /// The per-point evaluation kernel a DSE sweep is made of, factored out of
 /// DseSession so one machine's session loop and a distributed sweep's
 /// workers (soc/core/distributed_sweep.hpp) run the *same code* on the same
@@ -178,6 +188,18 @@ class ShardEvaluator {
   /// std::out_of_range on a bad index and std::invalid_argument on bad
   /// replay knobs.
   DsePoint validate(std::size_t parent_flat, DsePoint point) const;
+
+  /// Marks each scenario's Pareto front over problem.objectives in place
+  /// on `points` — the full scenario-major grid (grid_point_count()
+  /// entries) followed by mapping-front extras in flat-parent order,
+  /// located by `extra_parents` — and returns the front index sets. Runs
+  /// the exact marker DseSession::front() runs, so a service that
+  /// assembled `points` from streamed shard results marks fronts
+  /// bit-identical to a single-machine session's. Throws
+  /// std::invalid_argument when sizes disagree or a parent index is
+  /// outside the grid.
+  SweepFronts mark_fronts(std::vector<DsePoint>& points,
+                          const std::vector<std::size_t>& extra_parents) const;
 
  private:
   DseProblem problem_;

@@ -436,8 +436,6 @@ DistributedSweepResult SweepCoordinator::run(const SweepRequest& request) {
   const ShardEvaluator local(request.problem, request.scenarios,
                              request.space, request.anneal, request.config);
   const std::size_t total = local.grid_point_count();
-  const std::size_t ncand = local.candidates().size();
-  const std::size_t nscen = local.scenarios().size();
   const EvalCacheStats cache_before = EvalCache::global().stats();
 
   {
@@ -508,9 +506,7 @@ DistributedSweepResult SweepCoordinator::run(const SweepRequest& request) {
     grid_.clear();
     grid_extras_.clear();
   }
-  internal::FrontMarking fm = internal::mark_scenario_fronts(
-      res.points, total, res.extra_parents, ncand, nscen,
-      local.problem().objectives, local.config());
+  SweepFronts fm = local.mark_fronts(res.points, res.extra_parents);
   res.front = std::move(fm.aggregate);
   res.scenario_fronts = std::move(fm.per_scenario);
   const double merge_ms = ms_since(tm0);

@@ -451,6 +451,29 @@ DsePoint ShardEvaluator::validate(std::size_t parent_flat,
   return point;
 }
 
+SweepFronts ShardEvaluator::mark_fronts(
+    std::vector<DsePoint>& points,
+    const std::vector<std::size_t>& extra_parents) const {
+  const std::size_t grid = grid_point_count();
+  if (points.size() != grid + extra_parents.size()) {
+    throw std::invalid_argument(
+        "ShardEvaluator::mark_fronts: " + std::to_string(points.size()) +
+        " points for a grid of " + std::to_string(grid) + " + " +
+        std::to_string(extra_parents.size()) + " extras");
+  }
+  for (const std::size_t parent : extra_parents) {
+    if (parent >= grid) {
+      throw std::invalid_argument(
+          "ShardEvaluator::mark_fronts: extra parent " +
+          std::to_string(parent) + " outside grid of " + std::to_string(grid));
+    }
+  }
+  internal::FrontMarking fm = internal::mark_scenario_fronts(
+      points, grid, extra_parents, candidates_.size(), scenarios_.size(),
+      problem_.objectives, config_);
+  return SweepFronts{std::move(fm.aggregate), std::move(fm.per_scenario)};
+}
+
 // ------------------------------------------------------------- DseSession ---
 
 DseSession::DseSession(DseProblem problem, DseSpace space, AnnealConfig anneal,

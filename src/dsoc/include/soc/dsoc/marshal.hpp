@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -110,12 +111,20 @@ class WireReader {
   std::uint32_t u32();
   /// Two words, low word first.
   std::uint64_t u64();
-  /// Sign-preserving i32 (see WireWriter::i32).
+  /// Sign-preserving i32 (see WireWriter::i32). Throws on a u64 pattern
+  /// no i32 sign-extends to.
   std::int32_t i32();
   /// IEEE-754 bit pattern via u64.
   double f64();
-  /// One word; any nonzero decodes true.
-  bool boolean() { return u32() != 0; }
+  /// One word; strictly 0 or 1 (anything else throws — WireWriter only
+  /// ever emits those two, and a lax decode would break injectivity).
+  bool boolean() {
+    const std::uint32_t v = u32();
+    if (v > 1u) {
+      throw std::invalid_argument("WireReader: non-canonical boolean");
+    }
+    return v == 1u;
+  }
   /// u64 length prefix, then packed chars.
   std::string str();
 

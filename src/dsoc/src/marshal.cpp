@@ -114,7 +114,16 @@ std::uint64_t WireReader::u64() {
 }
 
 std::int32_t WireReader::i32() {
-  return static_cast<std::int32_t>(static_cast<std::int64_t>(u64()));
+  // Canonical-form check: WireWriter::i32 sign-extends through i64, so the
+  // only valid high words are 0x00000000 (bit 31 clear) and 0xFFFFFFFF
+  // (bit 31 set). Anything else is a corrupt stream, not a wide integer —
+  // and accepting it would break the injective-encoding contract above.
+  const auto wide = static_cast<std::int64_t>(u64());
+  const auto narrow = static_cast<std::int32_t>(wide);
+  if (static_cast<std::int64_t>(narrow) != wide) {
+    throw std::invalid_argument("WireReader: non-canonical i32");
+  }
+  return narrow;
 }
 
 double WireReader::f64() {
@@ -136,9 +145,14 @@ std::string WireReader::str() {
   s.reserve(static_cast<std::size_t>(len));
   for (std::size_t i = 0; i < static_cast<std::size_t>(len); i += 4) {
     const std::uint32_t w = words_[pos_++];
-    for (std::size_t b = 0; b < 4 && i + b < static_cast<std::size_t>(len);
-         ++b) {
-      s.push_back(static_cast<char>((w >> (8 * b)) & 0xFFu));
+    for (std::size_t b = 0; b < 4; ++b) {
+      if (i + b < static_cast<std::size_t>(len)) {
+        s.push_back(static_cast<char>((w >> (8 * b)) & 0xFFu));
+      } else if (((w >> (8 * b)) & 0xFFu) != 0) {
+        // WireWriter zero-pads the final word; nonzero padding would decode
+        // to a value that re-encodes differently, so reject it.
+        throw std::invalid_argument("WireReader: nonzero string padding");
+      }
     }
   }
   return s;

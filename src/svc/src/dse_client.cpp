@@ -1,0 +1,348 @@
+#include "soc/svc/dse_client.hpp"
+
+#include <utility>
+
+namespace soc::svc {
+
+using core::DsePoint;
+using core::SweepRequest;
+
+namespace {
+
+double ms_between(std::chrono::steady_clock::time_point a,
+                  std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+std::string busy_message(std::uint32_t active, std::uint32_t queued,
+                         std::uint32_t max_active, std::uint32_t max_queued) {
+  return "DseService busy: " + std::to_string(active) + "/" +
+         std::to_string(max_active) + " active, " + std::to_string(queued) +
+         "/" + std::to_string(max_queued) + " queued";
+}
+
+}  // namespace
+
+ServiceBusy::ServiceBusy(std::uint32_t active_, std::uint32_t queued_,
+                         std::uint32_t max_active_, std::uint32_t max_queued_)
+    : std::runtime_error(
+          busy_message(active_, queued_, max_active_, max_queued_)),
+      active(active_),
+      queued(queued_),
+      max_active(max_active_),
+      max_queued(max_queued_) {}
+
+DseClient::DseClient(tlm::MessageBus& bus, noc::TerminalId terminal,
+                     noc::TerminalId service_terminal)
+    : bus_(bus), terminal_(terminal), service_terminal_(service_terminal) {
+  bus_.attach(terminal_, *this);
+}
+
+void DseClient::send(dsoc::MethodId method, std::vector<std::uint32_t> args) {
+  dsoc::CallHeader hdr;
+  hdr.object = kServiceObjectId;
+  hdr.method = method;
+  hdr.call = 1;  // oneway protocol: call ids are not correlated
+  hdr.reply_terminal = dsoc::kNoReply;
+  bus_.message(terminal_, service_terminal_, dsoc::marshal_call(hdr, args));
+}
+
+std::uint32_t DseClient::submit(const SweepRequest& request,
+                                PointObserverFn on_point) {
+  std::uint32_t tag = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    tag = next_tag_++;
+    PendingSubmit& p = pending_[tag];
+    p.on_point = std::move(on_point);
+    p.t_submit = std::chrono::steady_clock::now();
+  }
+  dsoc::WireWriter w;
+  w.u32(terminal_);
+  w.u32(tag);
+  core::wire_put(w, request);
+  send(svc_method::kSubmit, w.take());
+
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return pending_[tag].resolved; });
+  const PendingSubmit p = std::move(pending_[tag]);
+  pending_.erase(tag);
+  if (p.busy) {
+    throw ServiceBusy(p.busy_active, p.busy_queued, p.busy_max_active,
+                      p.busy_max_queued);
+  }
+  if (!p.error.empty()) {
+    throw std::runtime_error("DseClient: sweep refused: " + p.error);
+  }
+  return p.sweep_id;
+}
+
+void DseClient::cancel(std::uint32_t id) {
+  dsoc::WireWriter w;
+  w.u32(terminal_);
+  w.u32(id);
+  send(svc_method::kCancel, w.take());
+}
+
+SweepResult DseClient::wait(std::uint32_t id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const auto it = sweeps_.find(id);
+  if (it == sweeps_.end()) {
+    throw std::runtime_error("DseClient: unknown sweep id " +
+                             std::to_string(id));
+  }
+  SweepState& st = it->second;
+  cv_.wait(lock, [&st] { return st.done; });
+  if (!st.error.empty()) {
+    const std::string what = st.error;
+    sweeps_.erase(it);
+    throw std::runtime_error("DseClient: sweep failed: " + what);
+  }
+
+  SweepResult res;
+  res.grid_points = static_cast<std::size_t>(st.grid);
+  res.cancelled = st.cancelled;
+  res.points_evaluated = st.evaluated;
+  res.points_streamed = st.streamed;
+  res.wall_ms = ms_between(st.t_submit, st.t_done);
+  res.time_to_first_point_ms =
+      st.first_seen ? ms_between(st.t_submit, st.t_first) : res.wall_ms;
+  if (st.cancelled) {
+    // Partial sweep: hand back whatever streamed, ascending flat order,
+    // without front marking (the service never marked one).
+    for (auto& [flat, pt] : st.grid_pts) {
+      (void)flat;
+      res.points.push_back(std::move(pt));
+    }
+    sweeps_.erase(it);
+    return res;
+  }
+
+  // Reassemble the session layout from the stream: the scenario-major
+  // grid first, then extras in flat-parent order.
+  res.points.reserve(st.grid_pts.size());
+  for (std::uint64_t f = 0; f < st.grid; ++f) {
+    const auto git = st.grid_pts.find(f);
+    if (git == st.grid_pts.end()) {
+      sweeps_.erase(it);
+      throw std::runtime_error("DseClient: incomplete stream: grid point " +
+                               std::to_string(f) + " never arrived");
+    }
+    res.points.push_back(std::move(git->second));
+  }
+  for (std::uint64_t f = 0; f < st.grid; ++f) {
+    const auto eit = st.extras.find(f);
+    if (eit == st.extras.end()) continue;
+    for (DsePoint& pt : eit->second) {
+      res.extra_parents.push_back(static_cast<std::size_t>(f));
+      res.points.push_back(std::move(pt));
+    }
+  }
+  res.front = std::move(st.front);
+  res.scenario_fronts = std::move(st.scenario_fronts);
+  // The service marked fronts on its assembled copy *after* streaming the
+  // raw evaluations; membership in a front slice is exactly the
+  // pareto_optimal flag, so replaying the index sets reproduces the
+  // session's flags bit for bit.
+  for (DsePoint& pt : res.points) pt.pareto_optimal = false;
+  for (const std::size_t i : res.front) {
+    if (i < res.points.size()) res.points[i].pareto_optimal = true;
+  }
+  // Stage-2 overlays re-streamed the full validated points (flags
+  // included); they land last so sim_* figures survive.
+  for (auto& [index, pt] : st.validated) {
+    if (index < res.points.size()) {
+      res.points[static_cast<std::size_t>(index)] = std::move(pt);
+    }
+  }
+  sweeps_.erase(it);
+  return res;
+}
+
+// ---------------------------------------------------------------- inbound ---
+
+void DseClient::handle(const tlm::Transaction& request, tlm::CompletionFn done) {
+  std::vector<std::uint32_t> args;
+  dsoc::CallHeader hdr;
+  try {
+    hdr = dsoc::unmarshal_call(request.payload, args);
+  } catch (const std::exception&) {
+    return;  // not a protocol frame
+  }
+  try {
+    switch (hdr.method) {
+      case svc_method::kAccepted:
+        on_accepted(std::move(args));
+        break;
+      case svc_method::kBusy:
+        on_busy(std::move(args));
+        break;
+      case svc_method::kPoint:
+        on_point_msg(std::move(args));
+        break;
+      case svc_method::kDone:
+        on_done(std::move(args));
+        break;
+      case svc_method::kCancelled:
+        on_cancelled(std::move(args));
+        break;
+      case svc_method::kError:
+        on_error(std::move(args));
+        break;
+      default:
+        break;
+    }
+  } catch (const std::exception&) {
+    // A malformed service message cannot be attributed to a sweep; drop
+    // it rather than kill the dispatcher thread.
+  }
+  if (done) done(request);
+}
+
+void DseClient::on_accepted(std::vector<std::uint32_t> args) {
+  dsoc::WireReader r(args);
+  const std::uint32_t tag = r.u32();
+  const std::uint32_t id = r.u32();
+  const std::uint64_t grid = r.u64();
+  r.boolean();  // queued flag: informational
+  r.expect_end();
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = pending_.find(tag);
+  if (it == pending_.end()) return;
+  it->second.resolved = true;
+  it->second.sweep_id = id;
+  it->second.grid = grid;
+  // Register the sweep *here*, before any kPoint of it can be decoded:
+  // the service sends kAccepted first and the bus is FIFO per sender.
+  SweepState& st = sweeps_[id];
+  st.grid = grid;
+  st.on_point = it->second.on_point;
+  st.t_submit = it->second.t_submit;
+  cv_.notify_all();
+}
+
+void DseClient::on_busy(std::vector<std::uint32_t> args) {
+  dsoc::WireReader r(args);
+  const std::uint32_t tag = r.u32();
+  const std::uint32_t active = r.u32();
+  const std::uint32_t queued = r.u32();
+  const std::uint32_t max_active = r.u32();
+  const std::uint32_t max_queued = r.u32();
+  r.expect_end();
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = pending_.find(tag);
+  if (it == pending_.end()) return;
+  it->second.resolved = true;
+  it->second.busy = true;
+  it->second.busy_active = active;
+  it->second.busy_queued = queued;
+  it->second.busy_max_active = max_active;
+  it->second.busy_max_queued = max_queued;
+  cv_.notify_all();
+}
+
+void DseClient::on_point_msg(std::vector<std::uint32_t> args) {
+  dsoc::WireReader r(args);
+  const std::uint32_t id = r.u32();
+  const std::uint32_t stage = r.u32();
+  const std::uint64_t index = r.u64();
+  DsePoint pt;
+  core::wire_get(r, pt);
+  const std::uint64_t n_extras = r.u64();
+  std::vector<DsePoint> extras;
+  extras.reserve(static_cast<std::size_t>(n_extras));
+  for (std::uint64_t i = 0; i < n_extras; ++i) {
+    DsePoint e;
+    core::wire_get(r, e);
+    extras.push_back(std::move(e));
+  }
+  r.expect_end();
+
+  PointObserverFn observer;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto it = sweeps_.find(id);
+    if (it == sweeps_.end()) return;  // cancelled-and-collected already
+    SweepState& st = it->second;
+    if (!st.first_seen) {
+      st.first_seen = true;
+      st.t_first = std::chrono::steady_clock::now();
+    }
+    st.streamed += 1 + n_extras;
+    observer = st.on_point;
+    if (stage == kStageValidated) {
+      st.validated[index] = pt;
+    } else {
+      st.grid_pts[index] = pt;
+      if (!extras.empty()) st.extras[index] = extras;
+    }
+  }
+  // Observer runs outside the lock: it may call cancel() or block.
+  if (observer) {
+    observer(index, pt, stage == kStageValidated);
+    for (const DsePoint& e : extras) observer(index, e, false);
+  }
+}
+
+void DseClient::on_done(std::vector<std::uint32_t> args) {
+  dsoc::WireReader r(args);
+  const std::uint32_t id = r.u32();
+  std::vector<std::size_t> front(static_cast<std::size_t>(r.u64()));
+  for (std::size_t& i : front) i = static_cast<std::size_t>(r.u64());
+  std::vector<std::vector<std::size_t>> sfronts(
+      static_cast<std::size_t>(r.u64()));
+  for (auto& sf : sfronts) {
+    sf.resize(static_cast<std::size_t>(r.u64()));
+    for (std::size_t& i : sf) i = static_cast<std::size_t>(r.u64());
+  }
+  const std::uint64_t evaluated = r.u64();
+  r.u64();  // validated count: implied by the overlay stream
+  r.expect_end();
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = sweeps_.find(id);
+  if (it == sweeps_.end()) return;
+  SweepState& st = it->second;
+  st.front = std::move(front);
+  st.scenario_fronts = std::move(sfronts);
+  st.evaluated = evaluated;
+  st.done = true;
+  st.t_done = std::chrono::steady_clock::now();
+  cv_.notify_all();
+}
+
+void DseClient::on_cancelled(std::vector<std::uint32_t> args) {
+  dsoc::WireReader r(args);
+  const std::uint32_t id = r.u32();
+  const std::uint64_t evaluated = r.u64();
+  r.expect_end();
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = sweeps_.find(id);
+  if (it == sweeps_.end()) return;
+  SweepState& st = it->second;
+  st.cancelled = true;
+  st.evaluated = evaluated;
+  st.done = true;
+  st.t_done = std::chrono::steady_clock::now();
+  cv_.notify_all();
+}
+
+void DseClient::on_error(std::vector<std::uint32_t> args) {
+  dsoc::WireReader r(args);
+  const std::uint32_t tag = r.u32();
+  const std::uint32_t id = r.u32();
+  const std::string what = r.str();
+  r.expect_end();
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (const auto pit = pending_.find(tag); pit != pending_.end()) {
+    pit->second.resolved = true;
+    pit->second.error = what;
+  }
+  if (const auto sit = sweeps_.find(id); sit != sweeps_.end()) {
+    sit->second.error = what;
+    sit->second.done = true;
+    sit->second.t_done = std::chrono::steady_clock::now();
+  }
+  cv_.notify_all();
+}
+
+}  // namespace soc::svc

@@ -57,10 +57,13 @@ class LoopbackTransport final : public MessageBus {
                         std::vector<std::uint32_t> body,
                         CompletionFn delivered = nullptr) override;
 
-  /// Delivers every queued message, then stops and joins all dispatcher
-  /// threads. Idempotent; attach()/message() after shutdown throw. Callers
-  /// that need a quiescent bus before tearing down endpoints call this
-  /// explicitly (the destructor calls it otherwise).
+  /// Delivers every queued message — including messages endpoints send
+  /// *while draining* (an endpoint relaying from inside handle() keeps the
+  /// bus open until the whole cascade is delivered) — then stops and joins
+  /// all dispatcher threads. Idempotent; concurrent callers block until the
+  /// first finishes; attach() during the drain and message()/attach() after
+  /// shutdown throw. Callers that need a quiescent bus before tearing down
+  /// endpoints call this explicitly (the destructor calls it otherwise).
   void shutdown();
 
   /// Messages delivered to endpoints so far.
@@ -78,17 +81,23 @@ class LoopbackTransport final : public MessageBus {
     std::condition_variable cv;
     std::deque<Transaction> queue;
     bool stop = false;  ///< drain remaining, then exit
+    bool busy = false;  ///< dispatcher currently inside handle()
     std::thread dispatcher;
   };
 
   void dispatch_loop(Mailbox& box);
+  /// Blocks until `box` has an empty queue and an idle dispatcher.
+  static void wait_idle(Mailbox& box);
 
-  mutable std::mutex mu_;  ///< guards boxes_ / next_id_ / shut_down_
+  mutable std::mutex mu_;  ///< guards boxes_ / next_id_ / state flags
+  std::condition_variable state_cv_;  ///< concurrent shutdown() callers
   std::map<noc::TerminalId, std::unique_ptr<Mailbox>> boxes_;
   std::uint64_t next_id_ = 1;
-  bool shut_down_ = false;
+  bool draining_ = false;   ///< shutdown drain in progress: sends still legal
+  bool shut_down_ = false;  ///< fully quiesced: sends/attaches throw
   std::atomic<std::uint64_t> delivered_{0};
   std::atomic<std::uint64_t> words_{0};
+  std::atomic<std::uint64_t> enqueued_{0};  ///< quiescence-pass change detector
 };
 
 }  // namespace soc::tlm

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <random>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -399,6 +400,124 @@ TEST(DseWire, TrailingGarbageAndBogusEnumsThrow) {
   std::vector<std::uint32_t> req = marshal_sweep_request(sample_request());
   req.resize(40);
   EXPECT_THROW(unmarshal_sweep_request(req), std::invalid_argument);
+}
+
+// Seeded randomized fuzzing of the strict decoders. The contract under
+// arbitrary input is: either throw std::invalid_argument, or decode to a
+// value whose re-encoding is byte-identical to the input (the decoder may
+// never crash, read out of bounds, or silently accept a stream it cannot
+// reproduce). Deterministic seeds keep failures replayable, and the quick
+// label runs these under ASan and TSan in CI.
+
+/// Draws a fuzz word biased toward the decoders' edge cases: zero,
+/// all-ones, and small counts are far more likely than uniform noise to
+/// land on a length/enum/flag field's boundary.
+std::uint32_t fuzz_word(std::mt19937& rng) {
+  switch (rng() % 8u) {
+    case 0: return 0u;
+    case 1: return 0xFFFFFFFFu;
+    case 2: return rng() % 8u;
+    default: return rng();
+  }
+}
+
+/// Applies the throw-or-identical contract to one candidate word stream.
+template <typename Unmarshal, typename Marshal>
+void expect_throw_or_identical(const std::vector<std::uint32_t>& words,
+                               Unmarshal unmarshal, Marshal marshal,
+                               const char* what, unsigned iter) {
+  try {
+    const auto decoded = unmarshal(words);
+    EXPECT_EQ(marshal(decoded), words)
+        << what << " iteration " << iter
+        << ": decoder accepted a stream it cannot re-encode";
+  } catch (const std::invalid_argument&) {
+    // Rejection is the expected outcome for nearly all mutants.
+  }
+}
+
+TEST(DseWire, FuzzRandomStreamsThrowOrRoundTrip) {
+  std::mt19937 rng(0xD5E01u);
+  for (unsigned iter = 0; iter < 400; ++iter) {
+    std::vector<std::uint32_t> words(rng() % 64u);
+    for (auto& w : words) w = fuzz_word(rng);
+    expect_throw_or_identical(
+        words, [](const auto& v) { return unmarshal_point(v); },
+        [](const auto& p) { return marshal_point(p); }, "point", iter);
+    expect_throw_or_identical(
+        words, [](const auto& v) { return unmarshal_sweep_request(v); },
+        [](const auto& r) { return marshal_sweep_request(r); }, "request",
+        iter);
+  }
+}
+
+TEST(DseWire, FuzzMutatedPointStreams) {
+  std::mt19937 rng(0xD5E02u);
+  const std::vector<std::uint32_t> base = marshal_point([] {
+    DsePoint pt;
+    pt.candidate.num_pes = 8;
+    pt.mapping = {0, 1, 2};
+    pt.mapper = "anneal";
+    pt.scenario_name = "fuzz";
+    pt.pareto_optimal = true;
+    return pt;
+  }());
+  for (unsigned iter = 0; iter < 600; ++iter) {
+    std::vector<std::uint32_t> words = base;
+    const unsigned edits = 1u + rng() % 3u;
+    for (unsigned e = 0; e < edits; ++e) {
+      words[rng() % words.size()] = fuzz_word(rng);
+    }
+    expect_throw_or_identical(
+        words, [](const auto& v) { return unmarshal_point(v); },
+        [](const auto& p) { return marshal_point(p); }, "mutated point",
+        iter);
+  }
+}
+
+TEST(DseWire, FuzzMutatedRequestStreams) {
+  std::mt19937 rng(0xD5E03u);
+  const std::vector<std::uint32_t> base =
+      marshal_sweep_request(sample_request());
+  for (unsigned iter = 0; iter < 300; ++iter) {
+    std::vector<std::uint32_t> words = base;
+    const unsigned edits = 1u + rng() % 3u;
+    for (unsigned e = 0; e < edits; ++e) {
+      words[rng() % words.size()] = fuzz_word(rng);
+    }
+    expect_throw_or_identical(
+        words, [](const auto& v) { return unmarshal_sweep_request(v); },
+        [](const auto& r) { return marshal_sweep_request(r); },
+        "mutated request", iter);
+  }
+}
+
+TEST(DseWire, FuzzResizedStreams) {
+  // Random truncations and garbage extensions of valid streams: the
+  // decoders must reject every length change (both codecs are exact-length
+  // via expect_end, so a resized stream can never re-encode identically).
+  std::mt19937 rng(0xD5E04u);
+  const std::vector<std::uint32_t> point = marshal_point(DsePoint{});
+  const std::vector<std::uint32_t> req =
+      marshal_sweep_request(sample_request());
+  for (unsigned iter = 0; iter < 200; ++iter) {
+    for (const auto* base : {&point, &req}) {
+      std::vector<std::uint32_t> words = *base;
+      if (rng() % 2u) {
+        words.resize(rng() % words.size());  // strict prefix
+      } else {
+        const unsigned extra = 1u + rng() % 4u;
+        for (unsigned e = 0; e < extra; ++e) words.push_back(fuzz_word(rng));
+      }
+      const bool is_point = base == &point;
+      if (is_point) {
+        EXPECT_THROW(unmarshal_point(words), std::invalid_argument) << iter;
+      } else {
+        EXPECT_THROW(unmarshal_sweep_request(words), std::invalid_argument)
+            << iter;
+      }
+    }
+  }
 }
 
 }  // namespace

@@ -1,0 +1,579 @@
+// The always-on DSE service (soc::svc) and its socket transport
+// (tlm::SocketTransport): the streamed result of every sweep must be
+// byte-identical to a single-machine DseSession of the same request —
+// over the in-process loopback AND over a real TCP connection, with any
+// number of concurrent clients — and the daemon's multiplexing contract
+// (bounded admission, typed busy refusal, prompt cancel reclamation,
+// per-client fairness) must hold under load. Everything here binds only
+// ephemeral loopback ports and finishes fast enough for the `quick`
+// label, so the sanitizer CI jobs race all of it.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "soc/core/dse_session.hpp"
+#include "soc/core/dse_wire.hpp"
+#include "soc/svc/dse_client.hpp"
+#include "soc/svc/dse_service.hpp"
+#include "soc/tlm/loopback.hpp"
+#include "soc/tlm/socket.hpp"
+
+namespace soc::svc {
+namespace {
+
+using core::AnnealConfig;
+using core::DseConfig;
+using core::DsePoint;
+using core::DseProblem;
+using core::DseSession;
+using core::DseSpace;
+using core::ObjectiveSpace;
+using core::ObjectiveWeights;
+using core::ScenarioSet;
+using core::SweepRequest;
+using core::TaskGraph;
+using core::TaskNode;
+
+// ------------------------------------------------------------- fixtures ---
+
+TaskGraph small_pipeline() {
+  TaskGraph g("svc-pipe");
+  TaskNode a;
+  a.name = "src";
+  a.work_ops = 150.0;
+  TaskNode b;
+  b.name = "filter";
+  b.work_ops = 300.0;
+  TaskNode c;
+  c.name = "route";
+  c.work_ops = 220.0;
+  TaskNode d;
+  d.name = "sink";
+  d.work_ops = 90.0;
+  const int ia = g.add_node(std::move(a));
+  const int ib = g.add_node(std::move(b));
+  const int ic = g.add_node(std::move(c));
+  const int id = g.add_node(std::move(d));
+  g.add_edge({ia, ib, 8.0});
+  g.add_edge({ib, ic, 4.0});
+  g.add_edge({ic, id, 4.0});
+  g.add_edge({ia, ic, 2.0});
+  return g;
+}
+
+TaskGraph second_scenario() {
+  TaskGraph g("svc-alt");
+  TaskNode a;
+  a.name = "in";
+  a.work_ops = 80.0;
+  TaskNode b;
+  b.name = "crunch";
+  b.work_ops = 400.0;
+  TaskNode c;
+  c.name = "out";
+  c.work_ops = 120.0;
+  const int ia = g.add_node(std::move(a));
+  const int ib = g.add_node(std::move(b));
+  const int ic = g.add_node(std::move(c));
+  g.add_edge({ia, ib, 6.0});
+  g.add_edge({ib, ic, 3.0});
+  return g;
+}
+
+/// A complete small sweep request; `alt_scenario` adds a second scenario
+/// graph (doubles the grid and exercises per-scenario fronts on the wire).
+SweepRequest small_request(bool alt_scenario = false) {
+  SweepRequest req;
+  req.problem = DseProblem{small_pipeline(), ObjectiveSpace::default_space(),
+                           ObjectiveWeights{}, tech::node_90nm()};
+  req.scenarios = alt_scenario
+                      ? ScenarioSet{small_pipeline(), second_scenario()}
+                      : ScenarioSet{small_pipeline()};
+  req.space.pe_counts = {4, 8};
+  req.space.thread_counts = {2};
+  req.space.topologies = {noc::TopologyKind::kBus, noc::TopologyKind::kMesh2D};
+  req.space.fabrics = {tech::Fabric::kAsip};
+  req.anneal.iterations = 250;
+  return req;
+}
+
+/// A sweep slow enough to still be running when a follow-up protocol
+/// message (busy probe, cancel) reaches the service: heavy anneal budget,
+/// and the cross-sweep eval memo off so earlier tests in this process
+/// can't turn its evaluations into instant cache hits.
+SweepRequest slow_request(bool alt_scenario = false) {
+  SweepRequest req = small_request(alt_scenario);
+  req.anneal.iterations = 25000;
+  req.config.use_eval_cache = false;
+  return req;
+}
+
+/// Runs `request` through a local DseSession — the ground truth every
+/// streamed sweep must reproduce byte-for-byte.
+struct SessionRef {
+  std::vector<DsePoint> points;
+  std::vector<std::size_t> front;
+  std::vector<std::vector<std::size_t>> scenario_fronts;
+  std::size_t grid_points = 0;
+  std::vector<std::size_t> extra_parents;
+};
+
+SessionRef run_reference(const SweepRequest& req) {
+  DseSession session(req.problem, req.scenarios, req.space, req.anneal,
+                     req.config);
+  SessionRef ref;
+  ref.points = session.run();
+  ref.front = session.front();
+  ref.scenario_fronts = session.scenario_fronts();
+  ref.grid_points = session.grid_point_count();
+  for (std::size_t i = ref.grid_points; i < ref.points.size(); ++i) {
+    ref.extra_parents.push_back(session.extra_parent(i));
+  }
+  return ref;
+}
+
+/// Byte-identity through the canonical codec: equal word streams prove
+/// every DsePoint field (doubles bit-for-bit) matches.
+void expect_result_identical(const SweepResult& got, const SessionRef& want,
+                             const std::string& what) {
+  ASSERT_EQ(got.points.size(), want.points.size()) << what;
+  for (std::size_t i = 0; i < got.points.size(); ++i) {
+    EXPECT_EQ(core::marshal_point(got.points[i]),
+              core::marshal_point(want.points[i]))
+        << what << ": point " << i << " diverged";
+  }
+  EXPECT_EQ(got.front, want.front) << what;
+  EXPECT_EQ(got.scenario_fronts, want.scenario_fronts) << what;
+  EXPECT_EQ(got.grid_points, want.grid_points) << what;
+  EXPECT_EQ(got.extra_parents, want.extra_parents) << what;
+}
+
+// ----------------------------------------------------- socket transport ---
+
+/// Test endpoint: records every payload it receives, in arrival order.
+class Recorder final : public tlm::Endpoint {
+ public:
+  void handle(const tlm::Transaction& t, tlm::CompletionFn done) override {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      payloads_.push_back(t.payload);
+      initiators_.push_back(t.initiator);
+    }
+    cv_.notify_all();
+    if (done) done(t);
+  }
+
+  /// Blocks until `n` messages have arrived (test-deadline bounded).
+  void wait_for(std::size_t n) {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [&] { return payloads_.size() >= n; });
+  }
+
+  std::vector<std::vector<std::uint32_t>> payloads() {
+    std::lock_guard<std::mutex> lk(mu_);
+    return payloads_;
+  }
+  std::vector<noc::TerminalId> initiators() {
+    std::lock_guard<std::mutex> lk(mu_);
+    return initiators_;
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::vector<std::uint32_t>> payloads_;
+  std::vector<noc::TerminalId> initiators_;
+};
+
+TEST(SocketTransport, EphemeralPortAndBidirectionalFifo) {
+  auto server = tlm::SocketTransport::listen(0);
+  ASSERT_GT(server->port(), 0) << "ephemeral bind must report a real port";
+  auto client = tlm::SocketTransport::connect("127.0.0.1", server->port());
+
+  Recorder server_rec;
+  Recorder client_rec;
+  server->attach(0, server_rec);
+  client->attach(1, client_rec);
+
+  // Client -> server: 100 ordered messages from one sender must arrive in
+  // send order (per-sender FIFO is what the service protocol rests on).
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    client->message(1, 0, {i, i * 3u});
+  }
+  server_rec.wait_for(100);
+  const auto inbound = server_rec.payloads();
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    ASSERT_EQ(inbound[i], (std::vector<std::uint32_t>{i, i * 3u})) << i;
+    ASSERT_EQ(server_rec.initiators()[i], 1u) << i;
+  }
+
+  // Server -> client uses the route learned from the inbound frames.
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    server->message(0, 1, {0xBEEF0000u + i});
+  }
+  client_rec.wait_for(10);
+  EXPECT_EQ(client_rec.payloads()[9],
+            (std::vector<std::uint32_t>{0xBEEF0009u}));
+
+  // Wire metering counts every word of every frame, both directions.
+  EXPECT_GE(server->words_on_wire(), 200u);
+  EXPECT_GE(client->frames_sent(), 100u);
+  EXPECT_GE(server->frames_received(), 100u);
+  EXPECT_EQ(server->connection_count(), 1u);
+
+  client->shutdown();
+  server->shutdown();
+}
+
+TEST(SocketTransport, LargePayloadSurvivesFraming) {
+  auto server = tlm::SocketTransport::listen(0);
+  auto client = tlm::SocketTransport::connect("127.0.0.1", server->port());
+  Recorder rec;
+  server->attach(0, rec);
+  client->attach(7, rec);  // unused; gives the client a local terminal
+
+  // Big enough to straddle many TCP segments; a framing bug (partial
+  // read/write, byte-order slip) scrambles the checksum pattern.
+  std::vector<std::uint32_t> body(200000);
+  for (std::size_t i = 0; i < body.size(); ++i) {
+    body[i] = static_cast<std::uint32_t>(i * 2654435761u);
+  }
+  client->message(7, 0, body);
+  rec.wait_for(1);
+  EXPECT_EQ(rec.payloads()[0], body);
+
+  client->shutdown();
+  server->shutdown();
+}
+
+TEST(SocketTransport, ShutdownFlushesPendingWrites) {
+  auto server = tlm::SocketTransport::listen(0);
+  auto client = tlm::SocketTransport::connect("127.0.0.1", server->port());
+  Recorder rec;
+  server->attach(0, rec);
+  client->attach(1, rec);
+  for (std::uint32_t i = 0; i < 500; ++i) {
+    client->message(1, 0, {i});
+  }
+  // Immediate shutdown: the writer must drain its outbox before closing,
+  // so every queued frame still reaches the server.
+  client->shutdown();
+  rec.wait_for(500);
+  const auto got = rec.payloads();
+  ASSERT_EQ(got.size(), 500u);
+  for (std::uint32_t i = 0; i < 500; ++i) {
+    ASSERT_EQ(got[i][0], i) << "frame order broke at " << i;
+  }
+  server->shutdown();
+}
+
+TEST(SocketTransport, ConnectToDeadPortFails) {
+  // Grab a port that is then closed again, so nothing listens on it.
+  std::uint16_t dead_port = 0;
+  {
+    auto probe = tlm::SocketTransport::listen(0);
+    dead_port = probe->port();
+    probe->shutdown();
+  }
+  EXPECT_THROW(tlm::SocketTransport::connect("127.0.0.1", dead_port, 200),
+               std::runtime_error);
+}
+
+// --------------------------------------------- service over the loopback ---
+
+TEST(DseService, StreamedSweepIsByteIdenticalToSession) {
+  const SweepRequest req = small_request(/*alt_scenario=*/true);
+  const SessionRef ref = run_reference(req);
+
+  tlm::LoopbackTransport bus;
+  DseService service(bus, kServiceTerminal);
+  DseClient client(bus, 1);
+
+  std::atomic<std::uint64_t> streamed{0};
+  const std::uint32_t id = client.submit(
+      req, [&](std::uint64_t, const DsePoint&, bool) { ++streamed; });
+  const SweepResult res = client.wait(id);
+
+  expect_result_identical(res, ref, "loopback sweep");
+  EXPECT_FALSE(res.cancelled);
+  // Streaming really happened: one observer call per grid point.
+  EXPECT_EQ(streamed.load(), ref.grid_points);
+  EXPECT_EQ(res.points_streamed, ref.grid_points);
+  EXPECT_GT(res.wall_ms, 0.0);
+
+  service.stop();
+  bus.shutdown();
+}
+
+TEST(DseService, ValidatedSweepOverlaysStageTwoPoints) {
+  SweepRequest req = small_request();
+  req.config.validate_pareto = true;
+  const SessionRef ref = run_reference(req);
+
+  tlm::LoopbackTransport bus;
+  DseService service(bus, kServiceTerminal);
+  DseClient client(bus, 1);
+
+  std::atomic<std::uint64_t> validated_seen{0};
+  const std::uint32_t id = client.submit(
+      req, [&](std::uint64_t, const DsePoint&, bool validated) {
+        if (validated) ++validated_seen;
+      });
+  const SweepResult res = client.wait(id);
+
+  expect_result_identical(res, ref, "validated sweep");
+  // Every front point was re-streamed as a stage-2 overlay.
+  EXPECT_EQ(validated_seen.load(), ref.front.size());
+
+  service.stop();
+  bus.shutdown();
+}
+
+TEST(DseService, MappingFrontExtrasTravelWithTheirParents) {
+  SweepRequest req = small_request();
+  req.config.mapper = "nsga2";
+  req.config.mapping_fronts = true;
+  req.anneal.iterations = 60;  // nsga2 budget: keep the quick label quick
+  const SessionRef ref = run_reference(req);
+  ASSERT_GT(ref.extra_parents.size(), 0u)
+      << "fixture must actually produce mapping-front extras";
+
+  tlm::LoopbackTransport bus;
+  DseService service(bus, kServiceTerminal);
+  DseClient client(bus, 1);
+  const SweepResult res = client.wait(client.submit(req));
+  expect_result_identical(res, ref, "map-fronts sweep");
+
+  service.stop();
+  bus.shutdown();
+}
+
+TEST(DseService, BoundedAdmissionRefusesWithTypedBusy) {
+  DseServiceConfig cfg;
+  cfg.pool_threads = 1;
+  cfg.max_active = 1;
+  cfg.max_queued = 0;
+  tlm::LoopbackTransport bus;
+  DseService service(bus, kServiceTerminal, cfg);
+  DseClient client(bus, 1);
+
+  const std::uint32_t first = client.submit(slow_request(true));
+  bool refused = false;
+  try {
+    client.submit(small_request());
+  } catch (const ServiceBusy& e) {
+    refused = true;
+    EXPECT_EQ(e.active, 1u);
+    EXPECT_EQ(e.queued, 0u);
+    EXPECT_EQ(e.max_active, 1u);
+    EXPECT_EQ(e.max_queued, 0u);
+    EXPECT_NE(std::string(e.what()).find("busy"), std::string::npos);
+  }
+  EXPECT_TRUE(refused) << "second submit must be refused, not queued";
+  EXPECT_EQ(service.stats().rejected_busy, 1u);
+
+  // The refusal was about capacity, not the sweep: the admitted one
+  // still completes and the freed slot admits a retry.
+  (void)client.wait(first);
+  const std::uint32_t retry = client.submit(small_request());
+  (void)client.wait(retry);
+  EXPECT_EQ(service.stats().completed, 2u);
+
+  service.stop();
+  bus.shutdown();
+}
+
+TEST(DseService, CancelFreesTheSlotAndAdmitsTheQueuedSweep) {
+  DseServiceConfig cfg;
+  cfg.pool_threads = 1;
+  cfg.max_active = 1;
+  cfg.max_queued = 1;
+  tlm::LoopbackTransport bus;
+  DseService service(bus, kServiceTerminal, cfg);
+  DseClient client(bus, 1);
+
+  // Sweep A occupies the only active slot; cancel it from its own
+  // observer after the first streamed point.
+  std::atomic<std::uint32_t> id_a{0};
+  std::atomic<bool> cancel_sent{false};
+  const std::uint32_t a = client.submit(
+      slow_request(true), [&](std::uint64_t, const DsePoint&, bool) {
+        if (!cancel_sent.exchange(true)) client.cancel(id_a.load());
+      });
+  id_a.store(a);
+  // Sweep B lands in the queue behind it.
+  const std::uint32_t b = client.submit(small_request());
+
+  const SweepResult res_a = client.wait(a);
+  EXPECT_TRUE(res_a.cancelled);
+  EXPECT_LT(res_a.points_evaluated, 16u)
+      << "cancel must stop the sweep before it finishes its 16-point grid";
+
+  // The acceptance gate: the queued sweep must now run to completion —
+  // and still be byte-identical to the local session.
+  const SweepResult res_b = client.wait(b);
+  expect_result_identical(res_b, run_reference(small_request()),
+                          "post-cancel queued sweep");
+  const ServiceStats st = service.stats();
+  EXPECT_EQ(st.cancelled, 1u);
+  EXPECT_EQ(st.completed, 1u);
+  EXPECT_EQ(service.active_sweeps(), 0u);
+  EXPECT_EQ(service.queued_sweeps(), 0u);
+
+  service.stop();
+  bus.shutdown();
+}
+
+TEST(DseService, CancellingAQueuedSweepNeverRunsIt) {
+  DseServiceConfig cfg;
+  cfg.pool_threads = 1;
+  cfg.max_active = 1;
+  cfg.max_queued = 1;
+  tlm::LoopbackTransport bus;
+  DseService service(bus, kServiceTerminal, cfg);
+  DseClient client(bus, 1);
+
+  const std::uint32_t a = client.submit(slow_request(true));
+  const std::uint32_t b = client.submit(small_request());
+  client.cancel(b);
+  const SweepResult res_b = client.wait(b);
+  EXPECT_TRUE(res_b.cancelled);
+  EXPECT_EQ(res_b.points_evaluated, 0u);
+  (void)client.wait(a);
+  EXPECT_EQ(service.stats().completed, 1u);
+
+  service.stop();
+  bus.shutdown();
+}
+
+TEST(DseService, InvalidRequestIsRefusedWithError) {
+  tlm::LoopbackTransport bus;
+  DseService service(bus, kServiceTerminal);
+  DseClient client(bus, 1);
+
+  SweepRequest bad = small_request();
+  bad.space.pe_counts = {0};  // the session constructor rejects this
+  EXPECT_THROW(client.submit(bad), std::runtime_error);
+  EXPECT_EQ(service.stats().errors, 1u);
+  EXPECT_EQ(service.stats().accepted, 0u);
+
+  // The service survives the bad request and serves the next one.
+  const SweepResult res = client.wait(client.submit(small_request()));
+  EXPECT_FALSE(res.cancelled);
+
+  service.stop();
+  bus.shutdown();
+}
+
+TEST(DseService, BrokerRegistrationResolvesByInterfaceName) {
+  tlm::LoopbackTransport bus;
+  dsoc::Broker broker(bus);
+  DseService service(broker, bus, kServiceTerminal);
+  const dsoc::ObjectRef ref = broker.resolve(kServiceInterface);
+  EXPECT_EQ(ref.terminal, kServiceTerminal);
+  EXPECT_EQ(ref.id, kServiceObjectId);
+
+  DseClient client(bus, 1, ref.terminal);
+  const SweepResult res = client.wait(client.submit(small_request()));
+  expect_result_identical(res, run_reference(small_request()),
+                          "broker-resolved sweep");
+
+  service.stop();
+  bus.shutdown();
+}
+
+// ------------------------------------------- the acceptance: real TCP ---
+
+TEST(DseService, ConcurrentTcpClientsReceiveByteIdenticalFronts) {
+  // N concurrent clients over a real socket, each with a different sweep,
+  // all multiplexed onto one shared pool — every streamed front must be
+  // byte-identical to that client's own local DseSession run.
+  auto server = tlm::SocketTransport::listen(0);
+  DseServiceConfig cfg;
+  cfg.max_active = 3;
+  DseService service(*server, kServiceTerminal, cfg);
+
+  const SweepRequest requests[3] = {small_request(), small_request(true), [] {
+                                      SweepRequest r = small_request();
+                                      r.config.validate_pareto = true;
+                                      return r;
+                                    }()};
+  SessionRef refs[3];
+  for (int i = 0; i < 3; ++i) refs[i] = run_reference(requests[i]);
+
+  std::vector<std::thread> workers;
+  std::string failures[3];
+  for (int i = 0; i < 3; ++i) {
+    workers.emplace_back([&, i] {
+      try {
+        auto bus = tlm::SocketTransport::connect("127.0.0.1", server->port());
+        DseClient client(*bus, static_cast<noc::TerminalId>(i + 1));
+        std::atomic<std::uint64_t> streamed{0};
+        const std::uint32_t id = client.submit(
+            requests[i],
+            [&](std::uint64_t, const DsePoint&, bool) { ++streamed; });
+        const SweepResult res = client.wait(id);
+        expect_result_identical(res, refs[i],
+                                "tcp client " + std::to_string(i));
+        if (streamed.load() == 0) failures[i] = "no streamed points";
+        bus->shutdown();
+      } catch (const std::exception& e) {
+        failures[i] = e.what();
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(failures[i], "") << "tcp client " << i;
+  }
+
+  const ServiceStats st = service.stats();
+  EXPECT_EQ(st.completed, 3u);
+  EXPECT_EQ(st.errors, 0u);
+  service.stop();
+  server->shutdown();
+}
+
+TEST(DseService, TcpCancelReclaimsTheSlotAcrossClients) {
+  // Client 1 cancels mid-sweep over TCP; client 2's queued sweep must
+  // start, finish, and match its local session.
+  auto server = tlm::SocketTransport::listen(0);
+  DseServiceConfig cfg;
+  cfg.pool_threads = 1;
+  cfg.max_active = 1;
+  cfg.max_queued = 1;
+  DseService service(*server, kServiceTerminal, cfg);
+
+  auto bus1 = tlm::SocketTransport::connect("127.0.0.1", server->port());
+  DseClient c1(*bus1, 1);
+  std::atomic<std::uint32_t> id1{0};
+  std::atomic<bool> sent{false};
+  const std::uint32_t a = c1.submit(
+      slow_request(true), [&](std::uint64_t, const DsePoint&, bool) {
+        if (!sent.exchange(true)) c1.cancel(id1.load());
+      });
+  id1.store(a);
+
+  auto bus2 = tlm::SocketTransport::connect("127.0.0.1", server->port());
+  DseClient c2(*bus2, 2);
+  const std::uint32_t b = c2.submit(small_request());
+
+  EXPECT_TRUE(c1.wait(a).cancelled);
+  expect_result_identical(c2.wait(b), run_reference(small_request()),
+                          "tcp post-cancel sweep");
+
+  service.stop();
+  bus1->shutdown();
+  bus2->shutdown();
+  server->shutdown();
+}
+
+}  // namespace
+}  // namespace soc::svc

@@ -301,6 +301,37 @@ TEST(Loopback, RejectsBadUse) {
   EXPECT_THROW(bus.attach(2, rec), std::logic_error);
 }
 
+/// Endpoint that forwards every message it receives to another terminal —
+/// the shape of a broker/coordinator relaying replies while the bus drains.
+struct Relay : Endpoint {
+  Relay(MessageBus& bus, noc::TerminalId self, noc::TerminalId next)
+      : bus_(bus), self_(self), next_(next) {}
+  void handle(const Transaction& request, CompletionFn) override {
+    bus_.message(self_, next_, request.payload);
+  }
+  MessageBus& bus_;
+  noc::TerminalId self_;
+  noc::TerminalId next_;
+};
+
+TEST(Loopback, ShutdownDrainsRelayCascade) {
+  // Regression: shutdown() used to flip shut_down_ before draining, so a
+  // relay sending from inside handle() threw on a dispatcher thread
+  // (std::terminate). The drain must deliver the whole cascade instead.
+  LoopbackTransport bus;
+  Recorder rec;
+  Relay relay(bus, 1, 2);
+  bus.attach(1, relay);
+  bus.attach(2, rec);
+  for (std::uint32_t i = 0; i < 50; ++i) bus.message(0, 1, {i});
+  bus.shutdown();  // no wait_for: queued + relayed messages must all land
+  ASSERT_EQ(rec.count(), 50u);
+  for (std::uint32_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(rec.payloads[i], (std::vector<std::uint32_t>{i}));
+  }
+  EXPECT_EQ(bus.messages_delivered(), 100u);  // 50 into relay + 50 into rec
+}
+
 TEST(Loopback, CrossTerminalTrafficAllArrives) {
   LoopbackTransport bus;
   Recorder a, b;
